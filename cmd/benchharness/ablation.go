@@ -1,0 +1,108 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ctl"
+	"repro/internal/explore"
+	"repro/internal/lattice"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+	"repro/internal/slice"
+)
+
+// runAblation measures the design choices called out in DESIGN.md:
+//
+//  1. A1's arbitrary-predecessor choice vs full backtracking,
+//  2. A2's formula-based meet-irreducibles vs lattice degree counting,
+//  3. A3 vs explicit-lattice EU,
+//  4. slice-based EG vs A1.
+func runAblation() {
+	p := fig1Pred()
+
+	fmt.Println("[1] A1 arbitrary choice vs backtracking (identical answers, cost gap)")
+	fmt.Println("barrier grid: EG(conj(c != 1)) is false; backtracking explores every cut")
+	fmt.Println("above the barrier before giving up, A1 walks a single path down to it")
+	fmt.Printf("%4s %4s %12s %14s\n", "n", "k", "A1", "backtracking")
+	for _, n := range []int{4, 6, 8, 9} {
+		comp := sim.Grid(n, 6)
+		var locals []predicate.LocalPredicate
+		for pr := 0; pr < n; pr++ {
+			locals = append(locals, predicate.VarCmp{Proc: pr, Var: "c", Op: predicate.NE, K: 1})
+		}
+		barrier := predicate.Conjunctive{Locals: locals}
+		start := time.Now()
+		_, a := core.EGLinear(comp, barrier)
+		a1 := time.Since(start)
+		start = time.Now()
+		b := core.EGLinearBacktracking(comp, barrier)
+		bt := time.Since(start)
+		status := ""
+		if a != b {
+			status = "  MISMATCH"
+		}
+		fmt.Printf("%4d %4d %12s %14s%s\n", n, 6, a1.Round(time.Microsecond), bt.Round(time.Microsecond), status)
+	}
+
+	fmt.Println("\n[2] meet-irreducibles: Birkhoff formula vs lattice degree count")
+	fmt.Printf("%8s %4s %12s %16s %10s\n", "|E|", "n", "formula", "lattice degrees", "cuts")
+	for _, nk := range [][2]int{{3, 6}, {4, 6}, {5, 6}} {
+		comp := sim.Grid(nk[0], nk[1])
+		start := time.Now()
+		mi := core.MeetIrreducibles(comp)
+		formula := time.Since(start)
+		start = time.Now()
+		l := lattice.MustBuild(comp)
+		deg := l.MeetIrreducibles()
+		viaLattice := time.Since(start)
+		status := ""
+		if len(mi) != len(deg) {
+			status = "  MISMATCH"
+		}
+		fmt.Printf("%8d %4d %12s %16s %10d%s\n", comp.TotalEvents(), nk[0],
+			formula.Round(time.Microsecond), viaLattice.Round(time.Microsecond), l.Size(), status)
+	}
+
+	fmt.Println("\n[3] A3 (EU via I_q) vs explicit-lattice EU")
+	pc := predicate.Conj(predicate.VarCmp{Proc: 0, Var: "x0", Op: predicate.LE, K: 3})
+	q := predicate.AndLinear{Ps: []predicate.Linear{
+		predicate.Conj(predicate.VarCmp{Proc: 1, Var: "x0", Op: predicate.GE, K: 1}),
+		predicate.ChannelsEmpty{},
+	}}
+	fmt.Printf("%8s %12s %14s %10s\n", "|E|", "A3", "lattice EU", "cuts")
+	for _, events := range []int{12, 16, 20, 24} {
+		comp := sim.Random(sim.DefaultRandomConfig(4, events), 19)
+		start := time.Now()
+		_, a := core.EUConjLinear(comp, pc, q)
+		a3 := time.Since(start)
+		start = time.Now()
+		l := lattice.MustBuild(comp)
+		b := explore.Holds(l, ctl.EU{P: ctl.Atom{P: pc}, Q: ctl.Atom{P: q}})
+		lat := time.Since(start)
+		status := ""
+		if a != b {
+			status = "  MISMATCH"
+		}
+		fmt.Printf("%8d %12s %14s %10d%s\n", events, a3.Round(time.Microsecond), lat.Round(time.Microsecond), l.Size(), status)
+	}
+
+	fmt.Println("\n[4] slice-based EG vs A1 (slice pays O(|E|) advancements up front)")
+	fmt.Printf("%8s %12s %14s\n", "|E|", "A1", "slice EG")
+	for _, events := range []int{200, 400, 800} {
+		comp := sim.Random(sim.DefaultRandomConfig(3, events), 23)
+		start := time.Now()
+		_, a := core.EGLinear(comp, p)
+		a1 := time.Since(start)
+		start = time.Now()
+		s := slice.New(comp, p)
+		b := s.EG()
+		sl := time.Since(start)
+		status := ""
+		if a != b {
+			status = "  MISMATCH"
+		}
+		fmt.Printf("%8d %12s %14s%s\n", events, a1.Round(time.Microsecond), sl.Round(time.Microsecond), status)
+	}
+}

@@ -1,0 +1,277 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/computation"
+	"repro/internal/core"
+	"repro/internal/ctl"
+	"repro/internal/explore"
+	"repro/internal/lattice"
+	"repro/internal/predicate"
+	"repro/internal/sat"
+	"repro/internal/sim"
+)
+
+func fig1Pred() predicate.Linear {
+	return predicate.AndLinear{Ps: []predicate.Linear{
+		predicate.Conj(predicate.VarCmp{Proc: 0, Var: "x0", Op: predicate.LE, K: 3}),
+		predicate.ChannelsEmpty{},
+	}}
+}
+
+// runFig1 exercises Algorithms A1 (EG-linear) and A2 (AG-linear): scaling
+// series in |E| with n fixed and in n with |E| fixed, demonstrating the
+// O(n|E|)-flavored cost the paper claims (per-evaluation predicate cost
+// adds a factor for channel predicates).
+func runFig1() {
+	fmt.Println("A1 = EG(linear), A2 = AG(linear); predicate: x0@P1 <= 3 ∧ channelsEmpty")
+	fmt.Printf("%8s %4s %12s %12s\n", "|E|", "n", "A1 time", "A2 time")
+	for _, events := range []int{500, 1000, 2000, 4000, 8000} {
+		comp := sim.Random(sim.DefaultRandomConfig(4, events), 11)
+		p := fig1Pred()
+		start := time.Now()
+		core.EGLinear(comp, p)
+		a1 := time.Since(start)
+		start = time.Now()
+		core.AGLinear(comp, p)
+		a2 := time.Since(start)
+		fmt.Printf("%8d %4d %12s %12s\n", events, 4, a1.Round(time.Microsecond), a2.Round(time.Microsecond))
+	}
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		comp := sim.Random(sim.DefaultRandomConfig(n, 4000), 11)
+		p := fig1Pred()
+		start := time.Now()
+		core.EGLinear(comp, p)
+		a1 := time.Since(start)
+		start = time.Now()
+		core.AGLinear(comp, p)
+		a2 := time.Since(start)
+		fmt.Printf("%8d %4d %12s %12s\n", 4000, n, a1.Round(time.Microsecond), a2.Round(time.Microsecond))
+	}
+}
+
+// runFig2 rebuilds the paper's Figure 2: the 2-process computation, its
+// 8-cut lattice, the meet-irreducible elements (by degree counting and by
+// the Birkhoff formula E − ↑e), and the Corollary 4 factorizations
+// X = ⊓{E1,E2,E3,F3} and Y = ⊓{E3,F3}.
+func runFig2() {
+	comp := sim.Fig2()
+	l := lattice.MustBuild(comp)
+	fmt.Printf("computation: %s\n", sim.Describe(comp))
+	fmt.Printf("lattice:     %s\n", l.ComputeStats())
+	fmt.Println("cuts (● = meet-irreducible):")
+	mi := map[int]bool{}
+	for _, i := range l.MeetIrreducibles() {
+		mi[i] = true
+	}
+	for i, cut := range l.Cuts() {
+		marker := " "
+		if mi[i] {
+			marker = "●"
+		}
+		fmt.Printf("  %s %v\n", marker, cut)
+	}
+	fmt.Println("meet-irreducibles via Birkhoff formula M(e) = E − ↑e:")
+	for i := 0; i < comp.N(); i++ {
+		for _, e := range comp.Events(i) {
+			fmt.Printf("  M(%s) = %v\n", e, comp.UpSetComplement(e))
+		}
+	}
+	if err := l.VerifyBirkhoff(); err != nil {
+		fmt.Println("BIRKHOFF VERIFICATION FAILED:", err)
+		return
+	}
+	fmt.Println("Birkhoff representation verified on every element.")
+	m := func(label string) computation.Cut {
+		for i := 0; i < comp.N(); i++ {
+			for _, e := range comp.Events(i) {
+				if e.Label == label {
+					return comp.UpSetComplement(e)
+				}
+			}
+		}
+		panic("no event " + label)
+	}
+	x := computation.Meet(computation.Meet(m("e1"), m("e2")), computation.Meet(m("e3"), m("f3")))
+	y := computation.Meet(m("e3"), m("f3"))
+	fmt.Printf("Corollary 4: X = ⊓{E1,E2,E3,F3} = %v, Y = ⊓{E3,F3} = %v\n", x, y)
+}
+
+// runFig3 reproduces the hardness constructions: SAT → EG (Theorem 5) and
+// TAUTOLOGY → AG (Theorem 6). Answers from the exponential detector are
+// compared with direct SAT/TAUT solving, and the running time is shown to
+// grow exponentially with the number of variables.
+func runFig3() {
+	// unsatChain builds the unsatisfiable implication chain
+	// x1 ∧ (x1→x2) ∧ … ∧ (x_{m-1}→x_m) ∧ ¬x_m, which forces the
+	// exponential detector to exhaust the reachable cut space.
+	unsatChain := func(m int) sat.CNF {
+		c := sat.CNF{Vars: m, Clauses: [][]int{{1}}}
+		for i := 1; i < m; i++ {
+			c.Clauses = append(c.Clauses, []int{-i, i + 1})
+		}
+		c.Clauses = append(c.Clauses, []int{-m})
+		return c
+	}
+	fmt.Println("Theorem 5: EG(P) on the reduction ⟺ φ satisfiable")
+	fmt.Println("satisfiable instances exit with a witness; unsatisfiable ones exhaust 3·2^m cuts:")
+	fmt.Printf("%6s %10s %8s %10s %12s %10s\n", "vars", "family", "SAT?", "EG(P)?", "EG time", "cuts")
+	for _, m := range []int{4, 6, 8, 10, 12, 14, 16} {
+		for _, fam := range []string{"random", "unsat"} {
+			var cnf sat.CNF
+			if fam == "random" {
+				cnf = sat.RandomCNF(m, m*2, 3, int64(m))
+			} else {
+				cnf = unsatChain(m)
+			}
+			comp, p := sat.ReduceSAT(cnf)
+			_, want := sat.Satisfiable(cnf)
+			start := time.Now()
+			got := core.EGArbitrary(comp, p)
+			dt := time.Since(start)
+			status := "ok"
+			if got != want {
+				status = "MISMATCH"
+			}
+			fmt.Printf("%6d %10s %8v %10v %12s %10d (%s)\n", m, fam, want, got,
+				dt.Round(time.Microsecond), 3*(1<<uint(m)), status)
+		}
+	}
+	fmt.Println("\nTheorem 6: AG(P) on the reduction ⟺ φ tautology")
+	fmt.Println("tautologies force the detector to sweep every cut; refutable formulas exit early:")
+	fmt.Printf("%6s %10s %8s %10s %12s\n", "vars", "family", "TAUT?", "AG(P)?", "AG time")
+	for _, m := range []int{4, 6, 8, 10, 12, 14, 16} {
+		for _, fam := range []string{"taut", "refutable"} {
+			var f sat.Formula
+			if fam == "taut" {
+				cnf := sat.RandomCNF(m, 4, 3, int64(m))
+				f = sat.OrF{cnf, sat.NotF{F: cnf}} // φ ∨ ¬φ
+			} else {
+				f = sat.OrF{sat.RandomCNF(m, 2, 3, int64(m)), sat.NotF{F: sat.RandomCNF(m, 2, 3, int64(m+50))}}
+			}
+			comp, p := sat.ReduceTautology(f)
+			_, want := sat.Tautology(f)
+			start := time.Now()
+			got := core.AGArbitrary(comp, p)
+			dt := time.Since(start)
+			status := "ok"
+			if got != want {
+				status = "MISMATCH"
+			}
+			fmt.Printf("%6d %10s %8v %10v %12s (%s)\n", m, fam, want, got, dt.Round(time.Microsecond), status)
+		}
+	}
+}
+
+// runFig4 reproduces the until example of Figure 4: the 3-process
+// computation, detection of E[p U q] by Algorithm A3, I_q, the witness
+// path, and the lattice path counts the prose describes.
+func runFig4() {
+	comp := sim.Fig4()
+	p := predicate.Conj(
+		predicate.VarCmp{Proc: 2, Var: "z", Op: predicate.LT, K: 6},
+		predicate.VarCmp{Proc: 0, Var: "x", Op: predicate.LT, K: 4},
+	)
+	q := predicate.AndLinear{Ps: []predicate.Linear{
+		predicate.ChannelsEmpty{},
+		predicate.Conj(predicate.VarCmp{Proc: 0, Var: "x", Op: predicate.GT, K: 1}),
+	}}
+	fmt.Printf("computation: %s\n", sim.Describe(comp))
+	fmt.Printf("p = %s (conjunctive)\nq = %s (linear)\n", p, q)
+
+	iq, ok := core.LeastCut(comp, q)
+	fmt.Printf("I_q = %v (ok=%v) — paper: {e1, f2, f1, g1}\n", iq, ok)
+
+	path, holds := core.EUConjLinear(comp, p, q)
+	fmt.Printf("E[p U q] by A3: %v, witness:\n", holds)
+	for _, cut := range path {
+		fmt.Printf("  %v\n", cut)
+	}
+
+	l := lattice.MustBuild(comp)
+	f := ctl.EU{P: ctl.Atom{P: p}, Q: ctl.Atom{P: q}}
+	fmt.Printf("lattice EU agrees: %v (lattice has %d cuts)\n", explore.Holds(l, f) == holds, l.Size())
+
+	counts := l.CountPaths()
+	total, toIq := int64(0), int64(0)
+	for i := 0; i < l.Size(); i++ {
+		if q.Eval(comp, l.Cut(i)) {
+			total += counts[i]
+			if l.Cut(i).Equal(iq) {
+				toIq = counts[i]
+			}
+		}
+	}
+	fmt.Printf("paths from ∅ to q-cuts: %d (paper: 7); of those to I_q: %d (paper text: 2 — see EXPERIMENTS.md)\n", total, toIq)
+}
+
+// runFig5 benchmarks Algorithm A3 (EU) and the AU composition across
+// sizes, the Section 7 complexity claim.
+func runFig5() {
+	fmt.Println("A3 = E[p U q] (p conjunctive, q linear); AU composition for disjunctive p, q")
+	fmt.Printf("%8s %4s %12s %12s\n", "|E|", "n", "A3 time", "AU time")
+	for _, events := range []int{500, 1000, 2000, 4000, 8000} {
+		comp := sim.Random(sim.DefaultRandomConfig(4, events), 13)
+		p := predicate.Conj(predicate.VarCmp{Proc: 0, Var: "x0", Op: predicate.LE, K: 3})
+		q := predicate.AndLinear{Ps: []predicate.Linear{
+			predicate.Conj(predicate.VarCmp{Proc: 1, Var: "x0", Op: predicate.GE, K: 1}),
+			predicate.ChannelsEmpty{},
+		}}
+		start := time.Now()
+		core.EUConjLinear(comp, p, q)
+		a3 := time.Since(start)
+		dp := p.Negate()
+		dq := predicate.Disj(predicate.VarCmp{Proc: 1, Var: "x0", Op: predicate.GE, K: 1})
+		start = time.Now()
+		core.AUDisjunctive(comp, dp, dq)
+		au := time.Since(start)
+		fmt.Printf("%8d %4d %12s %12s\n", events, 4, a3.Round(time.Microsecond), au.Round(time.Microsecond))
+	}
+}
+
+// runComplexity contrasts the structural algorithms with the explicit
+// lattice baseline on growing grid computations (worst case for the
+// baseline): the crossover the paper's introduction argues.
+func runComplexity() {
+	fmt.Println("grid computation: n processes × k events, lattice = (k+1)^n cuts")
+	fmt.Printf("%4s %4s %10s | %12s %12s %12s | %14s\n",
+		"n", "k", "cuts", "EF adv", "A1 EG", "A2 AG", "lattice EG")
+	for _, nk := range [][2]int{{2, 8}, {3, 8}, {4, 8}, {5, 8}, {6, 8}, {7, 6}} {
+		n, k := nk[0], nk[1]
+		comp := sim.Grid(n, k)
+		var locals []predicate.LocalPredicate
+		for p := 0; p < n; p++ {
+			locals = append(locals, predicate.VarCmp{Proc: p, Var: "c", Op: predicate.LE, K: k})
+		}
+		p := predicate.Conjunctive{Locals: locals}
+
+		start := time.Now()
+		core.EFLinear(comp, p)
+		ef := time.Since(start)
+		start = time.Now()
+		core.EGLinear(comp, p)
+		a1 := time.Since(start)
+		start = time.Now()
+		core.AGLinear(comp, p)
+		a2 := time.Since(start)
+
+		cuts := "-"
+		baseline := "-"
+		l, err := lattice.Build(comp)
+		if err == nil {
+			cuts = fmt.Sprint(l.Size())
+			start = time.Now()
+			explore.Holds(l, ctl.EG{F: ctl.Atom{P: p}})
+			baseline = time.Since(start).Round(time.Microsecond).String()
+		} else {
+			cuts = ">2e6"
+			baseline = "out of budget"
+		}
+		fmt.Printf("%4d %4d %10s | %12s %12s %12s | %14s\n",
+			n, k, cuts,
+			ef.Round(time.Microsecond), a1.Round(time.Microsecond), a2.Round(time.Microsecond),
+			baseline)
+	}
+}

@@ -1,0 +1,60 @@
+// Command benchharness regenerates the paper's tables and figures:
+//
+//	table1      Table 1: detection algorithm per (predicate class × operator)
+//	fig1        Fig. 1: Algorithms A1 and A2 — correctness and scaling
+//	fig2        Fig. 2: example computation, lattice, meet-irreducibles
+//	fig3        Fig. 3: NP/co-NP-hardness constructions (Theorems 5 & 6)
+//	fig4        Fig. 4: the E[p U q] example detected by Algorithm A3
+//	fig5        Fig. 5: Algorithm A3 and the AU composition — scaling
+//	complexity  §5/§7 complexity claims: structural vs lattice baseline
+//	ablation    design-choice ablations from DESIGN.md
+//
+// Usage: benchharness [-experiment all|table1|fig1|...]
+//
+// Absolute numbers are machine-dependent; the shapes (who wins, how the
+// cost grows) are what reproduce the paper. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+var experiments = []struct {
+	name string
+	desc string
+	run  func()
+}{
+	{"table1", "Table 1: algorithm per (class × operator)", runTable1},
+	{"fig1", "Fig. 1: Algorithms A1 and A2", runFig1},
+	{"fig2", "Fig. 2: computation, lattice, meet-irreducibles", runFig2},
+	{"fig3", "Fig. 3: hardness constructions", runFig3},
+	{"fig4", "Fig. 4: the until example", runFig4},
+	{"fig5", "Fig. 5: Algorithm A3 scaling", runFig5},
+	{"complexity", "structural algorithms vs lattice baseline", runComplexity},
+	{"ablation", "design-choice ablations", runAblation},
+	{"control", "predicate control: EG witness → enforced AG", runControl},
+	{"online", "on-line detection: latency and ingest overhead", runOnline},
+}
+
+func main() {
+	which := flag.String("experiment", "all", "experiment id or 'all'")
+	flag.Parse()
+	ran := false
+	for _, e := range experiments {
+		if *which == "all" || *which == e.name {
+			fmt.Printf("==== %s — %s ====\n", e.name, e.desc)
+			e.run()
+			fmt.Println()
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "benchharness: unknown experiment %q\n", *which)
+		for _, e := range experiments {
+			fmt.Fprintf(os.Stderr, "  %-11s %s\n", e.name, e.desc)
+		}
+		os.Exit(2)
+	}
+}

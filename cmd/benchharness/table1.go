@@ -1,0 +1,138 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/computation"
+	"repro/internal/core"
+	"repro/internal/ctl"
+	"repro/internal/explore"
+	"repro/internal/lattice"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+// runTable1 reproduces Table 1: one row per predicate class, one column
+// per operator, each cell showing the algorithm the dispatcher selects and
+// its measured time on a mid-size workload. On a small instance every cell
+// is also cross-checked against the explicit-lattice model checker.
+func runTable1() {
+	small := sim.Random(sim.DefaultRandomConfig(3, 10), 3)
+	big := sim.Random(sim.DefaultRandomConfig(4, 4000), 3)
+
+	smallLat := lattice.MustBuild(small)
+
+	type cell struct {
+		class string
+		op    string
+		make  func(c *computation.Computation) ctl.Formula
+	}
+	conj := func(c *computation.Computation) predicate.Predicate {
+		return predicate.Conj(
+			predicate.VarCmp{Proc: 0, Var: "x0", Op: predicate.GE, K: 1},
+			predicate.VarCmp{Proc: 1, Var: "x0", Op: predicate.GE, K: 1},
+		)
+	}
+	disj := func(c *computation.Computation) predicate.Predicate {
+		return predicate.Disj(
+			predicate.VarCmp{Proc: 0, Var: "x0", Op: predicate.GE, K: 1},
+			predicate.VarCmp{Proc: 1, Var: "x0", Op: predicate.GE, K: 1},
+		)
+	}
+	stable := func(c *computation.Computation) predicate.Predicate {
+		return predicate.Stable{P: predicate.Received{ID: 1}}
+	}
+	linear := func(c *computation.Computation) predicate.Predicate {
+		return predicate.AndLinear{Ps: []predicate.Linear{
+			predicate.Conj(predicate.VarCmp{Proc: 0, Var: "x0", Op: predicate.GE, K: 1}),
+			predicate.ChannelsEmpty{},
+		}}
+	}
+	regular := func(c *computation.Computation) predicate.Predicate {
+		return predicate.ChannelsEmpty{}
+	}
+	oi := func(c *computation.Computation) predicate.Predicate {
+		return predicate.ObserverIndependent{P: disj(c)}
+	}
+	arb := func(c *computation.Computation) predicate.Predicate {
+		return predicate.Fn{Name: "parity", F: func(cc *computation.Computation, cut computation.Cut) bool {
+			return cut.Size()%2 == 0 || cut.Equal(cc.FinalCut()) || cut.Size() == 0
+		}}
+	}
+
+	classes := []struct {
+		name string
+		make func(c *computation.Computation) predicate.Predicate
+		// exponential marks classes whose EG/AG (or all ops) fall back to
+		// the exponential solver; those run on the small workload only.
+		expOps map[string]bool
+	}{
+		{"conjunctive", conj, nil},
+		{"disjunctive", disj, nil},
+		{"stable", stable, nil},
+		{"linear", linear, map[string]bool{"AF": true}},
+		{"regular", regular, map[string]bool{"AF": true}},
+		{"observer-indep", oi, map[string]bool{"EG": true, "AG": true}},
+		{"arbitrary", arb, map[string]bool{"EF": true, "AF": true, "EG": true, "AG": true}},
+	}
+	ops := []struct {
+		name string
+		wrap func(f ctl.Formula) ctl.Formula
+	}{
+		{"EF", func(f ctl.Formula) ctl.Formula { return ctl.EF{F: f} }},
+		{"AF", func(f ctl.Formula) ctl.Formula { return ctl.AF{F: f} }},
+		{"EG", func(f ctl.Formula) ctl.Formula { return ctl.EG{F: f} }},
+		{"AG", func(f ctl.Formula) ctl.Formula { return ctl.AG{F: f} }},
+	}
+
+	fmt.Printf("workloads: small = %s (lattice %d cuts), large = %s\n\n",
+		sim.Describe(small), smallLat.Size(), sim.Describe(big))
+	fmt.Printf("%-15s %-3s %-6s %-55s %12s\n", "class", "op", "holds", "algorithm (dispatcher choice)", "time(large)")
+	for _, cl := range classes {
+		for _, op := range ops {
+			fSmall := op.wrap(ctl.Atom{P: cl.make(small)})
+			res, err := core.Detect(small, fSmall)
+			if err != nil {
+				fmt.Printf("%-15s %-3s ERROR %v\n", cl.name, op.name, err)
+				continue
+			}
+			want := explore.Holds(smallLat, fSmall)
+			if res.Holds != want {
+				fmt.Printf("%-15s %-3s MISMATCH structural=%v lattice=%v\n", cl.name, op.name, res.Holds, want)
+				continue
+			}
+			timing := "exp (small only)"
+			if cl.expOps == nil || !cl.expOps[op.name] {
+				fBig := op.wrap(ctl.Atom{P: cl.make(big)})
+				start := time.Now()
+				if _, err := core.Detect(big, fBig); err == nil {
+					timing = time.Since(start).Round(time.Microsecond).String()
+				}
+			}
+			fmt.Printf("%-15s %-3s %-6v %-55s %12s\n", cl.name, op.name, res.Holds, res.Algorithm, timing)
+		}
+	}
+	fmt.Println("\nuntil operators (Section 7):")
+	p := predicate.Conj(predicate.VarCmp{Proc: 0, Var: "x0", Op: predicate.LE, K: 3})
+	q := predicate.AndLinear{Ps: []predicate.Linear{
+		predicate.Conj(predicate.VarCmp{Proc: 1, Var: "x0", Op: predicate.GE, K: 1}),
+		predicate.ChannelsEmpty{},
+	}}
+	euSmall := ctl.EU{P: ctl.Atom{P: p}, Q: ctl.Atom{P: q}}
+	res, _ := core.Detect(small, euSmall)
+	fmt.Printf("%-19s holds=%-6v %-55s (lattice agrees: %v)\n", "E[p U q] (A3)",
+		res.Holds, res.Algorithm, explore.Holds(smallLat, euSmall) == res.Holds)
+	start := time.Now()
+	core.EUConjLinear(big, p, q)
+	fmt.Printf("%-19s time(large)=%s\n", "", time.Since(start).Round(time.Microsecond))
+
+	dp, dq := p.Negate(), predicate.Disj(predicate.VarCmp{Proc: 1, Var: "x0", Op: predicate.GE, K: 1})
+	auSmall := ctl.AU{P: ctl.Atom{P: dp}, Q: ctl.Atom{P: dq}}
+	res, _ = core.Detect(small, auSmall)
+	fmt.Printf("%-19s holds=%-6v %-55s (lattice agrees: %v)\n", "A[p U q] (comp.)",
+		res.Holds, res.Algorithm, explore.Holds(smallLat, auSmall) == res.Holds)
+	start = time.Now()
+	core.AUDisjunctive(big, dp, dq)
+	fmt.Printf("%-19s time(large)=%s\n", "", time.Since(start).Round(time.Microsecond))
+}

@@ -1,0 +1,63 @@
+// Command hbdebug is an interactive debugger for the happened-before
+// model: load a trace (or generate a workload), then walk the lattice of
+// global states, evaluate predicates, run detection, and replay witnesses.
+//
+// Usage:
+//
+//	hbdebug -trace trace.json
+//	hbdebug -workload buggymutex:n=3,rounds=1,faulty=1
+//
+// Type "help" at the prompt for the command list.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/computation"
+	"repro/internal/debugger"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		traceFile = flag.String("trace", "", "JSON trace file")
+		workload  = flag.String("workload", "", "workload spec (see internal/sim.FromSpec)")
+	)
+	flag.Parse()
+	if (*traceFile == "") == (*workload == "") {
+		fmt.Fprintln(os.Stderr, "hbdebug: need exactly one of -trace or -workload")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var comp *computation.Computation
+	var err error
+	if *traceFile != "" {
+		var f *os.File
+		if f, err = os.Open(*traceFile); err == nil {
+			comp, err = trace.Decode(f)
+			f.Close()
+		}
+	} else {
+		comp, err = sim.FromSpec(*workload)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbdebug:", err)
+		os.Exit(2)
+	}
+
+	s := debugger.NewSession(comp, os.Stdout)
+	fmt.Printf("hbdebug: %s — type help\n", sim.Describe(comp))
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("(hbdebug) ")
+	for sc.Scan() {
+		if err := s.Execute(sc.Text()); err == io.EOF {
+			return
+		}
+		fmt.Print("(hbdebug) ")
+	}
+}

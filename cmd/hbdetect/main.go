@@ -1,0 +1,24 @@
+// Command hbdetect detects a CTL property on a distributed computation.
+//
+// Usage:
+//
+//	hbdetect -trace trace.json -formula 'AG(!(crit@P1 == 1 && crit@P2 == 1))'
+//	hbdetect -workload mutex:n=3,rounds=2 -formula 'EF(crit@P1 == 1)' -witness
+//	hbdetect -workload fig4 -formula 'E[conj(z@P3 < 6, x@P1 < 4) U channelsEmpty && x@P1 > 1]' -check
+//
+// The detector routes each formula to the paper's structural algorithm for
+// the predicate's class (Table 1); -check additionally verifies the answer
+// against the explicit-lattice model checker (exponential, small traces
+// only). Exit status is 0 when the property holds, 1 when it does not, and
+// 2 on usage or input errors.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunDetect(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,22 @@
+// Command hbmon replays a trace through the online monitor (the paper's
+// future-work on-line detection) and reports, event by event, when EF
+// watches fire and AG watches are violated.
+//
+// Usage:
+//
+//	hbmon -trace trace.json -ef 'conj(ready@P1 == 1, ready@P2 == 1)'
+//	hbmon -workload buggymutex:n=3,rounds=1,faulty=1 \
+//	      -ag 'conj(crit@P1 != 1)' -ag 'conj(crit@P2 != 1)'
+//
+// Exit status 1 when any AG watch was violated, 0 otherwise, 2 on errors.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunMonitor(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,21 @@
+// Command latticeviz enumerates the lattice of consistent cuts of a small
+// computation and reports statistics, optionally emitting Graphviz DOT
+// with the cuts satisfying a predicate filled — the format of the paper's
+// Figure 2(b) and Figure 4(b).
+//
+// Usage:
+//
+//	latticeviz -workload fig2 -stats
+//	latticeviz -workload fig4 -mark 'channelsEmpty && x@P1 > 1' -dot fig4.dot
+//	latticeviz -trace trace.json -stats
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunLatticeViz(os.Args[1:], os.Stdout, os.Stderr))
+}

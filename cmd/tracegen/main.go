@@ -1,0 +1,19 @@
+// Command tracegen generates workload traces in the JSON trace format.
+//
+// Usage:
+//
+//	tracegen -workload mutex:n=3,rounds=2 -o mutex.json
+//	tracegen -workload random:n=4,events=50,seed=7
+//
+// With no -o the trace is written to stdout.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunTraceGen(os.Args[1:], os.Stdout, os.Stderr))
+}

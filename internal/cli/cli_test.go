@@ -1,0 +1,306 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type runFn func(args []string, stdout, stderr *strings.Builder) int
+
+func runDetect(args ...string) (int, string, string) {
+	var out, errb strings.Builder
+	code := RunDetect(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestDetectHoldsExitZero(t *testing.T) {
+	code, out, _ := runDetect(
+		"-workload", "mutex:n=3,rounds=1",
+		"-formula", "AG(disj(crit@P1 != 1, crit@P2 != 1))",
+	)
+	if code != 0 {
+		t.Fatalf("exit = %d, output:\n%s", code, out)
+	}
+	for _, want := range []string{"holds:       true", "AG disjunctive", "3 processes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDetectFailsExitOne(t *testing.T) {
+	code, out, _ := runDetect(
+		"-workload", "buggymutex:n=3,rounds=1,faulty=1",
+		"-formula", "AG(disj(crit@P1 != 1, crit@P2 != 1))",
+		"-witness",
+	)
+	if code != 1 {
+		t.Fatalf("exit = %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "counterexample cut") {
+		t.Errorf("witness flag did not print counterexample:\n%s", out)
+	}
+}
+
+func TestDetectWitnessAndCheck(t *testing.T) {
+	code, out, errb := runDetect(
+		"-workload", "fig4",
+		"-formula", "E[conj(z@P3 < 6, x@P1 < 4) U channelsEmpty && x@P1 > 1]",
+		"-witness", "-check",
+	)
+	if code != 0 {
+		t.Fatalf("exit = %d stderr=%s", code, errb)
+	}
+	for _, want := range []string{"witness path:", "<1 2 1>", "verdict confirmed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDetectQuiet(t *testing.T) {
+	code, out, _ := runDetect("-workload", "fig2", "-formula", "EF(channelsEmpty)", "-q")
+	if code != 0 || strings.TrimSpace(out) != "true" {
+		t.Errorf("quiet output = %q (exit %d)", out, code)
+	}
+}
+
+func TestDetectUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-formula", "EF(true)"}, // no input
+		{"-workload", "fig2"},    // no formula
+		{"-workload", "fig2", "-trace", "x.json", "-formula", "true"}, // both inputs
+		{"-workload", "nosuch", "-formula", "EF(true)"},               // bad workload
+		{"-workload", "fig2", "-formula", "EF("},                      // bad formula
+		{"-workload", "fig2", "-formula", "EF(AG(true))"},             // nested temporal
+		{"-trace", "/nonexistent.json", "-formula", "EF(true)"},       // missing file
+		{"-bogusflag"},
+	}
+	for _, args := range cases {
+		if code, _, _ := runDetect(args...); code != 2 {
+			t.Errorf("args %v: exit = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestTraceGenAndDetectRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	var out, errb strings.Builder
+	code := RunTraceGen([]string{"-workload", "2pc:participants=2,abort=1", "-o", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("tracegen exit = %d: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "wrote") {
+		t.Errorf("tracegen stderr = %q", errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || !strings.Contains(string(data), `"version": 1`) {
+		t.Fatalf("trace file: %v, %.80s", err, data)
+	}
+	code, detOut, _ := runDetect("-trace", path, "-formula", "AF(disj(decided@P1 != 0))")
+	if code != 0 {
+		t.Fatalf("detect on trace exit = %d:\n%s", code, detOut)
+	}
+}
+
+func TestTraceGenStdoutAndErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := RunTraceGen([]string{"-workload", "fig2"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), `"events"`) {
+		t.Errorf("stdout does not look like a trace: %.80s", out.String())
+	}
+	for _, args := range [][]string{
+		{},
+		{"-workload", "nosuch"},
+		{"-workload", "fig2", "-o", "/nonexistent-dir/x.json"},
+		{"-workload", "mutex:n=bad"},
+	} {
+		var o, e strings.Builder
+		if code := RunTraceGen(args, &o, &e); code != 2 {
+			t.Errorf("args %v: exit = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestLatticeVizStatsAndDot(t *testing.T) {
+	var out, errb strings.Builder
+	code := RunLatticeViz([]string{"-workload", "fig2", "-stats"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "cuts=8") {
+		t.Errorf("stats output:\n%s", out.String())
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.dot")
+	out.Reset()
+	code = RunLatticeViz([]string{
+		"-workload", "fig4",
+		"-mark", "channelsEmpty && x@P1 > 1",
+		"-dot", path,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("dot exit = %d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph lattice") || !strings.Contains(string(data), "style=filled") {
+		t.Errorf("dot file content:\n%.200s", data)
+	}
+
+	// DOT to stdout.
+	out.Reset()
+	code = RunLatticeViz([]string{"-workload", "fig2", "-dot", "-"}, &out, &errb)
+	if code != 0 || !strings.Contains(out.String(), "digraph lattice") {
+		t.Errorf("stdout dot: exit %d:\n%.120s", code, out.String())
+	}
+}
+
+func TestDetectBatchFormulas(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "props.ctl")
+	content := `# two-phase commit properties
+AF(disj(decided@P1 != 0))
+
+EF(channelsEmpty && decided@P2 != 0)
+AG(disj(decided@P1 != 1, decided@P2 != 2))
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errb := runDetect("-workload", "2pc:participants=2,abort=0", "-formulas", path)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	if strings.Count(out, "true") != 3 {
+		t.Errorf("expected 3 results:\n%s", out)
+	}
+	// One failing property flips the exit code to 1.
+	bad := path + ".bad"
+	if err := os.WriteFile(bad, []byte("EF(decided@P1 == 99)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runDetect("-workload", "2pc:participants=2,abort=0", "-formulas", bad); code != 1 {
+		t.Errorf("failing batch exit = %d, want 1", code)
+	}
+	// Error cases.
+	empty := path + ".empty"
+	os.WriteFile(empty, []byte("# only comments\n"), 0o644)
+	for _, args := range [][]string{
+		{"-workload", "fig2", "-formulas", "/nonexistent.props"},
+		{"-workload", "fig2", "-formulas", empty},
+	} {
+		if code, _, _ := runDetect(args...); code != 2 {
+			t.Errorf("args %v: exit = %d, want 2", args, code)
+		}
+	}
+	broken := path + ".broken"
+	os.WriteFile(broken, []byte("EF(\n"), 0o644)
+	if code, _, _ := runDetect("-workload", "fig2", "-formulas", broken); code != 2 {
+		t.Error("parse error in batch not fatal")
+	}
+}
+
+func TestDetectNestedFlag(t *testing.T) {
+	code, out, _ := runDetect(
+		"-workload", "fig2",
+		"-formula", "AG(EF(terminated))",
+		"-nested",
+	)
+	if code != 0 {
+		t.Fatalf("exit = %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "nested CTL") {
+		t.Errorf("output missing nested route:\n%s", out)
+	}
+	// Without -nested the same formula is rejected.
+	if code, _, _ := runDetect("-workload", "fig2", "-formula", "AG(EF(terminated))"); code != 2 {
+		t.Errorf("nested formula accepted without -nested (exit %d)", code)
+	}
+}
+
+func runMonitor(args ...string) (int, string, string) {
+	var out, errb strings.Builder
+	code := RunMonitor(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestMonitorEFAndAG(t *testing.T) {
+	code, out, _ := runMonitor(
+		"-workload", "buggymutex:n=3,rounds=1,faulty=1",
+		"-ef", "conj(crit@P1 == 1)",
+		"-ag", "conj(try@P1 <= 1)",
+	)
+	if code != 0 {
+		t.Fatalf("exit = %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "FIRED") {
+		t.Errorf("EF watch never fired:\n%s", out)
+	}
+	if !strings.Contains(out, "held throughout") {
+		t.Errorf("AG summary missing:\n%s", out)
+	}
+}
+
+func TestMonitorViolationExitCode(t *testing.T) {
+	code, out, _ := runMonitor(
+		"-workload", "mutex:n=3,rounds=1",
+		"-ag", "conj(crit@P2 != 1)", // P2 does go critical: violation
+	)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "VIOLATED") {
+		t.Errorf("violation not reported:\n%s", out)
+	}
+}
+
+func TestMonitorNeverFires(t *testing.T) {
+	code, out, _ := runMonitor(
+		"-workload", "fig2",
+		"-ef", "conj(nonexistent@P1 == 7)",
+	)
+	if code != 0 || !strings.Contains(out, "never fired") {
+		t.Errorf("exit %d:\n%s", code, out)
+	}
+}
+
+func TestMonitorErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-workload", "fig2"},                    // no watches
+		{"-workload", "fig2", "-ef", "EF(true)"}, // temporal watch
+		{"-workload", "fig2", "-ef", "channelsEmpty"},             // not conjunctive
+		{"-workload", "fig2", "-ef", "x@"},                        // parse error
+		{"-workload", "nosuch", "-ef", "conj(x@P1 == 1)"},         // bad workload
+		{"-trace", "/nonexistent.json", "-ef", "conj(x@P1 == 1)"}, // bad trace
+	} {
+		if code, _, _ := runMonitor(args...); code != 2 {
+			t.Errorf("args %v: exit = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestLatticeVizErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-workload", "nosuch"},
+		{"-workload", "fig2", "-dot", "-", "-mark", "EF(true)"}, // temporal mark
+		{"-workload", "fig2", "-dot", "-", "-mark", "x@"},       // bad mark
+		{"-workload", "fig2", "-dot", "/nonexistent-dir/x.dot"},
+	} {
+		var o, e strings.Builder
+		if code := RunLatticeViz(args, &o, &e); code != 2 {
+			t.Errorf("args %v: exit = %d, want 2", args, code)
+		}
+	}
+}

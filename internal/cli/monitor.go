@@ -1,0 +1,181 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/computation"
+	"repro/internal/ctl"
+	"repro/internal/online"
+	"repro/internal/predicate"
+)
+
+// RunMonitor is the hbmon command: it replays a trace event by event
+// through the online monitor and reports, as the stream progresses, the
+// exact events at which EF watches fire and AG watches are violated.
+// Watches take conjunctive predicates in the conj(...) syntax.
+func RunMonitor(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hbmon", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		traceFile = fs.String("trace", "", "JSON trace file to replay")
+		workload  = fs.String("workload", "", "generate a workload instead of reading a trace")
+		efSrcs    = multiFlag{}
+		agSrcs    = multiFlag{}
+	)
+	fs.Var(&efSrcs, "ef", "conjunctive predicate for an EF watch (repeatable)")
+	fs.Var(&agSrcs, "ag", "conjunctive predicate for an AG watch (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	comp, err := load(*traceFile, *workload)
+	if err != nil {
+		fmt.Fprintln(stderr, "hbmon:", err)
+		return 2
+	}
+	if len(efSrcs) == 0 && len(agSrcs) == 0 {
+		fmt.Fprintln(stderr, "hbmon: at least one -ef or -ag watch is required")
+		return 2
+	}
+
+	m := online.NewMonitor(comp.N())
+	for i := 0; i < comp.N(); i++ {
+		for _, name := range comp.Vars(i) {
+			if v, _ := comp.Value(i, 0, name); v != 0 {
+				m.SetInitial(i, name, v)
+			}
+		}
+	}
+	type efEntry struct {
+		src   string
+		watch *online.EFWatch
+		done  bool
+	}
+	type agEntry struct {
+		src   string
+		watch *online.AGWatch
+		done  bool
+	}
+	var efs []*efEntry
+	var ags []*agEntry
+	for _, src := range efSrcs {
+		locals, err := parseConjLocals(src)
+		if err != nil {
+			fmt.Fprintln(stderr, "hbmon:", err)
+			return 2
+		}
+		efs = append(efs, &efEntry{src: src, watch: m.WatchEF(locals...)})
+	}
+	for _, src := range agSrcs {
+		locals, err := parseConjLocals(src)
+		if err != nil {
+			fmt.Fprintln(stderr, "hbmon:", err)
+			return 2
+		}
+		ags = append(ags, &agEntry{src: src, watch: m.WatchAG(locals...)})
+	}
+
+	// Replay along a linearization, reporting watch transitions.
+	ids := make(map[int]int)
+	seq := comp.SomeLinearization()
+	seen := 0
+	violations := 0
+	report := func() {
+		for _, e := range efs {
+			if !e.done && e.watch.Fired() {
+				e.done = true
+				fmt.Fprintf(stdout, "event %4d: EF %s FIRED at cut %v\n", seen, e.src, e.watch.Cut())
+			}
+		}
+		for _, a := range ags {
+			if !a.done && a.watch.Violated() {
+				a.done = true
+				violations++
+				cut, local := a.watch.Counterexample()
+				fmt.Fprintf(stdout, "event %4d: AG %s VIOLATED (conjunct %s) at cut %v\n", seen, a.src, local, cut)
+			}
+		}
+	}
+	report()
+	for s := 1; s < len(seq); s++ {
+		prev, cur := seq[s-1], seq[s]
+		for p := range cur {
+			if cur[p] <= prev[p] {
+				continue
+			}
+			e := comp.Event(p, cur[p])
+			switch e.Kind {
+			case computation.Internal:
+				m.Internal(p, e.Sets)
+			case computation.Send:
+				ids[e.Msg] = m.Send(p, e.Sets)
+			case computation.Receive:
+				if err := m.Receive(p, ids[e.Msg], e.Sets); err != nil {
+					fmt.Fprintln(stderr, "hbmon:", err)
+					return 2
+				}
+			}
+			seen++
+			report()
+			break
+		}
+	}
+	for _, e := range efs {
+		if !e.done {
+			fmt.Fprintf(stdout, "end of trace: EF %s never fired\n", e.src)
+		}
+	}
+	for _, a := range ags {
+		if !a.done {
+			fmt.Fprintf(stdout, "end of trace: AG %s held throughout\n", a.src)
+		}
+	}
+	if violations > 0 {
+		return 1
+	}
+	return 0
+}
+
+// parseConjLocals parses a conjunctive predicate and adapts its locals to
+// online.LocalSpec.
+func parseConjLocals(src string) ([]online.LocalSpec, error) {
+	f, err := ctl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	atom, ok := f.(ctl.Atom)
+	if !ok {
+		return nil, fmt.Errorf("watch %q must be a non-temporal conjunctive predicate", src)
+	}
+	var locals []predicate.LocalPredicate
+	switch p := atom.P.(type) {
+	case predicate.Conjunctive:
+		locals = p.Locals
+	case predicate.LocalPredicate:
+		locals = []predicate.LocalPredicate{p}
+	default:
+		return nil, fmt.Errorf("watch %q must be conjunctive, got %s", src, atom.P)
+	}
+	out := make([]online.LocalSpec, 0, len(locals))
+	for _, l := range locals {
+		vc, ok := l.(predicate.VarCmp)
+		if !ok {
+			return nil, fmt.Errorf("watch %q: only variable comparisons are supported online", src)
+		}
+		out = append(out, online.Cmp(vc.Proc, vc.Var, string(vc.Op), vc.K))
+	}
+	return out, nil
+}
+
+// multiFlag collects repeatable string flags.
+type multiFlag []string
+
+// String implements flag.Value.
+func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
+
+// Set implements flag.Value.
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}

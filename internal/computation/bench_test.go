@@ -1,0 +1,103 @@
+package computation
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchComp(events int) *Computation {
+	return randomComp(42, 4, events)
+}
+
+func BenchmarkConsistent(b *testing.B) {
+	c := benchComp(2000)
+	cut := c.FinalCut()
+	for i := range cut {
+		cut[i] /= 2
+	}
+	// Make it consistent by closing downwards.
+	for !c.Consistent(cut) {
+		for i := range cut {
+			if cut[i] > 0 {
+				cut[i]--
+				break
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.Consistent(cut) {
+			b.Fatal("inconsistent")
+		}
+	}
+}
+
+func BenchmarkSuccessorsPredecessors(b *testing.B) {
+	c := benchComp(2000)
+	mid := c.FinalCut()
+	for i := range mid {
+		mid[i] /= 2
+	}
+	for !c.Consistent(mid) {
+		for i := range mid {
+			if mid[i] > 0 {
+				mid[i]--
+				break
+			}
+		}
+	}
+	b.Run("Successors", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Successors(mid)
+		}
+	})
+	b.Run("Predecessors", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Predecessors(mid)
+		}
+	})
+	b.Run("Frontier", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Frontier(mid)
+		}
+	})
+}
+
+func BenchmarkUpSetComplement(b *testing.B) {
+	for _, events := range []int{500, 2000, 8000} {
+		c := benchComp(events)
+		e := c.Event(0, c.Len(0)/2)
+		b.Run(fmt.Sprintf("E%d", events), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.UpSetComplement(e)
+			}
+		})
+	}
+}
+
+func BenchmarkBuilder(b *testing.B) {
+	for _, events := range []int{500, 2000} {
+		b.Run(fmt.Sprintf("E%d", events), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				randomComp(int64(i), 4, events)
+			}
+		})
+	}
+}
+
+func BenchmarkInFlight(b *testing.B) {
+	c := benchComp(2000)
+	cut := c.FinalCut()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.InFlight(cut)
+	}
+}
+
+func BenchmarkSomeLinearization(b *testing.B) {
+	c := benchComp(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SomeLinearization()
+	}
+}

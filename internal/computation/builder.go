@@ -1,0 +1,194 @@
+package computation
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vclock"
+)
+
+// Builder constructs a Computation event by event, computing vector clocks
+// as it goes. Methods that add events return the *Event so callers can
+// attach labels and variable assignments fluently; Build validates and
+// freezes the result.
+//
+// A Builder is not safe for concurrent use; callers recording from
+// multiple goroutines must serialize access (package dist does exactly
+// that).
+type Builder struct {
+	n       int
+	events  [][]*Event
+	clocks  []vclock.VC // running clock per process
+	initial []map[string]int
+	nextMsg int
+	sends   map[int]*Event
+	recvs   map[int]*Event
+	err     error
+}
+
+// Msg is an opaque handle for a message created by Send and consumed by
+// Receive.
+type Msg struct{ id int }
+
+// NewBuilder returns a builder for a computation with n processes
+// (numbered 0..n-1).
+func NewBuilder(n int) *Builder {
+	if n <= 0 {
+		panic("computation: builder needs at least one process")
+	}
+	b := &Builder{
+		n:       n,
+		events:  make([][]*Event, n),
+		clocks:  make([]vclock.VC, n),
+		initial: make([]map[string]int, n),
+		sends:   make(map[int]*Event),
+		recvs:   make(map[int]*Event),
+	}
+	for i := 0; i < n; i++ {
+		b.clocks[i] = vclock.New(n)
+		b.initial[i] = make(map[string]int)
+	}
+	return b
+}
+
+// SetInitial assigns the initial value of a variable on process i (local
+// state 0). Variables not set initially default to 0 once first assigned.
+func (b *Builder) SetInitial(i int, name string, value int) *Builder {
+	b.checkProc(i)
+	b.initial[i][name] = value
+	return b
+}
+
+func (b *Builder) checkProc(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("computation: process %d out of range [0,%d)", i, b.n))
+	}
+}
+
+func (b *Builder) addEvent(i int, kind Kind, msg int) *Event {
+	b.checkProc(i)
+	b.clocks[i].Tick(i)
+	e := &Event{
+		Proc:  i,
+		Index: len(b.events[i]) + 1,
+		Kind:  kind,
+		Msg:   msg,
+		Clock: b.clocks[i].Copy(),
+	}
+	b.events[i] = append(b.events[i], e)
+	return e
+}
+
+// Internal appends an internal event on process i.
+func (b *Builder) Internal(i int) *Event {
+	return b.addEvent(i, Internal, 0)
+}
+
+// Send appends a send event on process i and returns the event and a
+// message handle to pass to Receive.
+func (b *Builder) Send(i int) (*Event, Msg) {
+	b.nextMsg++
+	e := b.addEvent(i, Send, b.nextMsg)
+	b.sends[b.nextMsg] = e
+	return e, Msg{b.nextMsg}
+}
+
+// Receive appends a receive event on process i consuming message m. The
+// receiver's clock absorbs the sender's clock at the send event. Receiving
+// a message twice, an unknown message, or a message on the sending process
+// records an error reported by Build.
+func (b *Builder) Receive(i int, m Msg) *Event {
+	b.checkProc(i)
+	s, ok := b.sends[m.id]
+	if !ok {
+		b.fail(fmt.Errorf("receive of unknown message %d on process %d", m.id, i))
+		return b.addEvent(i, Receive, m.id)
+	}
+	if _, dup := b.recvs[m.id]; dup {
+		b.fail(fmt.Errorf("message %d received twice", m.id))
+	}
+	if s.Proc == i {
+		b.fail(fmt.Errorf("message %d received by its sender P%d", m.id, i+1))
+	}
+	b.clocks[i].MergeInto(s.Clock)
+	e := b.addEvent(i, Receive, m.id)
+	b.recvs[m.id] = e
+	return e
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// WithLabel sets the label of e and returns e.
+func WithLabel(e *Event, label string) *Event {
+	e.Label = label
+	return e
+}
+
+// Set records a variable assignment performed by event e and returns e.
+func Set(e *Event, name string, value int) *Event {
+	if e.Sets == nil {
+		e.Sets = make(map[string]int)
+	}
+	e.Sets[name] = value
+	return e
+}
+
+// Build validates the accumulated events and returns the immutable
+// computation.
+func (b *Builder) Build() (*Computation, error) {
+	if b.err != nil {
+		return nil, fmt.Errorf("computation: %w", b.err)
+	}
+	comp := &Computation{
+		events:     b.events,
+		initial:    b.initial,
+		sends:      b.sends,
+		recvs:      b.recvs,
+		vals:       make([]map[string][]int, b.n),
+		varsByProc: make([][]string, b.n),
+	}
+	// Materialize per-state valuations so Value is O(1).
+	for i := 0; i < b.n; i++ {
+		names := make(map[string]bool)
+		for name := range b.initial[i] {
+			names[name] = true
+		}
+		for _, e := range b.events[i] {
+			for name := range e.Sets {
+				names[name] = true
+			}
+		}
+		cols := make(map[string][]int, len(names))
+		sorted := make([]string, 0, len(names))
+		for name := range names {
+			sorted = append(sorted, name)
+			col := make([]int, len(b.events[i])+1)
+			col[0] = b.initial[i][name]
+			for k, e := range b.events[i] {
+				if v, ok := e.Sets[name]; ok {
+					col[k+1] = v
+				} else {
+					col[k+1] = col[k]
+				}
+			}
+			cols[name] = col
+		}
+		sort.Strings(sorted)
+		comp.vals[i] = cols
+		comp.varsByProc[i] = sorted
+	}
+	return comp, nil
+}
+
+// MustBuild is Build that panics on error, for tests and fixed fixtures.
+func (b *Builder) MustBuild() *Computation {
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

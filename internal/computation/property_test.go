@@ -1,0 +1,259 @@
+package computation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomComp builds a deterministic random computation directly with the
+// builder (the sim package depends on this one, so tests here roll their
+// own generator).
+func randomComp(seed int64, procs, events int) *Computation {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(procs)
+	type pend struct {
+		m  Msg
+		to int
+	}
+	var inflight []pend
+	for e := 0; e < events; e++ {
+		p := rng.Intn(procs)
+		switch {
+		case len(inflight) > 0 && inflight[0].to == p && rng.Intn(2) == 0:
+			b.Receive(p, inflight[0].m)
+			inflight = inflight[1:]
+		case procs > 1 && rng.Intn(3) == 0:
+			_, m := b.Send(p)
+			to := rng.Intn(procs - 1)
+			if to >= p {
+				to++
+			}
+			inflight = append(inflight, pend{m, to})
+		default:
+			Set(b.Internal(p), "v", rng.Intn(3))
+		}
+	}
+	return b.MustBuild()
+}
+
+// randomConsistentCut draws a consistent cut by walking random ▷ steps.
+func randomConsistentCut(rng *rand.Rand, c *Computation) Cut {
+	cut := c.InitialCut()
+	steps := rng.Intn(c.TotalEvents() + 1)
+	for s := 0; s < steps; s++ {
+		en := c.Enabled(cut)
+		if len(en) == 0 {
+			break
+		}
+		cut[en[rng.Intn(len(en))]]++
+	}
+	return cut
+}
+
+func TestQuickJoinMeetStayConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomComp(seed, 3, 12)
+		a := randomConsistentCut(rng, c)
+		b := randomConsistentCut(rng, c)
+		j, m := Join(a, b), Meet(a, b)
+		return c.Consistent(j) && c.Consistent(m) &&
+			a.LessEq(j) && b.LessEq(j) && m.LessEq(a) && m.LessEq(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSuccessorsPredecessorsInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomComp(seed, 3, 10)
+		cut := randomConsistentCut(rng, c)
+		for _, s := range c.Successors(cut) {
+			found := false
+			for _, back := range c.Predecessors(s) {
+				if back.Equal(cut) {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		for _, p := range c.Predecessors(cut) {
+			found := false
+			for _, fwd := range c.Successors(p) {
+				if fwd.Equal(cut) {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDownSetIsLeastCutContainingEvent(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randomComp(seed, 3, 10)
+		for i := 0; i < c.N(); i++ {
+			for _, e := range c.Events(i) {
+				d := c.DownSet(e)
+				if !c.Consistent(d) || d[i] != e.Index {
+					return false
+				}
+				// Removing any event from the down-set either breaks
+				// consistency or drops e: check the predecessor cuts do
+				// not all contain e.
+				for _, p := range c.Predecessors(d) {
+					if p[i] >= e.Index && c.Consistent(p) {
+						return false // a smaller consistent cut contains e
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUpSetComplementIsGreatestWithoutEvent(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randomComp(seed, 3, 10)
+		for i := 0; i < c.N(); i++ {
+			for _, e := range c.Events(i) {
+				m := c.UpSetComplement(e)
+				if !c.Consistent(m) || m[i] >= e.Index {
+					return false
+				}
+				// No successor of m may exclude e: every strictly larger
+				// cut contains e.
+				for _, s := range c.Successors(m) {
+					if s[i] < e.Index {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHappenedBeforeAgreesWithClocks(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randomComp(seed, 3, 12)
+		var all []*Event
+		for i := 0; i < c.N(); i++ {
+			all = append(all, c.Events(i)...)
+		}
+		for _, e := range all {
+			for _, g := range all {
+				if e == g {
+					continue
+				}
+				// Vector clock characterization: e → g iff Clock(e) < Clock(g).
+				want := e.Clock.Less(g.Clock)
+				if c.HappenedBefore(e, g) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFrontierEventsAreMaximal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomComp(seed, 4, 14)
+		cut := randomConsistentCut(rng, c)
+		frontier := c.Frontier(cut)
+		inFrontier := make(map[*Event]bool, len(frontier))
+		for _, e := range frontier {
+			inFrontier[e] = true
+		}
+		for i := 0; i < c.N(); i++ {
+			for k := 1; k <= cut[i]; k++ {
+				e := c.Event(i, k)
+				// e is maximal iff no other included event follows it.
+				maximal := true
+				for j := 0; j < c.N(); j++ {
+					for l := 1; l <= cut[j]; l++ {
+						if g := c.Event(j, l); g != e && c.HappenedBefore(e, g) {
+							maximal = false
+						}
+					}
+				}
+				if maximal != inFrontier[e] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInFlightNeverNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomComp(seed, 3, 15)
+		cut := randomConsistentCut(rng, c)
+		n := c.InFlight(cut)
+		return n >= 0 && n <= len(c.Messages())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPrefixPreservesStructure(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomComp(seed, 3, 12)
+		cut := randomConsistentCut(rng, c)
+		sub := c.Prefix(cut)
+		if sub.TotalEvents() != cut.Size() {
+			return false
+		}
+		// Clocks and values are shared unchanged.
+		for i := 0; i < c.N(); i++ {
+			for k := 1; k <= cut[i]; k++ {
+				if !sub.Event(i, k).Clock.Equal(c.Event(i, k).Clock) {
+					return false
+				}
+			}
+			for k := 0; k <= cut[i]; k++ {
+				for _, name := range c.Vars(i) {
+					a, _ := c.Value(i, k, name)
+					b, _ := sub.Value(i, k, name)
+					if a != b {
+						return false
+					}
+				}
+			}
+		}
+		// The final cut of the prefix is the cut itself.
+		return sub.FinalCut().Equal(cut)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+package computation
+
+// Width returns the width of the happened-before poset (E, →): the size
+// of a largest antichain, i.e. the maximum number of pairwise-concurrent
+// events. Width measures the genuine concurrency of the computation and
+// bounds the lattice's breadth (a width-w computation on n processes has
+// at most O(|E|^w) consistent cuts; a chain has width 1 and a linear
+// lattice).
+//
+// By Dilworth's theorem the width equals |E| minus a maximum matching of
+// the DAG's transitive-closure bipartite graph (minimum path cover). The
+// matching is found with augmenting paths in O(|E|·edges); the closure is
+// read directly off the vector clocks.
+func (c *Computation) Width() int {
+	// Index events 0..m-1.
+	var events []*Event
+	for i := 0; i < c.N(); i++ {
+		events = append(events, c.events[i]...)
+	}
+	m := len(events)
+	if m == 0 {
+		return 0
+	}
+	// adj[u] lists v with events[u] → events[v].
+	adj := make([][]int, m)
+	for u, e := range events {
+		for v, f := range events {
+			if u != v && c.HappenedBefore(e, f) {
+				adj[u] = append(adj[u], v)
+			}
+		}
+	}
+	// Maximum bipartite matching (left copy u → right copy v).
+	matchL := make([]int, m) // left u → right v or -1
+	matchR := make([]int, m) // right v → left u or -1
+	for i := range matchL {
+		matchL[i], matchR[i] = -1, -1
+	}
+	var visited []bool
+	var try func(u int) bool
+	try = func(u int) bool {
+		for _, v := range adj[u] {
+			if visited[v] {
+				continue
+			}
+			visited[v] = true
+			if matchR[v] == -1 || try(matchR[v]) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		return false
+	}
+	matched := 0
+	for u := 0; u < m; u++ {
+		visited = make([]bool, m)
+		if try(u) {
+			matched++
+		}
+	}
+	return m - matched
+}
+
+// MaxAntichain returns one largest antichain of pairwise-concurrent
+// events. It recomputes the minimum path cover (see Width) and extracts
+// an antichain via the König-style alternating reachability construction:
+// an event is in the antichain when its path-cover position is "free on
+// the left and unreachable on the right". For reporting and tests.
+func (c *Computation) MaxAntichain() []*Event {
+	var events []*Event
+	for i := 0; i < c.N(); i++ {
+		events = append(events, c.events[i]...)
+	}
+	m := len(events)
+	if m == 0 {
+		return nil
+	}
+	adj := make([][]int, m)
+	for u, e := range events {
+		for v, f := range events {
+			if u != v && c.HappenedBefore(e, f) {
+				adj[u] = append(adj[u], v)
+			}
+		}
+	}
+	matchL := make([]int, m)
+	matchR := make([]int, m)
+	for i := range matchL {
+		matchL[i], matchR[i] = -1, -1
+	}
+	var visited []bool
+	var try func(u int) bool
+	try = func(u int) bool {
+		for _, v := range adj[u] {
+			if visited[v] {
+				continue
+			}
+			visited[v] = true
+			if matchR[v] == -1 || try(matchR[v]) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		return false
+	}
+	for u := 0; u < m; u++ {
+		visited = make([]bool, m)
+		try(u)
+	}
+	// König: minimum vertex cover = matched left vertices NOT reachable by
+	// alternating paths from unmatched left vertices, plus matched right
+	// vertices that ARE reachable. The complement over the poset elements
+	// (an element is "covered" if its left or right copy is in the vertex
+	// cover) is a maximum antichain.
+	reachL := make([]bool, m)
+	reachR := make([]bool, m)
+	var queue []int
+	for u := 0; u < m; u++ {
+		if matchL[u] == -1 {
+			reachL[u] = true
+			queue = append(queue, u)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if reachR[v] {
+				continue
+			}
+			reachR[v] = true
+			if w := matchR[v]; w != -1 && !reachL[w] {
+				reachL[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	var out []*Event
+	for idx, e := range events {
+		inCover := (!reachL[idx] && matchL[idx] != -1) || reachR[idx]
+		if !inCover {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package computation
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// bruteWidth finds the maximum antichain size by subset enumeration
+// (small computations only).
+func bruteWidth(c *Computation) int {
+	var events []*Event
+	for i := 0; i < c.N(); i++ {
+		events = append(events, c.Events(i)...)
+	}
+	m := len(events)
+	best := 0
+	for mask := 1; mask < 1<<uint(m); mask++ {
+		if bits.OnesCount(uint(mask)) <= best {
+			continue
+		}
+		ok := true
+		for a := 0; a < m && ok; a++ {
+			if mask&(1<<uint(a)) == 0 {
+				continue
+			}
+			for b := a + 1; b < m && ok; b++ {
+				if mask&(1<<uint(b)) == 0 {
+					continue
+				}
+				if c.HappenedBefore(events[a], events[b]) || c.HappenedBefore(events[b], events[a]) {
+					ok = false
+				}
+			}
+		}
+		if ok {
+			best = bits.OnesCount(uint(mask))
+		}
+	}
+	return best
+}
+
+func TestWidthExtremes(t *testing.T) {
+	// Fully concurrent grid: width = n·1 per column... all events of
+	// different processes are concurrent, same process ordered: width = n
+	// only if each process contributes one event per antichain — the
+	// antichain picks at most one event per process, and any such pick is
+	// pairwise concurrent, so width = n (for k ≥ 1).
+	grid := func(n, k int) *Computation {
+		b := NewBuilder(n)
+		for p := 0; p < n; p++ {
+			for i := 0; i < k; i++ {
+				b.Internal(p)
+			}
+		}
+		return b.MustBuild()
+	}
+	if w := grid(4, 3).Width(); w != 4 {
+		t.Errorf("grid width = %d, want 4", w)
+	}
+	// A chain of messages is totally ordered: width 1.
+	b := NewBuilder(2)
+	cur := 0
+	for i := 0; i < 4; i++ {
+		_, m := b.Send(cur)
+		cur = 1 - cur
+		b.Receive(cur, m)
+	}
+	if w := b.MustBuild().Width(); w != 1 {
+		t.Errorf("chain width = %d, want 1", w)
+	}
+	// Empty computation.
+	if w := NewBuilder(2).MustBuild().Width(); w != 0 {
+		t.Errorf("empty width = %d", w)
+	}
+}
+
+func TestWidthMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		c := randomComp(seed, 3, 9)
+		want := bruteWidth(c)
+		if got := c.Width(); got != want {
+			t.Fatalf("seed %d: Width = %d, brute force = %d", seed, got, want)
+		}
+	}
+}
+
+func TestMaxAntichain(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		c := randomComp(seed, 3, 9)
+		anti := c.MaxAntichain()
+		if len(anti) != c.Width() {
+			t.Fatalf("seed %d: antichain size %d, width %d", seed, len(anti), c.Width())
+		}
+		for a := 0; a < len(anti); a++ {
+			for b := a + 1; b < len(anti); b++ {
+				if !c.Concurrent(anti[a], anti[b]) {
+					t.Fatalf("seed %d: antichain members %v, %v are ordered", seed, anti[a], anti[b])
+				}
+			}
+		}
+	}
+	if got := NewBuilder(1).MustBuild().MaxAntichain(); got != nil {
+		t.Errorf("empty antichain = %v", got)
+	}
+}

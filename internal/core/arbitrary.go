@@ -1,0 +1,131 @@
+package core
+
+import (
+	"repro/internal/computation"
+	"repro/internal/predicate"
+)
+
+// This file holds the exponential fallback solvers for arbitrary
+// predicates. They explore the cut space by memoized depth-first search
+// without materializing the lattice; worst-case time and memory remain
+// proportional to the lattice size, which is exponential in the number of
+// processes. Table 1's intractable cells (arbitrary predicates everywhere,
+// observer-independent predicates under EG and AG — Theorems 5 and 6) are
+// served by these.
+
+// EFArbitrary detects EF(p) for an arbitrary predicate by memoized search
+// from ∅.
+func EFArbitrary(comp *computation.Computation, p predicate.Predicate) bool {
+	seen := make(map[string]bool)
+	cut := comp.InitialCut()
+	var dfs func() bool
+	dfs = func() bool {
+		if p.Eval(comp, cut) {
+			return true
+		}
+		key := cut.Key()
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		for i := range cut {
+			if comp.EnabledEvent(cut, i) {
+				cut[i]++
+				hit := dfs()
+				cut[i]--
+				if hit {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs()
+}
+
+// EGArbitrary detects EG(p) for an arbitrary predicate: is there a maximal
+// cut sequence from ∅ to E with p at every cut?
+func EGArbitrary(comp *computation.Computation, p predicate.Predicate) bool {
+	final := comp.FinalCut()
+	failed := make(map[string]bool)
+	cut := comp.InitialCut()
+	var dfs func() bool
+	dfs = func() bool {
+		if !p.Eval(comp, cut) {
+			return false
+		}
+		if cut.Equal(final) {
+			return true
+		}
+		key := cut.Key()
+		if failed[key] {
+			return false
+		}
+		for i := range cut {
+			if comp.EnabledEvent(cut, i) {
+				cut[i]++
+				hit := dfs()
+				cut[i]--
+				if hit {
+					return true
+				}
+			}
+		}
+		failed[key] = true
+		return false
+	}
+	return dfs()
+}
+
+// AFArbitrary detects AF(p) by the duality AF(p) = ¬EG(¬p).
+func AFArbitrary(comp *computation.Computation, p predicate.Predicate) bool {
+	return !EGArbitrary(comp, predicate.Not{P: p})
+}
+
+// AGArbitrary detects AG(p) by the duality AG(p) = ¬EF(¬p).
+func AGArbitrary(comp *computation.Computation, p predicate.Predicate) bool {
+	return !EFArbitrary(comp, predicate.Not{P: p})
+}
+
+// EUArbitrary detects E[p U q] for arbitrary predicates by memoized search:
+// a path on which p holds from ∅ until a cut satisfying q.
+func EUArbitrary(comp *computation.Computation, p, q predicate.Predicate) bool {
+	failed := make(map[string]bool)
+	cut := comp.InitialCut()
+	var dfs func() bool
+	dfs = func() bool {
+		if q.Eval(comp, cut) {
+			return true
+		}
+		if !p.Eval(comp, cut) {
+			return false
+		}
+		key := cut.Key()
+		if failed[key] {
+			return false
+		}
+		for i := range cut {
+			if comp.EnabledEvent(cut, i) {
+				cut[i]++
+				hit := dfs()
+				cut[i]--
+				if hit {
+					return true
+				}
+			}
+		}
+		failed[key] = true
+		return false
+	}
+	return dfs()
+}
+
+// AUArbitrary detects A[p U q] via the standard expansion
+// A[p U q] = ¬(EG(¬q) ∨ E[¬q U (¬p ∧ ¬q)]).
+func AUArbitrary(comp *computation.Computation, p, q predicate.Predicate) bool {
+	notP, notQ := predicate.Not{P: p}, predicate.Not{P: q}
+	if EGArbitrary(comp, notQ) {
+		return false
+	}
+	return !EUArbitrary(comp, notQ, predicate.And{Ps: []predicate.Predicate{notP, notQ}})
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"repro/internal/computation"
+	"repro/internal/predicate"
+)
+
+// Interval is a maximal run [Lo, Hi] of local states of one process on
+// which that process's conjuncts all hold.
+type Interval struct {
+	Proc   int
+	Lo, Hi int
+}
+
+// begin returns the event that brings the process into the interval, or
+// nil when the interval starts at the initial state (logically -∞).
+func (iv Interval) begin(comp *computation.Computation) *computation.Event {
+	if iv.Lo == 0 {
+		return nil
+	}
+	return comp.Event(iv.Proc, iv.Lo)
+}
+
+// end returns the first event after the interval, or nil when the interval
+// extends to the final state (logically +∞).
+func (iv Interval) end(comp *computation.Computation) *computation.Event {
+	if iv.Hi >= comp.Len(iv.Proc) {
+		return nil
+	}
+	return comp.Event(iv.Proc, iv.Hi+1)
+}
+
+// trueIntervals computes, for each process mentioned by the conjunctive
+// predicate, the maximal intervals of local states on which all of that
+// process's conjuncts hold. Processes not mentioned are omitted: their
+// conjunct is vacuously true everywhere and imposes no constraint.
+func trueIntervals(comp *computation.Computation, p predicate.Conjunctive) map[int][]Interval {
+	byProc := make(map[int][]predicate.LocalPredicate)
+	for _, l := range p.Locals {
+		byProc[l.Process()] = append(byProc[l.Process()], l)
+	}
+	out := make(map[int][]Interval, len(byProc))
+	for proc, locals := range byProc {
+		var ivs []Interval
+		inRun, lo := false, 0
+		for k := 0; k <= comp.Len(proc); k++ {
+			ok := true
+			for _, l := range locals {
+				if !l.HoldsAt(comp, k) {
+					ok = false
+					break
+				}
+			}
+			switch {
+			case ok && !inRun:
+				inRun, lo = true, k
+			case !ok && inRun:
+				ivs = append(ivs, Interval{proc, lo, k - 1})
+				inRun = false
+			}
+		}
+		if inRun {
+			ivs = append(ivs, Interval{proc, lo, comp.Len(proc)})
+		}
+		out[proc] = ivs
+	}
+	return out
+}
+
+// mustOverlap reports the Garg–Waldecker pairwise condition: in every
+// interleaving, interval b begins before interval a ends. This holds
+// exactly when b's begin event happened-before a's end event (with -∞
+// begins and +∞ ends vacuously satisfying it). A selection of intervals,
+// one per constrained process, with mustOverlap holding for every ordered
+// pair is an unavoidable box: by Helly's theorem on the line, every maximal
+// cut sequence passes through a cut lying in all selected intervals at
+// once.
+func mustOverlap(comp *computation.Computation, a, b Interval) bool {
+	beginB := b.begin(comp)
+	if beginB == nil {
+		return true
+	}
+	endA := a.end(comp)
+	if endA == nil {
+		return true
+	}
+	return comp.HappenedBefore(beginB, endA)
+}
+
+// AFConjunctive detects AF(p) — definitely p — for a conjunctive predicate
+// p, following Garg and Waldecker's strong conjunctive predicate detection:
+// AF(p) holds iff some selection of true-intervals, one per constrained
+// process, is an unavoidable box.
+//
+// The search advances interval candidates monotonically: when the pair
+// (a, b) violates mustOverlap, candidate a can never pair with b's current
+// or any later interval (same-process begins only move causally later), so
+// a is discarded. Each discard is permanent, giving O(|E|) advancements
+// with O(n) rechecks each. The returned box is the witness selection when
+// AF(p) holds.
+func AFConjunctive(comp *computation.Computation, p predicate.Conjunctive) (box []Interval, ok bool) {
+	ivs := trueIntervals(comp, p)
+	if len(ivs) == 0 {
+		return nil, true // empty conjunction holds everywhere
+	}
+	procs := make([]int, 0, len(ivs))
+	for proc, list := range ivs {
+		if len(list) == 0 {
+			return nil, false // some conjunct never holds: no satisfying cut
+		}
+		procs = append(procs, proc)
+	}
+	cand := make(map[int]int, len(procs)) // proc → candidate interval index
+	cur := func(proc int) Interval { return ivs[proc][cand[proc]] }
+
+	// Worklist of processes whose pair conditions need (re)checking.
+	pending := append([]int(nil), procs...)
+	inPending := make(map[int]bool, len(procs))
+	for _, proc := range procs {
+		inPending[proc] = true
+	}
+	for len(pending) > 0 {
+		i := pending[0]
+		pending = pending[1:]
+		inPending[i] = false
+		advanced := false
+		for _, j := range procs {
+			if j == i {
+				continue
+			}
+			// Both orientations involving i: i may die against j's begin,
+			// or j may die against i's begin.
+			victim := -1
+			if !mustOverlap(comp, cur(i), cur(j)) {
+				victim = i
+			} else if !mustOverlap(comp, cur(j), cur(i)) {
+				victim = j
+			}
+			if victim < 0 {
+				continue
+			}
+			cand[victim]++
+			if cand[victim] >= len(ivs[victim]) {
+				return nil, false
+			}
+			if !inPending[victim] {
+				pending = append(pending, victim)
+				inPending[victim] = true
+			}
+			if victim == i {
+				advanced = true
+				break // i's candidate changed; re-enqueue and restart its checks
+			}
+		}
+		if advanced && !inPending[i] {
+			pending = append(pending, i)
+			inPending[i] = true
+		}
+	}
+	box = make([]Interval, 0, len(procs))
+	for _, proc := range procs {
+		box = append(box, cur(proc))
+	}
+	return box, true
+}
+
+// EGDisjunctive detects EG(q) — controllable q — for a disjunctive
+// predicate by the duality EG(q) = ¬AF(¬q), where ¬q is conjunctive.
+func EGDisjunctive(comp *computation.Computation, q predicate.Disjunctive) bool {
+	_, af := AFConjunctive(comp, q.Negate())
+	return !af
+}
+
+// AFDisjunctive detects AF(q) for a disjunctive predicate by the duality
+// AF(q) = ¬EG(¬q), with EG of the conjunctive (hence linear) complement
+// answered by Algorithm A1.
+func AFDisjunctive(comp *computation.Computation, q predicate.Disjunctive) bool {
+	_, eg := EGLinear(comp, q.Negate())
+	return !eg
+}
+
+// AGDisjunctive detects AG(q) for a disjunctive predicate by the duality
+// AG(q) = ¬EF(¬q), with EF of the conjunctive complement answered by the
+// advancement algorithm.
+func AGDisjunctive(comp *computation.Computation, q predicate.Disjunctive) bool {
+	return !EFLinear(comp, q.Negate())
+}

@@ -1,0 +1,413 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/computation"
+	"repro/internal/ctl"
+	"repro/internal/predicate"
+)
+
+// Result reports the outcome of predicate detection.
+type Result struct {
+	// Holds is whether the computation satisfies the formula (at ∅).
+	Holds bool
+	// Algorithm names the algorithm that produced the answer, mirroring
+	// the cells of the paper's Table 1.
+	Algorithm string
+	// Witness, when non-nil, is a sequence of consistent cuts evidencing a
+	// positive answer (a p-path for EG, an until-prefix for EU, the least
+	// satisfying cut for EF over linear predicates).
+	Witness []computation.Cut
+	// Counterexample, when non-nil, is a single cut evidencing a negative
+	// answer (a cut violating an AG invariant).
+	Counterexample computation.Cut
+}
+
+// Detect decides whether the computation satisfies the CTL formula,
+// routing each temporal operator to the most specific polynomial algorithm
+// the predicate class admits and falling back to the exponential solver
+// otherwise. Temporal operators must not be nested (the paper's fragment);
+// boolean combinations of temporal formulas are evaluated recursively.
+func Detect(comp *computation.Computation, f ctl.Formula) (Result, error) {
+	switch g := f.(type) {
+	case ctl.Not:
+		r, err := Detect(comp, g.F)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Holds: !r.Holds, Algorithm: "negation of " + r.Algorithm}, nil
+	case ctl.And:
+		return detectBinary(comp, g.L, g.R, "&&", func(a, b bool) bool { return a && b })
+	case ctl.Or:
+		return detectBinary(comp, g.L, g.R, "||", func(a, b bool) bool { return a || b })
+	case ctl.Atom:
+		return Result{
+			Holds:     g.P.Eval(comp, comp.InitialCut()),
+			Algorithm: "evaluation at the initial cut",
+		}, nil
+	case ctl.EF:
+		p, err := Compile(g.F)
+		if err != nil {
+			return Result{}, err
+		}
+		return detectEF(comp, p), nil
+	case ctl.AF:
+		p, err := Compile(g.F)
+		if err != nil {
+			return Result{}, err
+		}
+		return detectAF(comp, p), nil
+	case ctl.EG:
+		p, err := Compile(g.F)
+		if err != nil {
+			return Result{}, err
+		}
+		return detectEG(comp, p), nil
+	case ctl.AG:
+		p, err := Compile(g.F)
+		if err != nil {
+			return Result{}, err
+		}
+		return detectAG(comp, p), nil
+	case ctl.EU:
+		p, err := Compile(g.P)
+		if err != nil {
+			return Result{}, err
+		}
+		q, err := Compile(g.Q)
+		if err != nil {
+			return Result{}, err
+		}
+		return detectEU(comp, p, q), nil
+	case ctl.AU:
+		p, err := Compile(g.P)
+		if err != nil {
+			return Result{}, err
+		}
+		q, err := Compile(g.Q)
+		if err != nil {
+			return Result{}, err
+		}
+		return detectAU(comp, p, q), nil
+	default:
+		return Result{}, fmt.Errorf("core: unsupported formula %T", f)
+	}
+}
+
+func detectBinary(comp *computation.Computation, l, r ctl.Formula, op string, combine func(a, b bool) bool) (Result, error) {
+	a, err := Detect(comp, l)
+	if err != nil {
+		return Result{}, err
+	}
+	b, err := Detect(comp, r)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Holds:     combine(a.Holds, b.Holds),
+		Algorithm: "(" + a.Algorithm + ") " + op + " (" + b.Algorithm + ")",
+	}, nil
+}
+
+// Compile lowers a non-temporal CTL formula to a predicate, preserving as
+// much class structure as possible so the dispatcher can pick polynomial
+// algorithms: negations of conjunctive predicates become disjunctive (and
+// vice versa), conjunctions of conjunctive predicates merge, disjunctions
+// of disjunctive predicates merge.
+func Compile(f ctl.Formula) (predicate.Predicate, error) {
+	switch g := f.(type) {
+	case ctl.Atom:
+		return g.P, nil
+	case ctl.Not:
+		inner, err := Compile(g.F)
+		if err != nil {
+			return nil, err
+		}
+		switch p := inner.(type) {
+		case predicate.Conjunctive:
+			return p.Negate(), nil
+		case predicate.Disjunctive:
+			return p.Negate(), nil
+		case predicate.LocalPredicate:
+			return predicate.NotLocal{P: p}, nil
+		case predicate.Not:
+			return p.P, nil
+		case predicate.Const:
+			return !p, nil
+		default:
+			return predicate.Not{P: inner}, nil
+		}
+	case ctl.And:
+		a, err := Compile(g.L)
+		if err != nil {
+			return nil, err
+		}
+		b, err := Compile(g.R)
+		if err != nil {
+			return nil, err
+		}
+		ca, okA := asConjunctive(a)
+		cb, okB := asConjunctive(b)
+		if okA && okB {
+			return predicate.MergeConj(ca, cb), nil
+		}
+		la, okA := asLinear(a)
+		lb, okB := asLinear(b)
+		if okA && okB {
+			return predicate.AndLinear{Ps: []predicate.Linear{la, lb}}, nil
+		}
+		return predicate.And{Ps: []predicate.Predicate{a, b}}, nil
+	case ctl.Or:
+		a, err := Compile(g.L)
+		if err != nil {
+			return nil, err
+		}
+		b, err := Compile(g.R)
+		if err != nil {
+			return nil, err
+		}
+		da, okA := asDisjunctive(a)
+		db, okB := asDisjunctive(b)
+		if okA && okB {
+			return predicate.Disjunctive{Locals: append(append([]predicate.LocalPredicate{}, da.Locals...), db.Locals...)}, nil
+		}
+		return predicate.Or{Ps: []predicate.Predicate{a, b}}, nil
+	default:
+		return nil, fmt.Errorf("core: nested temporal operator %s is outside the paper's fragment", f)
+	}
+}
+
+// asConjunctive views p as a conjunctive predicate when possible; single
+// local predicates are one-conjunct conjunctions.
+func asConjunctive(p predicate.Predicate) (predicate.Conjunctive, bool) {
+	switch q := p.(type) {
+	case predicate.Conjunctive:
+		return q, true
+	case predicate.LocalPredicate:
+		return predicate.Conj(q), true
+	default:
+		return predicate.Conjunctive{}, false
+	}
+}
+
+// asDisjunctive views p as a disjunctive predicate when possible.
+func asDisjunctive(p predicate.Predicate) (predicate.Disjunctive, bool) {
+	switch q := p.(type) {
+	case predicate.Disjunctive:
+		return q, true
+	case predicate.LocalPredicate:
+		return predicate.Disj(q), true
+	default:
+		return predicate.Disjunctive{}, false
+	}
+}
+
+// asLinear views p as a linear predicate when its type carries the
+// advancement property.
+func asLinear(p predicate.Predicate) (predicate.Linear, bool) {
+	switch q := p.(type) {
+	case predicate.Linear:
+		return q, true
+	case predicate.LocalPredicate:
+		return predicate.Conj(q), true
+	default:
+		return nil, false
+	}
+}
+
+// asPostLinear views p as a post-linear predicate.
+func asPostLinear(p predicate.Predicate) (predicate.PostLinear, bool) {
+	switch q := p.(type) {
+	case predicate.PostLinear:
+		return q, true
+	case predicate.LocalPredicate:
+		return predicate.Conj(q), true
+	default:
+		return nil, false
+	}
+}
+
+// asStable recognizes predicates known stable by construction.
+func asStable(p predicate.Predicate) (predicate.Stable, bool) {
+	switch q := p.(type) {
+	case predicate.Stable:
+		return q, true
+	case predicate.Received, predicate.Terminated:
+		return predicate.Stable{P: p}, true
+	default:
+		return predicate.Stable{}, false
+	}
+}
+
+// isObserverIndependent recognizes predicates known observer-independent
+// by construction: explicitly asserted ones, stable ones, and disjunctive
+// ones.
+func isObserverIndependent(p predicate.Predicate) (predicate.Predicate, bool) {
+	switch q := p.(type) {
+	case predicate.ObserverIndependent:
+		return q.P, true
+	case predicate.Disjunctive:
+		return q, true
+	default:
+		if s, ok := asStable(p); ok {
+			return s, true
+		}
+		return nil, false
+	}
+}
+
+func detectEF(comp *computation.Computation, p predicate.Predicate) Result {
+	if s, ok := asStable(p); ok {
+		return Result{Holds: EFStable(comp, s), Algorithm: "EF stable: evaluate at the final cut"}
+	}
+	// EF distributes over disjunction: EF(a ∨ b) = EF(a) ∨ EF(b), so a
+	// disjunction of structurally-detectable predicates stays polynomial.
+	if or, ok := p.(predicate.Or); ok {
+		holds := false
+		for _, part := range or.Ps {
+			if sub := detectEF(comp, part); sub.Holds {
+				holds = true
+				break
+			}
+		}
+		return Result{Holds: holds, Algorithm: "EF over ∨: split per disjunct"}
+	}
+	if d, ok := asDisjunctive(p); ok {
+		return Result{Holds: EFDisjunctive(comp, d), Algorithm: "EF disjunctive: local state scan"}
+	}
+	if l, ok := asLinear(p); ok {
+		cut, holds := LeastCut(comp, l)
+		r := Result{Holds: holds, Algorithm: "EF linear: Chase–Garg advancement"}
+		if holds {
+			r.Witness = []computation.Cut{cut}
+		}
+		return r
+	}
+	if pl, ok := asPostLinear(p); ok {
+		cut, holds := GreatestCut(comp, pl)
+		r := Result{Holds: holds, Algorithm: "EF post-linear: dual advancement"}
+		if holds {
+			r.Witness = []computation.Cut{cut}
+		}
+		return r
+	}
+	if oi, ok := isObserverIndependent(p); ok {
+		return Result{Holds: DetectObserverIndependent(comp, oi), Algorithm: "EF observer-independent: single observation"}
+	}
+	return Result{Holds: EFArbitrary(comp, p), Algorithm: "EF arbitrary: exponential search (NP-complete)"}
+}
+
+func detectAF(comp *computation.Computation, p predicate.Predicate) Result {
+	if s, ok := asStable(p); ok {
+		return Result{Holds: AFStable(comp, s), Algorithm: "AF stable: evaluate at the final cut"}
+	}
+	if c, ok := asConjunctive(p); ok {
+		_, holds := AFConjunctive(comp, c)
+		return Result{Holds: holds, Algorithm: "AF conjunctive: Garg–Waldecker interval boxes"}
+	}
+	if d, ok := asDisjunctive(p); ok {
+		return Result{Holds: AFDisjunctive(comp, d), Algorithm: "AF disjunctive: ¬EG(¬p) via A1"}
+	}
+	if oi, ok := isObserverIndependent(p); ok {
+		return Result{Holds: DetectObserverIndependent(comp, oi), Algorithm: "AF observer-independent: single observation"}
+	}
+	// AF for general linear predicates is an open problem in the paper.
+	return Result{Holds: AFArbitrary(comp, p), Algorithm: "AF arbitrary: exponential search"}
+}
+
+func detectEG(comp *computation.Computation, p predicate.Predicate) Result {
+	if s, ok := asStable(p); ok {
+		return Result{Holds: EGStable(comp, s), Algorithm: "EG stable: evaluate at the initial cut"}
+	}
+	if l, ok := asLinear(p); ok {
+		path, holds := EGLinear(comp, l)
+		return Result{Holds: holds, Algorithm: "EG linear: Algorithm A1", Witness: path}
+	}
+	if d, ok := asDisjunctive(p); ok {
+		return Result{Holds: EGDisjunctive(comp, d), Algorithm: "EG disjunctive: ¬AF(¬p) via interval boxes"}
+	}
+	if pl, ok := asPostLinear(p); ok {
+		path, holds := EGPostLinear(comp, pl)
+		return Result{Holds: holds, Algorithm: "EG post-linear: dual Algorithm A1", Witness: path}
+	}
+	// Theorem 5: NP-complete already for observer-independent predicates.
+	return Result{Holds: EGArbitrary(comp, p), Algorithm: "EG arbitrary: exponential search (NP-complete, Theorem 5)"}
+}
+
+func detectAG(comp *computation.Computation, p predicate.Predicate) Result {
+	if s, ok := asStable(p); ok {
+		return Result{Holds: AGStable(comp, s), Algorithm: "AG stable: evaluate at the initial cut"}
+	}
+	// AG distributes over conjunction: AG(a ∧ b) = AG(a) ∧ AG(b).
+	if and, ok := p.(predicate.And); ok {
+		for _, part := range and.Ps {
+			if sub := detectAG(comp, part); !sub.Holds {
+				sub.Algorithm = "AG over ∧: split per conjunct (" + sub.Algorithm + ")"
+				return sub // carries the counterexample when present
+			}
+		}
+		return Result{Holds: true, Algorithm: "AG over ∧: split per conjunct"}
+	}
+	if _, ok := asLinear(p); ok {
+		cex, holds := AGLinear(comp, p)
+		return Result{Holds: holds, Algorithm: "AG linear: Algorithm A2 (meet-irreducibles)", Counterexample: cex}
+	}
+	if d, ok := asDisjunctive(p); ok {
+		r := Result{Algorithm: "AG disjunctive: ¬EF(¬p) via advancement"}
+		// The least cut satisfying the conjunctive complement is a
+		// counterexample to the invariant.
+		if cex, found := LeastCut(comp, d.Negate()); found {
+			r.Counterexample = cex
+		} else {
+			r.Holds = true
+		}
+		return r
+	}
+	if _, ok := asPostLinear(p); ok {
+		cex, holds := AGPostLinear(comp, p)
+		return Result{Holds: holds, Algorithm: "AG post-linear: dual Algorithm A2 (join-irreducibles)", Counterexample: cex}
+	}
+	// Theorem 6: co-NP-complete already for observer-independent predicates.
+	return Result{Holds: AGArbitrary(comp, p), Algorithm: "AG arbitrary: exponential search (co-NP-complete, Theorem 6)"}
+}
+
+func detectEU(comp *computation.Computation, p, q predicate.Predicate) Result {
+	if cp, okP := asConjunctive(p); okP {
+		if lq, okQ := asLinear(q); okQ {
+			path, holds := EUConjLinear(comp, cp, lq)
+			return Result{Holds: holds, Algorithm: "EU conjunctive/linear: Algorithm A3", Witness: path}
+		}
+		// The target distributes over disjunction for existential until:
+		// E[p U (a ∨ b)] = E[p U a] ∨ E[p U b].
+		if or, ok := q.(predicate.Or); ok {
+			for _, part := range or.Ps {
+				if sub := detectEU(comp, p, part); sub.Holds {
+					sub.Algorithm = "EU target over ∨: split (" + sub.Algorithm + ")"
+					return sub
+				}
+			}
+			return Result{Holds: false, Algorithm: "EU target over ∨: split per disjunct"}
+		}
+		// A disjunctive target splits into its locals the same way.
+		if d, ok := q.(predicate.Disjunctive); ok {
+			for _, l := range d.Locals {
+				if sub := detectEU(comp, p, predicate.Conj(l)); sub.Holds {
+					sub.Algorithm = "EU target over disj: split (" + sub.Algorithm + ")"
+					return sub
+				}
+			}
+			return Result{Holds: false, Algorithm: "EU target over disj: split per local"}
+		}
+	}
+	return Result{Holds: EUArbitrary(comp, p, q), Algorithm: "EU arbitrary: exponential search"}
+}
+
+func detectAU(comp *computation.Computation, p, q predicate.Predicate) Result {
+	dp, okP := asDisjunctive(p)
+	dq, okQ := asDisjunctive(q)
+	if okP && okQ {
+		return Result{Holds: AUDisjunctive(comp, dp, dq), Algorithm: "AU disjunctive: ¬(EG(¬q) ∨ E[¬q U ¬p∧¬q])"}
+	}
+	return Result{Holds: AUArbitrary(comp, p, q), Algorithm: "AU arbitrary: exponential search"}
+}

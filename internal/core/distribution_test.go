@@ -1,0 +1,115 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/computation"
+
+	"repro/internal/ctl"
+	"repro/internal/explore"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+// TestDistributionRouting pins the sound rewrite laws EF(a∨b) = EF(a)∨EF(b),
+// AG(a∧b) = AG(a)∧AG(b) and E[p U (a∨b)] = E[p U a] ∨ E[p U b]: mixed
+// predicates that would otherwise hit the exponential fallback stay on
+// polynomial routes.
+func TestDistributionRouting(t *testing.T) {
+	comp := sim.Fig4()
+	xGT := predicate.Conj(predicate.VarCmp{Proc: 0, Var: "x", Op: predicate.GT, K: 1})
+
+	// EF over a generic ∨ of a channel predicate and a conjunction.
+	efOr := ctl.EF{F: ctl.Or{
+		L: ctl.Atom{P: predicate.ChannelsEmpty{}},
+		R: ctl.Atom{P: xGT},
+	}}
+	res, err := Detect(comp, efOr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Algorithm, "EF over ∨") && !strings.Contains(res.Algorithm, "disjunctive") {
+		t.Errorf("EF(∨) routed to %q", res.Algorithm)
+	}
+	if strings.Contains(res.Algorithm, "exponential") {
+		t.Errorf("EF(∨) fell back to the exponential solver: %q", res.Algorithm)
+	}
+
+	// AG over a generic ∧.
+	agAnd := ctl.AG{F: ctl.And{
+		L: ctl.Atom{P: predicate.Fn{Name: "sizeOK", F: sizeOK}},
+		R: ctl.Atom{P: xGT},
+	}}
+	res, err = Detect(comp, agAnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Fn part is arbitrary so ONE conjunct may use the exponential
+	// solver, but the split must be visible.
+	if !strings.Contains(res.Algorithm, "AG over ∧") {
+		t.Errorf("AG(∧) routed to %q", res.Algorithm)
+	}
+
+	// EU with a disjunctive target.
+	eu := ctl.EU{
+		P: ctl.Atom{P: predicate.Conj(predicate.VarCmp{Proc: 2, Var: "z", Op: predicate.LT, K: 6})},
+		Q: ctl.Atom{P: predicate.Disj(
+			predicate.VarCmp{Proc: 0, Var: "x", Op: predicate.GT, K: 1},
+			predicate.VarCmp{Proc: 1, Var: "y", Op: predicate.GT, K: 99},
+		)},
+	}
+	res, err = Detect(comp, eu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Algorithm, "split") || strings.Contains(res.Algorithm, "exponential") {
+		t.Errorf("EU(disj target) routed to %q", res.Algorithm)
+	}
+}
+
+func sizeOK(c *computation.Computation, cut computation.Cut) bool {
+	return cut.Size() <= c.TotalEvents()
+}
+
+// TestDistributionLawsAgainstLattice validates the rewrites semantically
+// on random computations and mixed predicates.
+func TestDistributionLawsAgainstLattice(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		comp := sim.Random(sim.DefaultRandomConfig(3, 9), seed)
+		l := latticeOf(t, comp)
+		a := predicate.Conj(predicate.VarCmp{Proc: 0, Var: "x0", Op: predicate.GE, K: 1})
+		b := predicate.ChannelsEmpty{}
+		orF := ctl.EF{F: ctl.Or{L: ctl.Atom{P: b}, R: ctl.Atom{P: a}}}
+		res, err := Detect(comp, orF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := explore.Holds(l, orF); res.Holds != want {
+			t.Fatalf("seed %d: EF(∨) = %v, lattice %v", seed, res.Holds, want)
+		}
+		andF := ctl.AG{F: ctl.And{L: ctl.Atom{P: b}, R: ctl.Atom{P: a}}}
+		// Compile turns And of linears into AndLinear (still linear), so
+		// force the generic path with an Fn conjunct.
+		fn := predicate.Fn{Name: "always", F: func(*computation.Computation, computation.Cut) bool { return true }}
+		andF = ctl.AG{F: ctl.And{L: ctl.Atom{P: fn}, R: ctl.Atom{P: a}}}
+		res, err = Detect(comp, andF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := explore.Holds(l, andF); res.Holds != want {
+			t.Fatalf("seed %d: AG(∧) = %v, lattice %v", seed, res.Holds, want)
+		}
+		euF := ctl.EU{P: ctl.Atom{P: a}, Q: ctl.Atom{P: predicate.Disj(
+			predicate.VarCmp{Proc: 1, Var: "x0", Op: predicate.GE, K: 2},
+			predicate.VarCmp{Proc: 2, Var: "x0", Op: predicate.GE, K: 2},
+		)}}
+		res, err = Detect(comp, euF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := explore.Holds(l, euF); res.Holds != want {
+			t.Fatalf("seed %d: EU(disj target) = %v, lattice %v", seed, res.Holds, want)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/computation"
+	"repro/internal/core"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+// ExampleLeastCut finds I_q for the paper's Figure 4 predicate: the least
+// consistent cut with empty channels and x > 1 is {e1, f1, f2, g1}.
+func ExampleLeastCut() {
+	comp := sim.Fig4()
+	q := predicate.AndLinear{Ps: []predicate.Linear{
+		predicate.ChannelsEmpty{},
+		predicate.Conj(predicate.VarCmp{Proc: 0, Var: "x", Op: predicate.GT, K: 1}),
+	}}
+	iq, ok := core.LeastCut(comp, q)
+	fmt.Println(ok, iq)
+	// Output: true <1 2 1>
+}
+
+// ExampleEGLinear runs Algorithm A1: EG(true) always holds and the
+// witness is a full maximal cut sequence.
+func ExampleEGLinear() {
+	comp := sim.Fig2()
+	path, ok := core.EGLinear(comp, predicate.True)
+	fmt.Println(ok, len(path), path[0], path[len(path)-1])
+	// Output: true 7 <0 0> <3 3>
+}
+
+// ExampleAGLinear runs Algorithm A2: channels are not always empty on
+// Figure 2, and the counterexample is a consistent cut with a message in
+// flight.
+func ExampleAGLinear() {
+	comp := sim.Fig2()
+	cex, ok := core.AGLinear(comp, predicate.ChannelsEmpty{})
+	fmt.Println(ok, cex, comp.InFlight(cex))
+	// Output: false <0 2> 1
+}
+
+// ExampleEUConjLinear runs Algorithm A3 on the paper's Figure 4 example.
+func ExampleEUConjLinear() {
+	comp := sim.Fig4()
+	p := predicate.Conj(
+		predicate.VarCmp{Proc: 2, Var: "z", Op: predicate.LT, K: 6},
+		predicate.VarCmp{Proc: 0, Var: "x", Op: predicate.LT, K: 4},
+	)
+	q := predicate.AndLinear{Ps: []predicate.Linear{
+		predicate.ChannelsEmpty{},
+		predicate.Conj(predicate.VarCmp{Proc: 0, Var: "x", Op: predicate.GT, K: 1}),
+	}}
+	path, ok := core.EUConjLinear(comp, p, q)
+	fmt.Println(ok)
+	for _, cut := range path {
+		fmt.Println(cut)
+	}
+	// Output:
+	// true
+	// <0 0 0>
+	// <0 1 0>
+	// <0 2 0>
+	// <1 2 0>
+	// <1 2 1>
+}
+
+// ExampleAFConjunctive shows Garg–Waldecker interval boxes: with a
+// message forcing the two true-windows to overlap in every interleaving,
+// AF holds and the box is returned.
+func ExampleAFConjunctive() {
+	b := computation.NewBuilder(2)
+	// P1 raises a and sends; P2 raises b on receipt and acks; P1 lowers a
+	// only after the ack — so b's window must begin before a's window can
+	// end, in every interleaving.
+	computation.Set(b.Internal(0), "a", 1)
+	_, m := b.Send(0)
+	r := b.Receive(1, m)
+	computation.Set(r, "b", 1)
+	_, ack := b.Send(1)
+	b.Receive(0, ack)
+	computation.Set(b.Internal(0), "a", 0)
+	comp := b.MustBuild()
+
+	p := predicate.Conj(
+		predicate.VarCmp{Proc: 0, Var: "a", Op: predicate.EQ, K: 1},
+		predicate.VarCmp{Proc: 1, Var: "b", Op: predicate.EQ, K: 1},
+	)
+	box, ok := core.AFConjunctive(comp, p)
+	fmt.Println(ok, len(box))
+	// Output: true 2
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/ctl"
+	"repro/internal/explore"
+	"repro/internal/lattice"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+// leastCutOnly is a predicate that satisfies Theorem 7's footnote
+// condition — a least satisfying cut exists — without being linear (its
+// satisfying set is not closed under meet). Forbidden is computed by brute
+// force over the (small) cut space, which is sound though not structural.
+type leastCutOnly struct {
+	sat []computation.Cut
+}
+
+func (p leastCutOnly) Eval(c *computation.Computation, cut computation.Cut) bool {
+	for _, s := range p.sat {
+		if s.Equal(cut) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p leastCutOnly) Forbidden(c *computation.Computation, cut computation.Cut) (int, bool) {
+	// Any process that must advance in EVERY satisfying cut above the
+	// current one; abort when no satisfying cut is above.
+	var above []computation.Cut
+	for _, s := range p.sat {
+		if cut.LessEq(s) && !s.Equal(cut) {
+			above = append(above, s)
+		}
+	}
+	if len(above) == 0 {
+		return 0, false
+	}
+	for i := range cut {
+		all := true
+		for _, s := range above {
+			if s[i] <= cut[i] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return i, true
+		}
+	}
+	// Cannot happen when a least satisfying cut above exists.
+	panic("leastCutOnly: no forbidden process")
+}
+
+func (p leastCutOnly) String() string { return "leastCutOnly" }
+
+// TestA3FootnoteLeastCutProperty exercises the footnote to Theorem 7: A3
+// remains correct when q merely has a least satisfying cut, even though
+// its satisfying set is not an inf-semilattice.
+func TestA3FootnoteLeastCutProperty(t *testing.T) {
+	comp := sim.Grid(2, 2) // cuts (a,b), a,b ∈ 0..2
+	l := lattice.MustBuild(comp)
+
+	// Satisfying set {(1,0), (2,1), (1,2)}: least element (1,0) exists,
+	// but meet((2,1),(1,2)) = (1,1) is not satisfying — not linear.
+	q := leastCutOnly{sat: []computation.Cut{{1, 0}, {2, 1}, {1, 2}}}
+	if ok, _, _ := l.CheckLinear(q); ok {
+		t.Fatal("fixture predicate unexpectedly linear; the test would prove nothing")
+	}
+	iq, ok := LeastCut(comp, q)
+	if !ok || !iq.Equal(computation.Cut{1, 0}) {
+		t.Fatalf("I_q = %v, %v; want <1 0>", iq, ok)
+	}
+
+	// p: the grid counter on P2 stays below 2 — conjunctive.
+	p := predicate.Conj(predicate.VarCmp{Proc: 1, Var: "c", Op: predicate.LT, K: 2})
+	path, got := EUConjLinear(comp, p, q)
+	want := explore.Holds(l, ctl.EU{P: ctl.Atom{P: p}, Q: ctl.Atom{P: q}})
+	if got != want {
+		t.Fatalf("A3 = %v, lattice EU = %v", got, want)
+	}
+	if got {
+		verifyEUPath(t, comp, p, q, path)
+	}
+
+	// And with p that blocks the path to I_q: the only ▷-path to <1 0> is
+	// via <0 0>; forbid P1 ≥ 1 never... choose p failing at ∅'s successor.
+	p2 := predicate.Conj(predicate.VarCmp{Proc: 0, Var: "c", Op: predicate.GE, K: 9})
+	_, got2 := EUConjLinear(comp, p2, q)
+	want2 := explore.Holds(l, ctl.EU{P: ctl.Atom{P: p2}, Q: ctl.Atom{P: q}})
+	if got2 != want2 {
+		t.Fatalf("A3 (blocking p) = %v, lattice EU = %v", got2, want2)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+// TestLargeScaleSmoke drives the polynomial algorithms on a computation
+// whose lattice is astronomically large (8 processes × 100k events): the
+// structural algorithms must answer in seconds while explicit enumeration
+// would need more cuts than atoms in the universe. Skipped with -short.
+func TestLargeScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale smoke test skipped in -short mode")
+	}
+	const procs, events = 8, 100_000
+	start := time.Now()
+	comp := sim.Random(sim.DefaultRandomConfig(procs, events), 99)
+	t.Logf("generated %d events in %v", comp.TotalEvents(), time.Since(start))
+
+	conj := predicate.Conj(
+		predicate.VarCmp{Proc: 0, Var: "x0", Op: predicate.LE, K: 3},
+		predicate.VarCmp{Proc: 3, Var: "x0", Op: predicate.LE, K: 3},
+	)
+
+	start = time.Now()
+	if ok := EFLinear(comp, conj); !ok {
+		t.Error("EF of a satisfiable conjunctive predicate failed")
+	}
+	t.Logf("EF advancement: %v", time.Since(start))
+
+	start = time.Now()
+	path, ok := EGLinear(comp, predicate.True)
+	if !ok || len(path) != events+1 {
+		t.Errorf("EG(true): ok=%v len=%d", ok, len(path))
+	}
+	t.Logf("A1 full path: %v", time.Since(start))
+
+	start = time.Now()
+	if _, ok := AGLinear(comp, predicate.True); !ok {
+		t.Error("AG(true) failed")
+	}
+	t.Logf("A2 over %d meet-irreducibles: %v", comp.TotalEvents(), time.Since(start))
+
+	start = time.Now()
+	if !DetectObserverIndependent(comp, predicate.Terminated{}) {
+		t.Error("terminated not observed")
+	}
+	t.Logf("single-observation walk: %v", time.Since(start))
+
+	// AF conjunctive via interval boxes at scale.
+	start = time.Now()
+	_, _ = AFConjunctive(comp, conj)
+	t.Logf("AF interval boxes: %v", time.Since(start))
+
+	// A3 at scale (q = conjunct on another process).
+	q := predicate.Conj(predicate.VarCmp{Proc: 5, Var: "x0", Op: predicate.GE, K: 1})
+	start = time.Now()
+	_, _ = EUConjLinear(comp, conj, q)
+	t.Logf("A3: %v", time.Since(start))
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ctl"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+func TestDetectNested(t *testing.T) {
+	comp := sim.Fig2()
+	// "Always recoverable": from every global state the computation can
+	// still reach termination — trivially true on a finite trace, but the
+	// shape exercises nesting.
+	f := ctl.AG{F: ctl.EF{F: ctl.Atom{P: predicate.Terminated{}}}}
+	res, err := DetectNested(comp, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Error("AG(EF(terminated)) must hold")
+	}
+	if !strings.Contains(res.Algorithm, "nested CTL") {
+		t.Errorf("algorithm = %q", res.Algorithm)
+	}
+
+	// EF(EG(channelsEmpty)): from some cut onwards channels can stay
+	// empty — true via the final cut.
+	g := ctl.EF{F: ctl.EG{F: ctl.Atom{P: predicate.ChannelsEmpty{}}}}
+	res, err = DetectNested(comp, g, 0)
+	if err != nil || !res.Holds {
+		t.Errorf("EF(EG(channelsEmpty)) = %v, %v", res.Holds, err)
+	}
+
+	// Non-nested formulas still take the polynomial route.
+	h := ctl.EG{F: ctl.Atom{P: predicate.True}}
+	res, err = DetectNested(comp, h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Algorithm, "Algorithm A1") {
+		t.Errorf("non-nested formula routed to %q", res.Algorithm)
+	}
+}
+
+func TestDetectNestedSizeGuard(t *testing.T) {
+	comp := sim.Grid(3, 3) // 64 cuts
+	f := ctl.AG{F: ctl.EF{F: ctl.Atom{P: predicate.Terminated{}}}}
+	if _, err := DetectNested(comp, f, 10); err == nil {
+		t.Error("size guard did not trip")
+	}
+	if res, err := DetectNested(comp, f, 64); err != nil || !res.Holds {
+		t.Errorf("exact-size evaluation failed: %v, %v", res.Holds, err)
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/ctl"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+// randomFormula builds a random formula of the paper's fragment: one
+// temporal operator over randomly composed non-temporal predicates, or a
+// boolean combination of such formulas.
+func randomFormula(rng *rand.Rand, comp *computation.Computation, depth int) ctl.Formula {
+	if depth > 0 && rng.Intn(3) == 0 {
+		l := randomFormula(rng, comp, depth-1)
+		r := randomFormula(rng, comp, depth-1)
+		switch rng.Intn(3) {
+		case 0:
+			return ctl.And{L: l, R: r}
+		case 1:
+			return ctl.Or{L: l, R: r}
+		default:
+			return ctl.Not{F: l}
+		}
+	}
+	inner := randomNonTemporal(rng, comp, 2)
+	switch rng.Intn(7) {
+	case 0:
+		return ctl.EF{F: inner}
+	case 1:
+		return ctl.AF{F: inner}
+	case 2:
+		return ctl.EG{F: inner}
+	case 3:
+		return ctl.AG{F: inner}
+	case 4:
+		return ctl.EU{P: inner, Q: randomNonTemporal(rng, comp, 1)}
+	case 5:
+		return ctl.AU{P: inner, Q: randomNonTemporal(rng, comp, 1)}
+	default:
+		return inner
+	}
+}
+
+func randomNonTemporal(rng *rand.Rand, comp *computation.Computation, depth int) ctl.Formula {
+	if depth > 0 && rng.Intn(2) == 0 {
+		l := randomNonTemporal(rng, comp, depth-1)
+		r := randomNonTemporal(rng, comp, depth-1)
+		switch rng.Intn(3) {
+		case 0:
+			return ctl.And{L: l, R: r}
+		case 1:
+			return ctl.Or{L: l, R: r}
+		default:
+			return ctl.Not{F: l}
+		}
+	}
+	return ctl.Atom{P: randomAtom(rng, comp)}
+}
+
+func randomAtom(rng *rand.Rand, comp *computation.Computation) predicate.Predicate {
+	mkLocal := func() predicate.LocalPredicate {
+		proc := rng.Intn(comp.N())
+		vars := comp.Vars(proc)
+		if len(vars) == 0 {
+			return predicate.VarCmp{Proc: proc, Var: "none", Op: predicate.EQ, K: 0}
+		}
+		ops := []predicate.Op{predicate.LT, predicate.LE, predicate.EQ, predicate.NE, predicate.GE, predicate.GT}
+		return predicate.VarCmp{
+			Proc: proc,
+			Var:  vars[rng.Intn(len(vars))],
+			Op:   ops[rng.Intn(len(ops))],
+			K:    rng.Intn(4),
+		}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return predicate.ChannelsEmpty{}
+	case 1:
+		return predicate.Terminated{}
+	case 2:
+		ids := comp.Messages()
+		if len(ids) == 0 {
+			return predicate.True
+		}
+		return predicate.Received{ID: ids[rng.Intn(len(ids))]}
+	case 3:
+		return predicate.Conj(mkLocal(), mkLocal())
+	case 4:
+		return predicate.Disj(mkLocal(), mkLocal())
+	case 5:
+		return mkLocal()
+	case 6:
+		return predicate.Const(rng.Intn(2) == 0)
+	default:
+		if comp.N() >= 2 {
+			return predicate.ChannelEmpty{From: rng.Intn(comp.N()), To: rng.Intn(comp.N())}
+		}
+		return predicate.ChannelsEmpty{}
+	}
+}
+
+// TestRandomFormulaCrossValidation hammers the dispatcher with hundreds of
+// random (computation, formula) pairs and checks every verdict against the
+// explicit-lattice checker. This exercises the routing, the Compile
+// normalization, and every structural algorithm behind them.
+func TestRandomFormulaCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2002))
+	checked := 0
+	for trial := 0; trial < 400; trial++ {
+		cfg := sim.RandomConfig{
+			Procs:    2 + rng.Intn(3),
+			Events:   6 + rng.Intn(7),
+			SendProb: rng.Float64() * 0.6,
+			RecvProb: 0.5 + rng.Float64()*0.5,
+			Vars:     1 + rng.Intn(2),
+			ValRange: 3,
+		}
+		comp := sim.Random(cfg, rng.Int63())
+		l := latticeOf(t, comp)
+		f := randomFormula(rng, comp, 2)
+		res, err := Detect(comp, f)
+		if err != nil {
+			t.Fatalf("trial %d: Detect(%s): %v", trial, f, err)
+		}
+		want := evalTop(l, f)
+		if res.Holds != want {
+			t.Fatalf("trial %d: Detect(%s) = %v via %q, lattice says %v\ncomputation: %d procs, %d events",
+				trial, f, res.Holds, res.Algorithm, want, comp.N(), comp.TotalEvents())
+		}
+		checked++
+	}
+	t.Logf("cross-validated %d random formulas", checked)
+}
+
+// randomNested builds formulas with genuinely nested temporal operators.
+func randomNested(rng *rand.Rand, comp *computation.Computation, depth int) ctl.Formula {
+	var inner ctl.Formula
+	if depth <= 0 {
+		inner = ctl.Atom{P: randomAtom(rng, comp)}
+	} else {
+		inner = randomNested(rng, comp, depth-1)
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return ctl.EF{F: inner}
+	case 1:
+		return ctl.AF{F: inner}
+	case 2:
+		return ctl.EG{F: inner}
+	case 3:
+		return ctl.AG{F: inner}
+	case 4:
+		return ctl.EU{P: inner, Q: ctl.Atom{P: randomAtom(rng, comp)}}
+	default:
+		return ctl.Not{F: inner}
+	}
+}
+
+// TestDetectNestedCrossValidation checks the nested-CTL extension against
+// the lattice checker on random nested formulas.
+func TestDetectNestedCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 150; trial++ {
+		comp := sim.Random(sim.DefaultRandomConfig(3, 8), rng.Int63())
+		l := latticeOf(t, comp)
+		f := randomNested(rng, comp, 2)
+		res, err := DetectNested(comp, f, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if want := evalTop(l, f); res.Holds != want {
+			t.Fatalf("trial %d: DetectNested(%s) = %v, lattice %v", trial, f, res.Holds, want)
+		}
+	}
+}
+
+// TestA1ArbitraryChoiceProperty validates Theorem 2 directly: A1's answer
+// is independent of WHICH satisfying predecessor is chosen. A randomized
+// variant that picks a random satisfying predecessor at every step must
+// agree with the deterministic A1 on every input.
+func TestA1ArbitraryChoiceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 150; trial++ {
+		comp := sim.Random(sim.DefaultRandomConfig(3, 10), rng.Int63())
+		p := predicate.AndLinear{Ps: []predicate.Linear{
+			predicate.Conj(predicate.VarCmp{Proc: 0, Var: "x0", Op: predicate.LE, K: 2}),
+			predicate.ChannelsEmpty{},
+		}}
+		_, want := EGLinear(comp, p)
+		for rep := 0; rep < 5; rep++ {
+			if got := egLinearRandomChoice(comp, p, rng); got != want {
+				t.Fatalf("trial %d rep %d: random-choice A1 = %v, deterministic = %v",
+					trial, rep, got, want)
+			}
+		}
+	}
+}
+
+// egLinearRandomChoice is A1 with a uniformly random satisfying
+// predecessor chosen at each step.
+func egLinearRandomChoice(comp *computation.Computation, p predicate.Predicate, rng *rand.Rand) bool {
+	w := comp.FinalCut()
+	if !p.Eval(comp, w) {
+		return false
+	}
+	initial := comp.InitialCut()
+	for !w.Equal(initial) {
+		var sat []int
+		for i := range w {
+			if !comp.MaximalEvent(w, i) {
+				continue
+			}
+			w[i]--
+			if p.Eval(comp, w) {
+				sat = append(sat, i)
+			}
+			w[i]++
+		}
+		if len(sat) == 0 {
+			return false
+		}
+		w[sat[rng.Intn(len(sat))]]--
+	}
+	return true
+}

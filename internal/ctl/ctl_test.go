@@ -1,0 +1,205 @@
+package ctl
+
+import (
+	"testing"
+
+	"repro/internal/predicate"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	// Parse, render, parse again: the second parse must equal the first
+	// structurally (String is a fixed point after one round).
+	inputs := []string{
+		"EF(conj(x@P1 >= 2, y@P2 == 0))",
+		"AG(!(crit@P1 == 1 && crit@P2 == 1))",
+		"E[conj(z@P3 < 6, x@P1 < 4) U channelsEmpty && x@P1 > 1]",
+		"A[disj(try@P1 == 1) U disj(crit@P1 == 1)]",
+		"EG(channelsEmpty)",
+		"AF(terminated)",
+		"EF(received(3))",
+		"true || false",
+		"!(x@P1 != 0)",
+		"EF(x@P1 <= -2)",
+		"AG(channelEmpty(P1, P2))",
+		"EF(atLeast(2, done@P1 == 1, done@P2 == 1, done@P3 == 1))",
+		"AG(monotone(acks@P2 >= reqs@P1))",
+	}
+	for _, src := range inputs {
+		f1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		f2, err := Parse(f1.String())
+		if err != nil {
+			t.Fatalf("reparse %q (from %q): %v", f1.String(), src, err)
+		}
+		if f1.String() != f2.String() {
+			t.Errorf("round trip unstable: %q → %q → %q", src, f1.String(), f2.String())
+		}
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	f := MustParse("E[conj(z@P3 < 6) U channelsEmpty]")
+	eu, ok := f.(EU)
+	if !ok {
+		t.Fatalf("got %T", f)
+	}
+	atom, ok := eu.P.(Atom)
+	if !ok {
+		t.Fatalf("P is %T", eu.P)
+	}
+	conj, ok := atom.P.(predicate.Conjunctive)
+	if !ok || len(conj.Locals) != 1 {
+		t.Fatalf("atom is %T (%v)", atom.P, atom.P)
+	}
+	vc := conj.Locals[0].(predicate.VarCmp)
+	if vc.Proc != 2 || vc.Var != "z" || vc.Op != predicate.LT || vc.K != 6 {
+		t.Errorf("VarCmp = %+v", vc)
+	}
+	if _, ok := eu.Q.(Atom).P.(predicate.ChannelsEmpty); !ok {
+		t.Errorf("Q is %T", eu.Q.(Atom).P)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := MustParse("true && false || true")
+	// && binds tighter than ||: (true && false) || true.
+	or, ok := f.(Or)
+	if !ok {
+		t.Fatalf("top is %T, want Or", f)
+	}
+	if _, ok := or.L.(And); !ok {
+		t.Errorf("left of || is %T, want And", or.L)
+	}
+	f2 := MustParse("!true && false")
+	and, ok := f2.(And)
+	if !ok {
+		t.Fatalf("top is %T, want And", f2)
+	}
+	if _, ok := and.L.(Not); !ok {
+		t.Errorf("left of && is %T, want Not", and.L)
+	}
+	// Parentheses override.
+	f3 := MustParse("true && (false || true)")
+	if _, ok := f3.(And); !ok {
+		t.Fatalf("top is %T, want And", f3)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"EF(",
+		"EF()",
+		"EF(x@P1 < )",
+		"E[true U ]",
+		"E[true false]",
+		"conj()",
+		"x@Q1 < 3",
+		"x@P0 < 3",
+		"x@P1 ~ 3",
+		"x@P1 < 3 extra",
+		"received(x)",
+		"EF(x@P1 < 3))",
+		"AG(x < 3)",
+		"123",
+	}
+	for _, src := range bad {
+		if f, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded: %v", src, f)
+		}
+	}
+}
+
+func TestParseNewAtoms(t *testing.T) {
+	f := MustParse("channelEmpty(P2, P3)")
+	ce, ok := f.(Atom).P.(predicate.ChannelEmpty)
+	if !ok || ce.From != 1 || ce.To != 2 {
+		t.Errorf("channelEmpty parsed as %#v", f)
+	}
+	g := MustParse("monotone(acks@P2 >= reqs@P1)")
+	mg, ok := g.(Atom).P.(predicate.MonotoneGE)
+	if !ok || mg.ProcY != 1 || mg.VarY != "acks" || mg.ProcX != 0 || mg.VarX != "reqs" {
+		t.Errorf("monotone parsed as %#v", g)
+	}
+	h := MustParse("atLeast(2, a@P1 == 1, b@P2 == 1)")
+	al, ok := h.(Atom).P.(predicate.AtLeastK)
+	if !ok || al.K != 2 || len(al.Locals) != 2 {
+		t.Errorf("atLeast parsed as %#v", h)
+	}
+	// atLeast with no locals is legal (vacuous for k ≤ 0).
+	h0 := MustParse("atLeast(0)")
+	if al0 := h0.(Atom).P.(predicate.AtLeastK); al0.K != 0 || len(al0.Locals) != 0 {
+		t.Errorf("atLeast(0) parsed as %#v", h0)
+	}
+	for _, bad := range []string{
+		"channelEmpty(P1)",
+		"channelEmpty(P1, Q2)",
+		"channelEmpty(P0, P1)",
+		"monotone(a@P1 <= b@P2)",
+		"monotone(a@P1 >= 3)",
+		"atLeast(x, a@P1 == 1)",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on bad input did not panic")
+		}
+	}()
+	MustParse("EF(")
+}
+
+func TestIsTemporal(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"x@P1 < 3", false},
+		{"!(x@P1 < 3) && true", false},
+		{"EF(x@P1 < 3)", true},
+		{"true || AG(false)", true},
+		{"E[true U false]", true},
+	}
+	for _, c := range cases {
+		if got := IsTemporal(MustParse(c.src)); got != c.want {
+			t.Errorf("IsTemporal(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestNegativeNumbers(t *testing.T) {
+	f := MustParse("EF(x@P1 >= -5)")
+	vc := f.(EF).F.(Atom).P.(predicate.VarCmp)
+	if vc.K != -5 {
+		t.Errorf("K = %d, want -5", vc.K)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	cases := []struct {
+		f    Formula
+		want string
+	}{
+		{EF{Atom{predicate.True}}, "EF(true)"},
+		{AF{Atom{predicate.True}}, "AF(true)"},
+		{EG{Atom{predicate.True}}, "EG(true)"},
+		{AG{Atom{predicate.True}}, "AG(true)"},
+		{EU{Atom{predicate.True}, Atom{predicate.False}}, "E[true U false]"},
+		{AU{Atom{predicate.True}, Atom{predicate.False}}, "A[true U false]"},
+		{Not{Atom{predicate.True}}, "!(true)"},
+		{And{Atom{predicate.True}, Atom{predicate.False}}, "(true && false)"},
+		{Or{Atom{predicate.True}, Atom{predicate.False}}, "(true || false)"},
+	}
+	for _, c := range cases {
+		if got := c.f.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}

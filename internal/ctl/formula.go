@@ -1,0 +1,143 @@
+// Package ctl defines the fragment of the branching-time temporal logic CTL
+// used by the paper, interpreted over the lattice of consistent cuts of a
+// distributed computation, plus a concrete syntax for the command-line
+// tools.
+//
+// Path quantifiers range over maximal consistent cut sequences — sequences
+// ∅ = G0 ▷ G1 ▷ … ▷ Gl = E stepping one event at a time and ending at the
+// final cut. The derived operators follow the paper's Section 3:
+//
+//	EF(p) — possibly p        AF(p) — definitely p
+//	EG(p) — controllable p    AG(p) — invariant p
+//	E[p U q], A[p U q] — until
+//
+// One reading note: the paper's Section 3 definition of until requires p at
+// the strictly interior cuts of the prefix ("0 < i < k"), while its own
+// Theorem 7 and the intuition in Section 1 require p from the very first
+// cut ("0 ≤ i < k", "p holds at all other global states along the prefix").
+// This module adopts the latter, standard-CTL reading everywhere; the
+// semantics are implemented once, in package explore, and every algorithm
+// is validated against it.
+package ctl
+
+import (
+	"fmt"
+
+	"repro/internal/predicate"
+)
+
+// Formula is a CTL formula. The atoms are predicates over consistent cuts.
+type Formula interface {
+	fmt.Stringer
+	isFormula()
+}
+
+// Atom lifts a non-temporal predicate into CTL.
+type Atom struct {
+	P predicate.Predicate
+}
+
+// Not is logical negation.
+type Not struct {
+	F Formula
+}
+
+// And is logical conjunction.
+type And struct {
+	L, R Formula
+}
+
+// Or is logical disjunction.
+type Or struct {
+	L, R Formula
+}
+
+// EF is "possibly": p holds somewhere on some maximal sequence.
+type EF struct {
+	F Formula
+}
+
+// AF is "definitely": every maximal sequence passes through a cut
+// satisfying p.
+type AF struct {
+	F Formula
+}
+
+// EG is "controllable": some maximal sequence satisfies p at every cut.
+type EG struct {
+	F Formula
+}
+
+// AG is "invariant": p holds at every consistent cut.
+type AG struct {
+	F Formula
+}
+
+// EU is E[P U Q].
+type EU struct {
+	P, Q Formula
+}
+
+// AU is A[P U Q].
+type AU struct {
+	P, Q Formula
+}
+
+func (Atom) isFormula() {}
+func (Not) isFormula()  {}
+func (And) isFormula()  {}
+func (Or) isFormula()   {}
+func (EF) isFormula()   {}
+func (AF) isFormula()   {}
+func (EG) isFormula()   {}
+func (AG) isFormula()   {}
+func (EU) isFormula()   {}
+func (AU) isFormula()   {}
+
+// String implements fmt.Stringer.
+func (f Atom) String() string { return f.P.String() }
+
+// String implements fmt.Stringer.
+func (f Not) String() string { return "!(" + f.F.String() + ")" }
+
+// String implements fmt.Stringer.
+func (f And) String() string { return "(" + f.L.String() + " && " + f.R.String() + ")" }
+
+// String implements fmt.Stringer.
+func (f Or) String() string { return "(" + f.L.String() + " || " + f.R.String() + ")" }
+
+// String implements fmt.Stringer.
+func (f EF) String() string { return "EF(" + f.F.String() + ")" }
+
+// String implements fmt.Stringer.
+func (f AF) String() string { return "AF(" + f.F.String() + ")" }
+
+// String implements fmt.Stringer.
+func (f EG) String() string { return "EG(" + f.F.String() + ")" }
+
+// String implements fmt.Stringer.
+func (f AG) String() string { return "AG(" + f.F.String() + ")" }
+
+// String implements fmt.Stringer.
+func (f EU) String() string { return "E[" + f.P.String() + " U " + f.Q.String() + "]" }
+
+// String implements fmt.Stringer.
+func (f AU) String() string { return "A[" + f.P.String() + " U " + f.Q.String() + "]" }
+
+// IsTemporal reports whether f contains a temporal operator. The paper's
+// fragment forbids nesting temporal operators; package core rejects such
+// formulas.
+func IsTemporal(f Formula) bool {
+	switch g := f.(type) {
+	case Atom:
+		return false
+	case Not:
+		return IsTemporal(g.F)
+	case And:
+		return IsTemporal(g.L) || IsTemporal(g.R)
+	case Or:
+		return IsTemporal(g.L) || IsTemporal(g.R)
+	default:
+		return true
+	}
+}

@@ -1,0 +1,39 @@
+package ctl
+
+import (
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics and that successfully parsed
+// formulas render to a string that reparses to the same rendering (a
+// fixed point after one round trip).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"EF(conj(x@P1 >= 2, y@P2 == 0))",
+		"AG(!(crit@P1 == 1 && crit@P2 == 1))",
+		"E[conj(z@P3 < 6, x@P1 < 4) U channelsEmpty && x@P1 > 1]",
+		"A[disj(try@P1 == 1) U disj(crit@P1 == 1)]",
+		"EF(received(3)) || terminated",
+		"!(true) && false",
+		"E[[", "conj(", "x@@P1 < 3", "EF(AG(EF(true)))",
+		"x@P1 < -999999999999999999999",
+		"))((", "U U U", "\x00\xff", "EF (  true )",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Parse(input)
+		if err != nil {
+			return
+		}
+		rendered := g.String()
+		g2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering %q of %q does not reparse: %v", rendered, input, err)
+		}
+		if g2.String() != rendered {
+			t.Fatalf("round trip unstable: %q → %q → %q", input, rendered, g2.String())
+		}
+	})
+}

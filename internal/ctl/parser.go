@@ -1,0 +1,434 @@
+package ctl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/predicate"
+)
+
+// Parse parses the concrete CTL syntax used by the command-line tools:
+//
+//	EF(conj(x@P1 >= 2, y@P2 == 0))
+//	AG(!(crit@P1 == 1 && crit@P2 == 1))
+//	E[conj(z@P3 < 6, x@P1 < 4) U channelsEmpty && x@P1 > 1]
+//	A[disj(try@P1 == 1) U disj(crit@P1 == 1)]
+//
+// Grammar (whitespace-insensitive):
+//
+//	formula := and ('||' and)*
+//	and     := unary ('&&' unary)*
+//	unary   := '!' unary | primary
+//	primary := ('EF'|'AF'|'EG'|'AG') '(' formula ')'
+//	         | ('E'|'A') '[' formula 'U' formula ']'
+//	         | '(' formula ')' | atom
+//	atom    := ('conj'|'disj') '(' local (',' local)* ')'
+//	         | 'channelsEmpty' | 'channelEmpty' '(' proc ',' proc ')'
+//	         | 'terminated' | 'received' '(' int ')'
+//	         | 'atLeast' '(' int (',' local)* ')'
+//	         | 'monotone' '(' ident '@' proc '>=' ident '@' proc ')'
+//	         | 'true' | 'false' | local
+//	local   := ident '@' 'P' int op int        op ∈ {<, <=, ==, !=, >=, >}
+//
+// Process numbers in the syntax are 1-based, matching the paper.
+func Parse(input string) (Formula, error) {
+	p := &parser{toks: lex(input)}
+	f, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("ctl: trailing input at %q", p.peek().text)
+	}
+	return f, nil
+}
+
+// MustParse is Parse that panics on error, for fixtures.
+func MustParse(input string) Formula {
+	f, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type token struct {
+	text string
+	pos  int
+}
+
+func lex(input string) []token {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{input[i:j], i})
+			i = j
+		case unicode.IsDigit(c) || c == '-':
+			j := i + 1
+			for j < len(input) && unicode.IsDigit(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{input[i:j], i})
+			i = j
+		default:
+			// Multi-character operators first.
+			for _, op := range []string{"&&", "||", "<=", ">=", "==", "!="} {
+				if strings.HasPrefix(input[i:], op) {
+					toks = append(toks, token{op, i})
+					i += 2
+					goto next
+				}
+			}
+			toks = append(toks, token{string(c), i})
+			i++
+		next:
+		}
+	}
+	return toks
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() token {
+	if p.eof() {
+		return token{"", -1}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) accept(text string) bool {
+	if !p.eof() && p.toks[p.pos].text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if p.accept(text) {
+		return nil
+	}
+	return fmt.Errorf("ctl: expected %q, got %q", text, p.peek().text)
+}
+
+func (p *parser) formula() (Formula, error) {
+	f, err := p.and()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("||") {
+		g, err := p.and()
+		if err != nil {
+			return nil, err
+		}
+		f = Or{f, g}
+	}
+	return f, nil
+}
+
+func (p *parser) and() (Formula, error) {
+	f, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("&&") {
+		g, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		f = And{f, g}
+	}
+	return f, nil
+}
+
+func (p *parser) unary() (Formula, error) {
+	if p.accept("!") {
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{f}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Formula, error) {
+	t := p.peek()
+	switch t.text {
+	case "EF", "AF", "EG", "AG":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		f, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		switch t.text {
+		case "EF":
+			return EF{f}, nil
+		case "AF":
+			return AF{f}, nil
+		case "EG":
+			return EG{f}, nil
+		default:
+			return AG{f}, nil
+		}
+	case "E", "A":
+		p.next()
+		if err := p.expect("["); err != nil {
+			return nil, err
+		}
+		l, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("U"); err != nil {
+			return nil, err
+		}
+		r, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		if t.text == "E" {
+			return EU{l, r}, nil
+		}
+		return AU{l, r}, nil
+	case "(":
+		p.next()
+		f, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	return p.atom()
+}
+
+func (p *parser) atom() (Formula, error) {
+	t := p.peek()
+	switch t.text {
+	case "true":
+		p.next()
+		return Atom{predicate.True}, nil
+	case "false":
+		p.next()
+		return Atom{predicate.False}, nil
+	case "channelsEmpty":
+		p.next()
+		return Atom{predicate.ChannelsEmpty{}}, nil
+	case "terminated":
+		p.next()
+		return Atom{predicate.Terminated{}}, nil
+	case "received":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		id, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return Atom{predicate.Received{ID: id}}, nil
+	case "channelEmpty":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		from, err := p.process()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		to, err := p.process()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return Atom{predicate.ChannelEmpty{From: from, To: to}}, nil
+	case "monotone":
+		// monotone(y@Pj >= x@Pi): the relational linear predicate for
+		// nondecreasing variables.
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		yVar := p.next()
+		if !isIdent(yVar.text) {
+			return nil, fmt.Errorf("ctl: expected variable name, got %q", yVar.text)
+		}
+		if err := p.expect("@"); err != nil {
+			return nil, err
+		}
+		procY, err := p.process()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(">="); err != nil {
+			return nil, err
+		}
+		xVar := p.next()
+		if !isIdent(xVar.text) {
+			return nil, fmt.Errorf("ctl: expected variable name, got %q", xVar.text)
+		}
+		if err := p.expect("@"); err != nil {
+			return nil, err
+		}
+		procX, err := p.process()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return Atom{predicate.MonotoneGE{ProcY: procY, VarY: yVar.text, ProcX: procX, VarX: xVar.text}}, nil
+	case "atLeast":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		k, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		var locals []predicate.LocalPredicate
+		for p.accept(",") {
+			l, err := p.local()
+			if err != nil {
+				return nil, err
+			}
+			locals = append(locals, l)
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return Atom{predicate.AtLeastK{K: k, Locals: locals}}, nil
+	case "conj", "disj":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var locals []predicate.LocalPredicate
+		for {
+			l, err := p.local()
+			if err != nil {
+				return nil, err
+			}
+			locals = append(locals, l)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if t.text == "conj" {
+			return Atom{predicate.Conjunctive{Locals: locals}}, nil
+		}
+		return Atom{predicate.Disjunctive{Locals: locals}}, nil
+	}
+	l, err := p.local()
+	if err != nil {
+		return nil, err
+	}
+	return Atom{l}, nil
+}
+
+// process parses a 1-based process token "P<k>" and returns the 0-based
+// index.
+func (p *parser) process() (int, error) {
+	proc := p.next()
+	if len(proc.text) < 2 || proc.text[0] != 'P' {
+		return 0, fmt.Errorf("ctl: expected process (e.g. P1), got %q", proc.text)
+	}
+	n, err := strconv.Atoi(proc.text[1:])
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("ctl: bad process %q", proc.text)
+	}
+	return n - 1, nil
+}
+
+func (p *parser) local() (predicate.LocalPredicate, error) {
+	name := p.next()
+	if name.pos < 0 || !isIdent(name.text) {
+		return nil, fmt.Errorf("ctl: expected variable name, got %q", name.text)
+	}
+	if err := p.expect("@"); err != nil {
+		return nil, err
+	}
+	proc, err := p.process()
+	if err != nil {
+		return nil, err
+	}
+	opTok := p.next()
+	op := predicate.Op(opTok.text)
+	switch op {
+	case predicate.LT, predicate.LE, predicate.EQ, predicate.NE, predicate.GE, predicate.GT:
+	default:
+		return nil, fmt.Errorf("ctl: bad comparison operator %q", opTok.text)
+	}
+	k, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	return predicate.VarCmp{Proc: proc, Var: name.text, Op: op, K: k}, nil
+}
+
+func (p *parser) number() (int, error) {
+	t := p.next()
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("ctl: expected number, got %q", t.text)
+	}
+	return n, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		if !(unicode.IsLetter(c) || c == '_' || (i > 0 && unicode.IsDigit(c))) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,205 @@
+package debugger
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/sim"
+)
+
+// run executes a script of commands and returns the combined output.
+func run(t *testing.T, comp *computation.Computation, script ...string) (string, *Session) {
+	t.Helper()
+	var out strings.Builder
+	s := NewSession(comp, &out)
+	for _, line := range script {
+		if err := s.Execute(line); err != nil && err != io.EOF {
+			t.Fatalf("command %q: %v", line, err)
+		}
+	}
+	return out.String(), s
+}
+
+func TestStepBackGoto(t *testing.T) {
+	comp := sim.Fig2()
+	out, s := run(t, comp,
+		"step", // f1 (only enabled event)
+		"step", // f2
+		"step", // e1
+	)
+	if !s.Cut().Equal(computation.Cut{1, 2}) {
+		t.Fatalf("cut after 3 steps = %v, want <1 2>\noutput:\n%s", s.Cut(), out)
+	}
+	_, s = run(t, comp, "step", "step", "back")
+	if !s.Cut().Equal(computation.Cut{0, 1}) {
+		t.Fatalf("cut after step step back = %v", s.Cut())
+	}
+	out, s = run(t, comp, "goto 2 2")
+	if !s.Cut().Equal(computation.Cut{2, 2}) {
+		t.Fatalf("goto failed: %v\n%s", s.Cut(), out)
+	}
+	out, _ = run(t, comp, "goto 1 0")
+	if !strings.Contains(out, "not consistent") {
+		t.Errorf("inconsistent goto not rejected:\n%s", out)
+	}
+	out, _ = run(t, comp, "goto 1")
+	if !strings.Contains(out, "needs 2 counters") {
+		t.Errorf("wrong arity not rejected:\n%s", out)
+	}
+}
+
+func TestStepDirected(t *testing.T) {
+	comp := sim.Fig2()
+	out, _ := run(t, comp, "step P1") // e1 needs f2 first
+	if !strings.Contains(out, "no enabled event") {
+		t.Errorf("blocked step not reported:\n%s", out)
+	}
+	_, s := run(t, comp, "step P2", "step P2", "step P1")
+	if !s.Cut().Equal(computation.Cut{1, 2}) {
+		t.Fatalf("directed steps: %v", s.Cut())
+	}
+	out, _ = run(t, comp, "back")
+	if !strings.Contains(out, "already at the initial cut") {
+		t.Errorf("back at ∅ not reported:\n%s", out)
+	}
+	out, _ = run(t, comp, "end", "step")
+	if !strings.Contains(out, "already at the final cut") {
+		t.Errorf("step at E not reported:\n%s", out)
+	}
+	// back on a non-maximal event is rejected: at <1 2>, f2 → e1 keeps
+	// P2's last event pinned.
+	out, _ = run(t, comp, "goto 1 2", "back P2")
+	if !strings.Contains(out, "not removable") {
+		t.Errorf("non-maximal back not rejected:\n%s", out)
+	}
+}
+
+func TestEvalAndVars(t *testing.T) {
+	comp := sim.Fig4()
+	out, _ := run(t, comp,
+		"goto 1 2 1",
+		"eval channelsEmpty && x@P1 > 1",
+		"vars",
+		"channels",
+	)
+	if !strings.Contains(out, "true") {
+		t.Errorf("q should hold at I_q:\n%s", out)
+	}
+	if !strings.Contains(out, "x=2") {
+		t.Errorf("vars missing x=2:\n%s", out)
+	}
+	if !strings.Contains(out, "channels empty") {
+		t.Errorf("channels not empty at I_q:\n%s", out)
+	}
+	out, _ = run(t, comp, "goto 0 2 0", "channels")
+	if !strings.Contains(out, "in flight") {
+		t.Errorf("in-flight messages not shown:\n%s", out)
+	}
+}
+
+func TestLeastJumpsToIq(t *testing.T) {
+	comp := sim.Fig4()
+	out, s := run(t, comp, "least channelsEmpty && x@P1 > 1")
+	if !s.Cut().Equal(computation.Cut{1, 2, 1}) {
+		t.Fatalf("least jumped to %v, want I_q:\n%s", s.Cut(), out)
+	}
+	out, _ = run(t, comp, "least x@P1 > 99")
+	if !strings.Contains(out, "no consistent cut satisfies") {
+		t.Errorf("unsatisfiable least not reported:\n%s", out)
+	}
+}
+
+func TestDetectAndPlay(t *testing.T) {
+	comp := sim.Fig4()
+	formula := "E[conj(z@P3 < 6, x@P1 < 4) U channelsEmpty && x@P1 > 1]"
+	out, _ := run(t, comp, "detect "+formula)
+	if !strings.Contains(out, "true") || !strings.Contains(out, "Algorithm A3") {
+		t.Errorf("detect output:\n%s", out)
+	}
+	out, s := run(t, comp,
+		"play "+formula,
+		"next", "next", "next", "next",
+	)
+	if !s.Cut().Equal(computation.Cut{1, 2, 1}) {
+		t.Fatalf("witness replay ended at %v:\n%s", s.Cut(), out)
+	}
+	out, _ = run(t, comp, "play "+formula, "prev")
+	if !strings.Contains(out, "end of witness path") {
+		t.Errorf("prev at start not reported:\n%s", out)
+	}
+	out, _ = run(t, comp, "next")
+	if !strings.Contains(out, "no witness loaded") {
+		t.Errorf("next without play not reported:\n%s", out)
+	}
+	out, _ = run(t, comp, "play x@P1 > 99")
+	if !strings.Contains(out, "no witness path") {
+		t.Errorf("play on failing formula:\n%s", out)
+	}
+}
+
+func TestInfoEventsHelp(t *testing.T) {
+	comp := sim.Fig2()
+	out, _ := run(t, comp, "info", "events", "events P2", "help", "cut")
+	for _, want := range []string{"2 processes", "P1:", "P2:", "commands:", "frontier"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	out, _ = run(t, comp, "events P9")
+	if !strings.Contains(out, "bad process") {
+		t.Errorf("bad process not rejected:\n%s", out)
+	}
+}
+
+func TestDiagramCommand(t *testing.T) {
+	comp := sim.Fig4()
+	out, _ := run(t, comp, "goto 1 2 1", "diagram")
+	for _, want := range []string{"[e1]", "[f1]", "[f2]", "[g1]", "cut ", "msgs "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagram missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "[e2]") {
+		t.Errorf("e2 should be outside the cut:\n%s", out)
+	}
+	out, _ = run(t, comp, "diagram vars")
+	if !strings.Contains(out, "x=2") {
+		t.Errorf("diagram vars missing values:\n%s", out)
+	}
+}
+
+func TestErrorsAndQuit(t *testing.T) {
+	comp := sim.Fig2()
+	out, _ := run(t, comp,
+		"bogus",
+		"eval EF(true)",
+		"detect E[",
+		"eval x@",
+		"",
+	)
+	for _, want := range []string{"unknown command", "non-temporal"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	var sb strings.Builder
+	s := NewSession(comp, &sb)
+	if err := s.Execute("quit"); err != io.EOF {
+		t.Errorf("quit returned %v, want io.EOF", err)
+	}
+}
+
+func TestCounterexampleFlow(t *testing.T) {
+	comp := sim.BuggyMutex(3, 1, 0)
+	var sb strings.Builder
+	s := NewSession(comp, &sb)
+	if err := s.Execute("detect AG(disj(crit@P1 != 1, crit@P2 != 1))"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "false") || !strings.Contains(out, "counterexample") {
+		t.Fatalf("counterexample not surfaced:\n%s", out)
+	}
+}

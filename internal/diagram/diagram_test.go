@@ -1,0 +1,81 @@
+package diagram
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/sim"
+)
+
+func TestRenderFig2(t *testing.T) {
+	out := Render(sim.Fig2(), Options{})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // two processes + legend
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "P1") || !strings.HasPrefix(lines[1], "P2") {
+		t.Errorf("process rows missing:\n%s", out)
+	}
+	for _, label := range []string{"e1", "e2", "e3", "f1", "f2", "f3"} {
+		if !strings.Contains(out, label) {
+			t.Errorf("missing event %s:\n%s", label, out)
+		}
+	}
+	if !strings.Contains(lines[2], "m1: P2→P1") || !strings.Contains(lines[2], "m2: P1→P2") {
+		t.Errorf("legend wrong: %s", lines[2])
+	}
+	// Rows align: equal length.
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("rows misaligned: %d vs %d", len(lines[0]), len(lines[1]))
+	}
+}
+
+func TestRenderCausalityLeftToRight(t *testing.T) {
+	comp := sim.Fig2()
+	out := Render(comp, Options{})
+	// f2 (the send) must appear in a column left of e1 (its receive):
+	// compare byte offsets within their rows.
+	rows := strings.Split(out, "\n")
+	posE1 := strings.Index(rows[0], "e1")
+	posF2 := strings.Index(rows[1], "f2")
+	if posF2 >= posE1 {
+		t.Errorf("send f2 (col %d) not left of receive e1 (col %d):\n%s", posF2, posE1, out)
+	}
+}
+
+func TestRenderCutAndVars(t *testing.T) {
+	comp := sim.Fig4()
+	out := Render(comp, Options{Cut: computation.Cut{1, 2, 1}, ShowVars: true, Width: 12})
+	if !strings.Contains(out, "[e1") {
+		t.Errorf("cut bracket missing on e1:\n%s", out)
+	}
+	if strings.Contains(out, "[e2") {
+		t.Errorf("e2 is outside the cut:\n%s", out)
+	}
+	if !strings.Contains(out, "x=2") {
+		t.Errorf("vars missing:\n%s", out)
+	}
+	if !strings.Contains(out, "cut ") || !strings.Contains(out, "^") {
+		t.Errorf("cut marker row missing:\n%s", out)
+	}
+}
+
+func TestRenderUnlabeledAndUnreceived(t *testing.T) {
+	b := computation.NewBuilder(2)
+	b.Internal(0)
+	b.Send(0) // unreceived
+	b.Internal(1)
+	comp := b.MustBuild()
+	out := Render(comp, Options{Width: 3})
+	if !strings.Contains(out, "s1") {
+		t.Errorf("send marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "m1: P1→∅") {
+		t.Errorf("unreceived message legend wrong:\n%s", out)
+	}
+	// Minimum width clamps.
+	if Render(comp, Options{Width: 1}) == "" {
+		t.Error("tiny width render failed")
+	}
+}

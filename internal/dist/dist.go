@@ -1,0 +1,139 @@
+// Package dist executes real concurrent message-passing programs and
+// records their happened-before computation — the instrumentation layer a
+// deployed monitor would use. Each logical process runs as a goroutine
+// with a mailbox; sends, receives, internal steps and variable updates are
+// recorded through a serialized recorder, producing a computation.Builder
+// trace whose partial order contains exactly program order plus message
+// edges.
+//
+// If every process's communication behavior is deterministic (it does not
+// race on TryRecv or wall-clock time), the recorded partial order is the
+// same for every scheduling of the goroutines, so detection results on the
+// recorded computation are reproducible even though execution is genuinely
+// concurrent.
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/computation"
+)
+
+// Env is a process's handle to the instrumented world. All methods record
+// events on behalf of the calling process and must only be used from that
+// process's goroutine.
+type Env struct {
+	self int
+	rt   *runtime
+	in   chan envelope
+	// pending holds messages consumed from the mailbox by TryRecv
+	// look-ahead; none currently, reserved for extension.
+}
+
+type envelope struct {
+	from    int
+	payload int
+	msg     computation.Msg
+}
+
+type runtime struct {
+	mu   sync.Mutex
+	b    *computation.Builder
+	envs []*Env
+	errs []error
+}
+
+// Run executes body once per process (self = 0..n-1) as concurrent
+// goroutines, waits for all of them to return, and returns the recorded
+// computation. Mailboxes are buffered with cap; sends block when the
+// destination mailbox is full (cap ≥ total messages gives fully
+// asynchronous channels).
+func Run(n, mailboxCap int, body func(self int, env *Env)) (*computation.Computation, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dist: need at least one process")
+	}
+	rt := &runtime{b: computation.NewBuilder(n)}
+	rt.envs = make([]*Env, n)
+	for i := 0; i < n; i++ {
+		rt.envs[i] = &Env{self: i, rt: rt, in: make(chan envelope, mailboxCap)}
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		env := rt.envs[i]
+		go func() {
+			defer wg.Done()
+			body(env.self, env)
+		}()
+	}
+	wg.Wait()
+	if len(rt.errs) > 0 {
+		return nil, rt.errs[0]
+	}
+	return rt.b.Build()
+}
+
+// Self returns the process index.
+func (e *Env) Self() int { return e.self }
+
+// Set records an internal event assigning a variable.
+func (e *Env) Set(name string, value int) {
+	e.rt.mu.Lock()
+	defer e.rt.mu.Unlock()
+	ev := e.rt.b.Internal(e.self)
+	computation.Set(ev, name, value)
+}
+
+// Step records a plain internal event.
+func (e *Env) Step() {
+	e.rt.mu.Lock()
+	defer e.rt.mu.Unlock()
+	e.rt.b.Internal(e.self)
+}
+
+// SetInitial records an initial variable value; call before any event of
+// this process.
+func (e *Env) SetInitial(name string, value int) {
+	e.rt.mu.Lock()
+	defer e.rt.mu.Unlock()
+	e.rt.b.SetInitial(e.self, name, value)
+}
+
+// Send records a send event and delivers the payload to the destination
+// mailbox. It blocks while the destination mailbox is full.
+func (e *Env) Send(to, payload int) {
+	e.rt.mu.Lock()
+	if to < 0 || to >= len(e.rt.envs) || to == e.self {
+		e.rt.errs = append(e.rt.errs, fmt.Errorf("dist: P%d sends to invalid destination %d", e.self+1, to))
+		e.rt.mu.Unlock()
+		return
+	}
+	_, m := e.rt.b.Send(e.self)
+	dst := e.rt.envs[to]
+	e.rt.mu.Unlock()
+	// Deliver outside the lock so a full mailbox cannot deadlock the
+	// recorder; the send event is already recorded (message in flight).
+	dst.in <- envelope{from: e.self, payload: payload, msg: m}
+}
+
+// Recv blocks until a message arrives, records the receive event, and
+// returns the sender and payload.
+func (e *Env) Recv() (from, payload int) {
+	env := <-e.in
+	e.rt.mu.Lock()
+	defer e.rt.mu.Unlock()
+	e.rt.b.Receive(e.self, env.msg)
+	return env.from, env.payload
+}
+
+// RecvSet is Recv plus a variable assignment on the receive event itself
+// (the common "update state on message" idiom).
+func (e *Env) RecvSet(name string, value func(from, payload int) int) (from, payload int) {
+	env := <-e.in
+	e.rt.mu.Lock()
+	defer e.rt.mu.Unlock()
+	ev := e.rt.b.Receive(e.self, env.msg)
+	computation.Set(ev, name, value(env.from, env.payload))
+	return env.from, env.payload
+}

@@ -1,0 +1,172 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/core"
+	"repro/internal/ctl"
+	"repro/internal/explore"
+	"repro/internal/lattice"
+	"repro/internal/predicate"
+)
+
+// pingPong runs a deterministic request/response program: P0 sends k
+// requests to P1, which acknowledges each; both count.
+func pingPong(t *testing.T, k int) *computation.Computation {
+	t.Helper()
+	comp, err := Run(2, k+1, func(self int, env *Env) {
+		switch self {
+		case 0:
+			for i := 1; i <= k; i++ {
+				env.Set("reqs", i)
+				env.Send(1, i)
+				env.RecvSet("acked", func(_, payload int) int { return payload })
+			}
+		case 1:
+			for i := 1; i <= k; i++ {
+				env.RecvSet("seen", func(_, payload int) int { return payload })
+				env.Send(0, i)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comp
+}
+
+func TestRunRecordsDeterministicPartialOrder(t *testing.T) {
+	// The program's communication is deterministic, so repeated runs must
+	// record identical computations despite real concurrency.
+	a := pingPong(t, 3)
+	for run := 0; run < 10; run++ {
+		b := pingPong(t, 3)
+		if a.N() != b.N() || a.TotalEvents() != b.TotalEvents() {
+			t.Fatalf("run %d: shape differs", run)
+		}
+		for i := 0; i < a.N(); i++ {
+			for k := 1; k <= a.Len(i); k++ {
+				ea, eb := a.Event(i, k), b.Event(i, k)
+				if ea.Kind != eb.Kind || !ea.Clock.Equal(eb.Clock) {
+					t.Fatalf("run %d: event (%d,%d) differs: %v/%v vs %v/%v",
+						run, i, k, ea.Kind, ea.Clock, eb.Kind, eb.Clock)
+				}
+			}
+		}
+	}
+}
+
+func TestRunDetection(t *testing.T) {
+	comp := pingPong(t, 3)
+	// The recorded trace supports the full detector stack.
+	res, err := core.Detect(comp, ctl.MustParse("AG(monotone(seen@P2 >= acked@P1))"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Errorf("P2 must always have seen at least what P1 got acked (cex %v)", res.Counterexample)
+	}
+	res, err = core.Detect(comp, ctl.MustParse("EF(channelsEmpty && acked@P1 == 3)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Error("quiescence with all acks never reachable")
+	}
+	// Ground truth.
+	l, err := lattice.Build(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ctl.MustParse("AG(monotone(seen@P2 >= acked@P1))")
+	if !explore.Holds(l, f) {
+		t.Error("lattice disagrees with AG")
+	}
+}
+
+func TestRunConcurrentWorkers(t *testing.T) {
+	// A fan-out/fan-in program: coordinator sends one task to each worker
+	// and collects results. Worker events are mutually concurrent.
+	const workers = 4
+	comp, err := Run(workers+1, workers+1, func(self int, env *Env) {
+		if self == 0 {
+			for w := 1; w <= workers; w++ {
+				env.Send(w, w*10)
+			}
+			for w := 1; w <= workers; w++ {
+				env.RecvSet("got", func(from, payload int) int { return payload })
+			}
+			env.Set("done", 1)
+			return
+		}
+		_, task := env.Recv()
+		env.Set("task", task)
+		env.Send(0, task+1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worker task events are pairwise concurrent.
+	for a := 1; a <= workers; a++ {
+		for b := a + 1; b <= workers; b++ {
+			ea := comp.Event(a, 2) // the Set("task") event
+			eb := comp.Event(b, 2)
+			if !comp.Concurrent(ea, eb) {
+				t.Errorf("worker events %v and %v not concurrent", ea, eb)
+			}
+		}
+	}
+	// Termination is detectable as a stable predicate.
+	term := predicate.AndLinear{Ps: []predicate.Linear{
+		predicate.Conj(predicate.VarCmp{Proc: 0, Var: "done", Op: predicate.EQ, K: 1}),
+		predicate.ChannelsEmpty{},
+	}}
+	cut, ok := core.LeastCut(comp, term)
+	if !ok {
+		t.Fatal("termination not detected")
+	}
+	if !comp.Consistent(cut) {
+		t.Fatalf("termination cut %v inconsistent", cut)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(0, 1, func(int, *Env) {}); err == nil {
+		t.Error("zero processes accepted")
+	}
+	if _, err := Run(2, 1, func(self int, env *Env) {
+		if self == 0 {
+			env.Send(0, 1) // self-send
+		}
+	}); err == nil {
+		t.Error("self-send accepted")
+	}
+	if _, err := Run(2, 1, func(self int, env *Env) {
+		if self == 0 {
+			env.Send(9, 1) // bad destination
+		}
+	}); err == nil {
+		t.Error("invalid destination accepted")
+	}
+}
+
+func TestRunInitialValues(t *testing.T) {
+	comp, err := Run(1, 1, func(self int, env *Env) {
+		env.SetInitial("x", 7)
+		env.Set("x", 8)
+		env.Step()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := comp.Value(0, 0, "x"); v != 7 {
+		t.Errorf("initial x = %d", v)
+	}
+	if v, _ := comp.Value(0, 2, "x"); v != 8 {
+		t.Errorf("final x = %d", v)
+	}
+	if comp.Len(0) != 2 {
+		t.Errorf("events = %d, want 2", comp.Len(0))
+	}
+}

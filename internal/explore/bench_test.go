@@ -1,0 +1,48 @@
+package explore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ctl"
+	"repro/internal/lattice"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+func BenchmarkEvalOperators(b *testing.B) {
+	l := lattice.MustBuild(sim.Grid(4, 6))
+	atom := ctl.Atom{P: predicate.ChannelsEmpty{}}
+	ops := map[string]ctl.Formula{
+		"EF": ctl.EF{F: atom},
+		"AF": ctl.AF{F: atom},
+		"EG": ctl.EG{F: atom},
+		"AG": ctl.AG{F: atom},
+		"EU": ctl.EU{P: atom, Q: ctl.Atom{P: predicate.Terminated{}}},
+		"AU": ctl.AU{P: atom, Q: ctl.Atom{P: predicate.Terminated{}}},
+	}
+	for name, f := range ops {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Eval(l, f)
+			}
+		})
+	}
+}
+
+func BenchmarkEvalScaling(b *testing.B) {
+	for _, n := range []int{3, 4, 5} {
+		comp := sim.Grid(n, 6)
+		l := lattice.MustBuild(comp)
+		var locals []predicate.LocalPredicate
+		for p := 0; p < n; p++ {
+			locals = append(locals, predicate.VarCmp{Proc: p, Var: "c", Op: predicate.LE, K: 6})
+		}
+		f := ctl.EG{F: ctl.Atom{P: predicate.Conjunctive{Locals: locals}}}
+		b.Run(fmt.Sprintf("Grid%dx6", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Eval(l, f)
+			}
+		})
+	}
+}

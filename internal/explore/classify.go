@@ -1,0 +1,76 @@
+package explore
+
+import (
+	"repro/internal/ctl"
+	"repro/internal/lattice"
+	"repro/internal/predicate"
+)
+
+// Classification reports which structural classes a predicate belongs to
+// on one computation, determined by enumeration over the explicit lattice.
+// Class membership is per-computation: a predicate linear on every
+// computation of a program is linear in the paper's sense, and this check
+// is the empirical projection of that.
+type Classification struct {
+	Linear              bool
+	PostLinear          bool
+	Regular             bool
+	Stable              bool
+	ObserverIndependent bool
+}
+
+// Classify determines the classification of p on the lattice.
+func Classify(l *lattice.Lattice, p predicate.Predicate) Classification {
+	lin, _, _ := l.CheckLinear(p)
+	post, _, _ := l.CheckPostLinear(p)
+	stable, _, _ := l.CheckStable(p)
+	return Classification{
+		Linear:              lin,
+		PostLinear:          post,
+		Regular:             lin && post,
+		Stable:              stable,
+		ObserverIndependent: CheckObserverIndependent(l, ctl.Atom{P: p}),
+	}
+}
+
+// Classes lists the class names that hold, most specific first; an empty
+// slice means the predicate is arbitrary on this computation.
+func (c Classification) Classes() []string {
+	var out []string
+	if c.Regular {
+		out = append(out, "regular")
+	}
+	if c.Linear && !c.Regular {
+		out = append(out, "linear")
+	}
+	if c.PostLinear && !c.Regular {
+		out = append(out, "post-linear")
+	}
+	if c.Stable {
+		out = append(out, "stable")
+	}
+	if c.ObserverIndependent {
+		out = append(out, "observer-independent")
+	}
+	return out
+}
+
+// PolynomialOperators lists the CTL operators for which the paper's Table 1
+// gives a polynomial detection algorithm given this classification.
+func (c Classification) PolynomialOperators() []string {
+	var out []string
+	if c.Stable {
+		return []string{"EF", "AF", "EG", "AG"}
+	}
+	if c.Linear || c.PostLinear {
+		out = append(out, "EF", "EG", "AG") // A1/A2 and their duals
+		if c.ObserverIndependent {
+			out = append(out, "AF")
+		}
+		return out
+	}
+	if c.ObserverIndependent {
+		return []string{"EF", "AF"} // EG/AG are NP-/co-NP-complete (Thms 5/6)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/lattice"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+func TestClassifyKnownClasses(t *testing.T) {
+	l := lattice.MustBuild(sim.Fig2())
+
+	// received(1) is stable, regular, observer-independent.
+	c := Classify(l, predicate.Received{ID: 1})
+	if !c.Stable || !c.Regular || !c.ObserverIndependent || !c.Linear || !c.PostLinear {
+		t.Errorf("received(1): %+v", c)
+	}
+	got := strings.Join(c.Classes(), ",")
+	if !strings.Contains(got, "regular") || !strings.Contains(got, "stable") {
+		t.Errorf("Classes = %q", got)
+	}
+	if len(c.PolynomialOperators()) != 4 {
+		t.Errorf("stable predicates are polynomial everywhere, got %v", c.PolynomialOperators())
+	}
+
+	// channelsEmpty: regular but not stable on Fig 2.
+	c = Classify(l, predicate.ChannelsEmpty{})
+	if !c.Regular || c.Stable {
+		t.Errorf("channelsEmpty: %+v", c)
+	}
+
+	// A genuinely arbitrary, non-OI predicate needs a wider lattice: on
+	// the 2×2 grid, {(2,0), (0,1)} is neither meet- nor join-closed, and
+	// the staircase path a b a b avoids both cuts while others hit them.
+	grid := lattice.MustBuild(sim.Grid(2, 2))
+	arb := predicate.Fn{Name: "twoCuts", F: func(_ *computation.Computation, cut computation.Cut) bool {
+		return (cut[0] == 2 && cut[1] == 0) || (cut[0] == 0 && cut[1] == 1)
+	}}
+	c = Classify(grid, arb)
+	if c.Linear || c.PostLinear || c.Stable || c.ObserverIndependent {
+		t.Errorf("twoCuts: %+v", c)
+	}
+	if len(c.Classes()) != 0 || c.PolynomialOperators() != nil {
+		t.Errorf("arbitrary predicate classified as %v / %v", c.Classes(), c.PolynomialOperators())
+	}
+
+	// A skew predicate that is linear but not post-linear: "not both of
+	// e3, f3" — meets keep it, the join of (3,2) and (2,3) breaks it.
+	// (It holds at ∅, so it is also observer-independent — any predicate
+	// true initially is.)
+	skew := predicate.Fn{Name: "notBoth", F: func(_ *computation.Computation, cut computation.Cut) bool {
+		return !(cut[0] == 3 && cut[1] == 3)
+	}}
+	c = Classify(l, skew)
+	if !c.Linear || c.PostLinear || c.Regular || !c.ObserverIndependent {
+		t.Errorf("notBoth: %+v", c)
+	}
+	if got := c.Classes(); len(got) == 0 || got[0] != "linear" {
+		t.Errorf("Classes = %v", got)
+	}
+	ops := strings.Join(c.PolynomialOperators(), ",")
+	if !strings.Contains(ops, "EG") || !strings.Contains(ops, "AF") {
+		t.Errorf("linear OI operators = %q", ops)
+	}
+}
+
+func TestClassifyObserverIndependentOnly(t *testing.T) {
+	// A predicate true at ∅ but otherwise erratic: observer-independent
+	// (holds in every observation via ∅) yet in no structural class.
+	l := lattice.MustBuild(sim.Fig2())
+	p := predicate.Fn{Name: "initOrSkewed", F: func(c *computation.Computation, cut computation.Cut) bool {
+		return cut.Size() == 0 ||
+			(cut[0] == 3 && cut[1] == 2) ||
+			(cut[0] == 2 && cut[1] == 3)
+	}}
+	c := Classify(l, p)
+	if !c.ObserverIndependent {
+		t.Fatalf("holds at ∅ but not observer-independent: %+v", c)
+	}
+	if c.Linear || c.Stable {
+		t.Fatalf("unexpected classes: %+v", c)
+	}
+	ops := c.PolynomialOperators()
+	if len(ops) != 2 || ops[0] != "EF" || ops[1] != "AF" {
+		t.Errorf("OI-only operators = %v (EG/AG are NP-/co-NP-complete)", ops)
+	}
+}

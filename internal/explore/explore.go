@@ -1,0 +1,183 @@
+// Package explore is the explicit-state CTL model checker over the lattice
+// of consistent cuts — the state-explosion baseline of the paper.
+//
+// It implements the Section 3 semantics exactly (path quantifiers range
+// over maximal consistent cut sequences ending at the final cut) by one
+// dynamic-programming pass per subformula over the lattice DAG in reverse
+// topological order; the lattice is acyclic, so no fixpoint iteration is
+// needed. Its cost is proportional to the lattice size, which is
+// exponential in the number of processes — exactly the cost the paper's
+// structural algorithms avoid. Every polynomial algorithm in package core
+// is cross-validated against this checker.
+package explore
+
+import (
+	"fmt"
+
+	"repro/internal/computation"
+	"repro/internal/ctl"
+	"repro/internal/lattice"
+)
+
+// Eval returns, for every lattice node, whether formula f holds at that
+// cut. Arbitrary nesting of temporal operators is supported.
+func Eval(l *lattice.Lattice, f ctl.Formula) []bool {
+	n := l.Size()
+	lab := make([]bool, n)
+	switch g := f.(type) {
+	case ctl.Atom:
+		comp := l.Computation()
+		for i := 0; i < n; i++ {
+			lab[i] = g.P.Eval(comp, l.Cut(i))
+		}
+	case ctl.Not:
+		sub := Eval(l, g.F)
+		for i := range lab {
+			lab[i] = !sub[i]
+		}
+	case ctl.And:
+		a, b := Eval(l, g.L), Eval(l, g.R)
+		for i := range lab {
+			lab[i] = a[i] && b[i]
+		}
+	case ctl.Or:
+		a, b := Eval(l, g.L), Eval(l, g.R)
+		for i := range lab {
+			lab[i] = a[i] || b[i]
+		}
+	case ctl.EF:
+		sub := Eval(l, g.F)
+		backward(l, lab, func(i int, anySucc, allSucc bool) bool {
+			return sub[i] || anySucc
+		})
+	case ctl.AF:
+		sub := Eval(l, g.F)
+		backward(l, lab, func(i int, anySucc, allSucc bool) bool {
+			return sub[i] || (len(l.Succs(i)) > 0 && allSucc)
+		})
+	case ctl.EG:
+		sub := Eval(l, g.F)
+		backward(l, lab, func(i int, anySucc, allSucc bool) bool {
+			return sub[i] && (i == l.Final() || anySucc)
+		})
+	case ctl.AG:
+		sub := Eval(l, g.F)
+		backward(l, lab, func(i int, anySucc, allSucc bool) bool {
+			return sub[i] && allSucc
+		})
+	case ctl.EU:
+		p, q := Eval(l, g.P), Eval(l, g.Q)
+		backward(l, lab, func(i int, anySucc, allSucc bool) bool {
+			return q[i] || (p[i] && anySucc)
+		})
+	case ctl.AU:
+		p, q := Eval(l, g.P), Eval(l, g.Q)
+		backward(l, lab, func(i int, anySucc, allSucc bool) bool {
+			return q[i] || (p[i] && len(l.Succs(i)) > 0 && allSucc)
+		})
+	default:
+		panic(fmt.Sprintf("explore: unknown formula %T", f))
+	}
+	return lab
+}
+
+// backward fills lab in reverse topological order. Node order from
+// lattice.Build is a BFS from ∅, hence topological for the cover DAG, so
+// iterating indexes high-to-low visits all successors before each node.
+// step receives whether any / all successors are already labeled true
+// (vacuously false / true when there are none).
+func backward(l *lattice.Lattice, lab []bool, step func(i int, anySucc, allSucc bool) bool) {
+	for i := l.Size() - 1; i >= 0; i-- {
+		anySucc, allSucc := false, true
+		for _, j := range l.Succs(i) {
+			if lab[j] {
+				anySucc = true
+			} else {
+				allSucc = false
+			}
+		}
+		lab[i] = step(i, anySucc, allSucc)
+	}
+}
+
+// Holds reports whether L ⊨ f, i.e. f holds at the initial cut ∅.
+func Holds(l *lattice.Lattice, f ctl.Formula) bool {
+	return Eval(l, f)[l.Initial()]
+}
+
+// HoldsComp builds the lattice of comp and evaluates f at ∅. It fails when
+// the lattice exceeds lattice.MaxSize.
+func HoldsComp(comp *computation.Computation, f ctl.Formula) (bool, error) {
+	l, err := lattice.Build(comp)
+	if err != nil {
+		return false, err
+	}
+	return Holds(l, f), nil
+}
+
+// Witness returns a sequence of cuts explaining why f holds at ∅, for
+// top-level EF, EG, EU, AF(¬·) counterexamples etc.:
+//
+//   - EF(p): a path ∅ … G with G ⊨ p,
+//   - EU(p,q): a path ∅ … G with G ⊨ q and p before,
+//   - EG(p): a full path ∅ … E with p everywhere,
+//
+// ok is false when f does not hold at ∅ or f's top operator has no
+// path-shaped witness (atoms, AG, AF, AU).
+func Witness(l *lattice.Lattice, f ctl.Formula) (path []computation.Cut, ok bool) {
+	if !Holds(l, f) {
+		return nil, false
+	}
+	switch g := f.(type) {
+	case ctl.EF:
+		sub := Eval(l, g.F)
+		lab := Eval(l, f)
+		return walk(l, lab, sub, false), true
+	case ctl.EU:
+		q := Eval(l, g.Q)
+		lab := Eval(l, f)
+		return walk(l, lab, q, false), true
+	case ctl.EG:
+		lab := Eval(l, f)
+		return walk(l, lab, nil, true), true
+	default:
+		return nil, false
+	}
+}
+
+// walk follows lab-true successors from ∅ until a stop-node (stop[i] true)
+// or, when toFinal is set, until the final cut.
+func walk(l *lattice.Lattice, lab, stop []bool, toFinal bool) []computation.Cut {
+	path := []computation.Cut{l.Cut(0)}
+	cur := 0
+	for {
+		if toFinal {
+			if cur == l.Final() {
+				return path
+			}
+		} else if stop[cur] {
+			return path
+		}
+		advanced := false
+		for _, j := range l.Succs(cur) {
+			if lab[j] {
+				cur = j
+				path = append(path, l.Cut(j))
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			// Can only happen for EU when the current node itself is the
+			// stop node, handled above; defensive exit.
+			return path
+		}
+	}
+}
+
+// CheckObserverIndependent reports whether predicate atom p is
+// observer-independent on this computation: p holds in some observation iff
+// it holds in every observation, i.e. EF(p) ⟺ AF(p) at ∅.
+func CheckObserverIndependent(l *lattice.Lattice, p ctl.Formula) bool {
+	return Holds(l, ctl.EF{F: p}) == Holds(l, ctl.AF{F: p})
+}

@@ -1,0 +1,43 @@
+package lattice
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func BenchmarkBuild(b *testing.B) {
+	for _, n := range []int{3, 4, 5} {
+		comp := sim.Grid(n, 6)
+		b.Run(fmt.Sprintf("Grid%dx6", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(comp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkIrreducibles(b *testing.B) {
+	l := MustBuild(sim.Grid(4, 6))
+	b.Run("Meet", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			l.MeetIrreducibles()
+		}
+	})
+	b.Run("Join", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			l.JoinIrreducibles()
+		}
+	})
+}
+
+func BenchmarkCountPaths(b *testing.B) {
+	l := MustBuild(sim.Grid(4, 6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.CountPaths()
+	}
+}

@@ -1,0 +1,198 @@
+package lattice
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+func TestBuildFig2(t *testing.T) {
+	comp := sim.Fig2()
+	l := MustBuild(comp)
+	if l.Size() != 8 {
+		t.Fatalf("size = %d, want 8", l.Size())
+	}
+	if !l.Cut(l.Initial()).Equal(comp.InitialCut()) {
+		t.Error("node 0 is not ∅")
+	}
+	if !l.Cut(l.Final()).Equal(comp.FinalCut()) {
+		t.Error("Final is not E")
+	}
+	// Every cut is consistent and indexed.
+	for i, c := range l.Cuts() {
+		if !comp.Consistent(c) {
+			t.Errorf("cut %v inconsistent", c)
+		}
+		if l.Index(c) != i {
+			t.Errorf("Index(%v) = %d, want %d", c, l.Index(c), i)
+		}
+	}
+	if l.Index(computation.Cut{1, 0}) != -1 {
+		t.Error("inconsistent cut has an index")
+	}
+	// Cover edges add exactly one event, both directions linked.
+	for i := range l.Cuts() {
+		for _, j := range l.Succs(i) {
+			if l.Cut(j).Size() != l.Cut(i).Size()+1 || !l.Cut(i).LessEq(l.Cut(j)) {
+				t.Errorf("edge %v → %v is not a cover", l.Cut(i), l.Cut(j))
+			}
+			found := false
+			for _, back := range l.Preds(j) {
+				if back == i {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("edge %v → %v missing from Preds", l.Cut(i), l.Cut(j))
+			}
+		}
+	}
+}
+
+func TestIrreducibles(t *testing.T) {
+	comp := sim.Fig2()
+	l := MustBuild(comp)
+	mi := l.MeetIrreducibles()
+	ji := l.JoinIrreducibles()
+	if len(mi) != comp.TotalEvents() || len(ji) != comp.TotalEvents() {
+		t.Errorf("|MI| = %d, |JI| = %d, want %d each", len(mi), len(ji), comp.TotalEvents())
+	}
+	if err := l.VerifyBirkhoff(); err != nil {
+		t.Errorf("Birkhoff: %v", err)
+	}
+	if err := l.VerifyLatticeLaws(); err != nil {
+		t.Errorf("lattice laws: %v", err)
+	}
+}
+
+func TestIrreduciblesRandom(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		comp := sim.Random(sim.DefaultRandomConfig(3, 9), seed)
+		l := MustBuild(comp)
+		if err := l.VerifyBirkhoff(); err != nil {
+			t.Errorf("seed %d: Birkhoff: %v", seed, err)
+		}
+		if err := l.VerifyLatticeLaws(); err != nil {
+			t.Errorf("seed %d: laws: %v", seed, err)
+		}
+	}
+}
+
+func TestCountPaths(t *testing.T) {
+	// Full 2×2 grid: paths to the far corner = C(4,2) = 6.
+	comp := sim.Grid(2, 2)
+	l := MustBuild(comp)
+	counts := l.CountPaths()
+	if counts[l.Final()] != 6 {
+		t.Errorf("grid paths = %d, want 6", counts[l.Final()])
+	}
+	if counts[l.Initial()] != 1 {
+		t.Errorf("paths to ∅ = %d", counts[l.Initial()])
+	}
+	// A chain has exactly one path.
+	chain := MustBuild(sim.Chain(2, 6))
+	if c := chain.CountPaths(); c[chain.Final()] != 1 {
+		t.Errorf("chain paths = %d, want 1", c[chain.Final()])
+	}
+}
+
+func TestStats(t *testing.T) {
+	l := MustBuild(sim.Fig2())
+	s := l.ComputeStats()
+	if s.Cuts != 8 || s.Events != 6 || s.Processes != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.MeetIrreducibles != 6 || s.JoinIrreducibles != 6 {
+		t.Errorf("irreducible counts = %d/%d", s.MeetIrreducibles, s.JoinIrreducibles)
+	}
+	if s.MaximalPaths < 1 {
+		t.Errorf("paths = %d", s.MaximalPaths)
+	}
+	if !strings.Contains(s.String(), "cuts=8") {
+		t.Errorf("Stats.String = %q", s.String())
+	}
+}
+
+func TestSatAndLeastGreatest(t *testing.T) {
+	comp := sim.Fig2()
+	l := MustBuild(comp)
+	ce := predicate.ChannelsEmpty{}
+	sat := l.Sat(ce)
+	if len(sat) == 0 {
+		t.Fatal("channelsEmpty holds nowhere?")
+	}
+	least, ok := l.LeastSat(ce)
+	if !ok || !least.Equal(computation.Cut{0, 0}) {
+		t.Errorf("LeastSat = %v, %v", least, ok)
+	}
+	greatest, ok := l.GreatestSat(ce)
+	if !ok || !greatest.Equal(comp.FinalCut()) {
+		t.Errorf("GreatestSat = %v, %v", greatest, ok)
+	}
+	never := predicate.LocalFn{Proc: 0, Name: "no", Fn: func(*computation.Computation, int) bool { return false }}
+	if _, ok := l.LeastSat(predicate.Conj(never)); ok {
+		t.Error("LeastSat of unsatisfiable predicate")
+	}
+	if _, ok := l.GreatestSat(predicate.Conj(never)); ok {
+		t.Error("GreatestSat of unsatisfiable predicate")
+	}
+}
+
+func TestClassCheckers(t *testing.T) {
+	comp := sim.Fig2()
+	l := MustBuild(comp)
+	// channelsEmpty is regular on every computation.
+	if !l.CheckRegular(predicate.ChannelsEmpty{}) {
+		t.Error("channelsEmpty not regular")
+	}
+	// received(1) is stable; "channels empty" is not stable here.
+	if ok, g, h := l.CheckStable(predicate.Received{ID: 1}); !ok {
+		t.Errorf("received(1) not stable: %v → %v", g, h)
+	}
+	if ok, _, _ := l.CheckStable(predicate.ChannelsEmpty{}); ok {
+		t.Error("channelsEmpty should not be stable on Fig 2")
+	}
+	// An exclusive-or style predicate is not linear.
+	xor := predicate.Fn{Name: "xor", F: func(c *computation.Computation, cut computation.Cut) bool {
+		return (cut[0] == 3) != (cut[1] == 3)
+	}}
+	if ok, _, _ := l.CheckLinear(xor); ok {
+		t.Error("xor predicate reported linear")
+	}
+	if ok, _, _ := l.CheckPostLinear(xor); ok {
+		t.Error("xor predicate reported post-linear")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	comp := sim.Fig2()
+	l := MustBuild(comp)
+	dot := l.DOT(predicate.ChannelsEmpty{})
+	if !strings.Contains(dot, "digraph lattice") {
+		t.Error("missing digraph header")
+	}
+	if !strings.Contains(dot, "style=filled") {
+		t.Error("no filled nodes despite satisfying cuts")
+	}
+	if strings.Count(dot, "->") != 8 {
+		t.Errorf("edge count = %d, want 8", strings.Count(dot, "->"))
+	}
+	plain := l.DOT(nil)
+	if strings.Contains(plain, "style=filled") {
+		t.Error("nil mark should not fill nodes")
+	}
+}
+
+func TestBuildSizeLimit(t *testing.T) {
+	// The 3×3 grid has 4^3 = 64 cuts; a limit of 10 must trip.
+	comp := sim.Grid(3, 3)
+	if _, err := BuildLimited(comp, 10); err == nil {
+		t.Fatal("oversized lattice built without error")
+	}
+	if _, err := BuildLimited(comp, 64); err != nil {
+		t.Fatalf("exact-limit build failed: %v", err)
+	}
+}

@@ -1,0 +1,64 @@
+package online
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/sim"
+)
+
+// BenchmarkMonitorThroughput measures event-ingestion cost with an active
+// EF watch — the online algorithm's per-event overhead.
+func BenchmarkMonitorThroughput(b *testing.B) {
+	for _, events := range []int{500, 2000} {
+		comp := sim.Random(sim.DefaultRandomConfig(4, events), 3)
+		b.Run(fmt.Sprintf("E%d", events), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := NewMonitor(comp.N())
+				m.WatchEF(
+					Cmp(0, "x0", ">=", 3), // never fires: values stay < 3... may fire; cost is what matters
+					Cmp(1, "x0", ">=", 3),
+				)
+				feed(b, comp, m)
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshot measures the cost of the offline bridge.
+func BenchmarkSnapshot(b *testing.B) {
+	comp := sim.Random(sim.DefaultRandomConfig(4, 2000), 3)
+	m := NewMonitor(comp.N())
+	feed(b, comp, m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Snapshot()
+	}
+}
+
+func feed(tb testing.TB, comp *computation.Computation, m *Monitor) {
+	tb.Helper()
+	ids := make(map[int]int)
+	seq := comp.SomeLinearization()
+	for s := 1; s < len(seq); s++ {
+		prev, cur := seq[s-1], seq[s]
+		for p := range cur {
+			if cur[p] <= prev[p] {
+				continue
+			}
+			e := comp.Event(p, cur[p])
+			switch e.Kind {
+			case computation.Internal:
+				m.Internal(p, e.Sets)
+			case computation.Send:
+				ids[e.Msg] = m.Send(p, e.Sets)
+			case computation.Receive:
+				if err := m.Receive(p, ids[e.Msg], e.Sets); err != nil {
+					tb.Fatal(err)
+				}
+			}
+			break
+		}
+	}
+}

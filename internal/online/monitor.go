@@ -1,0 +1,214 @@
+// Package online implements on-line (incremental) predicate detection —
+// the paper's stated future work ("another area of future work will be to
+// develop efficient on-line versions of our algorithms").
+//
+// A Monitor consumes the events of an unfolding computation as they are
+// observed (in a causally consistent order: receives after their sends)
+// and drives incremental detectors:
+//
+//   - EFConjunctive — the queue-based weak conjunctive predicate detection
+//     of Garg and Waldecker: one queue of candidate local states per
+//     constrained process, pairwise head elimination by vector clock,
+//     verdict the moment a satisfying consistent cut exists. O(n²m) total
+//     work for m events, no recomputation per event.
+//   - AGConjunctive — invariant violation detection for conjunctive
+//     predicates: a violation exists as soon as some conjunct is false in
+//     some local state, because every local state is exposed by a
+//     consistent cut.
+//   - Stable — evaluates a frontier predicate after every event; for
+//     stable predicates the frontier observation is equivalent to global
+//     detection (Chandy–Lamport).
+//
+// Verdicts latch: once fired they remain fired in every extension of the
+// observed prefix (EF and violation verdicts are monotone under prefix
+// extension). For the non-monotone operators (EG, AG as a final verdict,
+// until), Snapshot materializes the current prefix as a Computation for
+// the offline algorithms in package core.
+package online
+
+import (
+	"fmt"
+
+	"repro/internal/computation"
+	"repro/internal/vclock"
+)
+
+// Monitor ingests events of an unfolding computation.
+type Monitor struct {
+	n        int
+	clocks   []vclock.VC // running clock per process
+	lens     []int       // events observed per process
+	vals     []map[string]int
+	initVals []map[string]int
+	// stateClocks[i][k] is the clock of the event that started local
+	// state k of process i (nil for k = 0: started at -∞).
+	stateClocks [][]vclock.VC
+
+	nextMsg  int
+	sends    map[int]sendInfo
+	received map[int]bool
+	inFlight int
+
+	// Trace replay for Snapshot.
+	rec []recEvent
+
+	efWatches     []*EFWatch
+	agWatches     []*AGWatch
+	stableWatches []*StableWatch
+}
+
+type sendInfo struct {
+	proc  int
+	clock vclock.VC
+}
+
+type recEvent struct {
+	proc int
+	kind computation.Kind
+	msg  int
+	sets map[string]int
+}
+
+// NewMonitor returns a monitor for n processes.
+func NewMonitor(n int) *Monitor {
+	if n <= 0 {
+		panic("online: need at least one process")
+	}
+	m := &Monitor{
+		n:           n,
+		clocks:      make([]vclock.VC, n),
+		lens:        make([]int, n),
+		vals:        make([]map[string]int, n),
+		initVals:    make([]map[string]int, n),
+		stateClocks: make([][]vclock.VC, n),
+		sends:       make(map[int]sendInfo),
+		received:    make(map[int]bool),
+	}
+	for i := 0; i < n; i++ {
+		m.clocks[i] = vclock.New(n)
+		m.vals[i] = make(map[string]int)
+		m.initVals[i] = make(map[string]int)
+		m.stateClocks[i] = []vclock.VC{nil}
+	}
+	return m
+}
+
+// N returns the number of processes.
+func (m *Monitor) N() int { return m.n }
+
+// Events returns the number of events observed so far.
+func (m *Monitor) Events() int {
+	total := 0
+	for _, l := range m.lens {
+		total += l
+	}
+	return total
+}
+
+// Value returns the current value of a variable on a process.
+func (m *Monitor) Value(proc int, name string) int { return m.vals[proc][name] }
+
+// InFlight returns the number of messages currently in flight.
+func (m *Monitor) InFlight() int { return m.inFlight }
+
+// SetInitial sets an initial variable value. It panics after the first
+// event of the process has been observed.
+func (m *Monitor) SetInitial(proc int, name string, value int) {
+	if m.lens[proc] > 0 {
+		panic("online: SetInitial after events were observed")
+	}
+	m.vals[proc][name] = value
+	m.initVals[proc][name] = value
+}
+
+// Internal observes an internal event on proc with the given variable
+// assignments (may be nil).
+func (m *Monitor) Internal(proc int, sets map[string]int) {
+	m.step(proc, computation.Internal, 0, sets)
+}
+
+// Send observes a send event and returns the message id to pass to the
+// matching Receive.
+func (m *Monitor) Send(proc int, sets map[string]int) int {
+	m.nextMsg++
+	id := m.nextMsg
+	m.step(proc, computation.Send, id, sets)
+	m.sends[id] = sendInfo{proc: proc, clock: m.clocks[proc].Copy()}
+	m.inFlight++
+	return id
+}
+
+// Receive observes the receipt of message id on proc. It returns an error
+// if the message is unknown, already received, or a self-receive —
+// observation-order violations.
+func (m *Monitor) Receive(proc int, id int, sets map[string]int) error {
+	s, ok := m.sends[id]
+	if !ok {
+		return fmt.Errorf("online: receive of unknown message %d", id)
+	}
+	if m.received[id] {
+		return fmt.Errorf("online: message %d received twice", id)
+	}
+	if s.proc == proc {
+		return fmt.Errorf("online: message %d received by its sender", id)
+	}
+	m.clocks[proc].MergeInto(s.clock)
+	m.received[id] = true
+	m.inFlight--
+	m.step(proc, computation.Receive, id, sets)
+	return nil
+}
+
+func (m *Monitor) step(proc int, kind computation.Kind, msg int, sets map[string]int) {
+	m.clocks[proc].Tick(proc)
+	m.lens[proc]++
+	for name, v := range sets {
+		m.vals[proc][name] = v
+	}
+	m.stateClocks[proc] = append(m.stateClocks[proc], m.clocks[proc].Copy())
+	copied := make(map[string]int, len(sets))
+	for k, v := range sets {
+		copied[k] = v
+	}
+	m.rec = append(m.rec, recEvent{proc: proc, kind: kind, msg: msg, sets: copied})
+
+	// Notify watches of the new local state.
+	for _, w := range m.efWatches {
+		w.observe(m, proc)
+	}
+	for _, w := range m.agWatches {
+		w.observe(m, proc)
+	}
+	for _, w := range m.stableWatches {
+		w.observe(m)
+	}
+}
+
+// Snapshot materializes the observed prefix as an immutable Computation
+// for the offline algorithms. Cost is proportional to the prefix length.
+func (m *Monitor) Snapshot() *computation.Computation {
+	b := computation.NewBuilder(m.n)
+	for i := 0; i < m.n; i++ {
+		for name, v := range m.initVals[i] {
+			b.SetInitial(i, name, v)
+		}
+	}
+	handles := make(map[int]computation.Msg)
+	for _, r := range m.rec {
+		var e *computation.Event
+		switch r.kind {
+		case computation.Internal:
+			e = b.Internal(r.proc)
+		case computation.Send:
+			var h computation.Msg
+			e, h = b.Send(r.proc)
+			handles[r.msg] = h
+		case computation.Receive:
+			e = b.Receive(r.proc, handles[r.msg])
+		}
+		for name, v := range r.sets {
+			computation.Set(e, name, v)
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,137 @@
+package predicate
+
+import (
+	"fmt"
+
+	"repro/internal/computation"
+)
+
+// ChannelEmpty holds when no message from process From to process To is in
+// flight. Like the global ChannelsEmpty it is a monotonic channel
+// predicate: regular, hence both linear and post-linear.
+//
+// A message that is never received within the computation has no
+// identifiable destination; it is conservatively attributed to every
+// outgoing channel of its sender (it keeps them all non-empty once sent).
+type ChannelEmpty struct {
+	From, To int
+}
+
+var (
+	_ Linear     = ChannelEmpty{}
+	_ PostLinear = ChannelEmpty{}
+)
+
+// inFlightIDs returns the ids of the From→To messages in flight at cut.
+func (p ChannelEmpty) inFlightIDs(c *computation.Computation, cut computation.Cut) []int {
+	var out []int
+	for _, id := range c.Messages() {
+		s := c.SendOf(id)
+		if s.Proc != p.From || cut[s.Proc] < s.Index {
+			continue
+		}
+		r := c.RecvOf(id)
+		if r == nil {
+			out = append(out, id)
+			continue
+		}
+		if r.Proc != p.To {
+			continue
+		}
+		if cut[r.Proc] < r.Index {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Eval implements Predicate.
+func (p ChannelEmpty) Eval(c *computation.Computation, cut computation.Cut) bool {
+	return len(p.inFlightIDs(c, cut)) == 0
+}
+
+// Forbidden implements Linear: the receiver must consume the pending
+// message; a message that is never received makes the predicate
+// unsatisfiable above the cut.
+func (p ChannelEmpty) Forbidden(c *computation.Computation, cut computation.Cut) (int, bool) {
+	ids := p.inFlightIDs(c, cut)
+	if len(ids) == 0 {
+		panic("predicate: Forbidden called with empty channel")
+	}
+	for _, id := range ids {
+		if r := c.RecvOf(id); r != nil {
+			return r.Proc, true
+		}
+	}
+	return 0, false
+}
+
+// Retreat implements PostLinear: the sender must undo the send.
+func (p ChannelEmpty) Retreat(c *computation.Computation, cut computation.Cut) (int, bool) {
+	ids := p.inFlightIDs(c, cut)
+	if len(ids) == 0 {
+		panic("predicate: Retreat called with empty channel")
+	}
+	return p.From, true
+}
+
+// String implements Predicate; the rendering matches the CTL parser's
+// channelEmpty(...) syntax.
+func (p ChannelEmpty) String() string {
+	return fmt.Sprintf("channelEmpty(P%d, P%d)", p.From+1, p.To+1)
+}
+
+// InFlightAtMost holds when at most K messages are in flight anywhere. For
+// K = 0 it coincides with ChannelsEmpty. It is a monotonic channel
+// predicate in the sense of Chase–Garg... but unlike emptiness it is not
+// meet-closed in general (two cuts can each keep different K-subsets in
+// flight while their intersection has more sends outstanding than
+// receives); it is kept as an example of an *arbitrary* channel predicate
+// for the exponential cells and is routed accordingly.
+type InFlightAtMost struct {
+	K int
+}
+
+// Eval implements Predicate.
+func (p InFlightAtMost) Eval(c *computation.Computation, cut computation.Cut) bool {
+	return c.InFlight(cut) <= p.K
+}
+
+// String implements Predicate.
+func (p InFlightAtMost) String() string { return fmt.Sprintf("inFlight <= %d", p.K) }
+
+// AtLeastK holds when at least K of the given *stable* local predicates
+// hold. If every local predicate is stable (monotone along its process —
+// once true at a state, true at all later states), the count never
+// decreases along any path, making AtLeastK a stable global predicate
+// (hence observer-independent). The constructor does not verify stability;
+// lattice.CheckStable can, on small computations.
+type AtLeastK struct {
+	K      int
+	Locals []LocalPredicate
+}
+
+// Eval implements Predicate.
+func (p AtLeastK) Eval(c *computation.Computation, cut computation.Cut) bool {
+	count := 0
+	for _, l := range p.Locals {
+		if l.HoldsAt(c, cut[l.Process()]) {
+			count++
+			if count >= p.K {
+				return true
+			}
+		}
+	}
+	return count >= p.K
+}
+
+// String implements Predicate; the rendering matches the CTL parser's
+// atLeast(...) syntax.
+func (p AtLeastK) String() string {
+	parts := localStrings(p.Locals)
+	out := fmt.Sprintf("atLeast(%d", p.K)
+	for _, s := range parts {
+		out += ", " + s
+	}
+	return out + ")"
+}

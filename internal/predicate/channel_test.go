@@ -1,0 +1,142 @@
+package predicate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/computation"
+)
+
+// threeProcChannels: P1 sends m1 to P2 and m2 to P3; P2 sends m3 to P3;
+// one message (m2) is never received.
+func threeProcChannels(t testing.TB) *computation.Computation {
+	t.Helper()
+	b := computation.NewBuilder(3)
+	_, m1 := b.Send(0)
+	_, m2 := b.Send(0)
+	_ = m2 // never received
+	b.Receive(1, m1)
+	_, m3 := b.Send(1)
+	b.Receive(2, m3)
+	return b.MustBuild()
+}
+
+func TestChannelEmptyEval(t *testing.T) {
+	c := threeProcChannels(t)
+	p12 := ChannelEmpty{From: 0, To: 1}
+	p13 := ChannelEmpty{From: 0, To: 2}
+	p23 := ChannelEmpty{From: 1, To: 2}
+
+	cases := []struct {
+		cut computation.Cut
+		p12 bool
+		p13 bool
+		p23 bool
+	}{
+		{computation.Cut{0, 0, 0}, true, true, true},
+		{computation.Cut{1, 0, 0}, false, true, true}, // m1 in flight
+		// m2 is never received: once sent it counts against every
+		// outgoing channel of P1 (conservative attribution).
+		{computation.Cut{2, 0, 0}, false, false, true},
+		{computation.Cut{2, 1, 0}, false, false, true},
+		{computation.Cut{2, 2, 0}, false, false, false}, // m3 in flight
+		{computation.Cut{2, 2, 1}, false, false, true},
+	}
+	for _, tc := range cases {
+		if got := p12.Eval(c, tc.cut); got != tc.p12 {
+			t.Errorf("p12 at %v = %v, want %v", tc.cut, got, tc.p12)
+		}
+		if got := p13.Eval(c, tc.cut); got != tc.p13 {
+			t.Errorf("p13 at %v = %v, want %v", tc.cut, got, tc.p13)
+		}
+		if got := p23.Eval(c, tc.cut); got != tc.p23 {
+			t.Errorf("p23 at %v = %v, want %v", tc.cut, got, tc.p23)
+		}
+	}
+}
+
+func TestChannelEmptyForbiddenRetreat(t *testing.T) {
+	c := threeProcChannels(t)
+	p12 := ChannelEmpty{From: 0, To: 1}
+	proc, ok := p12.Forbidden(c, computation.Cut{1, 0, 0})
+	if !ok || proc != 1 {
+		t.Errorf("Forbidden = %d, %v; want receiver P2", proc, ok)
+	}
+	proc, ok = p12.Retreat(c, computation.Cut{1, 0, 0})
+	if !ok || proc != 0 {
+		t.Errorf("Retreat = %d, %v; want sender P1", proc, ok)
+	}
+	// m2 is never received: channel P1→P3 unsatisfiable above a cut
+	// containing the send.
+	p13 := ChannelEmpty{From: 0, To: 2}
+	if _, ok := p13.Forbidden(c, computation.Cut{2, 0, 0}); ok {
+		t.Error("Forbidden should abort for a never-received message")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Forbidden on satisfied channel did not panic")
+		}
+	}()
+	p12.Forbidden(c, computation.Cut{0, 0, 0})
+}
+
+func TestChannelEmptyRetreatPanicsWhenSatisfied(t *testing.T) {
+	c := threeProcChannels(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("Retreat on satisfied channel did not panic")
+		}
+	}()
+	ChannelEmpty{From: 0, To: 1}.Retreat(c, computation.Cut{0, 0, 0})
+}
+
+func TestInFlightAtMost(t *testing.T) {
+	c := threeProcChannels(t)
+	if !(InFlightAtMost{K: 0}).Eval(c, computation.Cut{0, 0, 0}) {
+		t.Error("0 in flight at ∅")
+	}
+	if (InFlightAtMost{K: 1}).Eval(c, computation.Cut{2, 2, 0}) {
+		t.Error("m2 and m3 are both in flight at <2 2 0>")
+	}
+	if !(InFlightAtMost{K: 2}).Eval(c, computation.Cut{2, 2, 0}) {
+		t.Error("exactly 2 in flight at <2 2 0>")
+	}
+	if (InFlightAtMost{K: 1}).String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestAtLeastK(t *testing.T) {
+	b := computation.NewBuilder(3)
+	computation.Set(b.Internal(0), "done", 1)
+	computation.Set(b.Internal(1), "done", 1)
+	computation.Set(b.Internal(2), "done", 1)
+	c := b.MustBuild()
+
+	locals := []LocalPredicate{
+		VarCmp{Proc: 0, Var: "done", Op: EQ, K: 1},
+		VarCmp{Proc: 1, Var: "done", Op: EQ, K: 1},
+		VarCmp{Proc: 2, Var: "done", Op: EQ, K: 1},
+	}
+	p2 := AtLeastK{K: 2, Locals: locals}
+	cases := []struct {
+		cut  computation.Cut
+		want bool
+	}{
+		{computation.Cut{0, 0, 0}, false},
+		{computation.Cut{1, 0, 0}, false},
+		{computation.Cut{1, 1, 0}, true},
+		{computation.Cut{1, 1, 1}, true},
+	}
+	for _, tc := range cases {
+		if got := p2.Eval(c, tc.cut); got != tc.want {
+			t.Errorf("atLeast2 at %v = %v, want %v", tc.cut, got, tc.want)
+		}
+	}
+	if !(AtLeastK{K: 0, Locals: locals}).Eval(c, computation.Cut{0, 0, 0}) {
+		t.Error("atLeast0 must hold vacuously")
+	}
+	if !strings.Contains(p2.String(), "atLeast(2") {
+		t.Errorf("String = %q", p2.String())
+	}
+}

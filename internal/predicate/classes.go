@@ -1,0 +1,35 @@
+package predicate
+
+import "repro/internal/computation"
+
+// ObserverIndependent wraps a predicate the caller asserts to be
+// observer-independent: AF(p) ⟺ EF(p), i.e. if p holds in some observation
+// of the computation it holds in all of them. Stable and disjunctive
+// predicates are observer-independent; so is any predicate that holds
+// initially. Package explore provides CheckObserverIndependent to verify
+// the assertion on small computations.
+//
+// The wrapper lets the dispatcher route EF/AF detection to the
+// single-observation algorithm of Charron-Bost et al.; under EG and AG the
+// paper proves detection NP-complete and co-NP-complete respectively, so
+// the dispatcher falls back to the exponential solver there.
+type ObserverIndependent struct {
+	P Predicate
+}
+
+// Eval implements Predicate.
+func (p ObserverIndependent) Eval(c *computation.Computation, cut computation.Cut) bool {
+	return p.P.Eval(c, cut)
+}
+
+// String implements Predicate.
+func (p ObserverIndependent) String() string { return "oi(" + p.P.String() + ")" }
+
+// MergeConj returns the conjunction of two conjunctive predicates, which is
+// conjunctive again (local predicate lists concatenate).
+func MergeConj(a, b Conjunctive) Conjunctive {
+	locals := make([]LocalPredicate, 0, len(a.Locals)+len(b.Locals))
+	locals = append(locals, a.Locals...)
+	locals = append(locals, b.Locals...)
+	return Conjunctive{Locals: locals}
+}

@@ -1,0 +1,299 @@
+package predicate
+
+import (
+	"testing"
+
+	"repro/internal/computation"
+)
+
+// twoProc builds a small fixture: P1 with x = 0,1,2 over two events, P2
+// with y = 5,3 over one event, and a message from P1's second event to a
+// P2 receive.
+func twoProc(t testing.TB) *computation.Computation {
+	t.Helper()
+	b := computation.NewBuilder(2)
+	b.SetInitial(0, "x", 0)
+	b.SetInitial(1, "y", 5)
+	computation.Set(b.Internal(0), "x", 1)
+	s, m := b.Send(0)
+	computation.Set(s, "x", 2)
+	computation.Set(b.Internal(1), "y", 3)
+	b.Receive(1, m)
+	return b.MustBuild()
+}
+
+func TestVarCmpOps(t *testing.T) {
+	comp := twoProc(t)
+	cases := []struct {
+		op   Op
+		k    int
+		at   int // P1 state
+		want bool
+	}{
+		{LT, 1, 0, true}, {LT, 1, 1, false},
+		{LE, 1, 1, true}, {LE, 1, 2, false},
+		{EQ, 2, 2, true}, {EQ, 2, 1, false},
+		{NE, 2, 1, true}, {NE, 2, 2, false},
+		{GE, 1, 1, true}, {GE, 1, 0, false},
+		{GT, 1, 2, true}, {GT, 1, 1, false},
+	}
+	for _, c := range cases {
+		p := VarCmp{Proc: 0, Var: "x", Op: c.op, K: c.k}
+		if got := p.HoldsAt(comp, c.at); got != c.want {
+			t.Errorf("x %s %d at state %d = %v, want %v", c.op, c.k, c.at, got, c.want)
+		}
+	}
+	// Eval reads the cut's state.
+	p := VarCmp{Proc: 0, Var: "x", Op: GE, K: 2}
+	if p.Eval(comp, computation.Cut{1, 0}) {
+		t.Error("x>=2 should fail at state 1")
+	}
+	if !p.Eval(comp, computation.Cut{2, 0}) {
+		t.Error("x>=2 should hold at state 2")
+	}
+	if p.String() != "x@P1 >= 2" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestVarCmpUnknownOpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown operator did not panic")
+		}
+	}()
+	VarCmp{Proc: 0, Var: "x", Op: "~", K: 1}.HoldsAt(twoProc(t), 0)
+}
+
+func TestConjunctiveEvalAndForbidden(t *testing.T) {
+	comp := twoProc(t)
+	p := Conj(
+		VarCmp{Proc: 0, Var: "x", Op: GE, K: 2},
+		VarCmp{Proc: 1, Var: "y", Op: LE, K: 3},
+	)
+	if p.Eval(comp, computation.Cut{1, 1}) {
+		t.Error("conjunction should fail: x = 1")
+	}
+	if !p.Eval(comp, computation.Cut{2, 1}) {
+		t.Error("conjunction should hold at <2 1>")
+	}
+	proc, ok := p.Forbidden(comp, computation.Cut{1, 1})
+	if !ok || proc != 0 {
+		t.Errorf("Forbidden = %d, %v; want process 0", proc, ok)
+	}
+	proc, ok = p.Retreat(comp, computation.Cut{1, 0})
+	if !ok || proc != 0 {
+		t.Errorf("Retreat = %d, %v; want process 0", proc, ok)
+	}
+	// Forbidden on a satisfied predicate panics (contract violation).
+	defer func() {
+		if recover() == nil {
+			t.Error("Forbidden on satisfied predicate did not panic")
+		}
+	}()
+	p.Forbidden(comp, computation.Cut{2, 1})
+}
+
+func TestDisjunctiveAndNegation(t *testing.T) {
+	comp := twoProc(t)
+	d := Disj(
+		VarCmp{Proc: 0, Var: "x", Op: GE, K: 2},
+		VarCmp{Proc: 1, Var: "y", Op: GE, K: 9},
+	)
+	if !d.Eval(comp, computation.Cut{2, 0}) {
+		t.Error("disjunction should hold at <2 0>")
+	}
+	if d.Eval(comp, computation.Cut{0, 0}) {
+		t.Error("disjunction should fail at ∅")
+	}
+	n := d.Negate()
+	for _, cut := range []computation.Cut{{0, 0}, {1, 1}, {2, 2}} {
+		if n.Eval(comp, cut) == d.Eval(comp, cut) {
+			t.Errorf("negation agrees with original at %v", cut)
+		}
+	}
+	// Double negation restores conjunctive semantics.
+	back := n.Negate()
+	for _, cut := range []computation.Cut{{0, 0}, {1, 1}, {2, 2}} {
+		if back.Eval(comp, cut) != d.Eval(comp, cut) {
+			t.Errorf("double negation differs at %v", cut)
+		}
+	}
+}
+
+func TestCombinators(t *testing.T) {
+	comp := twoProc(t)
+	a := VarCmp{Proc: 0, Var: "x", Op: GE, K: 1}
+	b := VarCmp{Proc: 1, Var: "y", Op: EQ, K: 3}
+	cut := computation.Cut{1, 1}
+	if !(And{Ps: []Predicate{a, b}}).Eval(comp, cut) {
+		t.Error("And failed")
+	}
+	if !(Or{Ps: []Predicate{a, Not{P: a}}}).Eval(comp, cut) {
+		t.Error("Or with complement failed")
+	}
+	if (Not{P: a}).Eval(comp, cut) {
+		t.Error("Not failed")
+	}
+	if (And{}).Eval(comp, cut) != true || (Or{}).Eval(comp, cut) != false {
+		t.Error("empty combinator identities wrong")
+	}
+	al := AndLinear{Ps: []Linear{Conj(a), ChannelsEmpty{}}}
+	if !al.Eval(comp, computation.Cut{1, 0}) {
+		t.Error("AndLinear failed at <1 0>")
+	}
+	if al.Eval(comp, computation.Cut{2, 1}) { // message in flight
+		t.Error("AndLinear should fail with message in flight")
+	}
+	proc, ok := al.Forbidden(comp, computation.Cut{2, 1})
+	if !ok || proc != 1 {
+		t.Errorf("AndLinear.Forbidden = %d, %v; want receiver process 1", proc, ok)
+	}
+}
+
+func TestChannelsEmpty(t *testing.T) {
+	comp := twoProc(t)
+	ce := ChannelsEmpty{}
+	if !ce.Eval(comp, computation.Cut{1, 1}) {
+		t.Error("channels empty before the send")
+	}
+	if ce.Eval(comp, computation.Cut{2, 1}) {
+		t.Error("channels not empty after send before receive")
+	}
+	if !ce.Eval(comp, computation.Cut{2, 2}) {
+		t.Error("channels empty after receive")
+	}
+	proc, ok := ce.Forbidden(comp, computation.Cut{2, 1})
+	if !ok || proc != 1 {
+		t.Errorf("Forbidden = %d, %v", proc, ok)
+	}
+	proc, ok = ce.Retreat(comp, computation.Cut{2, 1})
+	if !ok || proc != 0 {
+		t.Errorf("Retreat = %d, %v", proc, ok)
+	}
+}
+
+func TestChannelsEmptyUnreceived(t *testing.T) {
+	b := computation.NewBuilder(2)
+	b.Send(0) // never received
+	b.Internal(1)
+	comp := b.MustBuild()
+	_, ok := ChannelsEmpty{}.Forbidden(comp, computation.Cut{1, 0})
+	if ok {
+		t.Error("Forbidden should abort: message never received")
+	}
+	// Retreat still works: undo the send.
+	proc, ok := ChannelsEmpty{}.Retreat(comp, computation.Cut{1, 0})
+	if !ok || proc != 0 {
+		t.Errorf("Retreat = %d, %v", proc, ok)
+	}
+}
+
+func TestStableAndReceived(t *testing.T) {
+	comp := twoProc(t)
+	r := Received{ID: 1}
+	if r.Eval(comp, computation.Cut{2, 1}) {
+		t.Error("received before the receive event")
+	}
+	if !r.Eval(comp, computation.Cut{2, 2}) {
+		t.Error("not received after the receive event")
+	}
+	missing := Received{ID: 99}
+	if missing.Eval(comp, comp.FinalCut()) {
+		t.Error("unknown message reported received")
+	}
+	term := Terminated{}
+	if term.Eval(comp, computation.Cut{2, 1}) || !term.Eval(comp, comp.FinalCut()) {
+		t.Error("Terminated wrong")
+	}
+	s := Stable{P: r}
+	if s.Eval(comp, computation.Cut{2, 1}) != r.Eval(comp, computation.Cut{2, 1}) {
+		t.Error("Stable wrapper changes semantics")
+	}
+	if s.String() == "" || r.String() == "" || term.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestConstAndObserverIndependent(t *testing.T) {
+	comp := twoProc(t)
+	if !True.Eval(comp, computation.Cut{0, 0}) || False.Eval(comp, computation.Cut{0, 0}) {
+		t.Error("constants broken")
+	}
+	if _, ok := False.Forbidden(comp, computation.Cut{0, 0}); ok {
+		t.Error("False.Forbidden should abort")
+	}
+	if _, ok := False.Retreat(comp, computation.Cut{0, 0}); ok {
+		t.Error("False.Retreat should abort")
+	}
+	oi := ObserverIndependent{P: True}
+	if !oi.Eval(comp, computation.Cut{0, 0}) || oi.String() != "oi(true)" {
+		t.Errorf("ObserverIndependent wrapper broken: %s", oi)
+	}
+	if True.String() != "true" || False.String() != "false" {
+		t.Error("Const.String wrong")
+	}
+}
+
+func TestMergeConj(t *testing.T) {
+	a := Conj(VarCmp{Proc: 0, Var: "x", Op: GE, K: 1})
+	b := Conj(VarCmp{Proc: 1, Var: "y", Op: LE, K: 3})
+	m := MergeConj(a, b)
+	if len(m.Locals) != 2 {
+		t.Fatalf("merged conjuncts = %d", len(m.Locals))
+	}
+	comp := twoProc(t)
+	if m.Eval(comp, computation.Cut{0, 1}) {
+		t.Error("merged conjunction should fail: x = 0")
+	}
+	if !m.Eval(comp, computation.Cut{1, 1}) {
+		t.Error("merged conjunction should hold")
+	}
+}
+
+func TestLocalFnAndNotLocal(t *testing.T) {
+	comp := twoProc(t)
+	odd := LocalFn{Proc: 0, Name: "xOdd", Fn: func(c *computation.Computation, k int) bool {
+		v, _ := c.Value(0, k, "x")
+		return v%2 == 1
+	}}
+	if odd.HoldsAt(comp, 0) || !odd.HoldsAt(comp, 1) {
+		t.Error("LocalFn wrong")
+	}
+	if !odd.Eval(comp, computation.Cut{1, 0}) {
+		t.Error("LocalFn Eval wrong")
+	}
+	n := NotLocal{P: odd}
+	if n.Process() != 0 || n.HoldsAt(comp, 1) || !n.HoldsAt(comp, 0) {
+		t.Error("NotLocal wrong")
+	}
+	if !n.Eval(comp, computation.Cut{0, 0}) {
+		t.Error("NotLocal Eval wrong")
+	}
+	if odd.String() != "xOdd@P1" || n.String() != "!(xOdd@P1)" {
+		t.Errorf("Strings: %q, %q", odd.String(), n.String())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	c := Conj(
+		VarCmp{Proc: 0, Var: "x", Op: LT, K: 4},
+		VarCmp{Proc: 2, Var: "z", Op: GE, K: 0},
+	)
+	want := "conj(x@P1 < 4, z@P3 >= 0)"
+	if c.String() != want {
+		t.Errorf("Conjunctive.String = %q, want %q", c.String(), want)
+	}
+	d := Disj(VarCmp{Proc: 0, Var: "x", Op: EQ, K: 1})
+	if d.String() != "disj(x@P1 == 1)" {
+		t.Errorf("Disjunctive.String = %q", d.String())
+	}
+	and := And{Ps: []Predicate{c, d}}
+	or := Or{Ps: []Predicate{c, d}}
+	al := AndLinear{Ps: []Linear{c, ChannelsEmpty{}}}
+	for _, s := range []string{and.String(), or.String(), al.String(), (Not{P: c}).String()} {
+		if s == "" {
+			t.Error("empty combinator String")
+		}
+	}
+}

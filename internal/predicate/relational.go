@@ -1,0 +1,50 @@
+package predicate
+
+import (
+	"fmt"
+
+	"repro/internal/computation"
+)
+
+// MonotoneGE is the classic relational linear predicate
+// "yVar@ProcY ≥ xVar@ProcX" for variables that are nondecreasing along
+// their processes — e.g. "acknowledgements never trail requests" or
+// "consumer counter keeps up with producer counter".
+//
+// Linearity (the paper's "some relational predicates" remark): with both
+// variables monotone, the satisfying cuts are closed under meet — at the
+// componentwise minimum, y only shrinks to one of the already-satisfying
+// values while x shrinks at least as much. The forbidden process when the
+// predicate fails is ProcY: x cannot decrease, so every satisfying
+// extension advances y.
+//
+// The monotonicity of the two variables is an assumption on the
+// computation, not checked here; lattice.CheckLinear verifies the
+// consequence on small computations, and feeding a non-monotone trace
+// voids the advancement guarantee.
+type MonotoneGE struct {
+	ProcY int
+	VarY  string
+	ProcX int
+	VarX  string
+}
+
+var _ Linear = MonotoneGE{}
+
+// Eval implements Predicate.
+func (p MonotoneGE) Eval(c *computation.Computation, cut computation.Cut) bool {
+	y, _ := c.Value(p.ProcY, cut[p.ProcY], p.VarY)
+	x, _ := c.Value(p.ProcX, cut[p.ProcX], p.VarX)
+	return y >= x
+}
+
+// Forbidden implements Linear.
+func (p MonotoneGE) Forbidden(c *computation.Computation, cut computation.Cut) (int, bool) {
+	return p.ProcY, true
+}
+
+// String implements Predicate; the rendering matches the CTL parser's
+// monotone(...) syntax.
+func (p MonotoneGE) String() string {
+	return fmt.Sprintf("monotone(%s@P%d >= %s@P%d)", p.VarY, p.ProcY+1, p.VarX, p.ProcX+1)
+}

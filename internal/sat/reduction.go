@@ -1,0 +1,84 @@
+package sat
+
+import (
+	"repro/internal/computation"
+	"repro/internal/predicate"
+)
+
+// EncodedFormula is the observer-independent global predicate
+// P = φ(x1..xm) ∨ x_{m+1} produced by the reductions: the boolean variables
+// are read off the local states of the variable processes, and the guard
+// variable x_{m+1} lives on the extra process. P holds at the initial cut
+// (the guard starts true), which makes it observer-independent.
+type EncodedFormula struct {
+	F Formula
+	// Extra is the index of the guard process.
+	Extra int
+}
+
+var _ predicate.Predicate = EncodedFormula{}
+
+// Eval implements predicate.Predicate.
+func (p EncodedFormula) Eval(c *computation.Computation, cut computation.Cut) bool {
+	if v, _ := c.Value(p.Extra, cut[p.Extra], "x"); v == 1 {
+		return true // guard x_{m+1} is true
+	}
+	a := make([]bool, p.F.MaxVar()+1)
+	for i := 1; i <= p.F.MaxVar(); i++ {
+		v, _ := c.Value(i-1, cut[i-1], "x")
+		a[i] = v == 1
+	}
+	return p.F.Eval(a)
+}
+
+// String implements predicate.Predicate.
+func (p EncodedFormula) String() string {
+	return "(" + p.F.String() + ") ∨ guard"
+}
+
+// ReduceSAT is the Theorem 5 construction: it builds a computation and an
+// observer-independent predicate P such that EG(P) holds iff φ is
+// satisfiable.
+//
+// Each boolean variable gets a process whose single event flips its value
+// from true to false, so a scheduler can park each variable process on
+// either side. The guard process starts true, goes false for one event,
+// and returns to true; any path witnessing EG(P) must satisfy φ at the
+// global states inside the guard's false window, which pins a satisfying
+// assignment.
+func ReduceSAT(f Formula) (*computation.Computation, predicate.Predicate) {
+	m := f.MaxVar()
+	b := computation.NewBuilder(m + 1)
+	for i := 0; i < m; i++ {
+		b.SetInitial(i, "x", 1)
+		computation.Set(b.Internal(i), "x", 0)
+	}
+	extra := m
+	b.SetInitial(extra, "x", 1)
+	computation.Set(b.Internal(extra), "x", 0)
+	computation.Set(b.Internal(extra), "x", 1)
+	comp := b.MustBuild()
+	return comp, predicate.ObserverIndependent{P: EncodedFormula{F: f, Extra: extra}}
+}
+
+// ReduceTautology is the Theorem 6 construction: it builds a computation
+// and an observer-independent predicate P such that AG(P) holds iff φ is a
+// tautology.
+//
+// The construction matches ReduceSAT except the guard starts true and ends
+// false, never returning: once the guard falls, the reachable global
+// states sweep every assignment of the variables, so invariance of P
+// forces φ to hold under all of them.
+func ReduceTautology(f Formula) (*computation.Computation, predicate.Predicate) {
+	m := f.MaxVar()
+	b := computation.NewBuilder(m + 1)
+	for i := 0; i < m; i++ {
+		b.SetInitial(i, "x", 1)
+		computation.Set(b.Internal(i), "x", 0)
+	}
+	extra := m
+	b.SetInitial(extra, "x", 1)
+	computation.Set(b.Internal(extra), "x", 0)
+	comp := b.MustBuild()
+	return comp, predicate.ObserverIndependent{P: EncodedFormula{F: f, Extra: extra}}
+}

@@ -1,0 +1,219 @@
+// Package sat provides boolean formulas, satisfiability solvers, and the
+// paper's Theorem 5 and Theorem 6 reductions, which establish that
+// detecting observer-independent predicates is NP-complete under EG and
+// co-NP-complete under AG.
+//
+// The reductions turn a boolean formula φ over variables x1..xm into a
+// distributed computation plus an observer-independent global predicate P
+// such that EG(P) holds iff φ is satisfiable (Theorem 5), respectively
+// AG(P) holds iff φ is a tautology (Theorem 6). The hardness experiment
+// (fig3) runs these constructions through the exponential EG/AG solvers and
+// checks the answers against direct SAT solving.
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Formula is a boolean formula over variables indexed 1..m.
+type Formula interface {
+	// Eval evaluates under the assignment; assignment[i] is the value of
+	// variable i (index 0 unused).
+	Eval(assignment []bool) bool
+	// MaxVar returns the largest variable index mentioned.
+	MaxVar() int
+	fmt.Stringer
+}
+
+// Var is a variable reference x_i.
+type Var int
+
+// Eval implements Formula.
+func (v Var) Eval(a []bool) bool { return a[int(v)] }
+
+// MaxVar implements Formula.
+func (v Var) MaxVar() int { return int(v) }
+
+// String implements Formula.
+func (v Var) String() string { return fmt.Sprintf("x%d", int(v)) }
+
+// NotF is negation.
+type NotF struct {
+	F Formula
+}
+
+// Eval implements Formula.
+func (n NotF) Eval(a []bool) bool { return !n.F.Eval(a) }
+
+// MaxVar implements Formula.
+func (n NotF) MaxVar() int { return n.F.MaxVar() }
+
+// String implements Formula.
+func (n NotF) String() string { return "¬" + n.F.String() }
+
+// AndF is conjunction of clauses.
+type AndF []Formula
+
+// Eval implements Formula.
+func (f AndF) Eval(a []bool) bool {
+	for _, g := range f {
+		if !g.Eval(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxVar implements Formula.
+func (f AndF) MaxVar() int { return maxVar(f) }
+
+// String implements Formula.
+func (f AndF) String() string { return joinFormulas(f, " ∧ ") }
+
+// OrF is disjunction.
+type OrF []Formula
+
+// Eval implements Formula.
+func (f OrF) Eval(a []bool) bool {
+	for _, g := range f {
+		if g.Eval(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxVar implements Formula.
+func (f OrF) MaxVar() int { return maxVar(f) }
+
+// String implements Formula.
+func (f OrF) String() string { return joinFormulas(f, " ∨ ") }
+
+func maxVar(fs []Formula) int {
+	m := 0
+	for _, g := range fs {
+		if v := g.MaxVar(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func joinFormulas(fs []Formula, sep string) string {
+	parts := make([]string, len(fs))
+	for i, g := range fs {
+		parts[i] = "(" + g.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}
+
+// CNF is a formula in conjunctive normal form: each clause is a list of
+// literals, a literal being +i for x_i and −i for ¬x_i.
+type CNF struct {
+	Vars    int
+	Clauses [][]int
+}
+
+// Eval implements Formula.
+func (c CNF) Eval(a []bool) bool {
+	for _, clause := range c.Clauses {
+		sat := false
+		for _, lit := range clause {
+			v := lit
+			if v < 0 {
+				v = -v
+			}
+			if (lit > 0) == a[v] {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxVar implements Formula.
+func (c CNF) MaxVar() int { return c.Vars }
+
+// String implements Formula.
+func (c CNF) String() string {
+	parts := make([]string, len(c.Clauses))
+	for i, clause := range c.Clauses {
+		lits := make([]string, len(clause))
+		for j, lit := range clause {
+			if lit < 0 {
+				lits[j] = fmt.Sprintf("¬x%d", -lit)
+			} else {
+				lits[j] = fmt.Sprintf("x%d", lit)
+			}
+		}
+		parts[i] = "(" + strings.Join(lits, "∨") + ")"
+	}
+	return strings.Join(parts, "∧")
+}
+
+// Satisfiable reports whether f has a satisfying assignment, by exhaustive
+// enumeration (the formula sizes in the hardness experiment are small).
+// The witness assignment is returned when one exists.
+func Satisfiable(f Formula) ([]bool, bool) {
+	m := f.MaxVar()
+	a := make([]bool, m+1)
+	for mask := 0; mask < 1<<uint(m); mask++ {
+		for i := 1; i <= m; i++ {
+			a[i] = mask&(1<<uint(i-1)) != 0
+		}
+		if f.Eval(a) {
+			out := make([]bool, m+1)
+			copy(out, a)
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// Tautology reports whether f holds under every assignment; when it does
+// not, the falsifying assignment is returned.
+func Tautology(f Formula) ([]bool, bool) {
+	m := f.MaxVar()
+	a := make([]bool, m+1)
+	for mask := 0; mask < 1<<uint(m); mask++ {
+		for i := 1; i <= m; i++ {
+			a[i] = mask&(1<<uint(i-1)) != 0
+		}
+		if !f.Eval(a) {
+			out := make([]bool, m+1)
+			copy(out, a)
+			return out, false
+		}
+	}
+	return nil, true
+}
+
+// RandomCNF generates a seeded random k-CNF instance with the given number
+// of variables and clauses, for the hardness scaling experiment.
+func RandomCNF(vars, clauses, k int, seed int64) CNF {
+	rng := rand.New(rand.NewSource(seed))
+	c := CNF{Vars: vars}
+	for i := 0; i < clauses; i++ {
+		clause := make([]int, 0, k)
+		used := make(map[int]bool, k)
+		for len(clause) < k {
+			v := rng.Intn(vars) + 1
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			clause = append(clause, v)
+		}
+		c.Clauses = append(c.Clauses, clause)
+	}
+	return c
+}

@@ -1,0 +1,179 @@
+package sat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/ctl"
+	"repro/internal/explore"
+	"repro/internal/lattice"
+)
+
+func TestFormulaEval(t *testing.T) {
+	// (x1 ∨ ¬x2) ∧ (x2 ∨ x3)
+	f := AndF{OrF{Var(1), NotF{Var(2)}}, OrF{Var(2), Var(3)}}
+	cases := []struct {
+		a    []bool
+		want bool
+	}{
+		{[]bool{false, true, true, false}, true},
+		{[]bool{false, false, true, false}, false},
+		{[]bool{false, false, false, true}, true},
+		{[]bool{false, false, false, false}, false},
+	}
+	for _, c := range cases {
+		if got := f.Eval(c.a); got != c.want {
+			t.Errorf("Eval(%v) = %v, want %v", c.a, got, c.want)
+		}
+	}
+	if f.MaxVar() != 3 {
+		t.Errorf("MaxVar = %d", f.MaxVar())
+	}
+}
+
+func TestCNFEval(t *testing.T) {
+	c := CNF{Vars: 3, Clauses: [][]int{{1, -2}, {2, 3}}}
+	if !c.Eval([]bool{false, true, true, false}) {
+		t.Error("satisfying assignment rejected")
+	}
+	if c.Eval([]bool{false, false, true, false}) {
+		t.Error("falsifying assignment accepted")
+	}
+}
+
+func TestSatisfiableAndTautology(t *testing.T) {
+	sat := CNF{Vars: 2, Clauses: [][]int{{1}, {-2}}}
+	if a, ok := Satisfiable(sat); !ok || !sat.Eval(a) {
+		t.Errorf("Satisfiable = %v, %v", a, ok)
+	}
+	unsat := CNF{Vars: 1, Clauses: [][]int{{1}, {-1}}}
+	if _, ok := Satisfiable(unsat); ok {
+		t.Error("unsatisfiable formula reported satisfiable")
+	}
+	taut := OrF{Var(1), NotF{Var(1)}}
+	if _, ok := Tautology(taut); !ok {
+		t.Error("tautology rejected")
+	}
+	if cex, ok := Tautology(Var(1)); ok || cex[1] {
+		t.Errorf("Tautology(x1) = %v, %v", cex, ok)
+	}
+}
+
+func TestRandomCNFShape(t *testing.T) {
+	c := RandomCNF(5, 8, 3, 42)
+	if c.Vars != 5 || len(c.Clauses) != 8 {
+		t.Fatalf("shape: %d vars, %d clauses", c.Vars, len(c.Clauses))
+	}
+	for _, clause := range c.Clauses {
+		if len(clause) != 3 {
+			t.Errorf("clause %v has length %d", clause, len(clause))
+		}
+		seen := map[int]bool{}
+		for _, lit := range clause {
+			v := lit
+			if v < 0 {
+				v = -v
+			}
+			if v < 1 || v > 5 {
+				t.Errorf("literal %d out of range", lit)
+			}
+			if seen[v] {
+				t.Errorf("duplicate variable in clause %v", clause)
+			}
+			seen[v] = true
+		}
+	}
+	// Determinism.
+	d := RandomCNF(5, 8, 3, 42)
+	for i := range c.Clauses {
+		for j := range c.Clauses[i] {
+			if c.Clauses[i][j] != d.Clauses[i][j] {
+				t.Fatal("RandomCNF not deterministic")
+			}
+		}
+	}
+}
+
+// TestTheorem5Reduction checks EG(P) ⟺ SAT on a battery of formulas,
+// using both the exponential core solver and the lattice checker.
+func TestTheorem5Reduction(t *testing.T) {
+	formulas := []Formula{
+		CNF{Vars: 2, Clauses: [][]int{{1, 2}}},
+		CNF{Vars: 1, Clauses: [][]int{{1}, {-1}}}, // unsat
+		CNF{Vars: 3, Clauses: [][]int{{1, -2}, {2, 3}, {-1, -3}}},
+		CNF{Vars: 3, Clauses: [][]int{{1}, {-1, 2}, {-2, 3}, {-3, -1}}}, // unsat chain
+		OrF{Var(1), NotF{Var(1)}},
+	}
+	for si := int64(0); si < 6; si++ {
+		formulas = append(formulas, RandomCNF(4, 9, 3, si))
+	}
+	for fi, f := range formulas {
+		comp, p := ReduceSAT(f)
+		_, want := Satisfiable(f)
+		if got := core.EGArbitrary(comp, p); got != want {
+			t.Errorf("formula %d (%s): EG = %v, satisfiable = %v", fi, f, got, want)
+		}
+		// Lattice ground truth and observer-independence of P.
+		l, err := lattice.Build(comp)
+		if err != nil {
+			t.Fatalf("formula %d: %v", fi, err)
+		}
+		atom := ctl.Atom{P: p}
+		if got := explore.Holds(l, ctl.EG{F: atom}); got != want {
+			t.Errorf("formula %d: lattice EG = %v, satisfiable = %v", fi, got, want)
+		}
+		if !explore.CheckObserverIndependent(l, atom) {
+			t.Errorf("formula %d: reduction predicate not observer-independent", fi)
+		}
+	}
+}
+
+// TestTheorem6Reduction checks AG(P) ⟺ TAUTOLOGY.
+func TestTheorem6Reduction(t *testing.T) {
+	formulas := []Formula{
+		OrF{Var(1), NotF{Var(1)}},                             // tautology
+		OrF{AndF{Var(1), Var(2)}, NotF{Var(1)}, NotF{Var(2)}}, // not a tautology (x1=T,x2=F)
+		NotF{AndF{Var(1), NotF{Var(1)}}},                      // tautology
+		Var(2),
+	}
+	for si := int64(10); si < 16; si++ {
+		formulas = append(formulas, OrF{RandomCNF(4, 6, 3, si), NotF{RandomCNF(4, 6, 3, si+100)}})
+	}
+	for fi, f := range formulas {
+		comp, p := ReduceTautology(f)
+		_, want := Tautology(f)
+		if got := core.AGArbitrary(comp, p); got != want {
+			t.Errorf("formula %d (%s): AG = %v, tautology = %v", fi, f, got, want)
+		}
+		l, err := lattice.Build(comp)
+		if err != nil {
+			t.Fatalf("formula %d: %v", fi, err)
+		}
+		atom := ctl.Atom{P: p}
+		if got := explore.Holds(l, ctl.AG{F: atom}); got != want {
+			t.Errorf("formula %d: lattice AG = %v, tautology = %v", fi, got, want)
+		}
+		if !explore.CheckObserverIndependent(l, atom) {
+			t.Errorf("formula %d: reduction predicate not observer-independent", fi)
+		}
+	}
+}
+
+// TestQuickReductionAgreement drives random CNFs through both reductions.
+func TestQuickReductionAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		cnf := RandomCNF(3, 5, 2, seed)
+		comp, p := ReduceSAT(cnf)
+		_, want := Satisfiable(cnf)
+		if core.EGArbitrary(comp, p) != want {
+			return false
+		}
+		comp2, p2 := ReduceTautology(cnf)
+		_, wantT := Tautology(cnf)
+		return core.AGArbitrary(comp2, p2) == wantT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"repro/internal/computation"
+)
+
+// Snapshot simulates one round of the Chandy–Lamport distributed snapshot
+// protocol over n fully connected processes: the initiator (process 0)
+// records its state and sends markers on every outgoing channel; each
+// process records on first marker receipt and relays markers. Variable
+// recorded ∈ {0,1} per process; variable markers counts markers seen.
+//
+// Intended properties: the stable predicate "everyone recorded" (EF = AF),
+// and AG(disj(recorded_0 = 1, recorded_i = 0)) — nobody records before the
+// initiator, a causal-ordering invariant of the protocol.
+func Snapshot(n int) *computation.Computation {
+	if n < 2 {
+		panic("sim: snapshot needs at least two processes")
+	}
+	b := computation.NewBuilder(n)
+	// Initiator records and sends markers to everyone.
+	init := b.Internal(0)
+	computation.Set(init, "recorded", 1)
+	markers := make([]computation.Msg, n)
+	for p := 1; p < n; p++ {
+		_, m := b.Send(0)
+		markers[p] = m
+	}
+	// Every other process receives the initiator's marker, records, and
+	// relays markers to the remaining processes.
+	relayed := make([][]computation.Msg, n)
+	for p := 1; p < n; p++ {
+		r := b.Receive(p, markers[p])
+		computation.Set(r, "recorded", 1)
+		computation.Set(r, "markers", 1)
+		relayed[p] = make([]computation.Msg, 0, n-2)
+		for q := 1; q < n; q++ {
+			if q == p {
+				continue
+			}
+			_, m := b.Send(p)
+			relayed[p] = append(relayed[p], m)
+		}
+	}
+	// Deliver the relayed markers (already recorded, so they only bump
+	// the marker counter).
+	for p := 1; p < n; p++ {
+		count := 1
+		for q := 1; q < n; q++ {
+			if q == p {
+				continue
+			}
+			// Find p's marker from q: relayed[q] holds messages for all
+			// processes except q, in ascending destination order.
+			idx := 0
+			for d := 1; d < n; d++ {
+				if d == q {
+					continue
+				}
+				if d == p {
+					break
+				}
+				idx++
+			}
+			count++
+			rcv := b.Receive(p, relayed[q][idx])
+			computation.Set(rcv, "markers", count)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Termination simulates a diffusing computation in the style of
+// Dijkstra–Scholten: the root (process 0) activates the workers; each
+// worker performs `work` internal steps, optionally forwards one
+// activation to the next worker, and reports completion back to the root.
+// Variable active ∈ {0,1} per process.
+//
+// "All processes passive and no messages in flight" is the classic stable
+// termination predicate: detect with
+// EF(conj(active@Pi == 0 …) && channelsEmpty) — equivalently AF, since the
+// predicate is stable.
+func Termination(workers, work int) *computation.Computation {
+	if workers < 1 {
+		panic("sim: termination needs at least one worker")
+	}
+	n := workers + 1
+	b := computation.NewBuilder(n)
+	// The root is active from the very start, so "everything passive and
+	// quiet" is false at ∅ and stays false until true termination —
+	// making the predicate stable on this computation.
+	b.SetInitial(0, "active", 1)
+	// Activate all workers.
+	acts := make([]computation.Msg, workers)
+	for w := 1; w <= workers; w++ {
+		_, m := b.Send(0)
+		acts[w-1] = m
+	}
+	// Workers run and report back.
+	reports := make([]computation.Msg, workers)
+	for w := 1; w <= workers; w++ {
+		r := b.Receive(w, acts[w-1])
+		computation.Set(r, "active", 1)
+		for i := 0; i < work; i++ {
+			computation.Set(b.Internal(w), "steps", i+1)
+		}
+		var done *computation.Event
+		done, reports[w-1] = b.Send(w)
+		computation.Set(done, "active", 0)
+	}
+	// Root collects reports and goes passive.
+	for w := 1; w <= workers; w++ {
+		b.Receive(0, reports[w-1])
+	}
+	computation.Set(b.Internal(0), "active", 0)
+	return b.MustBuild()
+}
+
+// CausalBroadcast simulates a broadcast followed by a reply that causally
+// depends on it. With violate=false the reply is delivered after the
+// original broadcast everywhere (causal delivery); with violate=true one
+// process delivers the reply before the broadcast it depends on —
+// the classic causal-ordering violation a happened-before monitor should
+// flag. Variables: got_b, got_r ∈ {0,1} per receiving process.
+//
+// The detection formula is AG(disj(got_r_i = 0, got_b_i = 1)): whenever
+// the reply has been delivered, the broadcast must have been too. On the
+// violating trace EF of the complement pinpoints the offending state.
+func CausalBroadcast(violate bool) *computation.Computation {
+	// P0 broadcasts b to P1 and P2; P1 replies r to P2.
+	b := computation.NewBuilder(3)
+	_, mB1 := b.Send(0) // broadcast to P1
+	_, mB2 := b.Send(0) // broadcast to P2
+	r1 := b.Receive(1, mB1)
+	computation.Set(r1, "got_b", 1)
+	_, mR := b.Send(1) // reply, causally after the broadcast
+
+	if violate {
+		// P2 delivers the reply first — a causal violation.
+		rr := b.Receive(2, mR)
+		computation.Set(rr, "got_r", 1)
+		rb := b.Receive(2, mB2)
+		computation.Set(rb, "got_b", 1)
+	} else {
+		rb := b.Receive(2, mB2)
+		computation.Set(rb, "got_b", 1)
+		rr := b.Receive(2, mR)
+		computation.Set(rr, "got_r", 1)
+	}
+	return b.MustBuild()
+}

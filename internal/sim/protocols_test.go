@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/core"
+	"repro/internal/ctl"
+	"repro/internal/lattice"
+	"repro/internal/predicate"
+)
+
+func TestSnapshotStructure(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		comp := Snapshot(n)
+		final := comp.FinalCut()
+		for p := 0; p < n; p++ {
+			if v, _ := comp.Value(p, final[p], "recorded"); v != 1 {
+				t.Errorf("n=%d: P%d never recorded", n, p+1)
+			}
+		}
+		if !comp.ChannelsEmpty(final) {
+			t.Errorf("n=%d: markers left in flight", n)
+		}
+		// Non-initiators end with n-1 markers.
+		for p := 1; p < n; p++ {
+			if v, _ := comp.Value(p, final[p], "markers"); v != n-1 {
+				t.Errorf("n=%d: P%d saw %d markers, want %d", n, p+1, v, n-1)
+			}
+		}
+	}
+}
+
+func TestSnapshotInvariants(t *testing.T) {
+	comp := Snapshot(3)
+	// "Everyone recorded" is stable: detect via a single observation and
+	// confirm on the lattice.
+	all := predicate.Conj(
+		predicate.VarCmp{Proc: 0, Var: "recorded", Op: predicate.EQ, K: 1},
+		predicate.VarCmp{Proc: 1, Var: "recorded", Op: predicate.EQ, K: 1},
+		predicate.VarCmp{Proc: 2, Var: "recorded", Op: predicate.EQ, K: 1},
+	)
+	l, err := lattice.Build(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, g, h := l.CheckStable(all); !ok {
+		t.Fatalf("\"everyone recorded\" not stable: %v → %v", g, h)
+	}
+	if !core.DetectObserverIndependent(comp, all) {
+		t.Error("stable predicate not detected along an observation")
+	}
+	// Nobody records before the initiator: AG(recorded_0 = 1 ∨
+	// recorded_i = 0) for each i.
+	for p := 1; p < 3; p++ {
+		d := predicate.Disj(
+			predicate.VarCmp{Proc: 0, Var: "recorded", Op: predicate.EQ, K: 1},
+			predicate.VarCmp{Proc: p, Var: "recorded", Op: predicate.EQ, K: 0},
+		)
+		res, err := core.Detect(comp, ctl.AG{F: ctl.Atom{P: d}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Holds {
+			t.Errorf("P%d can record before the initiator (cex %v)", p+1, res.Counterexample)
+		}
+	}
+}
+
+func TestTerminationDetection(t *testing.T) {
+	comp := Termination(3, 2)
+	locals := make([]predicate.LocalPredicate, 0, comp.N())
+	for p := 0; p < comp.N(); p++ {
+		locals = append(locals, predicate.VarCmp{Proc: p, Var: "active", Op: predicate.EQ, K: 0})
+	}
+	terminated := predicate.AndLinear{Ps: []predicate.Linear{
+		predicate.Conjunctive{Locals: locals},
+		predicate.ChannelsEmpty{},
+	}}
+	// The stable termination predicate is detectable from any single
+	// observation and via advancement; both must agree.
+	l, err := lattice.Build(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, g, h := l.CheckStable(terminated); !ok {
+		t.Fatalf("termination predicate not stable: %v → %v", g, h)
+	}
+	cut, ok := core.LeastCut(comp, terminated)
+	if !ok {
+		t.Fatal("termination never detected")
+	}
+	if !cut.Equal(comp.FinalCut()) {
+		t.Errorf("termination detected early at %v", cut)
+	}
+	if !core.DetectObserverIndependent(comp, terminated) {
+		t.Error("single-observation detection missed termination")
+	}
+	// Before the root goes passive, termination must not hold anywhere.
+	pre := comp.FinalCut()
+	pre[0]--
+	if terminated.Eval(comp, pre) {
+		t.Error("terminated while the root is still active")
+	}
+}
+
+func TestCausalBroadcast(t *testing.T) {
+	// Causal delivery invariant: got_r = 1 implies got_b = 1 on P3.
+	inv := ctl.AG{F: ctl.Atom{P: predicate.Disj(
+		predicate.VarCmp{Proc: 2, Var: "got_r", Op: predicate.EQ, K: 0},
+		predicate.VarCmp{Proc: 2, Var: "got_b", Op: predicate.EQ, K: 1},
+	)}}
+	good := CausalBroadcast(false)
+	res, err := core.Detect(good, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Errorf("causal trace violates the invariant at %v", res.Counterexample)
+	}
+	bad := CausalBroadcast(true)
+	res, err = core.Detect(bad, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Error("violating trace passes the invariant")
+	}
+	if res.Counterexample == nil {
+		t.Fatal("no counterexample produced")
+	}
+	// The counterexample exposes got_r = 1 with got_b = 0 on P3.
+	if v, _ := bad.Value(2, res.Counterexample[2], "got_r"); v != 1 {
+		t.Errorf("counterexample %v does not show the reply delivered", res.Counterexample)
+	}
+	if v, _ := bad.Value(2, res.Counterexample[2], "got_b"); v != 0 {
+		t.Errorf("counterexample %v does not show the broadcast missing", res.Counterexample)
+	}
+}
+
+func TestCausalBroadcastEventualDelivery(t *testing.T) {
+	for _, violate := range []bool{false, true} {
+		comp := CausalBroadcast(violate)
+		if !comp.ChannelsEmpty(comp.FinalCut()) {
+			t.Errorf("violate=%v: messages left in flight", violate)
+		}
+		final := comp.FinalCut()
+		for _, v := range []string{"got_b", "got_r"} {
+			if x, _ := comp.Value(2, final[2], v); x != 1 {
+				t.Errorf("violate=%v: %s = %d at the end", violate, v, x)
+			}
+		}
+	}
+}
+
+func TestProtocolSpecs(t *testing.T) {
+	for _, spec := range []string{"snapshot:n=3", "causal:violate=1", "causal"} {
+		comp, err := FromSpec(spec)
+		if err != nil {
+			t.Errorf("FromSpec(%q): %v", spec, err)
+			continue
+		}
+		if comp.TotalEvents() == 0 {
+			t.Errorf("FromSpec(%q): empty computation", spec)
+		}
+		if !comp.Consistent(comp.FinalCut()) {
+			t.Errorf("FromSpec(%q): inconsistent final cut", spec)
+		}
+	}
+	var _ computation.Cut // keep import if assertions change
+}

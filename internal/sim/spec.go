@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/computation"
+)
+
+// FromSpec builds a workload computation from a textual spec of the form
+// "name:key=val,key=val". Recognized names and their keys (with defaults):
+//
+//	mutex:n=3,rounds=2            token-ring mutual exclusion
+//	buggymutex:n=3,rounds=1,faulty=1   mutex with an injected violation
+//	election:n=4                  ring leader election
+//	prodcons:producers=2,items=3  producer–consumer
+//	barrier:n=3,rounds=2          barrier synchronization
+//	2pc:participants=3,abort=0    two-phase commit (abort=0: all commit)
+//	chain:n=2,events=20           fully sequential computation
+//	grid:n=3,events=4             fully concurrent computation
+//	random:n=3,events=20,seed=1   seeded random computation
+//	snapshot:n=3                  Chandy–Lamport snapshot round
+//	termination:workers=3,work=2  diffusing computation (Dijkstra–Scholten)
+//	causal:violate=0|1            causal broadcast (optionally violated)
+//	fig2, fig4                    the paper's example computations
+//
+// Process numbers in specs are counts; the faulty/abort keys are 1-based
+// process identifiers (0 disables the fault for 2pc).
+func FromSpec(spec string) (*computation.Computation, error) {
+	name := spec
+	args := map[string]int{}
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name = spec[:i]
+		for _, kv := range strings.Split(spec[i+1:], ",") {
+			if kv == "" {
+				continue
+			}
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("sim: bad spec parameter %q", kv)
+			}
+			v, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("sim: bad value in %q: %v", kv, err)
+			}
+			args[parts[0]] = v
+		}
+	}
+	get := func(key string, def int) int {
+		if v, ok := args[key]; ok {
+			return v
+		}
+		return def
+	}
+	switch name {
+	case "mutex":
+		return TokenRingMutex(get("n", 3), get("rounds", 2)), nil
+	case "buggymutex":
+		return BuggyMutex(get("n", 3), get("rounds", 1), get("faulty", 1)-1), nil
+	case "election":
+		return LeaderElection(get("n", 4)), nil
+	case "prodcons":
+		return ProducerConsumer(get("producers", 2), get("items", 3)), nil
+	case "barrier":
+		return Barrier(get("n", 3), get("rounds", 2)), nil
+	case "2pc":
+		return TwoPhaseCommit(get("participants", 3), get("abort", 0)), nil
+	case "chain":
+		return Chain(get("n", 2), get("events", 20)), nil
+	case "grid":
+		return Grid(get("n", 3), get("events", 4)), nil
+	case "random":
+		cfg := DefaultRandomConfig(get("n", 3), get("events", 20))
+		return Random(cfg, int64(get("seed", 1))), nil
+	case "snapshot":
+		return Snapshot(get("n", 3)), nil
+	case "termination":
+		return Termination(get("workers", 3), get("work", 2)), nil
+	case "causal":
+		return CausalBroadcast(get("violate", 0) != 0), nil
+	case "fig2":
+		return Fig2(), nil
+	case "fig4":
+		return Fig4(), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown workload %q", name)
+	}
+}

@@ -1,0 +1,306 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/computation"
+)
+
+// TokenRingMutex simulates token-based mutual exclusion on a ring of n
+// processes for the given number of rounds. The token circulates
+// P1 → P2 → … → Pn → P1 …; the holder raises try, enters the critical
+// section (crit = 1) while holding the token, leaves it, and forwards the
+// token.
+//
+// Per process variables: try, crit ∈ {0, 1}. The intended properties are
+// AG(¬(crit_i ∧ crit_j)) for i ≠ j (safety) and A[try_i U crit_i]-style
+// liveness within the observed trace.
+func TokenRingMutex(n, rounds int) *computation.Computation {
+	if n < 2 {
+		panic("sim: token ring needs at least two processes")
+	}
+	b := computation.NewBuilder(n)
+	// P1 starts with the token; no message needed for its first entry.
+	var token computation.Msg
+	haveToken := false
+	for r := 0; r < rounds; r++ {
+		for p := 0; p < n; p++ {
+			// Want the critical section: raise try.
+			computation.Set(b.Internal(p), "try", 1)
+			if haveToken {
+				computation.Set(b.Receive(p, token), "token", 1)
+			}
+			// Enter and leave the critical section.
+			e := b.Internal(p)
+			computation.Set(e, "crit", 1)
+			computation.Set(e, "try", 0)
+			computation.Set(b.Internal(p), "crit", 0)
+			// Forward the token to the next process.
+			var s *computation.Event
+			s, token = b.Send(p)
+			computation.Set(s, "token", 0)
+			haveToken = true
+		}
+	}
+	// The final token transfer stays in flight: receive it at P1 so the
+	// trace ends with empty channels.
+	if haveToken {
+		computation.Set(b.Receive(0, token), "token", 1)
+		tail := b.Internal(0)
+		computation.Set(tail, "token", 0)
+	}
+	return b.MustBuild()
+}
+
+// BuggyMutex is TokenRingMutex with an injected fault: process faulty
+// enters the critical section once without waiting for the token, so two
+// processes can be critical concurrently. Used by the mutex example to
+// show invariant violation detection.
+func BuggyMutex(n, rounds, faulty int) *computation.Computation {
+	if n < 2 {
+		panic("sim: mutex needs at least two processes")
+	}
+	b := computation.NewBuilder(n)
+	var token computation.Msg
+	haveToken := false
+	for r := 0; r < rounds; r++ {
+		for p := 0; p < n; p++ {
+			computation.Set(b.Internal(p), "try", 1)
+			if haveToken {
+				computation.Set(b.Receive(p, token), "token", 1)
+			}
+			e := b.Internal(p)
+			computation.Set(e, "crit", 1)
+			computation.Set(e, "try", 0)
+			if r == 0 && p == (faulty+1)%n && faulty >= 0 {
+				// Fault: the faulty process barges in concurrently while p
+				// is still critical (no ordering between them).
+				computation.Set(b.Internal(faulty), "crit", 1)
+				computation.Set(b.Internal(faulty), "crit", 0)
+			}
+			computation.Set(b.Internal(p), "crit", 0)
+			var s *computation.Event
+			s, token = b.Send(p)
+			computation.Set(s, "token", 0)
+			haveToken = true
+		}
+	}
+	if haveToken {
+		computation.Set(b.Receive(0, token), "token", 1)
+	}
+	return b.MustBuild()
+}
+
+// LeaderElection simulates a single-round ring election (Chang–Roberts
+// flavored, simplified): each process proposes its id; proposals circulate
+// once around the ring and every process adopts the maximum id seen.
+// Variable leader holds the currently believed leader id (0 = none yet);
+// variable done is 1 once the process has decided.
+//
+// The intended properties are EF(conj(done_i = 1 for all i)) and
+// AG(disj(leader_i = 0, leader_i = n)): once decided, everyone agrees on
+// the maximum id n.
+func LeaderElection(n int) *computation.Computation {
+	if n < 2 {
+		panic("sim: election needs at least two processes")
+	}
+	b := computation.NewBuilder(n)
+	for p := 0; p < n; p++ {
+		b.SetInitial(p, "leader", 0)
+	}
+	// Each process sends its proposal around the ring; we simulate the
+	// aggregate pass: proposals travel hop by hop, each hop forwarding the
+	// running maximum.
+	best := make([]int, n)
+	for p := 0; p < n; p++ {
+		best[p] = p + 1 // own id
+	}
+	// n-1 hops of the maximum-forwarding wave started by each process is
+	// equivalent (for the final state) to one full circulation of the
+	// global maximum; simulate that single circulation plus a decision
+	// event per process.
+	start := n - 1 // the process with the maximum id n starts the wave
+	cur := start
+	var m computation.Msg
+	for hop := 0; hop < n; hop++ {
+		next := (cur + 1) % n
+		var s *computation.Event
+		s, m = b.Send(cur)
+		computation.Set(s, "sent", 1)
+		r := b.Receive(next, m)
+		computation.Set(r, "leader", n)
+		cur = next
+	}
+	for p := 0; p < n; p++ {
+		e := b.Internal(p)
+		computation.Set(e, "done", 1)
+		if p == start {
+			computation.Set(e, "leader", n)
+		}
+	}
+	return b.MustBuild()
+}
+
+// ProducerConsumer simulates producers streaming items to one consumer
+// (process 0). Producer i (process i ≥ 1) sends items; the consumer
+// receives them round-robin as available. Variables: produced_i on each
+// producer, consumed and backlog on the consumer.
+//
+// Channel predicates shine here: "backlog bounded" is AG(consumed-lag),
+// and "eventually drained" is EF(channelsEmpty ∧ consumed = total).
+func ProducerConsumer(producers, itemsPerProducer int) *computation.Computation {
+	if producers < 1 {
+		panic("sim: need at least one producer")
+	}
+	n := producers + 1
+	b := computation.NewBuilder(n)
+	var queue []computation.Msg
+	consumed := 0
+	for item := 0; item < itemsPerProducer; item++ {
+		for p := 1; p <= producers; p++ {
+			s, m := b.Send(p)
+			computation.Set(s, "produced", item+1)
+			queue = append(queue, m)
+			// Consumer lags by up to `producers` items.
+			if len(queue) > producers {
+				r := b.Receive(0, queue[0])
+				queue = queue[1:]
+				consumed++
+				computation.Set(r, "consumed", consumed)
+				computation.Set(r, "backlog", len(queue))
+			}
+		}
+	}
+	for _, m := range queue {
+		r := b.Receive(0, m)
+		consumed++
+		computation.Set(r, "consumed", consumed)
+	}
+	computation.Set(b.Internal(0), "drained", 1)
+	return b.MustBuild()
+}
+
+// Barrier simulates rounds of barrier synchronization coordinated by
+// process 0: everyone reports to the coordinator, which then releases
+// everyone into the next phase. Variable phase counts completed barriers
+// per process.
+//
+// The intended property is AG over the phase skew: any two processes are
+// within one phase of each other, a conjunctive-per-pair predicate.
+func Barrier(n, rounds int) *computation.Computation {
+	if n < 2 {
+		panic("sim: barrier needs at least two processes")
+	}
+	b := computation.NewBuilder(n)
+	for r := 1; r <= rounds; r++ {
+		arrive := make([]computation.Msg, 0, n-1)
+		for p := 1; p < n; p++ {
+			s, m := b.Send(p)
+			computation.Set(s, "arrived", r)
+			arrive = append(arrive, m)
+		}
+		for _, m := range arrive {
+			b.Receive(0, m)
+		}
+		computation.Set(b.Internal(0), "phase", r)
+		release := make([]computation.Msg, 0, n-1)
+		for p := 1; p < n; p++ {
+			_, m := b.Send(0)
+			release = append(release, m)
+			_ = p
+		}
+		for p := 1; p < n; p++ {
+			rcv := b.Receive(p, release[p-1])
+			computation.Set(rcv, "phase", r)
+		}
+	}
+	return b.MustBuild()
+}
+
+// TwoPhaseCommit simulates one two-phase commit round: the coordinator
+// (process 0) solicits votes, participants vote (participant `abortAt`
+// votes abort when ≥ 1), and the coordinator broadcasts the decision.
+// Variables: vote (1 commit, 2 abort), decided (1 commit, 2 abort) per
+// process.
+//
+// Intended properties: AG(¬(decided_i = 1 ∧ decided_j = 2)) — no process
+// commits while another aborts — and A[voted U decided] style untils.
+func TwoPhaseCommit(participants, abortAt int) *computation.Computation {
+	if participants < 1 {
+		panic("sim: need at least one participant")
+	}
+	n := participants + 1
+	b := computation.NewBuilder(n)
+	// Phase 1: solicit and collect votes.
+	solicit := make([]computation.Msg, participants)
+	for p := 1; p <= participants; p++ {
+		_, m := b.Send(0)
+		solicit[p-1] = m
+	}
+	votes := make([]computation.Msg, participants)
+	decision := 1
+	for p := 1; p <= participants; p++ {
+		b.Receive(p, solicit[p-1])
+		v := 1
+		if p == abortAt {
+			v = 2
+			decision = 2
+		}
+		s, m := b.Send(p)
+		computation.Set(s, "vote", v)
+		votes[p-1] = m
+	}
+	for p := 1; p <= participants; p++ {
+		b.Receive(0, votes[p-1])
+	}
+	computation.Set(b.Internal(0), "decided", decision)
+	// Phase 2: broadcast decision.
+	bc := make([]computation.Msg, participants)
+	for p := 1; p <= participants; p++ {
+		_, m := b.Send(0)
+		bc[p-1] = m
+	}
+	for p := 1; p <= participants; p++ {
+		r := b.Receive(p, bc[p-1])
+		computation.Set(r, "decided", decision)
+	}
+	return b.MustBuild()
+}
+
+// Chain builds a fully sequential computation (each event causally after
+// the previous one via messages bouncing between processes) — the lattice
+// degenerates to a single path. Useful as a benchmark extreme.
+func Chain(n, events int) *computation.Computation {
+	if n < 2 {
+		panic("sim: chain needs at least two processes")
+	}
+	b := computation.NewBuilder(n)
+	cur := 0
+	for i := 0; i < events; i++ {
+		next := (cur + 1) % n
+		s, m := b.Send(cur)
+		computation.Set(s, "step", i)
+		b.Receive(next, m)
+		cur = next
+	}
+	return b.MustBuild()
+}
+
+// Grid builds a fully concurrent computation: n processes each executing
+// k independent internal events — the lattice is the full (k+1)^n grid,
+// the worst case for explicit enumeration.
+func Grid(n, k int) *computation.Computation {
+	b := computation.NewBuilder(n)
+	for p := 0; p < n; p++ {
+		for i := 1; i <= k; i++ {
+			computation.Set(b.Internal(p), "c", i)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Describe summarizes a computation for CLI output.
+func Describe(comp *computation.Computation) string {
+	return fmt.Sprintf("%d processes, %d events, %d messages",
+		comp.N(), comp.TotalEvents(), len(comp.Messages()))
+}

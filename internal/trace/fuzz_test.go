@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzDecode asserts the decoder never panics on arbitrary input and that
+// any successfully decoded trace re-encodes and decodes to a computation
+// of identical shape.
+func FuzzDecode(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, sim.Fig4()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	buf.Reset()
+	if err := Encode(&buf, sim.TokenRingMutex(3, 1)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"version":1,"processes":2,"events":[{"proc":1,"kind":"send","msg":1},{"proc":2,"kind":"receive","msg":1}]}`)
+	f.Add(`{"version":1,"processes":1,"events":[]}`)
+	f.Add(`{"version":1,"processes":-1}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Add("\x00\x01\x02")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		comp, err := Decode(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Encode(&out, comp); err != nil {
+			t.Fatalf("decoded computation fails to encode: %v", err)
+		}
+		back, err := Decode(&out)
+		if err != nil {
+			t.Fatalf("re-encoded trace fails to decode: %v\n%s", err, out.String())
+		}
+		if back.N() != comp.N() || back.TotalEvents() != comp.TotalEvents() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				comp.N(), comp.TotalEvents(), back.N(), back.TotalEvents())
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/sim"
+)
+
+// sameComputation compares two computations structurally: dimensions,
+// event kinds/labels, vector clocks, and all local-state valuations.
+func sameComputation(t *testing.T, a, b *computation.Computation) {
+	t.Helper()
+	if a.N() != b.N() {
+		t.Fatalf("process counts differ: %d vs %d", a.N(), b.N())
+	}
+	for i := 0; i < a.N(); i++ {
+		if a.Len(i) != b.Len(i) {
+			t.Fatalf("P%d event counts differ: %d vs %d", i+1, a.Len(i), b.Len(i))
+		}
+		for k := 1; k <= a.Len(i); k++ {
+			ea, eb := a.Event(i, k), b.Event(i, k)
+			if ea.Kind != eb.Kind || ea.Label != eb.Label {
+				t.Errorf("event (%d,%d): %v/%q vs %v/%q", i, k, ea.Kind, ea.Label, eb.Kind, eb.Label)
+			}
+			if !ea.Clock.Equal(eb.Clock) {
+				t.Errorf("event (%d,%d) clocks differ: %v vs %v", i, k, ea.Clock, eb.Clock)
+			}
+		}
+		va, vb := a.Vars(i), b.Vars(i)
+		if len(va) != len(vb) {
+			t.Fatalf("P%d vars differ: %v vs %v", i+1, va, vb)
+		}
+		for vi, name := range va {
+			if vb[vi] != name {
+				t.Fatalf("P%d vars differ: %v vs %v", i+1, va, vb)
+			}
+			for k := 0; k <= a.Len(i); k++ {
+				x, _ := a.Value(i, k, name)
+				y, _ := b.Value(i, k, name)
+				if x != y {
+					t.Errorf("value %s@P%d state %d: %d vs %d", name, i+1, k, x, y)
+				}
+			}
+		}
+	}
+	// Message structure.
+	ma, mb := a.Messages(), b.Messages()
+	if len(ma) != len(mb) {
+		t.Fatalf("message counts differ: %d vs %d", len(ma), len(mb))
+	}
+}
+
+func TestRoundTripFixtures(t *testing.T) {
+	for name, comp := range map[string]*computation.Computation{
+		"fig2": sim.Fig2(),
+		"fig4": sim.Fig4(),
+	} {
+		var buf bytes.Buffer
+		if err := Encode(&buf, comp); err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		sameComputation(t, comp, back)
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		comp := sim.Random(sim.DefaultRandomConfig(4, 30), seed)
+		var buf bytes.Buffer
+		if err := Encode(&buf, comp); err != nil {
+			t.Fatalf("seed %d: encode: %v", seed, err)
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		sameComputation(t, comp, back)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"bad version", `{"version":99,"processes":1,"events":[]}`},
+		{"no processes", `{"version":1,"processes":0,"events":[]}`},
+		{"bad proc", `{"version":1,"processes":1,"events":[{"proc":2,"kind":"internal"}]}`},
+		{"bad kind", `{"version":1,"processes":1,"events":[{"proc":1,"kind":"warp"}]}`},
+		{"recv before send", `{"version":1,"processes":2,"events":[{"proc":1,"kind":"receive","msg":1}]}`},
+		{"duplicate send id", `{"version":1,"processes":2,"events":[{"proc":1,"kind":"send","msg":1},{"proc":1,"kind":"send","msg":1}]}`},
+		{"self receive", `{"version":1,"processes":2,"events":[{"proc":1,"kind":"send","msg":1},{"proc":1,"kind":"receive","msg":1}]}`},
+		{"unknown field", `{"version":1,"processes":1,"events":[],"bogus":3}`},
+		{"bad initial proc", `{"version":1,"processes":1,"initial":[{"proc":9,"var":"x","value":1}],"events":[]}`},
+		{"not json", `hello`},
+	}
+	for _, c := range cases {
+		if _, err := Decode(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: decode succeeded", c.name)
+		}
+	}
+}
+
+func TestEncodeOmitsZeroInitials(t *testing.T) {
+	b := computation.NewBuilder(1)
+	b.SetInitial(0, "x", 0)
+	computation.Set(b.Internal(0), "x", 1)
+	var buf bytes.Buffer
+	if err := Encode(&buf, b.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"initial"`) {
+		t.Errorf("zero initial values should be omitted:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,95 @@
+// Package vclock implements vector clocks for tracking the happened-before
+// relation of Lamport in asynchronous message-passing systems.
+//
+// A vector clock V of size n assigns one logical-clock component per process.
+// For events e and f with clocks V(e) and V(f), e happened-before f exactly
+// when V(e) < V(f) in the componentwise order. Vector clocks therefore
+// characterize the partial order (E, →) completely, which is what every
+// detection algorithm in this module relies on.
+package vclock
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VC is a vector clock. Index i holds the number of events of process i
+// known to (causally preceding or equal to) the event stamped with this
+// clock. The zero-length VC is valid and compares as all-zeros.
+type VC []int
+
+// New returns a zero vector clock for n processes.
+func New(n int) VC { return make(VC, n) }
+
+// Copy returns an independent copy of v.
+func (v VC) Copy() VC {
+	w := make(VC, len(v))
+	copy(w, v)
+	return w
+}
+
+// Tick increments the component of process i and returns v for chaining.
+// It panics if i is out of range, as that is always a programming error.
+func (v VC) Tick(i int) VC {
+	v[i]++
+	return v
+}
+
+// MergeInto sets v to the componentwise maximum of v and w. The two clocks
+// must have the same length.
+func (v VC) MergeInto(w VC) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("vclock: merge of mismatched clocks (%d vs %d)", len(v), len(w)))
+	}
+	for i, x := range w {
+		if x > v[i] {
+			v[i] = x
+		}
+	}
+}
+
+// Merge returns a fresh clock holding the componentwise maximum of v and w.
+func Merge(v, w VC) VC {
+	u := v.Copy()
+	u.MergeInto(w)
+	return u
+}
+
+// LessEq reports whether v ≤ w componentwise.
+func (v VC) LessEq(w VC) bool {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("vclock: compare of mismatched clocks (%d vs %d)", len(v), len(w)))
+	}
+	for i, x := range v {
+		if x > w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Less reports whether v < w, i.e. v ≤ w and v ≠ w. This is exactly the
+// happened-before relation between the events carrying these clocks.
+func (v VC) Less(w VC) bool {
+	return v.LessEq(w) && !w.LessEq(v)
+}
+
+// Equal reports componentwise equality.
+func (v VC) Equal(w VC) bool {
+	return v.LessEq(w) && w.LessEq(v)
+}
+
+// Concurrent reports whether neither v ≤ w nor w ≤ v holds, i.e. the events
+// carrying these clocks are causally unrelated.
+func (v VC) Concurrent(w VC) bool {
+	return !v.LessEq(w) && !w.LessEq(v)
+}
+
+// String renders the clock as "[a b c]".
+func (v VC) String() string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprint(x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,213 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsZero(t *testing.T) {
+	v := New(4)
+	if len(v) != 4 {
+		t.Fatalf("len = %d, want 4", len(v))
+	}
+	for i, x := range v {
+		if x != 0 {
+			t.Errorf("component %d = %d, want 0", i, x)
+		}
+	}
+}
+
+func TestTick(t *testing.T) {
+	v := New(3)
+	v.Tick(1)
+	v.Tick(1)
+	v.Tick(2)
+	want := VC{0, 2, 1}
+	if !v.Equal(want) {
+		t.Errorf("v = %v, want %v", v, want)
+	}
+}
+
+func TestCopyIsIndependent(t *testing.T) {
+	v := VC{1, 2, 3}
+	w := v.Copy()
+	w.Tick(0)
+	if v[0] != 1 {
+		t.Errorf("copy aliases original: v = %v", v)
+	}
+	if w[0] != 2 {
+		t.Errorf("tick on copy failed: w = %v", w)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	v := VC{1, 5, 0}
+	w := VC{3, 2, 0}
+	m := Merge(v, w)
+	want := VC{3, 5, 0}
+	if !m.Equal(want) {
+		t.Errorf("Merge = %v, want %v", m, want)
+	}
+	// Inputs untouched.
+	if !v.Equal(VC{1, 5, 0}) || !w.Equal(VC{3, 2, 0}) {
+		t.Errorf("Merge mutated inputs: v=%v w=%v", v, w)
+	}
+}
+
+func TestMergeInto(t *testing.T) {
+	v := VC{1, 5, 0}
+	v.MergeInto(VC{3, 2, 7})
+	if !v.Equal(VC{3, 5, 7}) {
+		t.Errorf("MergeInto = %v, want [3 5 7]", v)
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	cases := []struct {
+		v, w               VC
+		lessEq, less, conc bool
+		eq                 bool
+		name               string
+	}{
+		{VC{0, 0}, VC{0, 0}, true, false, false, true, "equal zero"},
+		{VC{1, 2}, VC{1, 2}, true, false, false, true, "equal nonzero"},
+		{VC{1, 2}, VC{2, 2}, true, true, false, false, "strictly less"},
+		{VC{2, 2}, VC{1, 2}, false, false, false, false, "strictly greater"},
+		{VC{1, 3}, VC{3, 1}, false, false, true, false, "concurrent"},
+		{VC{0, 1}, VC{1, 0}, false, false, true, false, "concurrent unit"},
+	}
+	for _, c := range cases {
+		if got := c.v.LessEq(c.w); got != c.lessEq {
+			t.Errorf("%s: LessEq = %v, want %v", c.name, got, c.lessEq)
+		}
+		if got := c.v.Less(c.w); got != c.less {
+			t.Errorf("%s: Less = %v, want %v", c.name, got, c.less)
+		}
+		if got := c.v.Concurrent(c.w); got != c.conc {
+			t.Errorf("%s: Concurrent = %v, want %v", c.name, got, c.conc)
+		}
+		if got := c.v.Equal(c.w); got != c.eq {
+			t.Errorf("%s: Equal = %v, want %v", c.name, got, c.eq)
+		}
+	}
+}
+
+func TestMismatchedComparePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("LessEq on mismatched lengths did not panic")
+		}
+	}()
+	VC{1}.LessEq(VC{1, 2})
+}
+
+func TestMismatchedMergePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MergeInto on mismatched lengths did not panic")
+		}
+	}()
+	VC{1}.MergeInto(VC{1, 2})
+}
+
+func TestString(t *testing.T) {
+	if got := (VC{1, 0, 7}).String(); got != "[1 0 7]" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (VC{}).String(); got != "[]" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+// clamp maps arbitrary quick-generated ints into small non-negative clock
+// components so the property tests explore comparable clocks.
+func clamp(xs []int, n int) VC {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if i < len(xs) {
+			x := xs[i]
+			if x < 0 {
+				x = -x
+			}
+			v[i] = x % 5
+		}
+	}
+	return v
+}
+
+func TestQuickMergeIsUpperBound(t *testing.T) {
+	f := func(a, b []int) bool {
+		v, w := clamp(a, 4), clamp(b, 4)
+		m := Merge(v, w)
+		return v.LessEq(m) && w.LessEq(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMergeIsLeastUpperBound(t *testing.T) {
+	f := func(a, b, c []int) bool {
+		v, w, u := clamp(a, 3), clamp(b, 3), clamp(c, 3)
+		if v.LessEq(u) && w.LessEq(u) {
+			return Merge(v, w).LessEq(u)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOrderIsPartial(t *testing.T) {
+	f := func(a, b, c []int) bool {
+		v, w, u := clamp(a, 3), clamp(b, 3), clamp(c, 3)
+		// Reflexivity, antisymmetry, transitivity.
+		if !v.LessEq(v) {
+			return false
+		}
+		if v.LessEq(w) && w.LessEq(v) && !v.Equal(w) {
+			return false
+		}
+		if v.LessEq(w) && w.LessEq(u) && !v.LessEq(u) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConcurrentSymmetric(t *testing.T) {
+	f := func(a, b []int) bool {
+		v, w := clamp(a, 3), clamp(b, 3)
+		return v.Concurrent(w) == w.Concurrent(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExactlyOneRelation(t *testing.T) {
+	f := func(a, b []int) bool {
+		v, w := clamp(a, 3), clamp(b, 3)
+		rels := 0
+		if v.Equal(w) {
+			rels++
+		}
+		if v.Less(w) {
+			rels++
+		}
+		if w.Less(v) {
+			rels++
+		}
+		if v.Concurrent(w) {
+			rels++
+		}
+		return rels == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
