@@ -44,6 +44,10 @@ func runAblation() {
 			status = "  MISMATCH"
 		}
 		fmt.Printf("%4d %4d %12s %14s%s\n", n, 6, a1.Round(time.Microsecond), bt.Round(time.Microsecond), status)
+		emit("ablation", "a1-vs-backtracking", map[string]any{
+			"procs": n, "events_per_proc": 6, "a1_ns": a1.Nanoseconds(),
+			"backtracking_ns": bt.Nanoseconds(), "agree": a == b,
+		})
 	}
 
 	fmt.Println("\n[2] meet-irreducibles: Birkhoff formula vs lattice degree count")
@@ -63,6 +67,10 @@ func runAblation() {
 		}
 		fmt.Printf("%8d %4d %12s %16s %10d%s\n", comp.TotalEvents(), nk[0],
 			formula.Round(time.Microsecond), viaLattice.Round(time.Microsecond), l.Size(), status)
+		emit("ablation", "meet-irreducibles", map[string]any{
+			"events": comp.TotalEvents(), "procs": nk[0], "formula_ns": formula.Nanoseconds(),
+			"lattice_ns": viaLattice.Nanoseconds(), "cuts": l.Size(), "agree": len(mi) == len(deg),
+		})
 	}
 
 	fmt.Println("\n[3] A3 (EU via I_q) vs explicit-lattice EU")
@@ -86,6 +94,10 @@ func runAblation() {
 			status = "  MISMATCH"
 		}
 		fmt.Printf("%8d %12s %14s %10d%s\n", events, a3.Round(time.Microsecond), lat.Round(time.Microsecond), l.Size(), status)
+		emit("ablation", "a3-vs-lattice-eu", map[string]any{
+			"events": events, "a3_ns": a3.Nanoseconds(), "lattice_ns": lat.Nanoseconds(),
+			"cuts": l.Size(), "agree": a == b,
+		})
 	}
 
 	fmt.Println("\n[4] slice-based EG vs A1 (slice pays O(|E|) advancements up front)")
@@ -104,5 +116,8 @@ func runAblation() {
 			status = "  MISMATCH"
 		}
 		fmt.Printf("%8d %12s %14s%s\n", events, a1.Round(time.Microsecond), sl.Round(time.Microsecond), status)
+		emit("ablation", "a1-vs-slice", map[string]any{
+			"events": events, "a1_ns": a1.Nanoseconds(), "slice_ns": sl.Nanoseconds(), "agree": a == b,
+		})
 	}
 }

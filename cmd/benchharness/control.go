@@ -36,6 +36,10 @@ func runControl() {
 		}
 		fmt.Printf("%8d %8v %8v %10d %12s %12s\n",
 			comp.TotalEvents(), eg, ag, len(syncs), dt.Round(time.Microsecond), after)
+		emit("control", "req-ack", map[string]any{
+			"events": comp.TotalEvents(), "eg": eg, "ag": ag, "syncs": len(syncs),
+			"synth_ns": dt.Nanoseconds(), "ag_after": after, "ok": ok,
+		})
 	}
 }
 

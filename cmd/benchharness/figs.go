@@ -38,6 +38,9 @@ func runFig1() {
 		core.AGLinear(comp, p)
 		a2 := time.Since(start)
 		fmt.Printf("%8d %4d %12s %12s\n", events, 4, a1.Round(time.Microsecond), a2.Round(time.Microsecond))
+		emit("fig1", "scale-events", map[string]any{
+			"events": events, "procs": 4, "a1_ns": a1.Nanoseconds(), "a2_ns": a2.Nanoseconds(),
+		})
 	}
 	for _, n := range []int{2, 4, 8, 16, 32} {
 		comp := sim.Random(sim.DefaultRandomConfig(n, 4000), 11)
@@ -49,6 +52,9 @@ func runFig1() {
 		core.AGLinear(comp, p)
 		a2 := time.Since(start)
 		fmt.Printf("%8d %4d %12s %12s\n", 4000, n, a1.Round(time.Microsecond), a2.Round(time.Microsecond))
+		emit("fig1", "scale-procs", map[string]any{
+			"events": 4000, "procs": n, "a1_ns": a1.Nanoseconds(), "a2_ns": a2.Nanoseconds(),
+		})
 	}
 }
 
@@ -97,6 +103,9 @@ func runFig2() {
 	x := computation.Meet(computation.Meet(m("e1"), m("e2")), computation.Meet(m("e3"), m("f3")))
 	y := computation.Meet(m("e3"), m("f3"))
 	fmt.Printf("Corollary 4: X = ⊓{E1,E2,E3,F3} = %v, Y = ⊓{E3,F3} = %v\n", x, y)
+	emit("fig2", "lattice", map[string]any{
+		"cuts": l.Size(), "meet_irreducibles": len(l.MeetIrreducibles()),
+	})
 }
 
 // runFig3 reproduces the hardness constructions: SAT → EG (Theorem 5) and
@@ -137,6 +146,9 @@ func runFig3() {
 			}
 			fmt.Printf("%6d %10s %8v %10v %12s %10d (%s)\n", m, fam, want, got,
 				dt.Round(time.Microsecond), 3*(1<<uint(m)), status)
+			emit("fig3", "sat-eg", map[string]any{
+				"vars": m, "family": fam, "sat": want, "eg": got, "time_ns": dt.Nanoseconds(),
+			})
 		}
 	}
 	fmt.Println("\nTheorem 6: AG(P) on the reduction ⟺ φ tautology")
@@ -161,6 +173,9 @@ func runFig3() {
 				status = "MISMATCH"
 			}
 			fmt.Printf("%6d %10s %8v %10v %12s (%s)\n", m, fam, want, got, dt.Round(time.Microsecond), status)
+			emit("fig3", "taut-ag", map[string]any{
+				"vars": m, "family": fam, "taut": want, "ag": got, "time_ns": dt.Nanoseconds(),
+			})
 		}
 	}
 }
@@ -205,6 +220,10 @@ func runFig4() {
 		}
 	}
 	fmt.Printf("paths from ∅ to q-cuts: %d (paper: 7); of those to I_q: %d (paper text: 2 — see EXPERIMENTS.md)\n", total, toIq)
+	emit("fig4", "until", map[string]any{
+		"holds": holds, "witness_length": len(path), "lattice_cuts": l.Size(),
+		"paths_to_q": total, "paths_to_iq": toIq,
+	})
 }
 
 // runFig5 benchmarks Algorithm A3 (EU) and the AU composition across
@@ -228,6 +247,9 @@ func runFig5() {
 		core.AUDisjunctive(comp, dp, dq)
 		au := time.Since(start)
 		fmt.Printf("%8d %4d %12s %12s\n", events, 4, a3.Round(time.Microsecond), au.Round(time.Microsecond))
+		emit("fig5", "scale-events", map[string]any{
+			"events": events, "procs": 4, "a3_ns": a3.Nanoseconds(), "au_ns": au.Nanoseconds(),
+		})
 	}
 }
 
@@ -273,5 +295,10 @@ func runComplexity() {
 			n, k, cuts,
 			ef.Round(time.Microsecond), a1.Round(time.Microsecond), a2.Round(time.Microsecond),
 			baseline)
+		emit("complexity", "grid", map[string]any{
+			"procs": n, "events_per_proc": k, "cuts": cuts,
+			"ef_ns": ef.Nanoseconds(), "a1_ns": a1.Nanoseconds(), "a2_ns": a2.Nanoseconds(),
+			"lattice_eg": baseline,
+		})
 	}
 }

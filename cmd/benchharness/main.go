@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"repro/internal/buildinfo"
 )
 
 var experiments = []struct {
@@ -40,7 +42,21 @@ var experiments = []struct {
 
 func main() {
 	which := flag.String("experiment", "all", "experiment id or 'all'")
+	jsonOut := flag.Bool("json", false, "emit measurements as JSON on stdout (human tables go to stderr)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "benchharness")
+		return
+	}
+	realStdout := os.Stdout
+	if *jsonOut {
+		var recs []Record
+		recorder = &recs
+		// Experiments print their tables with fmt.Printf; divert them so
+		// stdout carries only the JSON document.
+		os.Stdout = os.Stderr
+	}
 	ran := false
 	for _, e := range experiments {
 		if *which == "all" || *which == e.name {
@@ -56,5 +72,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  %-11s %s\n", e.name, e.desc)
 		}
 		os.Exit(2)
+	}
+	if *jsonOut {
+		os.Stdout = realStdout
+		if err := dumpJSON(realStdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(2)
+		}
 	}
 }

@@ -33,6 +33,10 @@ func runOnline() {
 		})
 		dt := time.Since(start)
 		fmt.Printf("%8d %10v %14d %16s\n", events, w.Fired(), firedAt, dt.Round(time.Microsecond))
+		emit("online", "ef-watch", map[string]any{
+			"events": events, "fired": w.Fired(), "events_at_fire": firedAt,
+			"ingest_ns": dt.Nanoseconds(),
+		})
 	}
 	fmt.Println("\nonline AG violation watch: verdict at the first bad local state")
 	comp := sim.BuggyMutex(3, 1, 0)
@@ -47,6 +51,9 @@ func runOnline() {
 	cut, local := ag.Counterexample()
 	fmt.Printf("violation of %q detected after %d/%d events at cut %v\n",
 		local, violatedAt, comp.TotalEvents(), cut)
+	emit("online", "ag-watch", map[string]any{
+		"conjunct": local, "events_at_violation": violatedAt, "events": comp.TotalEvents(),
+	})
 }
 
 func feedAll(comp *computation.Computation, m *online.Monitor, step func(seen int)) {

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Record is one machine-readable measurement row emitted by an experiment.
+// With -json the harness collects every Record and dumps the list to the
+// real stdout at the end (human tables are diverted to stderr), so CI and
+// notebooks can ingest results without scraping tables.
+type Record struct {
+	Experiment string         `json:"experiment"`
+	Name       string         `json:"name"`
+	Fields     map[string]any `json:"fields"`
+}
+
+// recorder is nil in plain-text mode, making emit a no-op.
+var recorder *[]Record
+
+// emit appends a measurement row when -json is active.
+func emit(experiment, name string, fields map[string]any) {
+	if recorder == nil {
+		return
+	}
+	*recorder = append(*recorder, Record{Experiment: experiment, Name: name, Fields: fields})
+}
+
+// dumpJSON writes the collected records as an indented JSON array.
+func dumpJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	recs := *recorder
+	if recs == nil {
+		recs = []Record{}
+	}
+	return enc.Encode(recs)
+}

@@ -103,14 +103,21 @@ func runTable1() {
 				continue
 			}
 			timing := "exp (small only)"
+			largeNS := int64(-1)
 			if cl.expOps == nil || !cl.expOps[op.name] {
 				fBig := op.wrap(ctl.Atom{P: cl.make(big)})
 				start := time.Now()
 				if _, err := core.Detect(big, fBig); err == nil {
+					largeNS = time.Since(start).Nanoseconds()
 					timing = time.Since(start).Round(time.Microsecond).String()
 				}
 			}
 			fmt.Printf("%-15s %-3s %-6v %-55s %12s\n", cl.name, op.name, res.Holds, res.Algorithm, timing)
+			emit("table1", cl.name+"/"+op.name, map[string]any{
+				"class": cl.name, "op": op.name, "holds": res.Holds,
+				"algorithm": res.Algorithm, "time_large_ns": largeNS,
+				"cuts_visited": res.Stats.CutsVisited, "predicate_evals": res.Stats.PredicateEvals,
+			})
 		}
 	}
 	fmt.Println("\nuntil operators (Section 7):")
@@ -126,6 +133,10 @@ func runTable1() {
 	start := time.Now()
 	core.EUConjLinear(big, p, q)
 	fmt.Printf("%-19s time(large)=%s\n", "", time.Since(start).Round(time.Microsecond))
+	emit("table1", "EU", map[string]any{
+		"op": "EU", "holds": res.Holds, "algorithm": res.Algorithm,
+		"time_large_ns": time.Since(start).Nanoseconds(),
+	})
 
 	dp, dq := p.Negate(), predicate.Disj(predicate.VarCmp{Proc: 1, Var: "x0", Op: predicate.GE, K: 1})
 	auSmall := ctl.AU{P: ctl.Atom{P: dp}, Q: ctl.Atom{P: dq}}
@@ -135,4 +146,8 @@ func runTable1() {
 	start = time.Now()
 	core.AUDisjunctive(big, dp, dq)
 	fmt.Printf("%-19s time(large)=%s\n", "", time.Since(start).Round(time.Microsecond))
+	emit("table1", "AU", map[string]any{
+		"op": "AU", "holds": res.Holds, "algorithm": res.Algorithm,
+		"time_large_ns": time.Since(start).Nanoseconds(),
+	})
 }

@@ -17,6 +17,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/computation"
 	"repro/internal/debugger"
 	"repro/internal/sim"
@@ -27,8 +28,13 @@ func main() {
 	var (
 		traceFile = flag.String("trace", "", "JSON trace file")
 		workload  = flag.String("workload", "", "workload spec (see internal/sim.FromSpec)")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "hbdebug")
+		return
+	}
 	if (*traceFile == "") == (*workload == "") {
 		fmt.Fprintln(os.Stderr, "hbdebug: need exactly one of -trace or -workload")
 		flag.Usage()

@@ -1,0 +1,46 @@
+// Package buildinfo reports the module version and VCS state embedded by
+// the Go toolchain, shared by every CLI's -version flag.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version returns the best available version string: the module version
+// when built from a tagged module, otherwise the VCS revision (with a
+// +dirty suffix for modified working trees), otherwise "devel".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return rev + dirty
+	}
+	return "devel"
+}
+
+// Print writes the one-line -version output for the named command.
+func Print(w io.Writer, command string) {
+	fmt.Fprintf(w, "%s %s (%s, %s/%s)\n", command, Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -12,11 +12,13 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/computation"
 	"repro/internal/core"
 	"repro/internal/ctl"
 	"repro/internal/explore"
 	"repro/internal/lattice"
+	"repro/internal/obs"
 	"repro/internal/predicate"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -52,9 +54,26 @@ func RunDetect(args []string, stdout, stderr io.Writer) int {
 		check     = fs.Bool("check", false, "cross-check against the explicit-lattice model checker")
 		nested    = fs.Bool("nested", false, "allow nested temporal operators (explicit-lattice evaluation, exponential)")
 		quiet     = fs.Bool("q", false, "print only true/false")
+		stats     = fs.Bool("stats", false, "print per-run detection statistics (cuts visited, predicate evaluations, ...)")
+		traceOut  = fs.String("trace-jsonl", "", "append one JSON line per Detect run (a detection span) to this file")
+		version   = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		buildinfo.Print(stdout, "hbdetect")
+		return 0
+	}
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(stderr, "hbdetect:", err)
+			return 2
+		}
+		defer f.Close()
+		core.SetTracer(obs.NewTracer(f))
+		defer core.SetTracer(nil)
 	}
 	if *formula == "" && *formulas == "" {
 		fmt.Fprintln(stderr, "hbdetect: -formula or -formulas is required")
@@ -66,7 +85,7 @@ func RunDetect(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if *formulas != "" {
-		return runDetectBatch(comp, *formulas, *nested, stdout, stderr)
+		return runDetectBatch(comp, *formulas, *nested, *stats, stdout, stderr)
 	}
 	f, err := ctl.Parse(*formula)
 	if err != nil {
@@ -91,6 +110,9 @@ func RunDetect(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "formula:     %s\n", f)
 		fmt.Fprintf(stdout, "algorithm:   %s\n", res.Algorithm)
 		fmt.Fprintf(stdout, "holds:       %v\n", res.Holds)
+		if *stats && res.Stats != nil {
+			fmt.Fprintf(stdout, "stats:       %s\n", formatStats(res.Stats))
+		}
 		if *witness {
 			if len(res.Witness) > 0 {
 				fmt.Fprintln(stdout, "witness path:")
@@ -125,9 +147,16 @@ func RunDetect(args []string, stdout, stderr io.Writer) int {
 	return 1
 }
 
+// formatStats renders a Stats line for human output.
+func formatStats(s *core.Stats) string {
+	return fmt.Sprintf("cuts=%d evals=%d forbidden=%d advance=%d memo=%d witness=%d time=%s",
+		s.CutsVisited, s.PredicateEvals, s.ForbiddenCalls, s.AdvancementSteps,
+		s.MemoHits, s.WitnessLength, s.Duration)
+}
+
 // runDetectBatch runs every formula from a file and prints a result
 // table. Exit 0 when all hold, 1 when any fails, 2 on errors.
-func runDetectBatch(comp *computation.Computation, path string, nested bool, stdout, stderr io.Writer) int {
+func runDetectBatch(comp *computation.Computation, path string, nested, stats bool, stdout, stderr io.Writer) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(stderr, "hbdetect:", err)
@@ -157,7 +186,11 @@ func runDetectBatch(comp *computation.Computation, path string, nested bool, std
 		}
 		ran++
 		allHold = allHold && res.Holds
-		fmt.Fprintf(stdout, "%-5v  %-50s  %s\n", res.Holds, src, res.Algorithm)
+		if stats && res.Stats != nil {
+			fmt.Fprintf(stdout, "%-5v  %-50s  %-24s  %s\n", res.Holds, src, res.Algorithm, formatStats(res.Stats))
+		} else {
+			fmt.Fprintf(stdout, "%-5v  %-50s  %s\n", res.Holds, src, res.Algorithm)
+		}
 	}
 	if ran == 0 {
 		fmt.Fprintln(stderr, "hbdetect: no formulas in", path)
@@ -191,9 +224,14 @@ func RunTraceGen(args []string, stdout, stderr io.Writer) int {
 	var (
 		workload = fs.String("workload", "", "workload spec (see internal/sim.FromSpec)")
 		out      = fs.String("o", "", "output file (default stdout)")
+		version  = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		buildinfo.Print(stdout, "tracegen")
+		return 0
 	}
 	if *workload == "" {
 		fmt.Fprintln(stderr, "tracegen: -workload is required")
@@ -235,9 +273,14 @@ func RunLatticeViz(args []string, stdout, stderr io.Writer) int {
 		dotFile   = fs.String("dot", "", "write Graphviz DOT to this file ('-' for stdout)")
 		stats     = fs.Bool("stats", false, "print lattice statistics")
 		classify  = fs.String("classify", "", "non-temporal predicate to classify empirically (classes + applicable Table 1 algorithms)")
+		version   = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		buildinfo.Print(stdout, "latticeviz")
+		return 0
 	}
 	comp, err := load(*traceFile, *workload)
 	if err != nil {

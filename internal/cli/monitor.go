@@ -4,9 +4,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/computation"
 	"repro/internal/ctl"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/predicate"
 )
@@ -21,6 +26,9 @@ func RunMonitor(args []string, stdout, stderr io.Writer) int {
 	var (
 		traceFile = fs.String("trace", "", "JSON trace file to replay")
 		workload  = fs.String("workload", "", "generate a workload instead of reading a trace")
+		listen    = fs.String("listen", "", "serve live telemetry on this address (/metrics, /debug/vars, /healthz, /debug/pprof)")
+		delay     = fs.Duration("delay", 0, "sleep between replayed events (useful with -listen to watch metrics move)")
+		version   = fs.Bool("version", false, "print version and exit")
 		efSrcs    = multiFlag{}
 		agSrcs    = multiFlag{}
 	)
@@ -28,6 +36,10 @@ func RunMonitor(args []string, stdout, stderr io.Writer) int {
 	fs.Var(&agSrcs, "ag", "conjunctive predicate for an AG watch (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		buildinfo.Print(stdout, "hbmon")
+		return 0
 	}
 	comp, err := load(*traceFile, *workload)
 	if err != nil {
@@ -40,6 +52,19 @@ func RunMonitor(args []string, stdout, stderr io.Writer) int {
 	}
 
 	m := online.NewMonitor(comp.N())
+	if *listen != "" {
+		m.Instrument(obs.Default())
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintln(stderr, "hbmon:", err)
+			return 2
+		}
+		defer ln.Close()
+		srv := &http.Server{Handler: obs.NewMux(obs.Default())}
+		go srv.Serve(ln) //nolint:errcheck // closed on exit
+		defer srv.Close()
+		fmt.Fprintf(stderr, "hbmon: telemetry on http://%s/metrics\n", ln.Addr())
+	}
 	for i := 0; i < comp.N(); i++ {
 		for _, name := range comp.Vars(i) {
 			if v, _ := comp.Value(i, 0, name); v != 0 {
@@ -51,11 +76,13 @@ func RunMonitor(args []string, stdout, stderr io.Writer) int {
 		src   string
 		watch *online.EFWatch
 		done  bool
+		at    int // events ingested when the verdict latched
 	}
 	type agEntry struct {
 		src   string
 		watch *online.AGWatch
 		done  bool
+		at    int
 	}
 	var efs []*efEntry
 	var ags []*agEntry
@@ -85,12 +112,14 @@ func RunMonitor(args []string, stdout, stderr io.Writer) int {
 		for _, e := range efs {
 			if !e.done && e.watch.Fired() {
 				e.done = true
+				e.at = seen
 				fmt.Fprintf(stdout, "event %4d: EF %s FIRED at cut %v\n", seen, e.src, e.watch.Cut())
 			}
 		}
 		for _, a := range ags {
 			if !a.done && a.watch.Violated() {
 				a.done = true
+				a.at = seen
 				violations++
 				cut, local := a.watch.Counterexample()
 				fmt.Fprintf(stdout, "event %4d: AG %s VIOLATED (conjunct %s) at cut %v\n", seen, a.src, local, cut)
@@ -118,6 +147,9 @@ func RunMonitor(args []string, stdout, stderr io.Writer) int {
 			}
 			seen++
 			report()
+			if *delay > 0 {
+				time.Sleep(*delay)
+			}
 			break
 		}
 	}
@@ -130,6 +162,34 @@ func RunMonitor(args []string, stdout, stderr io.Writer) int {
 		if !a.done {
 			fmt.Fprintf(stdout, "end of trace: AG %s held throughout\n", a.src)
 		}
+	}
+
+	// Per-watch summary: verdict, the event index at which it latched, and
+	// how many events were ingested before the verdict was known.
+	fmt.Fprintf(stdout, "\nsummary (%d events replayed):\n", seen)
+	fmt.Fprintf(stdout, "  %-4s  %-44s  %-12s  %7s  %9s\n", "OP", "WATCH", "VERDICT", "EVENT", "INGESTED")
+	row := func(op, src, verdict string, done bool, at int) {
+		ev := "-"
+		ingested := seen
+		if done {
+			ev = fmt.Sprint(at)
+			ingested = at
+		}
+		fmt.Fprintf(stdout, "  %-4s  %-44s  %-12s  %7s  %9d\n", op, src, verdict, ev, ingested)
+	}
+	for _, e := range efs {
+		v := "pending"
+		if e.done {
+			v = "fired"
+		}
+		row("EF", e.src, v, e.done, e.at)
+	}
+	for _, a := range ags {
+		v := "held"
+		if a.done {
+			v = "violated"
+		}
+		row("AG", a.src, v, a.done, a.at)
 	}
 	if violations > 0 {
 		return 1

@@ -18,8 +18,14 @@ import (
 // The returned path, when ok, is a full maximal cut sequence
 // ∅ = G0 ▷ … ▷ Gl = E with p true at every cut.
 func EGLinear(comp *computation.Computation, p predicate.Predicate) (path []computation.Cut, ok bool) {
+	return egLinear(comp, p, nil)
+}
+
+func egLinear(comp *computation.Computation, p predicate.Predicate, st *Stats) (path []computation.Cut, ok bool) {
 	w := comp.FinalCut()
 	// Step 1: the final cut itself must satisfy p.
+	st.cuts(1)
+	st.evals(1)
 	if !p.Eval(comp, w) {
 		return nil, false
 	}
@@ -33,6 +39,8 @@ func EGLinear(comp *computation.Computation, p predicate.Predicate) (path []comp
 				continue
 			}
 			w[i]--
+			st.cuts(1)
+			st.evals(1)
 			if p.Eval(comp, w) {
 				rev = append(rev, w.Copy())
 				found = true
@@ -43,6 +51,7 @@ func EGLinear(comp *computation.Computation, p predicate.Predicate) (path []comp
 		if !found {
 			return nil, false
 		}
+		st.advance(1)
 	}
 	// Step 7 is implicit: the loop only reaches ∅ through satisfying cuts.
 	// Reverse into ∅ → E order.
@@ -58,7 +67,13 @@ func EGLinear(comp *computation.Computation, p predicate.Predicate) (path []comp
 // any successor cut satisfying p. The paper notes the same arbitrary-choice
 // argument applies by lattice duality.
 func EGPostLinear(comp *computation.Computation, p predicate.Predicate) (path []computation.Cut, ok bool) {
+	return egPostLinear(comp, p, nil)
+}
+
+func egPostLinear(comp *computation.Computation, p predicate.Predicate, st *Stats) (path []computation.Cut, ok bool) {
 	w := comp.InitialCut()
+	st.cuts(1)
+	st.evals(1)
 	if !p.Eval(comp, w) {
 		return nil, false
 	}
@@ -71,6 +86,8 @@ func EGPostLinear(comp *computation.Computation, p predicate.Predicate) (path []
 				continue
 			}
 			w[i]++
+			st.cuts(1)
+			st.evals(1)
 			if p.Eval(comp, w) {
 				path = append(path, w.Copy())
 				found = true
@@ -81,6 +98,7 @@ func EGPostLinear(comp *computation.Computation, p predicate.Predicate) (path []
 		if !found {
 			return nil, false
 		}
+		st.advance(1)
 	}
 	return path, true
 }

@@ -19,13 +19,21 @@ import (
 // When the invariant fails, the returned cut is a consistent counterexample
 // cut violating p.
 func AGLinear(comp *computation.Computation, p predicate.Predicate) (counterexample computation.Cut, ok bool) {
+	return agLinear(comp, p, nil)
+}
+
+func agLinear(comp *computation.Computation, p predicate.Predicate, st *Stats) (counterexample computation.Cut, ok bool) {
 	final := comp.FinalCut()
+	st.cuts(1)
+	st.evals(1)
 	if !p.Eval(comp, final) {
 		return final, false
 	}
 	for i := 0; i < comp.N(); i++ {
 		for _, e := range comp.Events(i) {
 			m := comp.UpSetComplement(e)
+			st.cuts(1)
+			st.evals(1)
 			if !p.Eval(comp, m) {
 				return m, false
 			}
@@ -39,13 +47,21 @@ func AGLinear(comp *computation.Computation, p predicate.Predicate) (counterexam
 // join-irreducible elements below it (the down-sets ↓e), so AG(p) holds iff
 // p holds at every ↓e and at the initial cut.
 func AGPostLinear(comp *computation.Computation, p predicate.Predicate) (counterexample computation.Cut, ok bool) {
+	return agPostLinear(comp, p, nil)
+}
+
+func agPostLinear(comp *computation.Computation, p predicate.Predicate, st *Stats) (counterexample computation.Cut, ok bool) {
 	initial := comp.InitialCut()
+	st.cuts(1)
+	st.evals(1)
 	if !p.Eval(comp, initial) {
 		return initial, false
 	}
 	for i := 0; i < comp.N(); i++ {
 		for _, e := range comp.Events(i) {
 			j := comp.DownSet(e)
+			st.cuts(1)
+			st.evals(1)
 			if !p.Eval(comp, j) {
 				return j, false
 			}

@@ -34,9 +34,16 @@ import (
 //
 // ok is false when no consistent cut satisfies p.
 func LeastCut(comp *computation.Computation, p predicate.Linear) (computation.Cut, bool) {
+	return leastCut(comp, p, nil)
+}
+
+func leastCut(comp *computation.Computation, p predicate.Linear, st *Stats) (computation.Cut, bool) {
 	cut := comp.InitialCut()
 	// Each iteration adds at least one event, so at most |E|+1 iterations.
+	st.cuts(1)
+	st.evals(1)
 	for !p.Eval(comp, cut) {
+		st.forbidden(1)
 		i, ok := p.Forbidden(comp, cut)
 		if !ok {
 			return nil, false // predicate unsatisfiable above cut
@@ -47,6 +54,9 @@ func LeastCut(comp *computation.Computation, p predicate.Linear) (computation.Cu
 		next := comp.Event(i, cut[i]+1)
 		// Advance to the least consistent cut containing cut ∪ {next}.
 		cut = computation.Join(cut, comp.DownSet(next))
+		st.advance(1)
+		st.cuts(1)
+		st.evals(1)
 	}
 	return cut, true
 }
@@ -57,8 +67,15 @@ func LeastCut(comp *computation.Computation, p predicate.Linear) (computation.Cu
 //
 // ok is false when no consistent cut satisfies p.
 func GreatestCut(comp *computation.Computation, p predicate.PostLinear) (computation.Cut, bool) {
+	return greatestCut(comp, p, nil)
+}
+
+func greatestCut(comp *computation.Computation, p predicate.PostLinear, st *Stats) (computation.Cut, bool) {
 	cut := comp.FinalCut()
+	st.cuts(1)
+	st.evals(1)
 	for !p.Eval(comp, cut) {
+		st.forbidden(1)
 		i, ok := p.Retreat(comp, cut)
 		if !ok {
 			return nil, false
@@ -70,6 +87,9 @@ func GreatestCut(comp *computation.Computation, p predicate.PostLinear) (computa
 		// Remove last and its causal up-set: the greatest consistent cut
 		// below cut excluding last is cut ⊓ (E − ↑last).
 		cut = computation.Meet(cut, comp.UpSetComplement(last))
+		st.advance(1)
+		st.cuts(1)
+		st.evals(1)
 	}
 	return cut, true
 }
@@ -94,9 +114,14 @@ func EFPostLinear(comp *computation.Computation, p predicate.PostLinear) bool {
 // every local state is exposed by at least one consistent cut (e.g. the
 // down-set of the state's last event joined with nothing else).
 func EFDisjunctive(comp *computation.Computation, p predicate.Disjunctive) bool {
+	return efDisjunctive(comp, p, nil)
+}
+
+func efDisjunctive(comp *computation.Computation, p predicate.Disjunctive, st *Stats) bool {
 	for _, l := range p.Locals {
 		proc := l.Process()
 		for k := 0; k <= comp.Len(proc); k++ {
+			st.evals(1)
 			if l.HoldsAt(comp, k) {
 				return true
 			}
@@ -108,6 +133,12 @@ func EFDisjunctive(comp *computation.Computation, p predicate.Disjunctive) bool 
 // EFStable detects EF(p) for a stable predicate: once true p stays true, so
 // it holds somewhere iff it holds at the final cut (Chandy–Lamport).
 func EFStable(comp *computation.Computation, p predicate.Stable) bool {
+	return efStable(comp, p, nil)
+}
+
+func efStable(comp *computation.Computation, p predicate.Stable, st *Stats) bool {
+	st.cuts(1)
+	st.evals(1)
 	return p.Eval(comp, comp.FinalCut())
 }
 
@@ -122,6 +153,12 @@ func AFStable(comp *computation.Computation, p predicate.Stable) bool {
 // stability keeps it true along every path. The paper's Table 1 marks this
 // cell "trivial".
 func EGStable(comp *computation.Computation, p predicate.Stable) bool {
+	return egStable(comp, p, nil)
+}
+
+func egStable(comp *computation.Computation, p predicate.Stable, st *Stats) bool {
+	st.cuts(1)
+	st.evals(1)
 	return p.Eval(comp, comp.InitialCut())
 }
 
@@ -136,7 +173,13 @@ func AGStable(comp *computation.Computation, p predicate.Stable) bool {
 // maximal consistent cut sequence) and evaluating p at each of its |E|+1
 // cuts, following Charron-Bost, Delporte-Gallet and Fauconnier.
 func DetectObserverIndependent(comp *computation.Computation, p predicate.Predicate) bool {
+	return detectObserverIndependent(comp, p, nil)
+}
+
+func detectObserverIndependent(comp *computation.Computation, p predicate.Predicate, st *Stats) bool {
 	for _, cut := range comp.SomeLinearization() {
+		st.cuts(1)
+		st.evals(1)
 		if p.Eval(comp, cut) {
 			return true
 		}

@@ -16,15 +16,22 @@ import (
 // EFArbitrary detects EF(p) for an arbitrary predicate by memoized search
 // from ∅.
 func EFArbitrary(comp *computation.Computation, p predicate.Predicate) bool {
+	return efArbitrary(comp, p, nil)
+}
+
+func efArbitrary(comp *computation.Computation, p predicate.Predicate, st *Stats) bool {
 	seen := make(map[string]bool)
 	cut := comp.InitialCut()
 	var dfs func() bool
 	dfs = func() bool {
+		st.cuts(1)
+		st.evals(1)
 		if p.Eval(comp, cut) {
 			return true
 		}
 		key := cut.Key()
 		if seen[key] {
+			st.memo(1)
 			return false
 		}
 		seen[key] = true
@@ -46,11 +53,17 @@ func EFArbitrary(comp *computation.Computation, p predicate.Predicate) bool {
 // EGArbitrary detects EG(p) for an arbitrary predicate: is there a maximal
 // cut sequence from ∅ to E with p at every cut?
 func EGArbitrary(comp *computation.Computation, p predicate.Predicate) bool {
+	return egArbitrary(comp, p, nil)
+}
+
+func egArbitrary(comp *computation.Computation, p predicate.Predicate, st *Stats) bool {
 	final := comp.FinalCut()
 	failed := make(map[string]bool)
 	cut := comp.InitialCut()
 	var dfs func() bool
 	dfs = func() bool {
+		st.cuts(1)
+		st.evals(1)
 		if !p.Eval(comp, cut) {
 			return false
 		}
@@ -59,6 +72,7 @@ func EGArbitrary(comp *computation.Computation, p predicate.Predicate) bool {
 		}
 		key := cut.Key()
 		if failed[key] {
+			st.memo(1)
 			return false
 		}
 		for i := range cut {
@@ -90,18 +104,26 @@ func AGArbitrary(comp *computation.Computation, p predicate.Predicate) bool {
 // EUArbitrary detects E[p U q] for arbitrary predicates by memoized search:
 // a path on which p holds from ∅ until a cut satisfying q.
 func EUArbitrary(comp *computation.Computation, p, q predicate.Predicate) bool {
+	return euArbitrary(comp, p, q, nil)
+}
+
+func euArbitrary(comp *computation.Computation, p, q predicate.Predicate, st *Stats) bool {
 	failed := make(map[string]bool)
 	cut := comp.InitialCut()
 	var dfs func() bool
 	dfs = func() bool {
+		st.cuts(1)
+		st.evals(1)
 		if q.Eval(comp, cut) {
 			return true
 		}
+		st.evals(1)
 		if !p.Eval(comp, cut) {
 			return false
 		}
 		key := cut.Key()
 		if failed[key] {
+			st.memo(1)
 			return false
 		}
 		for i := range cut {
@@ -123,9 +145,13 @@ func EUArbitrary(comp *computation.Computation, p, q predicate.Predicate) bool {
 // AUArbitrary detects A[p U q] via the standard expansion
 // A[p U q] = ¬(EG(¬q) ∨ E[¬q U (¬p ∧ ¬q)]).
 func AUArbitrary(comp *computation.Computation, p, q predicate.Predicate) bool {
+	return auArbitrary(comp, p, q, nil)
+}
+
+func auArbitrary(comp *computation.Computation, p, q predicate.Predicate, st *Stats) bool {
 	notP, notQ := predicate.Not{P: p}, predicate.Not{P: q}
-	if EGArbitrary(comp, notQ) {
+	if egArbitrary(comp, notQ, st) {
 		return false
 	}
-	return !EUArbitrary(comp, notQ, predicate.And{Ps: []predicate.Predicate{notP, notQ}})
+	return !euArbitrary(comp, notQ, predicate.And{Ps: []predicate.Predicate{notP, notQ}}, st)
 }

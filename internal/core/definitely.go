@@ -34,7 +34,7 @@ func (iv Interval) end(comp *computation.Computation) *computation.Event {
 // predicate, the maximal intervals of local states on which all of that
 // process's conjuncts hold. Processes not mentioned are omitted: their
 // conjunct is vacuously true everywhere and imposes no constraint.
-func trueIntervals(comp *computation.Computation, p predicate.Conjunctive) map[int][]Interval {
+func trueIntervals(comp *computation.Computation, p predicate.Conjunctive, st *Stats) map[int][]Interval {
 	byProc := make(map[int][]predicate.LocalPredicate)
 	for _, l := range p.Locals {
 		byProc[l.Process()] = append(byProc[l.Process()], l)
@@ -46,6 +46,7 @@ func trueIntervals(comp *computation.Computation, p predicate.Conjunctive) map[i
 		for k := 0; k <= comp.Len(proc); k++ {
 			ok := true
 			for _, l := range locals {
+				st.evals(1)
 				if !l.HoldsAt(comp, k) {
 					ok = false
 					break
@@ -99,7 +100,11 @@ func mustOverlap(comp *computation.Computation, a, b Interval) bool {
 // with O(n) rechecks each. The returned box is the witness selection when
 // AF(p) holds.
 func AFConjunctive(comp *computation.Computation, p predicate.Conjunctive) (box []Interval, ok bool) {
-	ivs := trueIntervals(comp, p)
+	return afConjunctive(comp, p, nil)
+}
+
+func afConjunctive(comp *computation.Computation, p predicate.Conjunctive, st *Stats) (box []Interval, ok bool) {
+	ivs := trueIntervals(comp, p, st)
 	if len(ivs) == 0 {
 		return nil, true // empty conjunction holds everywhere
 	}
@@ -139,6 +144,7 @@ func AFConjunctive(comp *computation.Computation, p predicate.Conjunctive) (box 
 			if victim < 0 {
 				continue
 			}
+			st.advance(1)
 			cand[victim]++
 			if cand[victim] >= len(ivs[victim]) {
 				return nil, false
@@ -170,6 +176,9 @@ func EGDisjunctive(comp *computation.Computation, q predicate.Disjunctive) bool 
 	_, af := AFConjunctive(comp, q.Negate())
 	return !af
 }
+
+// (The dispatcher's instrumented duals live in detect.go: detectEG and
+// detectAF expand these compositions inline with the run's *Stats.)
 
 // AFDisjunctive detects AF(q) for a disjunctive predicate by the duality
 // AF(q) = ¬EG(¬q), with EG of the conjunctive (hence linear) complement

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/computation"
 	"repro/internal/ctl"
@@ -22,6 +23,11 @@ type Result struct {
 	// Counterexample, when non-nil, is a single cut evidencing a negative
 	// answer (a cut violating an AG invariant).
 	Counterexample computation.Cut
+	// Stats records the work this run performed (cuts visited, predicate
+	// evaluations, duration, …), aggregated over the boolean recursion.
+	// Always non-nil on a successful Detect. Collection never influences
+	// the verdict.
+	Stats *Stats
 }
 
 // Detect decides whether the computation satisfies the CTL formula,
@@ -30,18 +36,38 @@ type Result struct {
 // otherwise. Temporal operators must not be nested (the paper's fragment);
 // boolean combinations of temporal formulas are evaluated recursively.
 func Detect(comp *computation.Computation, f ctl.Formula) (Result, error) {
+	st := &Stats{}
+	start := time.Now()
+	r, err := detect(comp, f, st)
+	if err != nil {
+		return r, err
+	}
+	st.Duration = time.Since(start)
+	st.Algorithm = r.Algorithm
+	st.WitnessLength = len(r.Witness)
+	r.Stats = st
+	st.publish()
+	emitSpan(f.String(), r, st)
+	return r, nil
+}
+
+// detect is the recursive dispatcher; st aggregates work across the
+// boolean structure of the formula.
+func detect(comp *computation.Computation, f ctl.Formula, st *Stats) (Result, error) {
 	switch g := f.(type) {
 	case ctl.Not:
-		r, err := Detect(comp, g.F)
+		r, err := detect(comp, g.F, st)
 		if err != nil {
 			return Result{}, err
 		}
 		return Result{Holds: !r.Holds, Algorithm: "negation of " + r.Algorithm}, nil
 	case ctl.And:
-		return detectBinary(comp, g.L, g.R, "&&", func(a, b bool) bool { return a && b })
+		return detectBinary(comp, g.L, g.R, "&&", func(a, b bool) bool { return a && b }, st)
 	case ctl.Or:
-		return detectBinary(comp, g.L, g.R, "||", func(a, b bool) bool { return a || b })
+		return detectBinary(comp, g.L, g.R, "||", func(a, b bool) bool { return a || b }, st)
 	case ctl.Atom:
+		st.cuts(1)
+		st.evals(1)
 		return Result{
 			Holds:     g.P.Eval(comp, comp.InitialCut()),
 			Algorithm: "evaluation at the initial cut",
@@ -51,25 +77,25 @@ func Detect(comp *computation.Computation, f ctl.Formula) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		return detectEF(comp, p), nil
+		return detectEF(comp, p, st), nil
 	case ctl.AF:
 		p, err := Compile(g.F)
 		if err != nil {
 			return Result{}, err
 		}
-		return detectAF(comp, p), nil
+		return detectAF(comp, p, st), nil
 	case ctl.EG:
 		p, err := Compile(g.F)
 		if err != nil {
 			return Result{}, err
 		}
-		return detectEG(comp, p), nil
+		return detectEG(comp, p, st), nil
 	case ctl.AG:
 		p, err := Compile(g.F)
 		if err != nil {
 			return Result{}, err
 		}
-		return detectAG(comp, p), nil
+		return detectAG(comp, p, st), nil
 	case ctl.EU:
 		p, err := Compile(g.P)
 		if err != nil {
@@ -79,7 +105,7 @@ func Detect(comp *computation.Computation, f ctl.Formula) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		return detectEU(comp, p, q), nil
+		return detectEU(comp, p, q, st), nil
 	case ctl.AU:
 		p, err := Compile(g.P)
 		if err != nil {
@@ -89,18 +115,18 @@ func Detect(comp *computation.Computation, f ctl.Formula) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		return detectAU(comp, p, q), nil
+		return detectAU(comp, p, q, st), nil
 	default:
 		return Result{}, fmt.Errorf("core: unsupported formula %T", f)
 	}
 }
 
-func detectBinary(comp *computation.Computation, l, r ctl.Formula, op string, combine func(a, b bool) bool) (Result, error) {
-	a, err := Detect(comp, l)
+func detectBinary(comp *computation.Computation, l, r ctl.Formula, op string, combine func(a, b bool) bool, st *Stats) (Result, error) {
+	a, err := detect(comp, l, st)
 	if err != nil {
 		return Result{}, err
 	}
-	b, err := Detect(comp, r)
+	b, err := detect(comp, r, st)
 	if err != nil {
 		return Result{}, err
 	}
@@ -257,16 +283,16 @@ func isObserverIndependent(p predicate.Predicate) (predicate.Predicate, bool) {
 	}
 }
 
-func detectEF(comp *computation.Computation, p predicate.Predicate) Result {
+func detectEF(comp *computation.Computation, p predicate.Predicate, st *Stats) Result {
 	if s, ok := asStable(p); ok {
-		return Result{Holds: EFStable(comp, s), Algorithm: "EF stable: evaluate at the final cut"}
+		return Result{Holds: efStable(comp, s, st), Algorithm: "EF stable: evaluate at the final cut"}
 	}
 	// EF distributes over disjunction: EF(a ∨ b) = EF(a) ∨ EF(b), so a
 	// disjunction of structurally-detectable predicates stays polynomial.
 	if or, ok := p.(predicate.Or); ok {
 		holds := false
 		for _, part := range or.Ps {
-			if sub := detectEF(comp, part); sub.Holds {
+			if sub := detectEF(comp, part, st); sub.Holds {
 				holds = true
 				break
 			}
@@ -274,10 +300,10 @@ func detectEF(comp *computation.Computation, p predicate.Predicate) Result {
 		return Result{Holds: holds, Algorithm: "EF over ∨: split per disjunct"}
 	}
 	if d, ok := asDisjunctive(p); ok {
-		return Result{Holds: EFDisjunctive(comp, d), Algorithm: "EF disjunctive: local state scan"}
+		return Result{Holds: efDisjunctive(comp, d, st), Algorithm: "EF disjunctive: local state scan"}
 	}
 	if l, ok := asLinear(p); ok {
-		cut, holds := LeastCut(comp, l)
+		cut, holds := leastCut(comp, l, st)
 		r := Result{Holds: holds, Algorithm: "EF linear: Chase–Garg advancement"}
 		if holds {
 			r.Witness = []computation.Cut{cut}
@@ -285,7 +311,7 @@ func detectEF(comp *computation.Computation, p predicate.Predicate) Result {
 		return r
 	}
 	if pl, ok := asPostLinear(p); ok {
-		cut, holds := GreatestCut(comp, pl)
+		cut, holds := greatestCut(comp, pl, st)
 		r := Result{Holds: holds, Algorithm: "EF post-linear: dual advancement"}
 		if holds {
 			r.Witness = []computation.Cut{cut}
@@ -293,56 +319,58 @@ func detectEF(comp *computation.Computation, p predicate.Predicate) Result {
 		return r
 	}
 	if oi, ok := isObserverIndependent(p); ok {
-		return Result{Holds: DetectObserverIndependent(comp, oi), Algorithm: "EF observer-independent: single observation"}
+		return Result{Holds: detectObserverIndependent(comp, oi, st), Algorithm: "EF observer-independent: single observation"}
 	}
-	return Result{Holds: EFArbitrary(comp, p), Algorithm: "EF arbitrary: exponential search (NP-complete)"}
+	return Result{Holds: efArbitrary(comp, p, st), Algorithm: "EF arbitrary: exponential search (NP-complete)"}
 }
 
-func detectAF(comp *computation.Computation, p predicate.Predicate) Result {
+func detectAF(comp *computation.Computation, p predicate.Predicate, st *Stats) Result {
 	if s, ok := asStable(p); ok {
-		return Result{Holds: AFStable(comp, s), Algorithm: "AF stable: evaluate at the final cut"}
+		return Result{Holds: efStable(comp, s, st), Algorithm: "AF stable: evaluate at the final cut"}
 	}
 	if c, ok := asConjunctive(p); ok {
-		_, holds := AFConjunctive(comp, c)
+		_, holds := afConjunctive(comp, c, st)
 		return Result{Holds: holds, Algorithm: "AF conjunctive: Garg–Waldecker interval boxes"}
 	}
 	if d, ok := asDisjunctive(p); ok {
-		return Result{Holds: AFDisjunctive(comp, d), Algorithm: "AF disjunctive: ¬EG(¬p) via A1"}
+		_, eg := egLinear(comp, d.Negate(), st)
+		return Result{Holds: !eg, Algorithm: "AF disjunctive: ¬EG(¬p) via A1"}
 	}
 	if oi, ok := isObserverIndependent(p); ok {
-		return Result{Holds: DetectObserverIndependent(comp, oi), Algorithm: "AF observer-independent: single observation"}
+		return Result{Holds: detectObserverIndependent(comp, oi, st), Algorithm: "AF observer-independent: single observation"}
 	}
 	// AF for general linear predicates is an open problem in the paper.
-	return Result{Holds: AFArbitrary(comp, p), Algorithm: "AF arbitrary: exponential search"}
+	return Result{Holds: !egArbitrary(comp, predicate.Not{P: p}, st), Algorithm: "AF arbitrary: exponential search"}
 }
 
-func detectEG(comp *computation.Computation, p predicate.Predicate) Result {
+func detectEG(comp *computation.Computation, p predicate.Predicate, st *Stats) Result {
 	if s, ok := asStable(p); ok {
-		return Result{Holds: EGStable(comp, s), Algorithm: "EG stable: evaluate at the initial cut"}
+		return Result{Holds: egStable(comp, s, st), Algorithm: "EG stable: evaluate at the initial cut"}
 	}
 	if l, ok := asLinear(p); ok {
-		path, holds := EGLinear(comp, l)
+		path, holds := egLinear(comp, l, st)
 		return Result{Holds: holds, Algorithm: "EG linear: Algorithm A1", Witness: path}
 	}
 	if d, ok := asDisjunctive(p); ok {
-		return Result{Holds: EGDisjunctive(comp, d), Algorithm: "EG disjunctive: ¬AF(¬p) via interval boxes"}
+		_, af := afConjunctive(comp, d.Negate(), st)
+		return Result{Holds: !af, Algorithm: "EG disjunctive: ¬AF(¬p) via interval boxes"}
 	}
 	if pl, ok := asPostLinear(p); ok {
-		path, holds := EGPostLinear(comp, pl)
+		path, holds := egPostLinear(comp, pl, st)
 		return Result{Holds: holds, Algorithm: "EG post-linear: dual Algorithm A1", Witness: path}
 	}
 	// Theorem 5: NP-complete already for observer-independent predicates.
-	return Result{Holds: EGArbitrary(comp, p), Algorithm: "EG arbitrary: exponential search (NP-complete, Theorem 5)"}
+	return Result{Holds: egArbitrary(comp, p, st), Algorithm: "EG arbitrary: exponential search (NP-complete, Theorem 5)"}
 }
 
-func detectAG(comp *computation.Computation, p predicate.Predicate) Result {
+func detectAG(comp *computation.Computation, p predicate.Predicate, st *Stats) Result {
 	if s, ok := asStable(p); ok {
-		return Result{Holds: AGStable(comp, s), Algorithm: "AG stable: evaluate at the initial cut"}
+		return Result{Holds: egStable(comp, s, st), Algorithm: "AG stable: evaluate at the initial cut"}
 	}
 	// AG distributes over conjunction: AG(a ∧ b) = AG(a) ∧ AG(b).
 	if and, ok := p.(predicate.And); ok {
 		for _, part := range and.Ps {
-			if sub := detectAG(comp, part); !sub.Holds {
+			if sub := detectAG(comp, part, st); !sub.Holds {
 				sub.Algorithm = "AG over ∧: split per conjunct (" + sub.Algorithm + ")"
 				return sub // carries the counterexample when present
 			}
@@ -350,14 +378,14 @@ func detectAG(comp *computation.Computation, p predicate.Predicate) Result {
 		return Result{Holds: true, Algorithm: "AG over ∧: split per conjunct"}
 	}
 	if _, ok := asLinear(p); ok {
-		cex, holds := AGLinear(comp, p)
+		cex, holds := agLinear(comp, p, st)
 		return Result{Holds: holds, Algorithm: "AG linear: Algorithm A2 (meet-irreducibles)", Counterexample: cex}
 	}
 	if d, ok := asDisjunctive(p); ok {
 		r := Result{Algorithm: "AG disjunctive: ¬EF(¬p) via advancement"}
 		// The least cut satisfying the conjunctive complement is a
 		// counterexample to the invariant.
-		if cex, found := LeastCut(comp, d.Negate()); found {
+		if cex, found := leastCut(comp, d.Negate(), st); found {
 			r.Counterexample = cex
 		} else {
 			r.Holds = true
@@ -365,24 +393,24 @@ func detectAG(comp *computation.Computation, p predicate.Predicate) Result {
 		return r
 	}
 	if _, ok := asPostLinear(p); ok {
-		cex, holds := AGPostLinear(comp, p)
+		cex, holds := agPostLinear(comp, p, st)
 		return Result{Holds: holds, Algorithm: "AG post-linear: dual Algorithm A2 (join-irreducibles)", Counterexample: cex}
 	}
 	// Theorem 6: co-NP-complete already for observer-independent predicates.
-	return Result{Holds: AGArbitrary(comp, p), Algorithm: "AG arbitrary: exponential search (co-NP-complete, Theorem 6)"}
+	return Result{Holds: !efArbitrary(comp, predicate.Not{P: p}, st), Algorithm: "AG arbitrary: exponential search (co-NP-complete, Theorem 6)"}
 }
 
-func detectEU(comp *computation.Computation, p, q predicate.Predicate) Result {
+func detectEU(comp *computation.Computation, p, q predicate.Predicate, st *Stats) Result {
 	if cp, okP := asConjunctive(p); okP {
 		if lq, okQ := asLinear(q); okQ {
-			path, holds := EUConjLinear(comp, cp, lq)
+			path, holds := euConjLinear(comp, cp, lq, st)
 			return Result{Holds: holds, Algorithm: "EU conjunctive/linear: Algorithm A3", Witness: path}
 		}
 		// The target distributes over disjunction for existential until:
 		// E[p U (a ∨ b)] = E[p U a] ∨ E[p U b].
 		if or, ok := q.(predicate.Or); ok {
 			for _, part := range or.Ps {
-				if sub := detectEU(comp, p, part); sub.Holds {
+				if sub := detectEU(comp, p, part, st); sub.Holds {
 					sub.Algorithm = "EU target over ∨: split (" + sub.Algorithm + ")"
 					return sub
 				}
@@ -392,7 +420,7 @@ func detectEU(comp *computation.Computation, p, q predicate.Predicate) Result {
 		// A disjunctive target splits into its locals the same way.
 		if d, ok := q.(predicate.Disjunctive); ok {
 			for _, l := range d.Locals {
-				if sub := detectEU(comp, p, predicate.Conj(l)); sub.Holds {
+				if sub := detectEU(comp, p, predicate.Conj(l), st); sub.Holds {
 					sub.Algorithm = "EU target over disj: split (" + sub.Algorithm + ")"
 					return sub
 				}
@@ -400,14 +428,14 @@ func detectEU(comp *computation.Computation, p, q predicate.Predicate) Result {
 			return Result{Holds: false, Algorithm: "EU target over disj: split per local"}
 		}
 	}
-	return Result{Holds: EUArbitrary(comp, p, q), Algorithm: "EU arbitrary: exponential search"}
+	return Result{Holds: euArbitrary(comp, p, q, st), Algorithm: "EU arbitrary: exponential search"}
 }
 
-func detectAU(comp *computation.Computation, p, q predicate.Predicate) Result {
+func detectAU(comp *computation.Computation, p, q predicate.Predicate, st *Stats) Result {
 	dp, okP := asDisjunctive(p)
 	dq, okQ := asDisjunctive(q)
 	if okP && okQ {
-		return Result{Holds: AUDisjunctive(comp, dp, dq), Algorithm: "AU disjunctive: ¬(EG(¬q) ∨ E[¬q U ¬p∧¬q])"}
+		return Result{Holds: auDisjunctive(comp, dp, dq, st), Algorithm: "AU disjunctive: ¬(EG(¬q) ∨ E[¬q U ¬p∧¬q])"}
 	}
-	return Result{Holds: AUArbitrary(comp, p, q), Algorithm: "AU arbitrary: exponential search"}
+	return Result{Holds: auArbitrary(comp, p, q, st), Algorithm: "AU arbitrary: exponential search"}
 }

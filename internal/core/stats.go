@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Stats records the work one Detect run performed — the paper's complexity
+// claims as observed numbers. It is attached to every Result, aggregated
+// across the boolean recursion of the formula.
+//
+// The collection discipline keeps the hot paths honest: algorithms thread
+// a *Stats through unexported variants, every increment is a nil-checked
+// plain add (one predictable branch — no locks, no atomics on the per-cut
+// path), and the exported algorithm entry points pass nil, so direct
+// callers (benchmarks included) pay only the nil check.
+type Stats struct {
+	// Algorithm is the dispatcher's choice, mirroring Result.Algorithm.
+	Algorithm string `json:"algorithm"`
+	// CutsVisited counts consistent cuts materialized, advanced through, or
+	// expanded during search.
+	CutsVisited int64 `json:"cuts_visited"`
+	// PredicateEvals counts global-predicate evaluations, the unit of the
+	// paper's O(n|E|) bounds. Local (per-state) conjunct evaluations count
+	// here too — they are the evaluation unit of the interval algorithms.
+	PredicateEvals int64 `json:"predicate_evals"`
+	// ForbiddenCalls counts Forbidden/Retreat oracle calls (advancement
+	// algorithms).
+	ForbiddenCalls int64 `json:"forbidden_calls"`
+	// AdvancementSteps counts cut advancements/retreats and interval
+	// candidate eliminations — the progress steps the linearity proofs
+	// bound by |E|.
+	AdvancementSteps int64 `json:"advancement_steps"`
+	// MemoHits counts memoized-failure hits in the exponential solvers.
+	MemoHits int64 `json:"memo_hits"`
+	// WitnessLength is the length of the returned witness path (0 when
+	// none).
+	WitnessLength int `json:"witness_length"`
+	// Duration is the wall-clock time of the Detect run.
+	Duration time.Duration `json:"duration_ns"`
+}
+
+func (s *Stats) cuts(n int64) {
+	if s != nil {
+		s.CutsVisited += n
+	}
+}
+
+func (s *Stats) evals(n int64) {
+	if s != nil {
+		s.PredicateEvals += n
+	}
+}
+
+func (s *Stats) forbidden(n int64) {
+	if s != nil {
+		s.ForbiddenCalls += n
+	}
+}
+
+func (s *Stats) advance(n int64) {
+	if s != nil {
+		s.AdvancementSteps += n
+	}
+}
+
+func (s *Stats) memo(n int64) {
+	if s != nil {
+		s.MemoHits += n
+	}
+}
+
+// Engine-wide metrics, fed once per Detect run (batched from the per-run
+// Stats, so the per-cut loops never touch an atomic).
+var (
+	metDetectRuns  = obs.Default().Counter("hb_detect_runs_total", "Detect runs completed")
+	metDetectCuts  = obs.Default().Counter("hb_detect_cuts_visited_total", "consistent cuts visited by detection algorithms")
+	metDetectEvals = obs.Default().Counter("hb_detect_predicate_evals_total", "predicate evaluations performed by detection algorithms")
+	metDetectDur   = obs.Default().Histogram("hb_detect_duration_seconds", "wall-clock duration of Detect runs", nil)
+)
+
+func (s *Stats) publish() {
+	metDetectRuns.Inc()
+	metDetectCuts.Add(s.CutsVisited)
+	metDetectEvals.Add(s.PredicateEvals)
+	metDetectDur.Observe(s.Duration.Seconds())
+}
+
+// tracer, when set, receives one span per top-level Detect run — the
+// structured detection trace consumed by hbdetect -trace-jsonl.
+var tracer atomic.Pointer[obs.Tracer]
+
+// SetTracer installs (or, with nil, removes) the detection-trace sink.
+func SetTracer(t *obs.Tracer) { tracer.Store(t) }
+
+func emitSpan(formula string, r Result, st *Stats) {
+	t := tracer.Load()
+	if t == nil {
+		return
+	}
+	sp := t.Start("detect")
+	sp.Set("formula", formula)
+	sp.Set("algorithm", st.Algorithm)
+	sp.Set("holds", r.Holds)
+	sp.Set("cuts_visited", st.CutsVisited)
+	sp.Set("predicate_evals", st.PredicateEvals)
+	sp.Set("forbidden_calls", st.ForbiddenCalls)
+	sp.Set("advancement_steps", st.AdvancementSteps)
+	sp.Set("memo_hits", st.MemoHits)
+	sp.Set("witness_length", st.WitnessLength)
+	sp.End()
+}

@@ -19,8 +19,12 @@ import (
 // linear: the Linear interface only exercises the least-satisfying-cut
 // property.
 func EUConjLinear(comp *computation.Computation, p predicate.Conjunctive, q predicate.Linear) (path []computation.Cut, ok bool) {
+	return euConjLinear(comp, p, q, nil)
+}
+
+func euConjLinear(comp *computation.Computation, p predicate.Conjunctive, q predicate.Linear, st *Stats) (path []computation.Cut, ok bool) {
 	// Step 1: find I_q.
-	iq, ok := LeastCut(comp, q)
+	iq, ok := leastCut(comp, q, st)
 	if !ok {
 		return nil, false // q holds nowhere, so no until-prefix can end
 	}
@@ -35,7 +39,7 @@ func EUConjLinear(comp *computation.Computation, p predicate.Conjunctive, q pred
 		g := iq.Copy()
 		g[i]--
 		sub := comp.Prefix(g)
-		if egPath, holds := EGLinear(sub, p); holds {
+		if egPath, holds := egLinear(sub, p, st); holds {
 			// Extend the witness through I_q itself.
 			full := make([]computation.Cut, 0, len(egPath)+1)
 			for _, c := range egPath {
@@ -62,12 +66,16 @@ func EUConjLinear(comp *computation.Computation, p predicate.Conjunctive, q pred
 // ¬p ∧ ¬q is conjunctive, hence linear (detected by Algorithm A3 under EU).
 // Total cost O(n|E|) predicate evaluations.
 func AUDisjunctive(comp *computation.Computation, p, q predicate.Disjunctive) bool {
+	return auDisjunctive(comp, p, q, nil)
+}
+
+func auDisjunctive(comp *computation.Computation, p, q predicate.Disjunctive, st *Stats) bool {
 	notQ := q.Negate()
-	if _, eg := EGLinear(comp, notQ); eg {
+	if _, eg := egLinear(comp, notQ, st); eg {
 		return false // some full path avoids q entirely
 	}
 	bad := predicate.MergeConj(p.Negate(), notQ)
-	if _, eu := EUConjLinear(comp, notQ, bad); eu {
+	if _, eu := euConjLinear(comp, notQ, bad, st); eu {
 		return false // some path reaches ¬p∧¬q with q never seen before
 	}
 	return true

@@ -17,11 +17,66 @@ import (
 	"repro/internal/computation"
 	"repro/internal/ctl"
 	"repro/internal/lattice"
+	"repro/internal/obs"
 )
 
+var (
+	metSubformulas = obs.Default().Counter("hb_explore_subformulas_total",
+		"Distinct subformulas labeled by the explicit-state checker.")
+	metNodesLabeled = obs.Default().Counter("hb_explore_nodes_labeled_total",
+		"Lattice nodes labeled across all subformula passes.")
+	metMemoHits = obs.Default().Counter("hb_explore_memo_hits_total",
+		"Subformula labelings served from the evaluator memo.")
+)
+
+// Stats counts the work done by one Evaluator.
+type Stats struct {
+	Subformulas  int `json:"subformulas"`   // distinct subformulas labeled
+	NodesLabeled int `json:"nodes_labeled"` // lattice nodes labeled in total
+	MemoHits     int `json:"memo_hits"`     // labelings served from the memo
+}
+
+// Evaluator labels lattice nodes with subformula truth values, memoizing by
+// formula string so shared subformulas (and repeated queries such as the
+// Witness reconstruction or the EF/AF pair of CheckObserverIndependent) are
+// labeled once per lattice. Not safe for concurrent use.
+type Evaluator struct {
+	l     *lattice.Lattice
+	memo  map[string][]bool
+	Stats Stats
+}
+
+// NewEvaluator returns an evaluator over l with an empty memo.
+func NewEvaluator(l *lattice.Lattice) *Evaluator {
+	return &Evaluator{l: l, memo: make(map[string][]bool)}
+}
+
 // Eval returns, for every lattice node, whether formula f holds at that
-// cut. Arbitrary nesting of temporal operators is supported.
-func Eval(l *lattice.Lattice, f ctl.Formula) []bool {
+// cut. Arbitrary nesting of temporal operators is supported. The returned
+// slice is shared with the memo and must not be modified.
+func (ev *Evaluator) Eval(f ctl.Formula) []bool {
+	key := f.String()
+	if lab, ok := ev.memo[key]; ok {
+		ev.Stats.MemoHits++
+		metMemoHits.Inc()
+		return lab
+	}
+	lab := ev.compute(f)
+	ev.memo[key] = lab
+	ev.Stats.Subformulas++
+	ev.Stats.NodesLabeled += len(lab)
+	metSubformulas.Inc()
+	metNodesLabeled.Add(int64(len(lab)))
+	return lab
+}
+
+// Holds reports whether f holds at the initial cut ∅.
+func (ev *Evaluator) Holds(f ctl.Formula) bool {
+	return ev.Eval(f)[ev.l.Initial()]
+}
+
+func (ev *Evaluator) compute(f ctl.Formula) []bool {
+	l := ev.l
 	n := l.Size()
 	lab := make([]bool, n)
 	switch g := f.(type) {
@@ -31,47 +86,47 @@ func Eval(l *lattice.Lattice, f ctl.Formula) []bool {
 			lab[i] = g.P.Eval(comp, l.Cut(i))
 		}
 	case ctl.Not:
-		sub := Eval(l, g.F)
+		sub := ev.Eval(g.F)
 		for i := range lab {
 			lab[i] = !sub[i]
 		}
 	case ctl.And:
-		a, b := Eval(l, g.L), Eval(l, g.R)
+		a, b := ev.Eval(g.L), ev.Eval(g.R)
 		for i := range lab {
 			lab[i] = a[i] && b[i]
 		}
 	case ctl.Or:
-		a, b := Eval(l, g.L), Eval(l, g.R)
+		a, b := ev.Eval(g.L), ev.Eval(g.R)
 		for i := range lab {
 			lab[i] = a[i] || b[i]
 		}
 	case ctl.EF:
-		sub := Eval(l, g.F)
+		sub := ev.Eval(g.F)
 		backward(l, lab, func(i int, anySucc, allSucc bool) bool {
 			return sub[i] || anySucc
 		})
 	case ctl.AF:
-		sub := Eval(l, g.F)
+		sub := ev.Eval(g.F)
 		backward(l, lab, func(i int, anySucc, allSucc bool) bool {
 			return sub[i] || (len(l.Succs(i)) > 0 && allSucc)
 		})
 	case ctl.EG:
-		sub := Eval(l, g.F)
+		sub := ev.Eval(g.F)
 		backward(l, lab, func(i int, anySucc, allSucc bool) bool {
 			return sub[i] && (i == l.Final() || anySucc)
 		})
 	case ctl.AG:
-		sub := Eval(l, g.F)
+		sub := ev.Eval(g.F)
 		backward(l, lab, func(i int, anySucc, allSucc bool) bool {
 			return sub[i] && allSucc
 		})
 	case ctl.EU:
-		p, q := Eval(l, g.P), Eval(l, g.Q)
+		p, q := ev.Eval(g.P), ev.Eval(g.Q)
 		backward(l, lab, func(i int, anySucc, allSucc bool) bool {
 			return q[i] || (p[i] && anySucc)
 		})
 	case ctl.AU:
-		p, q := Eval(l, g.P), Eval(l, g.Q)
+		p, q := ev.Eval(g.P), ev.Eval(g.Q)
 		backward(l, lab, func(i int, anySucc, allSucc bool) bool {
 			return q[i] || (p[i] && len(l.Succs(i)) > 0 && allSucc)
 		})
@@ -79,6 +134,13 @@ func Eval(l *lattice.Lattice, f ctl.Formula) []bool {
 		panic(fmt.Sprintf("explore: unknown formula %T", f))
 	}
 	return lab
+}
+
+// Eval labels every lattice node with the truth of f using a fresh
+// evaluator. Callers issuing several queries against one lattice should hold
+// their own Evaluator to share the subformula memo.
+func Eval(l *lattice.Lattice, f ctl.Formula) []bool {
+	return NewEvaluator(l).Eval(f)
 }
 
 // backward fills lab in reverse topological order. Node order from
@@ -102,7 +164,7 @@ func backward(l *lattice.Lattice, lab []bool, step func(i int, anySucc, allSucc 
 
 // Holds reports whether L ⊨ f, i.e. f holds at the initial cut ∅.
 func Holds(l *lattice.Lattice, f ctl.Formula) bool {
-	return Eval(l, f)[l.Initial()]
+	return NewEvaluator(l).Holds(f)
 }
 
 // HoldsComp builds the lattice of comp and evaluates f at ∅. It fails when
@@ -125,20 +187,21 @@ func HoldsComp(comp *computation.Computation, f ctl.Formula) (bool, error) {
 // ok is false when f does not hold at ∅ or f's top operator has no
 // path-shaped witness (atoms, AG, AF, AU).
 func Witness(l *lattice.Lattice, f ctl.Formula) (path []computation.Cut, ok bool) {
-	if !Holds(l, f) {
+	ev := NewEvaluator(l)
+	if !ev.Holds(f) {
 		return nil, false
 	}
 	switch g := f.(type) {
 	case ctl.EF:
-		sub := Eval(l, g.F)
-		lab := Eval(l, f)
+		sub := ev.Eval(g.F)
+		lab := ev.Eval(f)
 		return walk(l, lab, sub, false), true
 	case ctl.EU:
-		q := Eval(l, g.Q)
-		lab := Eval(l, f)
+		q := ev.Eval(g.Q)
+		lab := ev.Eval(f)
 		return walk(l, lab, q, false), true
 	case ctl.EG:
-		lab := Eval(l, f)
+		lab := ev.Eval(f)
 		return walk(l, lab, nil, true), true
 	default:
 		return nil, false
@@ -179,5 +242,6 @@ func walk(l *lattice.Lattice, lab, stop []bool, toFinal bool) []computation.Cut 
 // observer-independent on this computation: p holds in some observation iff
 // it holds in every observation, i.e. EF(p) ⟺ AF(p) at ∅.
 func CheckObserverIndependent(l *lattice.Lattice, p ctl.Formula) bool {
-	return Holds(l, ctl.EF{F: p}) == Holds(l, ctl.AF{F: p})
+	ev := NewEvaluator(l)
+	return ev.Holds(ctl.EF{F: p}) == ev.Holds(ctl.AF{F: p})
 }

@@ -14,7 +14,15 @@ import (
 	"strings"
 
 	"repro/internal/computation"
+	"repro/internal/obs"
 	"repro/internal/predicate"
+)
+
+var (
+	metBuilds = obs.Default().Counter("hb_lattice_builds_total",
+		"Explicit lattice constructions completed.")
+	metCutsEnumerated = obs.Default().Counter("hb_lattice_cuts_enumerated_total",
+		"Consistent cuts enumerated by completed lattice constructions.")
 )
 
 // Lattice is the explicitly enumerated lattice of consistent cuts. Nodes
@@ -74,6 +82,9 @@ func BuildLimited(comp *computation.Computation, maxCuts int) (*Lattice, error) 
 		}
 	}
 	l.final = l.index[comp.FinalCut().Key()]
+	// One batched add per build keeps the enumeration loop free of atomics.
+	metBuilds.Inc()
+	metCutsEnumerated.Add(int64(len(l.cuts)))
 	return l, nil
 }
 

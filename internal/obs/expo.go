@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements exposition: the Prometheus text format (for
+// /metrics) and a JSON snapshot (for /debug/vars and machine-readable
+// harness output).
+
+// splitName separates a metric name from an inline constant label set:
+// `hb_verdicts_total{kind="ef"}` → (`hb_verdicts_total`, `kind="ef"`).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// promLine formats one sample, merging extra labels (e.g. le) with the
+// metric's inline labels.
+func promLine(w io.Writer, base, labels, extra string, value string) {
+	switch {
+	case labels == "" && extra == "":
+		fmt.Fprintf(w, "%s %s\n", base, value)
+	case labels == "":
+		fmt.Fprintf(w, "%s{%s} %s\n", base, extra, value)
+	case extra == "":
+		fmt.Fprintf(w, "%s{%s} %s\n", base, labels, value)
+	default:
+		fmt.Fprintf(w, "%s{%s,%s} %s\n", base, labels, extra, value)
+	}
+}
+
+// formatFloat renders a float the way Prometheus clients do.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format, sorted by name, with HELP/TYPE headers emitted once
+// per base name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	headered := make(map[string]bool)
+	header := func(base, help, typ string) {
+		if headered[base] {
+			return
+		}
+		headered[base] = true
+		if help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", base, help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", base, typ)
+	}
+	for _, name := range r.sortedNames() {
+		switch m := r.lookup(name).(type) {
+		case *Counter:
+			base, labels := splitName(m.name)
+			header(base, m.help, "counter")
+			promLine(w, base, labels, "", strconv.FormatInt(m.Value(), 10))
+		case *Gauge:
+			base, labels := splitName(m.name)
+			header(base, m.help, "gauge")
+			promLine(w, base, labels, "", strconv.FormatInt(m.Value(), 10))
+		case *Histogram:
+			base, labels := splitName(m.name)
+			header(base, m.help, "histogram")
+			cum, count, sum := m.snapshot()
+			for i, bound := range m.bounds {
+				promLine(w, base+"_bucket", labels, `le="`+formatFloat(bound)+`"`, strconv.FormatInt(cum[i], 10))
+			}
+			promLine(w, base+"_bucket", labels, `le="+Inf"`, strconv.FormatInt(cum[len(cum)-1], 10))
+			promLine(w, base+"_sum", labels, "", formatFloat(sum))
+			promLine(w, base+"_count", labels, "", strconv.FormatInt(count, 10))
+		}
+	}
+	return nil
+}
+
+// HistogramSnapshot is the JSON form of a histogram.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets map[string]int64 `json:"buckets"` // upper bound → cumulative count
+}
+
+// Snapshot returns every metric's current value keyed by full metric name:
+// int64 for counters and gauges, HistogramSnapshot for histograms.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, name := range r.sortedNames() {
+		switch m := r.lookup(name).(type) {
+		case *Counter:
+			out[name] = m.Value()
+		case *Gauge:
+			out[name] = m.Value()
+		case *Histogram:
+			cum, count, sum := m.snapshot()
+			buckets := make(map[string]int64, len(cum))
+			for i, bound := range m.bounds {
+				buckets[formatFloat(bound)] = cum[i]
+			}
+			buckets["+Inf"] = cum[len(cum)-1]
+			out[name] = HistogramSnapshot{Count: count, Sum: sum, Buckets: buckets}
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the Snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact exposition text: sorted names,
+// HELP/TYPE once per base name, inline labels merged with le, cumulative
+// buckets with +Inf, _sum and _count.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hb_runs_total", "Runs completed.").Add(3)
+	r.Counter(`hb_verdicts_total{kind="ef"}`, "Verdicts by kind.").Add(2)
+	r.Counter(`hb_verdicts_total{kind="ag"}`, "Verdicts by kind.").Add(5)
+	r.Gauge("hb_depth", "Queue depth.").Set(7)
+	h := r.Histogram("hb_lat_seconds", "Latency.", []float64{0.5, 1, 2})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(3)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP hb_depth Queue depth.
+# TYPE hb_depth gauge
+hb_depth 7
+# HELP hb_lat_seconds Latency.
+# TYPE hb_lat_seconds histogram
+hb_lat_seconds_bucket{le="0.5"} 1
+hb_lat_seconds_bucket{le="1"} 2
+hb_lat_seconds_bucket{le="2"} 2
+hb_lat_seconds_bucket{le="+Inf"} 3
+hb_lat_seconds_sum 4
+hb_lat_seconds_count 3
+# HELP hb_runs_total Runs completed.
+# TYPE hb_runs_total counter
+hb_runs_total 3
+# HELP hb_verdicts_total Verdicts by kind.
+# TYPE hb_verdicts_total counter
+hb_verdicts_total{kind="ag"} 5
+hb_verdicts_total{kind="ef"} 2
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestSnapshotAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(11)
+	r.Gauge("g", "").Set(-4)
+	r.Histogram("h", "", []float64{1}).Observe(0.5)
+
+	snap := r.Snapshot()
+	if snap["c_total"] != int64(11) {
+		t.Errorf("snapshot counter = %v", snap["c_total"])
+	}
+	if snap["g"] != int64(-4) {
+		t.Errorf("snapshot gauge = %v", snap["g"])
+	}
+	hs, ok := snap["h"].(HistogramSnapshot)
+	if !ok || hs.Count != 1 || hs.Sum != 0.5 || hs.Buckets["1"] != 1 || hs.Buckets["+Inf"] != 1 {
+		t.Errorf("snapshot histogram = %+v", snap["h"])
+	}
+
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v\n%s", err, b.String())
+	}
+	if decoded["c_total"] != float64(11) {
+		t.Errorf("decoded counter = %v", decoded["c_total"])
+	}
+}
+
+func TestSplitName(t *testing.T) {
+	cases := []struct{ in, base, labels string }{
+		{"plain_total", "plain_total", ""},
+		{`x_total{kind="ef"}`, "x_total", `kind="ef"`},
+		{`x_total{a="1",b="2"}`, "x_total", `a="1",b="2"`},
+		{"weird{unclosed", "weird{unclosed", ""},
+	}
+	for _, c := range cases {
+		base, labels := splitName(c.in)
+		if base != c.base || labels != c.labels {
+			t.Errorf("splitName(%q) = (%q, %q), want (%q, %q)", c.in, base, labels, c.base, c.labels)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// This file wires a registry into the operational HTTP surface used by the
+// long-running binaries (hbmon -listen): Prometheus metrics, expvar,
+// health, and the stdlib profiler.
+
+// MetricsHandler serves the registry in Prometheus text format.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w) //nolint:errcheck // exposition is best-effort
+	})
+}
+
+var publishOnce sync.Once
+
+// PublishExpvar exposes the registry's Snapshot under the expvar key
+// "hb_metrics" so it appears on /debug/vars alongside the stdlib memstats
+// and cmdline vars. Safe to call more than once; only the first call (per
+// process) publishes, so the default registry should be passed.
+func PublishExpvar(r *Registry) {
+	publishOnce.Do(func() {
+		expvar.Publish("hb_metrics", expvar.Func(func() any { return r.Snapshot() }))
+	})
+}
+
+// NewMux returns an http.ServeMux with the full telemetry surface:
+//
+//	/metrics      Prometheus text exposition of r
+//	/debug/vars   expvar JSON (includes r via PublishExpvar)
+//	/healthz      liveness probe ("ok")
+//	/debug/pprof  stdlib profiler index, plus cmdline/profile/symbol/trace
+func NewMux(r *Registry) *http.ServeMux {
+	PublishExpvar(r)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.MetricsHandler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

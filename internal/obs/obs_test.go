@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	const workers, perWorker = 16, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	g.Set(42)
+	if got := g.Value(); got != 42 {
+		t.Errorf("gauge = %d, want 42", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2, 4})
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(1.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("count = %d, want %d", got, workers*perWorker)
+	}
+	if got, want := h.Sum(), 1.5*workers*perWorker; got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestConcurrentRegistrationAndExposition(t *testing.T) {
+	// Registration, updates, and scrapes racing; the race detector is the
+	// assertion here.
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			names := []string{"a_total", "b_total", "c_total"}
+			for i := 0; i < 200; i++ {
+				c := r.Counter(names[i%len(names)], "help")
+				c.Inc()
+				r.Histogram("lat_seconds", "", nil).Observe(0.001)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			r.WritePrometheus(&b)
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	total := r.Counter("a_total", "").Value() +
+		r.Counter("b_total", "").Value() +
+		r.Counter("c_total", "").Value()
+	if total != 4*200 {
+		t.Errorf("counters sum to %d, want %d", total, 4*200)
+	}
+}
+
+func TestDisabledRegistryIsNoop(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{1})
+	r.SetEnabled(false)
+	if r.Enabled() {
+		t.Fatal("registry still enabled")
+	}
+	c.Inc()
+	c.Add(7)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("disabled registry recorded: c=%d g=%d h=%d", c.Value(), g.Value(), h.Count())
+	}
+	r.SetEnabled(true)
+	c.Inc()
+	if c.Value() != 1 {
+		t.Errorf("re-enabled counter = %d, want 1", c.Value())
+	}
+}
+
+func TestNilMetricsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(1)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil metrics returned non-zero values")
+	}
+}
+
+func TestRegisterSameNameReturnsSameMetric(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "first")
+	b := r.Counter("x_total", "second help ignored")
+	if a != b {
+		t.Error("re-registration returned a different counter")
+	}
+}
+
+func TestRegisterKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on kind mismatch")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x", "")
+	r.Gauge("x", "")
+}

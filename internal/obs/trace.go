@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer records spans as JSON lines — the structured detection traces of
+// the observability layer. One line per completed span:
+//
+//	{"ts":"2026-08-05T10:15:04.123Z","span":"detect","dur_us":412,"attrs":{...}}
+//
+// A nil *Tracer is valid and records nothing, so instrumented code can
+// hold a tracer unconditionally.
+type Tracer struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewTracer returns a tracer writing JSON lines to w.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{enc: json.NewEncoder(w)}
+}
+
+// Span is an in-progress span. Attributes are added with Set; End emits
+// the JSON line. A nil *Span is valid and ignores all calls.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+	attrs map[string]any
+}
+
+// Start begins a span. Safe on a nil tracer (returns a nil span).
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, start: time.Now()}
+}
+
+// Set attaches an attribute to the span and returns it for chaining.
+func (s *Span) Set(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]any)
+	}
+	s.attrs[key] = value
+	return s
+}
+
+// spanRecord is the serialized form of a completed span.
+type spanRecord struct {
+	TS    string         `json:"ts"`
+	Span  string         `json:"span"`
+	DurUS int64          `json:"dur_us"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// End completes the span and writes its JSON line.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	rec := spanRecord{
+		TS:    s.start.UTC().Format(time.RFC3339Nano),
+		Span:  s.name,
+		DurUS: time.Since(s.start).Microseconds(),
+		Attrs: s.attrs,
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	s.t.enc.Encode(rec) //nolint:errcheck // tracing is best-effort
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerEmitsOneJSONLinePerSpan(t *testing.T) {
+	var b strings.Builder
+	tr := NewTracer(&b)
+	tr.Start("detect").Set("formula", "EF(p)").Set("holds", true).End()
+	tr.Start("detect").End()
+
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), b.String())
+	}
+	var rec struct {
+		TS    string         `json:"ts"`
+		Span  string         `json:"span"`
+		DurUS int64          `json:"dur_us"`
+		Attrs map[string]any `json:"attrs"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("invalid JSON line: %v\n%s", err, lines[0])
+	}
+	if rec.Span != "detect" || rec.TS == "" || rec.DurUS < 0 {
+		t.Errorf("record = %+v", rec)
+	}
+	if rec.Attrs["formula"] != "EF(p)" || rec.Attrs["holds"] != true {
+		t.Errorf("attrs = %v", rec.Attrs)
+	}
+}
+
+func TestNilTracerAndSpanAreSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Error("nil tracer returned non-nil span")
+	}
+	sp.Set("k", 1).Set("k2", 2)
+	sp.End()
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	var b strings.Builder
+	lockedW := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	})
+	tr := NewTracer(lockedW)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Start("s").Set("worker", w).End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("got %d lines, want 800", len(lines))
+	}
+	for _, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("interleaved/corrupt line: %q", line)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestMuxEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hb_x_total", "help").Add(9)
+	srv := httptest.NewServer(NewMux(r))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, body := get("/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "hb_x_total 9") {
+		t.Errorf("/metrics = %d\n%s", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !json.Valid([]byte(body)) {
+		t.Errorf("/debug/vars = %d, valid JSON = %v", code, json.Valid([]byte(body)))
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}

@@ -28,6 +28,7 @@ package online
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/computation"
 	"repro/internal/vclock"
@@ -55,6 +56,8 @@ type Monitor struct {
 	efWatches     []*EFWatch
 	agWatches     []*AGWatch
 	stableWatches []*StableWatch
+
+	met *monMetrics // nil unless Instrument was called
 }
 
 type sendInfo struct {
@@ -160,6 +163,10 @@ func (m *Monitor) Receive(proc int, id int, sets map[string]int) error {
 }
 
 func (m *Monitor) step(proc int, kind computation.Kind, msg int, sets map[string]int) {
+	var start time.Time
+	if m.met != nil {
+		start = time.Now()
+	}
 	m.clocks[proc].Tick(proc)
 	m.lens[proc]++
 	for name, v := range sets {
@@ -181,6 +188,12 @@ func (m *Monitor) step(proc int, kind computation.Kind, msg int, sets map[string
 	}
 	for _, w := range m.stableWatches {
 		w.observe(m)
+	}
+
+	if m.met != nil {
+		m.met.events.Inc()
+		m.refreshGauges()
+		m.met.ingestDur.Observe(time.Since(start).Seconds())
 	}
 }
 

@@ -184,6 +184,9 @@ func (w *EFWatch) advance(m *Monitor) {
 		}
 		w.fired = true
 		w.cut = cut
+		if m.met != nil {
+			m.met.efFired.Inc()
+		}
 		return
 	}
 }
@@ -243,6 +246,9 @@ func (w *AGWatch) check(m *Monitor, proc int) {
 			continue
 		}
 		w.violated = true
+		if m.met != nil {
+			m.met.agViolated.Inc()
+		}
 		w.badLocal = l.Name
 		k := m.lens[proc]
 		cut := computation.NewCut(m.n)
@@ -287,6 +293,9 @@ func (w *StableWatch) observe(m *Monitor) {
 	if w.holds(m) {
 		w.fired = true
 		w.at = m.Events()
+		if m.met != nil {
+			m.met.stable.Inc()
+		}
 	}
 }
 
