@@ -38,6 +38,7 @@ var experiments = []struct {
 	{"ablation", "design-choice ablations", runAblation},
 	{"control", "predicate control: EG witness → enforced AG", runControl},
 	{"online", "on-line detection: latency and ingest overhead", runOnline},
+	{"server", "hbserver: loopback ingest throughput and verdict latency", runServer},
 }
 
 func main() {

@@ -1,0 +1,26 @@
+// Command hbserver is the networked streaming predicate-detection
+// service: clients open detection sessions over TCP (newline-delimited
+// JSON frames) or HTTP, stream the events of an unfolding computation,
+// and receive verdict frames the moment an EF watch fires, an AG
+// invariant is violated, or a stable-frontier watch latches.
+//
+// Usage:
+//
+//	hbserver -listen 127.0.0.1:7457 -http 127.0.0.1:7458
+//	hbserver -overflow drop -queue 64        # shed + count under overload
+//
+// The HTTP address serves both the session API (/api/sessions/...) and
+// telemetry (/metrics, /healthz, /debug/pprof). SIGINT/SIGTERM drains
+// gracefully: queued events are applied, goodbye frames flush, and a
+// summary is printed. The wire protocol is documented in DESIGN.md.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunServer(os.Args[1:], os.Stdout, os.Stderr))
+}

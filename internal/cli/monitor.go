@@ -10,10 +10,8 @@ import (
 
 	"repro/internal/buildinfo"
 	"repro/internal/computation"
-	"repro/internal/ctl"
 	"repro/internal/obs"
 	"repro/internal/online"
-	"repro/internal/predicate"
 )
 
 // RunMonitor is the hbmon command: it replays a trace event by event
@@ -87,7 +85,7 @@ func RunMonitor(args []string, stdout, stderr io.Writer) int {
 	var efs []*efEntry
 	var ags []*agEntry
 	for _, src := range efSrcs {
-		locals, err := parseConjLocals(src)
+		locals, err := online.ParseConj(src)
 		if err != nil {
 			fmt.Fprintln(stderr, "hbmon:", err)
 			return 2
@@ -95,7 +93,7 @@ func RunMonitor(args []string, stdout, stderr io.Writer) int {
 		efs = append(efs, &efEntry{src: src, watch: m.WatchEF(locals...)})
 	}
 	for _, src := range agSrcs {
-		locals, err := parseConjLocals(src)
+		locals, err := online.ParseConj(src)
 		if err != nil {
 			fmt.Fprintln(stderr, "hbmon:", err)
 			return 2
@@ -127,7 +125,23 @@ func RunMonitor(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	report()
+	// Graceful shutdown: SIGINT/SIGTERM stops the replay after the event
+	// in flight, so latched verdicts and the summary table still flush
+	// (and, with -listen, the telemetry server closes via its defers). A
+	// second signal kills the process through the default disposition.
+	sig, stopSignals := shutdownSignal()
+	defer stopSignals()
+	interrupted := false
+replay:
 	for s := 1; s < len(seq); s++ {
+		select {
+		case sg := <-sig:
+			fmt.Fprintf(stderr, "hbmon: %v, stopping after %d events\n", sg, seen)
+			stopSignals()
+			interrupted = true
+			break replay
+		default:
+		}
 		prev, cur := seq[s-1], seq[s]
 		for p := range cur {
 			if cur[p] <= prev[p] {
@@ -153,14 +167,18 @@ func RunMonitor(args []string, stdout, stderr io.Writer) int {
 			break
 		}
 	}
+	endMsg := "end of trace"
+	if interrupted {
+		endMsg = "interrupted"
+	}
 	for _, e := range efs {
 		if !e.done {
-			fmt.Fprintf(stdout, "end of trace: EF %s never fired\n", e.src)
+			fmt.Fprintf(stdout, "%s: EF %s never fired\n", endMsg, e.src)
 		}
 	}
 	for _, a := range ags {
 		if !a.done {
-			fmt.Fprintf(stdout, "end of trace: AG %s held throughout\n", a.src)
+			fmt.Fprintf(stdout, "%s: AG %s held throughout\n", endMsg, a.src)
 		}
 	}
 
@@ -195,37 +213,6 @@ func RunMonitor(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
-}
-
-// parseConjLocals parses a conjunctive predicate and adapts its locals to
-// online.LocalSpec.
-func parseConjLocals(src string) ([]online.LocalSpec, error) {
-	f, err := ctl.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	atom, ok := f.(ctl.Atom)
-	if !ok {
-		return nil, fmt.Errorf("watch %q must be a non-temporal conjunctive predicate", src)
-	}
-	var locals []predicate.LocalPredicate
-	switch p := atom.P.(type) {
-	case predicate.Conjunctive:
-		locals = p.Locals
-	case predicate.LocalPredicate:
-		locals = []predicate.LocalPredicate{p}
-	default:
-		return nil, fmt.Errorf("watch %q must be conjunctive, got %s", src, atom.P)
-	}
-	out := make([]online.LocalSpec, 0, len(locals))
-	for _, l := range locals {
-		vc, ok := l.(predicate.VarCmp)
-		if !ok {
-			return nil, fmt.Errorf("watch %q: only variable comparisons are supported online", src)
-		}
-		out = append(out, online.Cmp(vc.Proc, vc.Var, string(vc.Op), vc.K))
-	}
-	return out, nil
 }
 
 // multiFlag collects repeatable string flags.

@@ -1,0 +1,113 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// RunServer is the hbserver command: a long-running detection service
+// accepting event streams over TCP (NDJSON frames) and optionally HTTP,
+// multiplexing them into per-session online monitors, and pushing
+// verdicts as they latch. It runs until SIGINT/SIGTERM, then drains:
+// listeners close, every session's queued events are applied, goodbye
+// frames flush, and a summary is printed.
+func RunServer(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hbserver", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen      = fs.String("listen", "127.0.0.1:7457", "TCP ingest address")
+		httpAddr    = fs.String("http", "", "HTTP address for the session API and telemetry (/metrics, /healthz, /api/...); empty disables")
+		queue       = fs.Int("queue", 256, "per-session ingest queue depth")
+		overflow    = fs.String("overflow", "block", "queue overflow policy: block (backpressure) or drop (shed + count)")
+		maxSessions = fs.Int("max-sessions", 1024, "maximum concurrently open sessions")
+		idle        = fs.Duration("idle-timeout", 2*time.Minute, "close sessions idle this long (0 disables)")
+		ingestDelay = fs.Duration("ingest-delay", 0, "artificial per-event processing delay (testing/demos)")
+		version     = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		buildinfo.Print(stdout, "hbserver")
+		return 0
+	}
+	policy, err := server.ParseOverflowPolicy(*overflow)
+	if err != nil {
+		fmt.Fprintln(stderr, "hbserver:", err)
+		return 2
+	}
+	srv := server.New(server.Config{
+		QueueDepth:  *queue,
+		Overflow:    policy,
+		MaxSessions: *maxSessions,
+		IdleTimeout: *idle,
+		IngestDelay: *ingestDelay,
+		Registry:    obs.Default(),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, "hbserver: "+format+"\n", args...)
+		},
+	})
+
+	// Register before the address is printed, so a supervisor (or test)
+	// that signals as soon as it sees the address cannot kill the process.
+	sig, stopSignals := shutdownSignal()
+	defer stopSignals()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(stderr, "hbserver:", err)
+		return 2
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(stderr, "hbserver: ingest on %s (overflow=%s, queue=%d)\n", ln.Addr(), policy, *queue)
+
+	var hsrv *http.Server
+	if *httpAddr != "" {
+		mux := obs.NewMux(obs.Default())
+		server.RegisterHTTP(mux, srv)
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "hbserver:", err)
+			ln.Close()
+			return 2
+		}
+		hsrv = &http.Server{Handler: mux}
+		go hsrv.Serve(hln) //nolint:errcheck // closed on shutdown
+		fmt.Fprintf(stderr, "hbserver: http api + telemetry on http://%s\n", hln.Addr())
+	}
+
+	select {
+	case s := <-sig:
+		fmt.Fprintf(stderr, "hbserver: %v, draining (signal again to kill)\n", s)
+		stopSignals() // second signal falls through to the default disposition
+	case err := <-serveErr:
+		stopSignals()
+		if err != nil {
+			fmt.Fprintln(stderr, "hbserver:", err)
+			return 2
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if hsrv != nil {
+		hsrv.Shutdown(ctx) //nolint:errcheck // best-effort
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(stderr, "hbserver: shutdown:", err)
+		return 1
+	}
+	sessions, events, dropped := srv.Stats()
+	fmt.Fprintf(stdout, "hbserver: served %d sessions, %d events (%d dropped)\n", sessions, events, dropped)
+	return 0
+}

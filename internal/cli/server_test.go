@@ -1,0 +1,115 @@
+package cli
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+func TestServerUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-bogus"},
+		{"-overflow", "sideways"},
+		{"-listen", "not an address"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := RunServer(args, &out, &errb); code != 2 {
+			t.Errorf("RunServer(%v) = %d, want 2 (stderr: %s)", args, code, errb.String())
+		}
+	}
+}
+
+func TestServerVersion(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := RunServer([]string{"-version"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "hbserver") {
+		t.Errorf("version output %q", out.String())
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for a writer goroutine (RunServer)
+// racing a reader (the test).
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestServerServesAndDrainsOnSignal runs the full command: start on an
+// ephemeral port, drive one session through a real client, send SIGTERM
+// to the process, and assert the drain summary accounts for the session.
+func TestServerServesAndDrainsOnSignal(t *testing.T) {
+	var stdout syncBuffer
+	var stderr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- RunServer([]string{"-listen", "127.0.0.1:0"}, &stdout, &stderr)
+	}()
+
+	// The address is printed once the listener (and the signal handler,
+	// registered before it) is up.
+	addrRe := regexp.MustCompile(`ingest on (127\.0\.0\.1:\d+)`)
+	var addr string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if m := addrRe.FindStringSubmatch(stderr.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("server never announced its address: %s", stderr.String())
+	}
+
+	sess, err := client.Dial(addr, client.Config{
+		Processes: 2,
+		Watches:   []server.Watch{{Op: "EF", Pred: "conj(x@P1 == 1)"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Internal(0, map[string]int{"x": 1})
+	gb, err := sess.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb.Events != 1 {
+		t.Fatalf("goodbye events = %d, want 1", gb.Events)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server did not drain on SIGTERM\nstderr: %s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "served 1 sessions, 1 events") {
+		t.Errorf("summary = %q", stdout.String())
+	}
+}

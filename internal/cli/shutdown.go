@@ -1,0 +1,18 @@
+package cli
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// shutdownSignal returns a channel that receives SIGINT/SIGTERM, plus a
+// cleanup func restoring default signal handling. Shared by the
+// long-running commands (hbserver, hbmon -listen) so both drain the same
+// way: a first signal requests a graceful stop, a second one kills the
+// process via the restored default disposition.
+func shutdownSignal() (<-chan os.Signal, func()) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	return ch, func() { signal.Stop(ch) }
+}

@@ -35,13 +35,35 @@ type envelope struct {
 	from    int
 	payload int
 	msg     computation.Msg
+	msgID   int // observer-visible message id, 1-based
+}
+
+// Observer receives the events of a run as they are recorded, in
+// recording order — a valid linearization of the happened-before order
+// (every receive is delivered after its send). It is the bridge that lets
+// an instrumented program report its computation somewhere other than the
+// in-process recorder, e.g. to a remote hbserver via
+// internal/server/client.
+//
+// Callbacks run under the recorder lock: they serialize the instrumented
+// program, must be fast or the program slows down, and must never call
+// back into an Env.
+type Observer interface {
+	// Init reports a SetInitial call, before any event of the process.
+	Init(proc int, name string, value int)
+	// Event reports one recorded event. msg is a positive id linking
+	// each send to its receive and 0 for internal events; sets holds
+	// variable assignments attached to the event (nil when none).
+	Event(proc int, kind computation.Kind, msg int, sets map[string]int)
 }
 
 type runtime struct {
-	mu   sync.Mutex
-	b    *computation.Builder
-	envs []*Env
-	errs []error
+	mu      sync.Mutex
+	b       *computation.Builder
+	envs    []*Env
+	errs    []error
+	obs     Observer
+	nextMsg int
 }
 
 // Run executes body once per process (self = 0..n-1) as concurrent
@@ -50,10 +72,18 @@ type runtime struct {
 // destination mailbox is full (cap ≥ total messages gives fully
 // asynchronous channels).
 func Run(n, mailboxCap int, body func(self int, env *Env)) (*computation.Computation, error) {
+	return RunObserved(n, mailboxCap, nil, body)
+}
+
+// RunObserved is Run with an observer that is fed every recorded event as
+// it happens; obs may be nil. The run still records and returns the full
+// computation, so callers can cross-check the stream against the local
+// recording.
+func RunObserved(n, mailboxCap int, obs Observer, body func(self int, env *Env)) (*computation.Computation, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("dist: need at least one process")
 	}
-	rt := &runtime{b: computation.NewBuilder(n)}
+	rt := &runtime{b: computation.NewBuilder(n), obs: obs}
 	rt.envs = make([]*Env, n)
 	for i := 0; i < n; i++ {
 		rt.envs[i] = &Env{self: i, rt: rt, in: make(chan envelope, mailboxCap)}
@@ -83,6 +113,9 @@ func (e *Env) Set(name string, value int) {
 	defer e.rt.mu.Unlock()
 	ev := e.rt.b.Internal(e.self)
 	computation.Set(ev, name, value)
+	if e.rt.obs != nil {
+		e.rt.obs.Event(e.self, computation.Internal, 0, map[string]int{name: value})
+	}
 }
 
 // Step records a plain internal event.
@@ -90,6 +123,9 @@ func (e *Env) Step() {
 	e.rt.mu.Lock()
 	defer e.rt.mu.Unlock()
 	e.rt.b.Internal(e.self)
+	if e.rt.obs != nil {
+		e.rt.obs.Event(e.self, computation.Internal, 0, nil)
+	}
 }
 
 // SetInitial records an initial variable value; call before any event of
@@ -98,6 +134,9 @@ func (e *Env) SetInitial(name string, value int) {
 	e.rt.mu.Lock()
 	defer e.rt.mu.Unlock()
 	e.rt.b.SetInitial(e.self, name, value)
+	if e.rt.obs != nil {
+		e.rt.obs.Init(e.self, name, value)
+	}
 }
 
 // Send records a send event and delivers the payload to the destination
@@ -110,11 +149,16 @@ func (e *Env) Send(to, payload int) {
 		return
 	}
 	_, m := e.rt.b.Send(e.self)
+	e.rt.nextMsg++
+	id := e.rt.nextMsg
+	if e.rt.obs != nil {
+		e.rt.obs.Event(e.self, computation.Send, id, nil)
+	}
 	dst := e.rt.envs[to]
 	e.rt.mu.Unlock()
 	// Deliver outside the lock so a full mailbox cannot deadlock the
 	// recorder; the send event is already recorded (message in flight).
-	dst.in <- envelope{from: e.self, payload: payload, msg: m}
+	dst.in <- envelope{from: e.self, payload: payload, msg: m, msgID: id}
 }
 
 // Recv blocks until a message arrives, records the receive event, and
@@ -124,6 +168,9 @@ func (e *Env) Recv() (from, payload int) {
 	e.rt.mu.Lock()
 	defer e.rt.mu.Unlock()
 	e.rt.b.Receive(e.self, env.msg)
+	if e.rt.obs != nil {
+		e.rt.obs.Event(e.self, computation.Receive, env.msgID, nil)
+	}
 	return env.from, env.payload
 }
 
@@ -134,6 +181,10 @@ func (e *Env) RecvSet(name string, value func(from, payload int) int) (from, pay
 	e.rt.mu.Lock()
 	defer e.rt.mu.Unlock()
 	ev := e.rt.b.Receive(e.self, env.msg)
-	computation.Set(ev, name, value(env.from, env.payload))
+	v := value(env.from, env.payload)
+	computation.Set(ev, name, v)
+	if e.rt.obs != nil {
+		e.rt.obs.Event(e.self, computation.Receive, env.msgID, map[string]int{name: v})
+	}
 	return env.from, env.payload
 }

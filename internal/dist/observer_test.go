@@ -1,0 +1,159 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/online"
+)
+
+// recordingObserver rebuilds the computation from the observer stream —
+// the contract a remote monitor relies on: the callbacks arrive in a
+// valid linearization with globally unique message ids.
+type recordingObserver struct {
+	t    *testing.T
+	b    *computation.Builder
+	msgs map[int]computation.Msg
+	n    int
+}
+
+func (o *recordingObserver) Init(proc int, name string, value int) {
+	o.b.SetInitial(proc, name, value)
+}
+
+func (o *recordingObserver) Event(proc int, kind computation.Kind, msg int, sets map[string]int) {
+	o.n++
+	var e *computation.Event
+	switch kind {
+	case computation.Internal:
+		e = o.b.Internal(proc)
+	case computation.Send:
+		if _, dup := o.msgs[msg]; dup {
+			o.t.Errorf("observer saw message %d sent twice", msg)
+		}
+		var m computation.Msg
+		e, m = o.b.Send(proc)
+		o.msgs[msg] = m
+	case computation.Receive:
+		m, ok := o.msgs[msg]
+		if !ok {
+			o.t.Errorf("observer saw receive of message %d before its send", msg)
+			return
+		}
+		e = o.b.Receive(proc, m)
+	}
+	for name, v := range sets {
+		computation.Set(e, name, v)
+	}
+}
+
+// TestRunObserved: the observer stream rebuilds a computation identical
+// in shape, values, and causal order to the one Run records in-process.
+func TestRunObserved(t *testing.T) {
+	obs := &recordingObserver{t: t, b: computation.NewBuilder(2), msgs: make(map[int]computation.Msg)}
+	const k = 5
+	comp, err := RunObserved(2, k+1, obs, func(self int, env *Env) {
+		switch self {
+		case 0:
+			env.SetInitial("reqs", 0)
+			for i := 1; i <= k; i++ {
+				env.Set("reqs", i)
+				env.Send(1, i)
+				env.Recv()
+			}
+		case 1:
+			for i := 1; i <= k; i++ {
+				env.RecvSet("seen", func(_, payload int) int { return payload })
+				env.Send(0, i)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := obs.b.Build()
+	if err != nil {
+		t.Fatalf("observer stream does not rebuild: %v", err)
+	}
+	if obs.n != comp.TotalEvents() {
+		t.Fatalf("observer saw %d events, recorder has %d", obs.n, comp.TotalEvents())
+	}
+	if rebuilt.N() != comp.N() || rebuilt.TotalEvents() != comp.TotalEvents() {
+		t.Fatalf("rebuilt shape %d/%d, recorded %d/%d",
+			rebuilt.N(), rebuilt.TotalEvents(), comp.N(), comp.TotalEvents())
+	}
+	for i := 0; i < comp.N(); i++ {
+		for j := 1; j <= comp.Len(i); j++ {
+			a, b := comp.Event(i, j), rebuilt.Event(i, j)
+			if a.Kind != b.Kind {
+				t.Errorf("event (%d,%d): kind %v vs %v", i, j, a.Kind, b.Kind)
+			}
+			if !a.Clock.Equal(b.Clock) {
+				t.Errorf("event (%d,%d): clock %v vs %v", i, j, a.Clock, b.Clock)
+			}
+		}
+		for s := 0; s <= comp.Len(i); s++ {
+			for _, name := range comp.Vars(i) {
+				av, _ := comp.Value(i, s, name)
+				bv, _ := rebuilt.Value(i, s, name)
+				if av != bv {
+					t.Errorf("value %s@P%d state %d: %d vs %d", name, i+1, s, av, bv)
+				}
+			}
+		}
+	}
+}
+
+// monitorObserver feeds an online monitor directly from the stream —
+// the in-process version of the hbserver bridge.
+type monitorObserver struct {
+	t    *testing.T
+	m    *online.Monitor
+	msgs map[int]int
+}
+
+func (o *monitorObserver) Init(proc int, name string, value int) {
+	o.m.SetInitial(proc, name, value)
+}
+
+func (o *monitorObserver) Event(proc int, kind computation.Kind, msg int, sets map[string]int) {
+	switch kind {
+	case computation.Send:
+		o.msgs[msg] = o.m.Send(proc, sets)
+	case computation.Receive:
+		if err := o.m.Receive(proc, o.msgs[msg], sets); err != nil {
+			o.t.Errorf("monitor rejected streamed receive: %v", err)
+		}
+	default:
+		o.m.Internal(proc, sets)
+	}
+}
+
+// TestRunObservedDrivesMonitor: an EF watch on the streamed events fires
+// exactly when the offline detector says it should.
+func TestRunObservedDrivesMonitor(t *testing.T) {
+	m := online.NewMonitor(2)
+	w := m.WatchEF(online.Cmp(0, "reqs", "==", 3), online.Cmp(1, "seen", "==", 3))
+	obs := &monitorObserver{t: t, m: m, msgs: make(map[int]int)}
+	_, err := RunObserved(2, 4, obs, func(self int, env *Env) {
+		switch self {
+		case 0:
+			for i := 1; i <= 3; i++ {
+				env.Set("reqs", i)
+				env.Send(1, i)
+				env.Recv()
+			}
+		case 1:
+			for i := 1; i <= 3; i++ {
+				env.RecvSet("seen", func(_, payload int) int { return payload })
+				env.Send(0, i)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Fired() {
+		t.Fatal("EF watch on the observer stream never fired")
+	}
+}

@@ -1,0 +1,107 @@
+package online
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustPanic asserts fn panics with a message containing want.
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic (want one mentioning %q)", want)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic %v, want one mentioning %q", r, want)
+		}
+	}()
+	fn()
+}
+
+// TestOutOfRangeProcessPanics pins the error-handling policy: a process
+// index outside [0,n) is a programming error in the caller (the indices
+// are the caller's own loop variables, not observed data) and panics,
+// unlike observation-order violations, which return errors from Receive.
+func TestOutOfRangeProcessPanics(t *testing.T) {
+	const want = "out of range"
+	m := NewMonitor(2)
+	mustPanic(t, want, func() { m.SetInitial(2, "x", 1) })
+	mustPanic(t, want, func() { m.SetInitial(-1, "x", 1) })
+	mustPanic(t, want, func() { m.Internal(2, nil) })
+	mustPanic(t, want, func() { m.Send(2, nil) })
+	mustPanic(t, want, func() { _ = m.Receive(2, 1, nil) })
+	mustPanic(t, want, func() { m.Value(2, "x") })
+	mustPanic(t, want, func() { m.EventsOn(-1) })
+	// The monitor must still be usable after a recovered panic.
+	m.Internal(0, map[string]int{"x": 1})
+	if got := m.Value(0, "x"); got != 1 {
+		t.Fatalf("Value = %d after recovered panics, want 1", got)
+	}
+}
+
+func TestEventsOn(t *testing.T) {
+	m := NewMonitor(2)
+	if m.EventsOn(0) != 0 || m.EventsOn(1) != 0 {
+		t.Fatal("fresh monitor has events")
+	}
+	m.Internal(0, nil)
+	id := m.Send(0, nil)
+	if err := m.Receive(1, id, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.EventsOn(0); got != 2 {
+		t.Errorf("EventsOn(0) = %d, want 2", got)
+	}
+	if got := m.EventsOn(1); got != 1 {
+		t.Errorf("EventsOn(1) = %d, want 1", got)
+	}
+}
+
+func TestParseConj(t *testing.T) {
+	locals, err := ParseConj("conj(x@P1 == 1, y@P2 >= 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locals) != 2 {
+		t.Fatalf("got %d locals, want 2", len(locals))
+	}
+	if locals[0].Proc != 0 || locals[0].Name == "" {
+		t.Errorf("first local = %+v", locals[0])
+	}
+	if locals[1].Proc != 1 {
+		t.Errorf("second local on process %d, want 1", locals[1].Proc)
+	}
+
+	// A bare comparison is a one-conjunct watch.
+	locals, err = ParseConj("x@P1 == 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locals) != 1 {
+		t.Fatalf("got %d locals, want 1", len(locals))
+	}
+
+	// Verify the compiled Holds closures actually compare.
+	if !locals[0].Holds(map[string]int{"x": 1}) {
+		t.Error("x == 1 does not hold on x=1")
+	}
+	if locals[0].Holds(map[string]int{"x": 2}) {
+		t.Error("x == 1 holds on x=2")
+	}
+
+	for _, src := range []string{
+		"",                        // empty
+		"conj(",                   // syntax error
+		"EF(x@P1 == 1)",           // temporal
+		"x@P1 == 1 || y@P2 == 2",  // not conjunctive
+		"channelsEmpty",           // not a variable comparison
+		"conj(x@P1 == 1) && true", // not an atom
+	} {
+		if _, err := ParseConj(src); err == nil {
+			t.Errorf("ParseConj(%q) accepted", src)
+		}
+	}
+}

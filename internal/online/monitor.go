@@ -99,6 +99,17 @@ func NewMonitor(n int) *Monitor {
 // N returns the number of processes.
 func (m *Monitor) N() int { return m.n }
 
+// checkProc panics when proc is not a valid process index. Passing an
+// out-of-range process to any observation method is a programming error
+// (callers ingesting untrusted input, like hbserver, validate first);
+// observation-order violations, which depend on the remote peer, are
+// returned as errors by Receive instead.
+func (m *Monitor) checkProc(proc int) {
+	if proc < 0 || proc >= m.n {
+		panic(fmt.Sprintf("online: process %d out of range [0,%d)", proc, m.n))
+	}
+}
+
 // Events returns the number of events observed so far.
 func (m *Monitor) Events() int {
 	total := 0
@@ -108,15 +119,27 @@ func (m *Monitor) Events() int {
 	return total
 }
 
-// Value returns the current value of a variable on a process.
-func (m *Monitor) Value(proc int, name string) int { return m.vals[proc][name] }
+// EventsOn returns the number of events observed on one process. It
+// panics when proc is out of range.
+func (m *Monitor) EventsOn(proc int) int {
+	m.checkProc(proc)
+	return m.lens[proc]
+}
+
+// Value returns the current value of a variable on a process. It panics
+// when proc is out of range.
+func (m *Monitor) Value(proc int, name string) int {
+	m.checkProc(proc)
+	return m.vals[proc][name]
+}
 
 // InFlight returns the number of messages currently in flight.
 func (m *Monitor) InFlight() int { return m.inFlight }
 
-// SetInitial sets an initial variable value. It panics after the first
-// event of the process has been observed.
+// SetInitial sets an initial variable value. It panics when proc is out
+// of range or after the first event of the process has been observed.
 func (m *Monitor) SetInitial(proc int, name string, value int) {
+	m.checkProc(proc)
 	if m.lens[proc] > 0 {
 		panic("online: SetInitial after events were observed")
 	}
@@ -125,14 +148,16 @@ func (m *Monitor) SetInitial(proc int, name string, value int) {
 }
 
 // Internal observes an internal event on proc with the given variable
-// assignments (may be nil).
+// assignments (may be nil). It panics when proc is out of range.
 func (m *Monitor) Internal(proc int, sets map[string]int) {
+	m.checkProc(proc)
 	m.step(proc, computation.Internal, 0, sets)
 }
 
 // Send observes a send event and returns the message id to pass to the
-// matching Receive.
+// matching Receive. It panics when proc is out of range.
 func (m *Monitor) Send(proc int, sets map[string]int) int {
+	m.checkProc(proc)
 	m.nextMsg++
 	id := m.nextMsg
 	m.step(proc, computation.Send, id, sets)
@@ -143,8 +168,11 @@ func (m *Monitor) Send(proc int, sets map[string]int) int {
 
 // Receive observes the receipt of message id on proc. It returns an error
 // if the message is unknown, already received, or a self-receive —
-// observation-order violations.
+// observation-order violations, which leave the monitor state untouched
+// so ingest can report the bad frame and continue. It panics when proc is
+// out of range.
 func (m *Monitor) Receive(proc int, id int, sets map[string]int) error {
+	m.checkProc(proc)
 	s, ok := m.sends[id]
 	if !ok {
 		return fmt.Errorf("online: receive of unknown message %d", id)

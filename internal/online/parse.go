@@ -1,0 +1,43 @@
+package online
+
+import (
+	"fmt"
+
+	"repro/internal/ctl"
+	"repro/internal/predicate"
+)
+
+// ParseConj parses a non-temporal conjunctive predicate in the ctl syntax
+// — conj(x@P1 == 1, y@P2 >= 2) or a single comparison — and adapts its
+// local conjuncts to LocalSpecs for WatchEF / WatchAG. Only variable
+// comparisons are supported online; temporal operators and other
+// predicate forms are errors. Shared by hbmon and hbserver, which both
+// accept watch predicates as text.
+func ParseConj(src string) ([]LocalSpec, error) {
+	f, err := ctl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	atom, ok := f.(ctl.Atom)
+	if !ok {
+		return nil, fmt.Errorf("watch %q must be a non-temporal conjunctive predicate", src)
+	}
+	var locals []predicate.LocalPredicate
+	switch p := atom.P.(type) {
+	case predicate.Conjunctive:
+		locals = p.Locals
+	case predicate.LocalPredicate:
+		locals = []predicate.LocalPredicate{p}
+	default:
+		return nil, fmt.Errorf("watch %q must be conjunctive, got %s", src, atom.P)
+	}
+	out := make([]LocalSpec, 0, len(locals))
+	for _, l := range locals {
+		vc, ok := l.(predicate.VarCmp)
+		if !ok {
+			return nil, fmt.Errorf("watch %q: only variable comparisons are supported online", src)
+		}
+		out = append(out, Cmp(vc.Proc, vc.Var, string(vc.Op), vc.K))
+	}
+	return out, nil
+}

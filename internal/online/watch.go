@@ -44,6 +44,14 @@ func Cmp(proc int, name, op string, k int) LocalSpec {
 	}
 }
 
+// HoldsNow reports whether the spec holds in its process's current local
+// state — the frontier evaluation used by stable watches built from
+// parsed conjuncts (hbserver's STABLE op).
+func (l LocalSpec) HoldsNow(m *Monitor) bool {
+	m.checkProc(l.Proc)
+	return l.Holds(m.vals[l.Proc])
+}
+
 // candidate is a local state in an EFWatch queue.
 type candidate struct {
 	state int       // local state index k on its process

@@ -1,0 +1,284 @@
+// Package client is the Go client for hbserver's TCP frame protocol:
+// it opens a detection session, streams init/event frames, surfaces
+// pushed verdict frames, and runs snapshot queries. An Observer adapter
+// lets a dist-instrumented program report its computation to a remote
+// server as it executes.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Config describes the session to open.
+type Config struct {
+	// Processes is the process count of the monitored computation.
+	Processes int
+	// Watches are the predicate watches to register.
+	Watches []server.Watch
+	// DialTimeout bounds connect and handshake (default 5s).
+	DialTimeout time.Duration
+}
+
+// Session is an open client session. Event methods take 0-based process
+// indices, matching the engine packages; the wire carries 1-based ids.
+// Methods are safe for concurrent use; events are written in call order.
+type Session struct {
+	conn net.Conn
+	id   string
+
+	wmu     sync.Mutex // serializes writes and the msg-id counter
+	nextMsg int
+	err     error // sticky; set by the first failed write or read
+
+	mu       sync.Mutex
+	frames   []server.ServerFrame // latched verdict/error pushes, in order
+	snaps    map[int]chan server.ServerFrame
+	nextSnap int
+	goodbye  *server.ServerFrame
+
+	verdicts chan server.ServerFrame
+	done     chan struct{} // closed when the reader exits
+}
+
+// Dial connects to an hbserver TCP listener, performs the hello/welcome
+// handshake, and starts the frame reader.
+func Dial(addr string, cfg Config) (*Session, error) {
+	timeout := cfg.DialTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	hello := server.ClientFrame{Type: server.FrameHello, Processes: cfg.Processes, Watches: cfg.Watches}
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := writeClientFrame(conn, hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: hello: %w", err)
+	}
+	sc := newScanner(conn)
+	if !sc.Scan() {
+		conn.Close()
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("client: handshake: %w", err)
+		}
+		return nil, errors.New("client: server closed connection during handshake")
+	}
+	var welcome server.ServerFrame
+	if err := decodeServerFrame(sc.Bytes(), &welcome); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	switch welcome.Type {
+	case server.FrameWelcome:
+	case server.FrameError:
+		conn.Close()
+		return nil, fmt.Errorf("client: server rejected session: %s", welcome.Error)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("client: expected welcome, got %q", welcome.Type)
+	}
+	conn.SetDeadline(time.Time{})
+	s := &Session{
+		conn:     conn,
+		id:       welcome.Session,
+		snaps:    make(map[int]chan server.ServerFrame),
+		verdicts: make(chan server.ServerFrame, 256),
+		done:     make(chan struct{}),
+	}
+	go s.read(sc)
+	return s, nil
+}
+
+// ID returns the server-assigned session id.
+func (s *Session) ID() string { return s.id }
+
+// Err returns the sticky session error, if any: the first write or read
+// failure, after which all event methods are no-ops.
+func (s *Session) Err() error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return s.err
+}
+
+// Verdicts returns the channel of pushed verdict and error frames. The
+// channel is buffered; if a consumer falls 256 frames behind, further
+// pushes are shed (Latched still has everything). It is never closed;
+// select against Done to end consumption.
+func (s *Session) Verdicts() <-chan server.ServerFrame { return s.verdicts }
+
+// Latched returns all verdict and error frames pushed so far, in order.
+func (s *Session) Latched() []server.ServerFrame {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]server.ServerFrame(nil), s.frames...)
+}
+
+// Done returns a channel closed when the server side of the session has
+// finished (goodbye received or connection lost).
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Goodbye returns the final accounting frame, once received.
+func (s *Session) Goodbye() *server.ServerFrame {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.goodbye
+}
+
+// SetInitial streams an initial variable value for a process; call
+// before that process's events.
+func (s *Session) SetInitial(proc int, name string, value int) {
+	s.write(server.ClientFrame{Type: server.FrameInit, Proc: proc + 1, Var: name, Value: value})
+}
+
+// Internal streams an internal event, with optional variable updates.
+func (s *Session) Internal(proc int, sets map[string]int) {
+	s.write(server.ClientFrame{Type: server.FrameEvent, Proc: proc + 1, Kind: "internal", Sets: sets})
+}
+
+// Send streams a send event and returns the message id to pass to the
+// matching Receive.
+func (s *Session) Send(proc int, sets map[string]int) int {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.nextMsg++
+	id := s.nextMsg
+	s.writeLocked(server.ClientFrame{Type: server.FrameEvent, Proc: proc + 1, Kind: "send", Msg: id, Sets: sets})
+	return id
+}
+
+// SendMsg streams a send event with a caller-chosen message id — for
+// callers that already have globally unique ids (e.g. the dist observer).
+func (s *Session) SendMsg(proc, msg int, sets map[string]int) {
+	s.write(server.ClientFrame{Type: server.FrameEvent, Proc: proc + 1, Kind: "send", Msg: msg, Sets: sets})
+}
+
+// Receive streams the receive of a previously sent message.
+func (s *Session) Receive(proc, msg int, sets map[string]int) {
+	s.write(server.ClientFrame{Type: server.FrameEvent, Proc: proc + 1, Kind: "receive", Msg: msg, Sets: sets})
+}
+
+// Snapshot asks the server to freeze the session's observed prefix and
+// run an offline detection query on it. It blocks until the response
+// frame arrives; Holds on the returned frame is the verdict.
+func (s *Session) Snapshot(formula string) (server.ServerFrame, error) {
+	s.mu.Lock()
+	s.nextSnap++
+	id := s.nextSnap
+	resp := make(chan server.ServerFrame, 1)
+	s.snaps[id] = resp
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.snaps, id)
+		s.mu.Unlock()
+	}()
+	if err := s.write(server.ClientFrame{Type: server.FrameSnapshot, ID: id, Formula: formula}); err != nil {
+		return server.ServerFrame{}, err
+	}
+	select {
+	case fr := <-resp:
+		if fr.Type == server.FrameError {
+			return fr, fmt.Errorf("client: snapshot: %s", fr.Error)
+		}
+		return fr, nil
+	case <-s.done:
+		return server.ServerFrame{}, errors.New("client: session ended before snapshot response")
+	}
+}
+
+// Close sends the bye frame, waits for the server's goodbye (or the
+// connection to end), closes the connection, and returns the final
+// accounting frame when one was received.
+func (s *Session) Close() (*server.ServerFrame, error) {
+	err := s.write(server.ClientFrame{Type: server.FrameBye})
+	select {
+	case <-s.done:
+	case <-time.After(10 * time.Second):
+		err = errors.New("client: timed out waiting for goodbye")
+	}
+	s.conn.Close()
+	if gb := s.Goodbye(); gb != nil {
+		return gb, nil
+	}
+	if err == nil {
+		err = s.Err()
+	}
+	if err == nil {
+		err = errors.New("client: connection ended without goodbye")
+	}
+	return nil, err
+}
+
+func (s *Session) write(f server.ClientFrame) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return s.writeLocked(f)
+}
+
+func (s *Session) writeLocked(f server.ClientFrame) error {
+	if s.err != nil {
+		return s.err
+	}
+	if err := writeClientFrame(s.conn, f); err != nil {
+		s.err = fmt.Errorf("client: write: %w", err)
+		return s.err
+	}
+	return nil
+}
+
+// read is the frame reader: it routes snapshot responses to their
+// waiters, stores the goodbye frame, and pushes everything else to the
+// verdict stream.
+func (s *Session) read(sc scanner) {
+	defer close(s.done)
+	for sc.Scan() {
+		var fr server.ServerFrame
+		if err := decodeServerFrame(sc.Bytes(), &fr); err != nil {
+			s.fail(err)
+			return
+		}
+		switch {
+		case fr.Type == server.FrameGoodbye:
+			s.mu.Lock()
+			s.goodbye = &fr
+			s.mu.Unlock()
+			return
+		case (fr.Type == server.FrameSnapshot || fr.Type == server.FrameError) && fr.ID > 0:
+			s.mu.Lock()
+			resp := s.snaps[fr.ID]
+			s.mu.Unlock()
+			if resp != nil {
+				resp <- fr
+				continue
+			}
+			fallthrough
+		default:
+			s.mu.Lock()
+			s.frames = append(s.frames, fr)
+			s.mu.Unlock()
+			select {
+			case s.verdicts <- fr:
+			default: // consumer behind; Latched keeps the full record
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		s.fail(fmt.Errorf("client: read: %w", err))
+	}
+}
+
+func (s *Session) fail(err error) {
+	s.wmu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.wmu.Unlock()
+}

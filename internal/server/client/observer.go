@@ -1,0 +1,36 @@
+package client
+
+import (
+	"repro/internal/computation"
+)
+
+// observer adapts a Session to dist.Observer, so a program run under
+// dist.RunObserved streams its computation to a remote hbserver as it
+// executes. The dist recorder already serializes callbacks in a valid
+// linearization of the happened-before order, and dist message ids are
+// globally unique, so events can be forwarded verbatim.
+//
+// Do not mix an Observer with direct Send calls on the same session:
+// both allocate message ids and would collide. Write errors go sticky on
+// the session (Err); the program keeps running on the local recording.
+type observer struct {
+	s *Session
+}
+
+// Observer returns a dist.Observer that forwards the run to s.
+func (s *Session) Observer() observer { return observer{s} }
+
+func (o observer) Init(proc int, name string, value int) {
+	o.s.SetInitial(proc, name, value)
+}
+
+func (o observer) Event(proc int, kind computation.Kind, msg int, sets map[string]int) {
+	switch kind {
+	case computation.Send:
+		o.s.SendMsg(proc, msg, sets)
+	case computation.Receive:
+		o.s.Receive(proc, msg, sets)
+	default:
+		o.s.Internal(proc, sets)
+	}
+}

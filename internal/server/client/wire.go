@@ -1,0 +1,40 @@
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/server"
+)
+
+// scanner is the line-reader interface read consumes; *bufio.Scanner
+// satisfies it.
+type scanner interface {
+	Scan() bool
+	Bytes() []byte
+	Err() error
+}
+
+func newScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), server.MaxFrameBytes)
+	return sc
+}
+
+func writeClientFrame(w io.Writer, f server.ClientFrame) error {
+	b, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+func decodeServerFrame(line []byte, fr *server.ServerFrame) error {
+	if err := json.Unmarshal(line, fr); err != nil {
+		return fmt.Errorf("bad server frame: %v", err)
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package server
+
+import (
+	"testing"
+)
+
+// FuzzDecodeClientFrame asserts the wire decoder never panics on
+// arbitrary network bytes and that structural constraints (unknown
+// fields, trailing data, frame size) are enforced.
+func FuzzDecodeClientFrame(f *testing.F) {
+	f.Add([]byte(`{"type":"hello","processes":3,"watches":[{"op":"EF","pred":"conj(x@P1 == 1)"}]}`))
+	f.Add([]byte(`{"type":"init","proc":1,"var":"x","value":7}`))
+	f.Add([]byte(`{"type":"event","proc":1,"kind":"send","msg":3,"sets":{"x":1}}`))
+	f.Add([]byte(`{"type":"event","proc":2,"kind":"receive","msg":3}`))
+	f.Add([]byte(`{"type":"snapshot","id":1,"formula":"EF(x@P1 == 1)"}`))
+	f.Add([]byte(`{"type":"bye"}`))
+	f.Add([]byte(`{"type":"hello","processes":9999999999}`))
+	f.Add([]byte(`{"type":"hello"}{"type":"bye"}`)) // trailing data
+	f.Add([]byte(`{"type":"hello","bogus":1}`))     // unknown field
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte{0x00, 0xff, 0xfe})
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		fr, err := DecodeClientFrame(line)
+		if err != nil {
+			return
+		}
+		if fr.Type == FrameHello {
+			if ValidateHello(fr) == nil {
+				if fr.Processes < 1 || fr.Processes > MaxProcesses {
+					t.Fatalf("ValidateHello accepted %d processes", fr.Processes)
+				}
+				if len(fr.Watches) > MaxWatches {
+					t.Fatalf("ValidateHello accepted %d watches", len(fr.Watches))
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,50 @@
+package server
+
+import "repro/internal/obs"
+
+// metrics holds the hbserver metric handles. The names are part of the
+// operational interface and documented in DESIGN.md; the registry is
+// shared with the engine packages and served by obs.NewMux.
+type metrics struct {
+	sessionsActive *obs.Gauge     // hb_server_sessions_active
+	sessionsTotal  *obs.Counter   // hb_server_sessions_opened_total
+	connsActive    *obs.Gauge     // hb_server_connections_active
+	events         *obs.Counter   // hb_server_events_total
+	dropped        *obs.Counter   // hb_server_events_dropped_total
+	ingestDur      *obs.Histogram // hb_server_ingest_seconds
+	efFired        *obs.Counter   // hb_server_verdicts_total{kind="ef_fired"}
+	agViolated     *obs.Counter   // hb_server_verdicts_total{kind="ag_violated"}
+	stableFired    *obs.Counter   // hb_server_verdicts_total{kind="stable_fired"}
+	snapshots      *obs.Counter   // hb_server_snapshots_total
+	protoErrors    *obs.Counter   // hb_server_protocol_errors_total
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &metrics{
+		sessionsActive: reg.Gauge("hb_server_sessions_active",
+			"Detection sessions currently open."),
+		sessionsTotal: reg.Counter("hb_server_sessions_opened_total",
+			"Detection sessions opened since start."),
+		connsActive: reg.Gauge("hb_server_connections_active",
+			"TCP ingest connections currently open."),
+		events: reg.Counter("hb_server_events_total",
+			"Events applied to session monitors."),
+		dropped: reg.Counter("hb_server_events_dropped_total",
+			"Events shed by the drop overflow policy."),
+		ingestDur: reg.Histogram("hb_server_ingest_seconds",
+			"Per-event ingest latency, enqueue to applied.", nil),
+		efFired: reg.Counter(`hb_server_verdicts_total{kind="ef_fired"}`,
+			"Server-side verdict latches by kind."),
+		agViolated: reg.Counter(`hb_server_verdicts_total{kind="ag_violated"}`,
+			"Server-side verdict latches by kind."),
+		stableFired: reg.Counter(`hb_server_verdicts_total{kind="stable_fired"}`,
+			"Server-side verdict latches by kind."),
+		snapshots: reg.Counter("hb_server_snapshots_total",
+			"Offline snapshot queries served."),
+		protoErrors: reg.Counter("hb_server_protocol_errors_total",
+			"Frames rejected as malformed, out of range, or out of order."),
+	}
+}

@@ -1,0 +1,173 @@
+// Package server implements hbserver, the networked streaming
+// predicate-detection service: clients open detection sessions, stream
+// the events of an unfolding computation over TCP (newline-delimited
+// JSON) or HTTP POST, and receive verdict frames the moment an EF watch
+// fires, an AG invariant is violated, or a stable-frontier watch latches.
+//
+// Each session owns one online.Monitor driven by a single goroutine (the
+// monitor loop) fed through a bounded queue, so detection state never
+// needs locks; transports — a goroutine-per-connection TCP listener and
+// an HTTP API sharing the obs telemetry mux — ingest concurrently into
+// those queues under an explicit overflow policy (block for backpressure,
+// drop with accounting). A snapshot request freezes the session's
+// observed prefix and runs any offline core.Detect query on it, bridging
+// the latching online operators to the paper's full operator set.
+//
+// The wire protocol is documented in DESIGN.md ("hbserver wire
+// protocol"); internal/server/client is the Go client.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Protocol limits. Frames arrive from untrusted network peers; every
+// decode path is bounded before it allocates.
+const (
+	// MaxFrameBytes bounds one NDJSON frame (and one HTTP body line).
+	MaxFrameBytes = 1 << 20
+	// MaxProcesses bounds the per-session process count a client may
+	// request; per-process monitor state is allocated up front.
+	MaxProcesses = 4096
+	// MaxWatches bounds the watches a hello frame may register.
+	MaxWatches = 256
+)
+
+// Client → server frame types.
+const (
+	FrameHello    = "hello"    // opens the session: processes + watches
+	FrameInit     = "init"     // initial variable value, before events of that process
+	FrameEvent    = "event"    // one observed event (internal, send, receive)
+	FrameSnapshot = "snapshot" // freeze the prefix, run an offline core.Detect query
+	FrameBye      = "bye"      // orderly close; the server answers with goodbye
+)
+
+// Server → client frame types (snapshot responses reuse FrameSnapshot).
+const (
+	FrameWelcome = "welcome" // session opened
+	FrameVerdict = "verdict" // a watch latched
+	FrameError   = "error"   // rejected frame or failed request
+	FrameGoodbye = "goodbye" // session closed; final accounting
+	FrameAck     = "ack"     // HTTP batch-ingest accounting
+)
+
+// Watch declares one predicate watch in a hello frame.
+type Watch struct {
+	// Op is "EF" (fire when some consistent cut of the observed prefix
+	// satisfies the predicate), "AG" (fire when the invariant is
+	// violated), or "STABLE" (fire when the frontier satisfies the
+	// predicate with no messages in flight — quiescence detection).
+	Op string `json:"op"`
+	// Pred is a conjunctive predicate in the ctl syntax:
+	// conj(x@P1 == 1, y@P2 >= 2), or a single comparison.
+	Pred string `json:"pred"`
+}
+
+// ClientFrame is one client → server frame. Type selects which fields
+// are meaningful; processes are 1-based on the wire, matching the trace
+// format and the paper's notation.
+type ClientFrame struct {
+	Type string `json:"type"`
+
+	// hello
+	Processes int     `json:"processes,omitempty"`
+	Watches   []Watch `json:"watches,omitempty"`
+
+	// init (Proc, Var, Value) and event (Proc, Kind, Msg, Sets)
+	Proc  int            `json:"proc,omitempty"`
+	Var   string         `json:"var,omitempty"`
+	Value int            `json:"value,omitempty"`
+	Kind  string         `json:"kind,omitempty"` // "internal" (default), "send", "receive"
+	Msg   int            `json:"msg,omitempty"`  // client-chosen id linking a send to its receive
+	Sets  map[string]int `json:"sets,omitempty"`
+
+	// snapshot
+	ID      int    `json:"id,omitempty"` // echoed on the response
+	Formula string `json:"formula,omitempty"`
+}
+
+// ServerFrame is one server → client frame. Watch and Event carry no
+// omitempty: a verdict on watch 0 at event 0 is meaningful.
+type ServerFrame struct {
+	Type string `json:"type"`
+
+	// welcome / goodbye
+	Session   string `json:"session,omitempty"`
+	Processes int    `json:"processes,omitempty"`
+	Watches   int    `json:"watches,omitempty"`
+
+	// verdict
+	Watch    int    `json:"watch"` // index into the hello watch list
+	Op       string `json:"op,omitempty"`
+	Pred     string `json:"pred,omitempty"`
+	Event    int    `json:"event"` // events ingested when the verdict latched
+	Cut      []int  `json:"cut,omitempty"`
+	Conjunct string `json:"conjunct,omitempty"` // failing conjunct (AG)
+
+	// snapshot response
+	ID        int    `json:"id,omitempty"`
+	Holds     *bool  `json:"holds,omitempty"`
+	Algorithm string `json:"algorithm,omitempty"`
+
+	// goodbye / ack accounting
+	Events  int `json:"events,omitempty"`  // events applied to the monitor
+	Dropped int `json:"dropped,omitempty"` // events shed by the overflow policy
+
+	Error string `json:"error,omitempty"`
+}
+
+// DecodeClientFrame parses one NDJSON line into a ClientFrame. Unknown
+// fields and trailing data are rejected so a desynchronized or hostile
+// stream fails loudly instead of silently dropping constraints.
+func DecodeClientFrame(line []byte) (ClientFrame, error) {
+	var f ClientFrame
+	if len(line) > MaxFrameBytes {
+		return f, fmt.Errorf("server: frame exceeds %d bytes", MaxFrameBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return f, fmt.Errorf("server: bad frame: %v", err)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return f, fmt.Errorf("server: trailing data after frame")
+	}
+	return f, nil
+}
+
+// ValidateHello checks the structural constraints of a hello frame;
+// watch predicates are parsed later by Open.
+func ValidateHello(f ClientFrame) error {
+	if f.Type != FrameHello {
+		return fmt.Errorf("server: first frame must be %q, got %q", FrameHello, f.Type)
+	}
+	if f.Processes < 1 || f.Processes > MaxProcesses {
+		return fmt.Errorf("server: processes must be in [1,%d], got %d", MaxProcesses, f.Processes)
+	}
+	if len(f.Watches) > MaxWatches {
+		return fmt.Errorf("server: at most %d watches, got %d", MaxWatches, len(f.Watches))
+	}
+	return nil
+}
+
+// newFrameScanner returns a line scanner bounded at MaxFrameBytes.
+func newFrameScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), MaxFrameBytes)
+	return sc
+}
+
+// appendFrame marshals fr as one NDJSON line.
+func appendFrame(fr ServerFrame) []byte {
+	b, err := json.Marshal(fr)
+	if err != nil {
+		// A struct of scalars and slices cannot fail to marshal.
+		panic("server: marshal frame: " + err.Error())
+	}
+	return append(b, '\n')
+}

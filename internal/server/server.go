@@ -1,0 +1,251 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// OverflowPolicy says what ingest does when a session's bounded queue is
+// full.
+type OverflowPolicy int
+
+const (
+	// OverflowBlock applies backpressure: the ingesting goroutine (and,
+	// through the TCP window, the remote client) waits until the
+	// session's monitor loop catches up. The default.
+	OverflowBlock OverflowPolicy = iota
+	// OverflowDrop sheds the event and counts it (session Dropped,
+	// hb_server_events_dropped_total) so ingest never stalls. A lossy
+	// session keeps running best-effort: dropping a send whose receive
+	// later arrives surfaces as an error frame on that receive.
+	OverflowDrop
+)
+
+// String implements fmt.Stringer.
+func (p OverflowPolicy) String() string {
+	switch p {
+	case OverflowBlock:
+		return "block"
+	case OverflowDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("OverflowPolicy(%d)", int(p))
+	}
+}
+
+// ParseOverflowPolicy parses "block" or "drop".
+func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
+	switch s {
+	case "block":
+		return OverflowBlock, nil
+	case "drop":
+		return OverflowDrop, nil
+	default:
+		return 0, fmt.Errorf("server: unknown overflow policy %q (want block or drop)", s)
+	}
+}
+
+// Config configures a Server. The zero value is usable: defaults are
+// applied by New.
+type Config struct {
+	// QueueDepth is the per-session ingest queue capacity (default 256).
+	QueueDepth int
+	// Overflow is the policy applied when a session queue is full.
+	Overflow OverflowPolicy
+	// MaxSessions caps concurrently open sessions (default 1024).
+	MaxSessions int
+	// IdleTimeout closes sessions that ingested nothing for this long
+	// (0 disables). TCP connections additionally enforce it as a read
+	// deadline.
+	IdleTimeout time.Duration
+	// IngestDelay adds an artificial per-event processing delay in the
+	// monitor loop — for demos and backpressure testing.
+	IngestDelay time.Duration
+	// Registry receives the hb_server_* metrics (nil → obs.Default()).
+	Registry *obs.Registry
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Server multiplexes detection sessions. Transports (Serve for TCP,
+// RegisterHTTP for HTTP) feed sessions opened with Open; Shutdown drains
+// everything.
+type Server struct {
+	cfg Config
+	met *metrics
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	nextID   int
+	draining bool
+	lns      []net.Listener
+
+	wg       sync.WaitGroup // session loops and connection handlers
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// New returns a server ready to Open sessions and accept transports.
+func New(cfg Config) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 1024
+	}
+	s := &Server{
+		cfg:      cfg,
+		met:      newMetrics(cfg.Registry),
+		sessions: make(map[string]*Session),
+		stop:     make(chan struct{}),
+	}
+	if cfg.IdleTimeout > 0 {
+		go s.janitor()
+	}
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Open creates a detection session and starts its monitor loop. It fails
+// while draining, past MaxSessions, and on invalid configs (bad process
+// count, unparsable watch predicates).
+func (s *Server) Open(cfg SessionConfig) (*Session, error) {
+	if cfg.Processes < 1 || cfg.Processes > MaxProcesses {
+		return nil, fmt.Errorf("server: processes must be in [1,%d], got %d", MaxProcesses, cfg.Processes)
+	}
+	if len(cfg.Watches) > MaxWatches {
+		return nil, fmt.Errorf("server: at most %d watches, got %d", MaxWatches, len(cfg.Watches))
+	}
+	ws, err := buildWatches(cfg.Processes, cfg.Watches)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("server: shutting down")
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("server: session limit %d reached", s.cfg.MaxSessions)
+	}
+	s.nextID++
+	id := fmt.Sprintf("s-%04d", s.nextID)
+	sess := newSession(s, id, cfg.Processes, ws)
+	s.sessions[id] = sess
+	n := len(s.sessions)
+	s.mu.Unlock()
+
+	s.met.sessionsTotal.Inc()
+	s.met.sessionsActive.Set(int64(n))
+	s.logf("session %s opened: %d processes, %d watches", id, cfg.Processes, len(ws))
+	s.wg.Add(1)
+	go sess.run()
+	return sess, nil
+}
+
+// Session returns the open session with the given id, or nil.
+func (s *Server) Session(id string) *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
+}
+
+// SessionCount returns the number of currently open sessions.
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Stats returns cumulative counters: sessions opened, events applied,
+// events dropped — the shutdown summary.
+func (s *Server) Stats() (sessions, events, dropped int64) {
+	return s.met.sessionsTotal.Value(), s.met.events.Value(), s.met.dropped.Value()
+}
+
+// remove releases a finished session; called by the session's loop.
+func (s *Server) remove(id string) {
+	s.mu.Lock()
+	delete(s.sessions, id)
+	n := len(s.sessions)
+	s.mu.Unlock()
+	s.met.sessionsActive.Set(int64(n))
+	s.logf("session %s closed", id)
+}
+
+// snapshotSessions returns the open sessions at this instant.
+func (s *Server) snapshotSessions() []*Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, sess)
+	}
+	return out
+}
+
+// janitor closes sessions whose last ingest is older than IdleTimeout —
+// the cleanup path for HTTP sessions, whose clients may simply vanish.
+func (s *Server) janitor() {
+	period := s.cfg.IdleTimeout / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			cutoff := time.Now().Add(-s.cfg.IdleTimeout).UnixNano()
+			for _, sess := range s.snapshotSessions() {
+				if sess.lastActive.Load() < cutoff {
+					s.logf("session %s idle, closing", sess.id)
+					sess.Close("idle timeout")
+				}
+			}
+		}
+	}
+}
+
+// Shutdown stops accepting new sessions and connections, closes every
+// open session (each monitor loop drains the events its transports
+// already enqueued), and waits for all loops and connection handlers to
+// exit, or for ctx to expire.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	lns := s.lns
+	s.lns = nil
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stop) })
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, sess := range s.snapshotSessions() {
+		sess.Close("server shutting down")
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

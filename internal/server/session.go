@@ -1,0 +1,545 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ctl"
+	"repro/internal/online"
+)
+
+// Ingest errors.
+var (
+	// ErrClosed reports ingest into a session that is closing or closed.
+	ErrClosed = errors.New("server: session closed")
+	// ErrDropped reports an event shed by the drop overflow policy. The
+	// drop is already counted on the session and the registry.
+	ErrDropped = errors.New("server: event dropped (queue full)")
+)
+
+// SessionConfig describes a session to Open: the hello frame's payload.
+type SessionConfig struct {
+	Processes int
+	Watches   []Watch
+}
+
+// watchState tracks one registered watch through the session's lifetime.
+// Only the monitor loop touches it after registration.
+type watchState struct {
+	op     string
+	pred   string
+	locals []online.LocalSpec
+	ef     *online.EFWatch
+	ag     *online.AGWatch
+	st     *online.StableWatch
+	done   bool
+}
+
+// buildWatches parses and validates the watch list of a hello frame
+// against the session's process count.
+func buildWatches(n int, watches []Watch) ([]*watchState, error) {
+	ws := make([]*watchState, 0, len(watches))
+	for i, w := range watches {
+		switch w.Op {
+		case "EF", "AG", "STABLE":
+		default:
+			return nil, fmt.Errorf("server: watch %d: unknown op %q (want EF, AG or STABLE)", i, w.Op)
+		}
+		locals, err := online.ParseConj(w.Pred)
+		if err != nil {
+			return nil, fmt.Errorf("server: watch %d: %v", i, err)
+		}
+		for _, l := range locals {
+			if l.Proc < 0 || l.Proc >= n {
+				return nil, fmt.Errorf("server: watch %d: conjunct %s on process outside [1,%d]", i, l.Name, n)
+			}
+		}
+		ws = append(ws, &watchState{op: w.Op, pred: w.Pred, locals: locals})
+	}
+	return ws, nil
+}
+
+// inFrame is one queued unit of ingest work.
+type inFrame struct {
+	f    ClientFrame
+	enq  time.Time
+	resp chan ServerFrame // non-nil for requests awaiting an in-band reply
+}
+
+// Session is one detection session: a bounded ingest queue feeding a
+// serialized monitor loop. Transports enqueue concurrently; the loop is
+// the only goroutine that touches the monitor and the watches, so
+// detection state needs no locks and every verdict is attributed to the
+// exact event prefix that determined it.
+type Session struct {
+	srv *Server
+	id  string
+	n   int
+
+	queue chan inFrame
+	stop  chan struct{} // closed by Close: the loop drains and exits
+	done  chan struct{} // closed when the loop has exited
+
+	// Owned by the monitor loop.
+	mon        *online.Monitor
+	watches    []*watchState
+	registered bool        // watches registered (deferred until the first event)
+	msgIDs     map[int]int // wire msg id → monitor msg id
+	seen       int         // events applied
+
+	mu      sync.Mutex
+	sub     chan ServerFrame // transport subscriber (TCP writer), nil for HTTP sessions
+	frames  []ServerFrame    // latched verdict and error frames, for HTTP pull
+	goodbye *ServerFrame
+	reason  string
+
+	events     atomic.Int64
+	dropped    atomic.Int64
+	lastActive atomic.Int64 // unix nanos of the last ingested frame
+	latNanos   atomic.Int64 // summed ingest latency, for per-session stats
+	closeOnce  sync.Once
+}
+
+func newSession(srv *Server, id string, n int, watches []*watchState) *Session {
+	s := &Session{
+		srv:     srv,
+		id:      id,
+		n:       n,
+		queue:   make(chan inFrame, srv.cfg.QueueDepth),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		mon:     online.NewMonitor(n),
+		watches: watches,
+		msgIDs:  make(map[int]int),
+	}
+	s.lastActive.Store(time.Now().UnixNano())
+	return s
+}
+
+// ID returns the server-assigned session id.
+func (s *Session) ID() string { return s.id }
+
+// N returns the session's process count.
+func (s *Session) N() int { return s.n }
+
+// Events returns the number of events applied to the monitor.
+func (s *Session) Events() int64 { return s.events.Load() }
+
+// Dropped returns the number of events shed by the overflow policy.
+func (s *Session) Dropped() int64 { return s.dropped.Load() }
+
+// AvgIngest returns the mean enqueue-to-applied latency of this
+// session's events — the per-session view of hb_server_ingest_seconds.
+func (s *Session) AvgIngest() time.Duration {
+	n := s.events.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(s.latNanos.Load() / n)
+}
+
+// Frames returns a copy of the latched verdict and error frames, in
+// latch order — the pull interface used by the HTTP API.
+func (s *Session) Frames() []ServerFrame {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]ServerFrame(nil), s.frames...)
+}
+
+// Goodbye returns the final accounting frame once the session has
+// finished (Done is closed), or nil before.
+func (s *Session) Goodbye() *ServerFrame {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.goodbye
+}
+
+// Done returns a channel closed when the monitor loop has exited and the
+// session has been removed from the server.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Welcome returns the session's welcome frame.
+func (s *Session) Welcome() ServerFrame {
+	return ServerFrame{Type: FrameWelcome, Session: s.id, Processes: s.n, Watches: len(s.watches)}
+}
+
+// attach registers the transport subscriber; latched frames are pushed
+// to it as they happen. Attach before ingesting, or pull via Frames.
+func (s *Session) attach(sub chan ServerFrame) {
+	s.mu.Lock()
+	s.sub = sub
+	s.mu.Unlock()
+}
+
+// Close stops the session: ingest ends, the monitor loop drains whatever
+// was queued, emits the goodbye frame, and the session is removed from
+// the server. Safe to call multiple times; the first reason wins.
+func (s *Session) Close(reason string) {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.reason = reason
+		s.mu.Unlock()
+		close(s.stop)
+	})
+}
+
+// Ingest enqueues one frame, applying the server's overflow policy when
+// the session queue is full: block propagates backpressure to the
+// caller, drop sheds the event (counted on the session and the
+// registry). Only event frames are ever dropped; init and snapshot
+// frames always block.
+func (s *Session) Ingest(f ClientFrame) error {
+	return s.enqueue(inFrame{f: f, enq: time.Now()})
+}
+
+func (s *Session) enqueue(in inFrame) error {
+	if s.srv.cfg.Overflow == OverflowDrop && in.f.Type == FrameEvent {
+		select {
+		case s.queue <- in:
+			return nil
+		case <-s.stop:
+			return ErrClosed
+		default:
+			s.dropped.Add(1)
+			s.srv.met.dropped.Inc()
+			return ErrDropped
+		}
+	}
+	select {
+	case s.queue <- in:
+		return nil
+	case <-s.stop:
+		return ErrClosed
+	}
+}
+
+// frameFlush is an internal queue barrier (never valid on the wire).
+const frameFlush = "flush"
+
+// Flush blocks until every frame enqueued before it has been applied by
+// the monitor loop — the barrier the HTTP batch ack uses so its
+// accounting covers the batch it acknowledges.
+func (s *Session) Flush() error {
+	resp := make(chan ServerFrame, 1)
+	if err := s.enqueue(inFrame{f: ClientFrame{Type: frameFlush}, resp: resp}); err != nil {
+		return err
+	}
+	select {
+	case <-resp:
+		return nil
+	case <-s.done:
+		select {
+		case <-resp:
+			return nil
+		default:
+			return ErrClosed
+		}
+	}
+}
+
+// Snapshot freezes the session's observed prefix and runs an offline
+// core.Detect query on it. The request is serialized with ingest through
+// the session queue, so the verdict refers to a consistent prefix: every
+// event enqueued before it is applied, none after.
+func (s *Session) Snapshot(formula string, id int) (ServerFrame, error) {
+	resp := make(chan ServerFrame, 1)
+	in := inFrame{
+		f:    ClientFrame{Type: FrameSnapshot, Formula: formula, ID: id},
+		enq:  time.Now(),
+		resp: resp,
+	}
+	if err := s.enqueue(in); err != nil {
+		return ServerFrame{}, err
+	}
+	// The loop always answers queued requests, even while draining on
+	// Close, so waiting on done (not stop) cannot lose the response.
+	select {
+	case fr := <-resp:
+		if fr.Type == FrameError {
+			return fr, errors.New(fr.Error)
+		}
+		return fr, nil
+	case <-s.done:
+		select {
+		case fr := <-resp:
+			if fr.Type == FrameError {
+				return fr, errors.New(fr.Error)
+			}
+			return fr, nil
+		default:
+			return ServerFrame{}, ErrClosed
+		}
+	}
+}
+
+// run is the monitor loop: the only goroutine that touches mon and the
+// watch states. It exits when Close fires, after draining every frame
+// that ingest managed to enqueue — the graceful-shutdown "drain" step.
+func (s *Session) run() {
+	defer s.srv.wg.Done()
+	for {
+		select {
+		case f := <-s.queue:
+			s.handle(f)
+		case <-s.stop:
+			for {
+				select {
+				case f := <-s.queue:
+					s.handle(f)
+				default:
+					s.finish()
+					return
+				}
+			}
+		}
+	}
+}
+
+// finish emits the goodbye frame, publishes it, and releases the session.
+func (s *Session) finish() {
+	s.ensureWatches() // a session with no events still settles its watches
+	gb := ServerFrame{
+		Type:    FrameGoodbye,
+		Session: s.id,
+		Events:  int(s.events.Load()),
+		Dropped: int(s.dropped.Load()),
+	}
+	s.mu.Lock()
+	if s.reason != "" && s.reason != "bye" {
+		gb.Error = s.reason
+	}
+	s.goodbye = &gb
+	sub := s.sub
+	s.mu.Unlock()
+	if sub != nil {
+		select {
+		case sub <- gb:
+		default: // writer backlogged; accounting still available via Goodbye
+		}
+	}
+	s.srv.remove(s.id)
+	close(s.done)
+}
+
+func (s *Session) handle(f inFrame) {
+	s.lastActive.Store(time.Now().UnixNano())
+	switch f.f.Type {
+	case FrameInit:
+		s.handleInit(f)
+	case FrameEvent:
+		s.handleEvent(f)
+	case FrameSnapshot:
+		s.handleSnapshot(f)
+	case frameFlush:
+		if f.resp == nil { // arrived over the wire, where flush is not a frame
+			s.reject(f, fmt.Sprintf("unknown frame type %q", f.f.Type))
+			return
+		}
+		f.resp <- ServerFrame{Type: FrameAck}
+	default:
+		s.reject(f, fmt.Sprintf("unknown frame type %q", f.f.Type))
+	}
+}
+
+// reject reports a non-fatal protocol error back to the client. The
+// session keeps running: semantic errors are per-frame, and a lossy
+// (drop-policy) session routinely produces them.
+func (s *Session) reject(f inFrame, msg string) {
+	s.srv.met.protoErrors.Inc()
+	fr := ServerFrame{Type: FrameError, Session: s.id, ID: f.f.ID, Event: s.seen, Error: msg}
+	if f.resp != nil {
+		f.resp <- fr
+		return
+	}
+	s.emit(fr, true)
+}
+
+func (s *Session) handleInit(f inFrame) {
+	proc := f.f.Proc - 1
+	if proc < 0 || proc >= s.n {
+		s.reject(f, fmt.Sprintf("init for process %d outside [1,%d]", f.f.Proc, s.n))
+		return
+	}
+	if f.f.Var == "" {
+		s.reject(f, "init frame without var")
+		return
+	}
+	if s.mon.EventsOn(proc) > 0 {
+		s.reject(f, fmt.Sprintf("init for process %d after its events", f.f.Proc))
+		return
+	}
+	if s.registered {
+		// Watches already evaluated initial states; a later init would
+		// make verdicts depend on ingest interleaving.
+		s.reject(f, "init after watches started evaluating (send inits first)")
+		return
+	}
+	s.mon.SetInitial(proc, f.f.Var, f.f.Value)
+}
+
+// ensureWatches registers the watches on the monitor. Deferred until the
+// first event (or snapshot/close) so init frames streamed after hello are
+// visible to the watches' initial-state evaluation; verdicts determined
+// by initial values alone latch at event 0.
+func (s *Session) ensureWatches() {
+	if s.registered {
+		return
+	}
+	s.registered = true
+	for _, w := range s.watches {
+		switch w.op {
+		case "EF":
+			w.ef = s.mon.WatchEF(w.locals...)
+		case "AG":
+			w.ag = s.mon.WatchAG(w.locals...)
+		case "STABLE":
+			locals := w.locals
+			w.st = s.mon.WatchStable(w.pred, func(m *online.Monitor) bool {
+				if m.InFlight() != 0 {
+					return false
+				}
+				for _, l := range locals {
+					if !l.HoldsNow(m) {
+						return false
+					}
+				}
+				return true
+			})
+		}
+	}
+	s.checkWatches()
+}
+
+func (s *Session) handleEvent(f inFrame) {
+	s.ensureWatches()
+	proc := f.f.Proc - 1
+	if proc < 0 || proc >= s.n {
+		s.reject(f, fmt.Sprintf("event for process %d outside [1,%d]", f.f.Proc, s.n))
+		return
+	}
+	switch f.f.Kind {
+	case "", "internal":
+		s.mon.Internal(proc, f.f.Sets)
+	case "send":
+		if _, dup := s.msgIDs[f.f.Msg]; dup {
+			s.reject(f, fmt.Sprintf("message %d sent twice", f.f.Msg))
+			return
+		}
+		s.msgIDs[f.f.Msg] = s.mon.Send(proc, f.f.Sets)
+	case "receive":
+		id, ok := s.msgIDs[f.f.Msg]
+		if !ok {
+			s.reject(f, fmt.Sprintf("receive of unknown message %d (dropped or unsent)", f.f.Msg))
+			return
+		}
+		if err := s.mon.Receive(proc, id, f.f.Sets); err != nil {
+			s.reject(f, err.Error())
+			return
+		}
+	default:
+		s.reject(f, fmt.Sprintf("unknown event kind %q", f.f.Kind))
+		return
+	}
+	s.seen++
+	s.events.Add(1)
+	s.srv.met.events.Inc()
+	if d := s.srv.cfg.IngestDelay; d > 0 {
+		time.Sleep(d)
+	}
+	s.checkWatches()
+	lat := time.Since(f.enq)
+	s.latNanos.Add(lat.Nanoseconds())
+	s.srv.met.ingestDur.Observe(lat.Seconds())
+}
+
+func (s *Session) handleSnapshot(f inFrame) {
+	s.ensureWatches()
+	fl, err := ctl.Parse(f.f.Formula)
+	if err != nil {
+		s.reject(f, err.Error())
+		return
+	}
+	res, err := core.Detect(s.mon.Snapshot(), fl)
+	if err != nil {
+		s.reject(f, err.Error())
+		return
+	}
+	s.srv.met.snapshots.Inc()
+	holds := res.Holds
+	fr := ServerFrame{
+		Type:      FrameSnapshot,
+		Session:   s.id,
+		ID:        f.f.ID,
+		Holds:     &holds,
+		Algorithm: res.Algorithm,
+		Event:     s.seen,
+		Events:    s.seen,
+	}
+	if f.resp != nil {
+		f.resp <- fr
+		return
+	}
+	s.emit(fr, false)
+}
+
+// checkWatches emits a verdict frame for every watch that latched since
+// the last check. Called after each applied event, so Event on the frame
+// is the exact determining prefix: the verdict did not hold after
+// Event-1 events and holds after Event.
+func (s *Session) checkWatches() {
+	for i, w := range s.watches {
+		if w.done {
+			continue
+		}
+		fr := ServerFrame{Type: FrameVerdict, Session: s.id, Watch: i, Op: w.op, Pred: w.pred, Event: s.seen}
+		switch {
+		case w.ef != nil && w.ef.Fired():
+			w.done = true
+			s.srv.met.efFired.Inc()
+			fr.Cut = w.ef.Cut()
+		case w.ag != nil && w.ag.Violated():
+			w.done = true
+			s.srv.met.agViolated.Inc()
+			cut, conjunct := w.ag.Counterexample()
+			fr.Cut, fr.Conjunct = cut, conjunct
+		case w.st != nil && w.st.Fired():
+			w.done = true
+			s.srv.met.stableFired.Inc()
+			fr.Event = w.st.FiredAt()
+		default:
+			continue
+		}
+		s.emit(fr, true)
+	}
+}
+
+// emit records a latched frame (when record is set) and pushes it to the
+// transport subscriber. Safe from any goroutine; never blocks past Close.
+func (s *Session) emit(fr ServerFrame, record bool) {
+	s.mu.Lock()
+	if record {
+		s.frames = append(s.frames, fr)
+	}
+	sub := s.sub
+	s.mu.Unlock()
+	if sub == nil {
+		return
+	}
+	// Prefer the buffered send: during the post-Close drain stop is
+	// already closed, but the writer is still draining the subscriber, so
+	// verdicts for drained events must not be shed while there is room.
+	select {
+	case sub <- fr:
+	default:
+		select {
+		case sub <- fr:
+		case <-s.stop:
+			// Closing with a backlogged subscriber; the frame stays
+			// available via Frames / Goodbye.
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Serve accepts TCP ingest connections on ln until the listener is
+// closed (Shutdown closes it). Each connection speaks the NDJSON frame
+// protocol: a hello frame opens a dedicated session, event frames stream
+// the computation, and verdict frames are pushed back as they latch.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("server: shutting down")
+	}
+	s.lns = append(s.lns, ln)
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stop:
+				return nil // orderly shutdown closed the listener
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// writeFrame writes one NDJSON frame, refusing to block forever on a
+// stuck peer.
+func writeFrame(conn net.Conn, fr ServerFrame) error {
+	conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	_, err := conn.Write(appendFrame(fr))
+	return err
+}
+
+// handleConn runs one TCP connection: handshake, then a reader loop
+// ingesting frames and a writer goroutine pushing latched frames back.
+// The writer owns all writes after the handshake; it exits when the
+// session finishes, and the subscriber channel is never closed (so a
+// drain-time emit cannot panic).
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	s.met.connsActive.Add(1)
+	defer s.met.connsActive.Add(-1)
+
+	sc := newFrameScanner(conn)
+	if s.cfg.IdleTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	}
+	if !sc.Scan() {
+		return
+	}
+	hello, err := DecodeClientFrame(sc.Bytes())
+	if err == nil {
+		err = ValidateHello(hello)
+	}
+	if err != nil {
+		s.met.protoErrors.Inc()
+		writeFrame(conn, ServerFrame{Type: FrameError, Error: err.Error()})
+		return
+	}
+	sess, err := s.Open(SessionConfig{Processes: hello.Processes, Watches: hello.Watches})
+	if err != nil {
+		s.met.protoErrors.Inc()
+		writeFrame(conn, ServerFrame{Type: FrameError, Error: err.Error()})
+		return
+	}
+
+	sub := make(chan ServerFrame, 64)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		// Closing the conn here unblocks a reader parked in Scan when the
+		// session ends server-side (shutdown, idle timeout): the goodbye
+		// frame is flushed first by the drain below.
+		defer conn.Close()
+		for {
+			select {
+			case fr := <-sub:
+				if writeFrame(conn, fr) != nil {
+					return
+				}
+			case <-sess.Done():
+				// Flush frames emitted before Done closed, then stop.
+				for {
+					select {
+					case fr := <-sub:
+						if writeFrame(conn, fr) != nil {
+							return
+						}
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+	// Welcome goes through the subscriber so the writer stays the only
+	// writer; attach afterwards so no verdict can overtake it. Watches are
+	// registered lazily at the first event, and only this connection
+	// ingests, so nothing latches in between.
+	sub <- sess.Welcome()
+	sess.attach(sub)
+
+	for sc.Scan() {
+		if s.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		f, err := DecodeClientFrame(sc.Bytes())
+		if err != nil {
+			// A malformed line means the stream is desynchronized; no
+			// later frame can be trusted, so fail the session.
+			s.met.protoErrors.Inc()
+			sess.Close(err.Error())
+			break
+		}
+		switch f.Type {
+		case FrameBye:
+			sess.Close("bye")
+		case FrameSnapshot:
+			// Response is produced by the monitor loop and emitted to the
+			// subscriber (resp == nil path), preserving stream order.
+			if err := sess.Ingest(f); err != nil {
+				sess.Close("")
+			}
+		case FrameInit, FrameEvent:
+			switch err := sess.Ingest(f); err {
+			case nil, ErrDropped: // drops are counted; session continues
+			default:
+				sess.Close("")
+			}
+		case FrameHello:
+			s.met.protoErrors.Inc()
+			sess.Close("duplicate hello")
+		default:
+			s.met.protoErrors.Inc()
+			sess.Close(fmt.Sprintf("unknown frame type %q", f.Type))
+		}
+		select {
+		case <-sess.Done():
+		default:
+			continue
+		}
+		break
+	}
+	// Reader finished: EOF, read error/timeout, or session closed above.
+	sess.Close("connection closed")
+	<-writerDone
+}

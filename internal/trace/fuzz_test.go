@@ -28,11 +28,23 @@ func FuzzDecode(f *testing.F) {
 	f.Add(`{`)
 	f.Add(`[]`)
 	f.Add("\x00\x01\x02")
+	// Hostile inputs: the decoder feeds untrusted network bytes (hbserver),
+	// so resource-exhaustion headers must error before allocating.
+	f.Add(`{"version":1,"processes":1000000000,"events":[]}`)
+	f.Add(`{"version":1,"processes":9223372036854775807,"events":[]}`)
+	f.Add(`{"version":1,"processes":2,"events":[{"proc":1,"kind":"send","msg":9223372036854775807}]}`)
+	f.Add(`{"version":1,"processes":1,"initial":[{"proc":1,"var":"` + strings.Repeat("x", 1<<10) + `","value":1}],"events":[]}`)
+	f.Add(`{"version":1.5,"processes":1,"events":[]}`)
+	f.Add(`{"version":1,"processes":1,"events":[{"proc":1,"kind":"internal","sets":{"x":1e309}}]}`)
+	f.Add(`{"version":1,"processes":1,"events":null}`)
 
 	f.Fuzz(func(t *testing.T, input string) {
 		comp, err := Decode(strings.NewReader(input))
 		if err != nil {
 			return
+		}
+		if comp.N() > MaxProcesses {
+			t.Fatalf("decoder accepted %d processes (bound %d)", comp.N(), MaxProcesses)
 		}
 		var out bytes.Buffer
 		if err := Encode(&out, comp); err != nil {

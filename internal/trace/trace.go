@@ -19,6 +19,12 @@ import (
 // Version is the current trace format version.
 const Version = 1
 
+// MaxProcesses bounds the process count Build accepts. Per-process state
+// is allocated up front, and trace files now also arrive from untrusted
+// network peers (hbserver snapshots, fuzzed inputs), so a hostile
+// "processes": 1e9 header must fail fast instead of exhausting memory.
+const MaxProcesses = 1 << 16
+
 // File is the on-disk representation of a computation.
 type File struct {
 	Version   int        `json:"version"`
@@ -99,8 +105,8 @@ func Build(f File) (*computation.Computation, error) {
 	if f.Version != Version {
 		return nil, fmt.Errorf("trace: unsupported version %d (want %d)", f.Version, Version)
 	}
-	if f.Processes < 1 {
-		return nil, fmt.Errorf("trace: %d processes", f.Processes)
+	if f.Processes < 1 || f.Processes > MaxProcesses {
+		return nil, fmt.Errorf("trace: %d processes (want 1..%d)", f.Processes, MaxProcesses)
 	}
 	b := computation.NewBuilder(f.Processes)
 	for _, iv := range f.Initial {
