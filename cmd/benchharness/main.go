@@ -8,6 +8,7 @@
 //	fig5        Fig. 5: Algorithm A3 and the AU composition — scaling
 //	complexity  §5/§7 complexity claims: structural vs lattice baseline
 //	ablation    design-choice ablations from DESIGN.md
+//	parallel    parallel sweeps: A2/A3 speedup and determinism check
 //
 // Usage: benchharness [-experiment all|table1|fig1|...]
 //
@@ -39,6 +40,7 @@ var experiments = []struct {
 	{"control", "predicate control: EG witness → enforced AG", runControl},
 	{"online", "on-line detection: latency and ingest overhead", runOnline},
 	{"server", "hbserver: loopback ingest throughput and verdict latency", runServer},
+	{"parallel", "parallel sweeps: A2/A3 speedup and determinism check", runParallel},
 }
 
 func main() {

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+// runParallel measures the parallel execution layer on the sweep-shaped
+// algorithms. The AG workload is the full-sweep worst case — an invariant
+// that actually holds, so Algorithm A2 must evaluate every one of the |E|
+// meet-irreducible cuts — and the EU workload drives Algorithm A3's
+// per-frontier-branch EG checks. Every parallel run is checked against the
+// sequential verdict and evidence before its time is reported.
+//
+// Speedup is relative to the workers=1 run in this process. On a
+// single-core machine (GOMAXPROCS=1) the expected speedup is ~1× — the
+// table then measures the overhead of the worker pool, not its benefit —
+// so the GOMAXPROCS of the measuring machine is printed and recorded with
+// every row.
+func runParallel() {
+	gmp := runtime.GOMAXPROCS(0)
+	fmt.Printf("GOMAXPROCS=%d; speedups are relative to workers=1 on this machine\n", gmp)
+
+	// AG full sweep: x0 >= 0 holds at every cut of the generator's
+	// computations, so A2 cannot stop early.
+	agPred := predicate.Conj(predicate.VarCmp{Proc: 0, Var: "x0", Op: predicate.GE, K: 0})
+	fmt.Printf("%-28s %8s %8s %12s %9s\n", "workload", "|E|", "workers", "time", "speedup")
+	for _, events := range []int{4000, 16000} {
+		comp := sim.Random(sim.DefaultRandomConfig(4, events), 11)
+		seqCex, seqOK := core.AGLinear(comp, agPred)
+		var base time.Duration
+		for _, w := range []int{1, 2, 4, 8} {
+			start := time.Now()
+			cex, ok := core.AGLinearParallel(comp, agPred, w)
+			d := time.Since(start)
+			if ok != seqOK || (cex == nil) != (seqCex == nil) {
+				fmt.Printf("  MISMATCH: workers=%d AG verdict %v, sequential %v\n", w, ok, seqOK)
+				return
+			}
+			if w == 1 {
+				base = d
+			}
+			speedup := float64(base) / float64(d)
+			fmt.Printf("%-28s %8d %8d %12s %8.2fx\n", "AG full sweep (A2)", events, w, d.Round(time.Microsecond), speedup)
+			emit("parallel", "ag-sweep", map[string]any{
+				"events": events, "workers": w, "gomaxprocs": gmp,
+				"ns": d.Nanoseconds(), "speedup": speedup, "holds": ok,
+			})
+		}
+	}
+
+	// EU: p holds broadly, q is reached late, so step 1 advances far and
+	// step 2 runs an EG check per frontier branch of I_q.
+	for _, procs := range []int{4, 8} {
+		events := 8000
+		comp := sim.Random(sim.DefaultRandomConfig(procs, events), 7)
+		p := predicate.Conj(predicate.VarCmp{Proc: 0, Var: "x0", Op: predicate.GE, K: 0})
+		q := predicate.Terminated{}
+		seqPath, seqOK := core.EUConjLinear(comp, p, q)
+		var base time.Duration
+		for _, w := range []int{1, 2, 4, 8} {
+			start := time.Now()
+			path, ok := core.EUConjLinearParallel(comp, p, q, w)
+			d := time.Since(start)
+			if ok != seqOK || len(path) != len(seqPath) {
+				fmt.Printf("  MISMATCH: workers=%d EU verdict %v/%d, sequential %v/%d\n",
+					w, ok, len(path), seqOK, len(seqPath))
+				return
+			}
+			if w == 1 {
+				base = d
+			}
+			speedup := float64(base) / float64(d)
+			name := fmt.Sprintf("EU frontier EGs (A3), n=%d", procs)
+			fmt.Printf("%-28s %8d %8d %12s %8.2fx\n", name, events, w, d.Round(time.Microsecond), speedup)
+			emit("parallel", "eu-branches", map[string]any{
+				"events": events, "procs": procs, "workers": w, "gomaxprocs": gmp,
+				"ns": d.Nanoseconds(), "speedup": speedup, "holds": ok,
+			})
+		}
+	}
+}

@@ -55,6 +55,7 @@ func RunDetect(args []string, stdout, stderr io.Writer) int {
 		nested    = fs.Bool("nested", false, "allow nested temporal operators (explicit-lattice evaluation, exponential)")
 		quiet     = fs.Bool("q", false, "print only true/false")
 		stats     = fs.Bool("stats", false, "print per-run detection statistics (cuts visited, predicate evaluations, ...)")
+		workers   = fs.Int("workers", 1, "parallel workers for the sweep-shaped algorithms (0 = GOMAXPROCS)")
 		traceOut  = fs.String("trace-jsonl", "", "append one JSON line per Detect run (a detection span) to this file")
 		version   = fs.Bool("version", false, "print version and exit")
 	)
@@ -85,7 +86,7 @@ func RunDetect(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if *formulas != "" {
-		return runDetectBatch(comp, *formulas, *nested, *stats, stdout, stderr)
+		return runDetectBatch(comp, *formulas, *nested, *stats, *workers, stdout, stderr)
 	}
 	f, err := ctl.Parse(*formula)
 	if err != nil {
@@ -96,7 +97,7 @@ func RunDetect(args []string, stdout, stderr io.Writer) int {
 	if *nested {
 		res, err = core.DetectNested(comp, f, 0)
 	} else {
-		res, err = core.Detect(comp, f)
+		res, err = core.DetectParallel(comp, f, *workers)
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "hbdetect:", err)
@@ -149,14 +150,14 @@ func RunDetect(args []string, stdout, stderr io.Writer) int {
 
 // formatStats renders a Stats line for human output.
 func formatStats(s *core.Stats) string {
-	return fmt.Sprintf("cuts=%d evals=%d forbidden=%d advance=%d memo=%d witness=%d time=%s",
+	return fmt.Sprintf("cuts=%d evals=%d forbidden=%d advance=%d memo=%d short=%d witness=%d time=%s",
 		s.CutsVisited, s.PredicateEvals, s.ForbiddenCalls, s.AdvancementSteps,
-		s.MemoHits, s.WitnessLength, s.Duration)
+		s.MemoHits, s.ShortCircuits, s.WitnessLength, s.Duration)
 }
 
 // runDetectBatch runs every formula from a file and prints a result
 // table. Exit 0 when all hold, 1 when any fails, 2 on errors.
-func runDetectBatch(comp *computation.Computation, path string, nested, stats bool, stdout, stderr io.Writer) int {
+func runDetectBatch(comp *computation.Computation, path string, nested, stats bool, workers int, stdout, stderr io.Writer) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(stderr, "hbdetect:", err)
@@ -178,7 +179,7 @@ func runDetectBatch(comp *computation.Computation, path string, nested, stats bo
 		if nested {
 			res, err = core.DetectNested(comp, f, 0)
 		} else {
-			res, err = core.Detect(comp, f)
+			res, err = core.DetectParallel(comp, f, workers)
 		}
 		if err != nil {
 			fmt.Fprintf(stderr, "hbdetect: line %d: %v\n", lineNo+1, err)

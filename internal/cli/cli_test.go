@@ -44,6 +44,38 @@ func TestDetectFailsExitOne(t *testing.T) {
 	}
 }
 
+func TestDetectNegationSurfacesEvidence(t *testing.T) {
+	// The counterexample to AG(x@P1 < 4) — the cut where x reaches 4 — is
+	// the witness for the negation and must reach the output.
+	code, out, errb := runDetect(
+		"-workload", "fig4",
+		"-formula", "!(AG(x@P1 < 4))",
+		"-witness", "-check",
+	)
+	if code != 0 {
+		t.Fatalf("exit = %d stderr=%s\n%s", code, errb, out)
+	}
+	for _, want := range []string{"holds:       true", "negation of", "witness path:", "verdict confirmed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Dually, a failing negated EF (the conjunctive operand routes to the
+	// advancement algorithm, which produces a least satisfying cut) must
+	// print that cut as its counterexample.
+	code, out, _ = runDetect(
+		"-workload", "fig4",
+		"-formula", "!(EF(conj(x@P1 > 1, z@P3 < 6)))",
+		"-witness",
+	)
+	if code != 1 {
+		t.Fatalf("exit = %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "counterexample cut:") {
+		t.Errorf("negated EF did not print its counterexample:\n%s", out)
+	}
+}
+
 func TestDetectWitnessAndCheck(t *testing.T) {
 	code, out, errb := runDetect(
 		"-workload", "fig4",

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"runtime"
 	"time"
 
 	"repro/internal/buildinfo"
@@ -31,6 +32,7 @@ func RunServer(args []string, stdout, stderr io.Writer) int {
 		maxSessions = fs.Int("max-sessions", 1024, "maximum concurrently open sessions")
 		idle        = fs.Duration("idle-timeout", 2*time.Minute, "close sessions idle this long (0 disables)")
 		ingestDelay = fs.Duration("ingest-delay", 0, "artificial per-event processing delay (testing/demos)")
+		workers     = fs.Int("workers", 1, "parallel workers for snapshot detection queries (0 = GOMAXPROCS)")
 		version     = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -45,12 +47,18 @@ func RunServer(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "hbserver:", err)
 		return 2
 	}
+	if *workers <= 0 {
+		// The zero-value server Config means sequential, so resolve the
+		// "use the hardware" request here.
+		*workers = runtime.GOMAXPROCS(0)
+	}
 	srv := server.New(server.Config{
 		QueueDepth:  *queue,
 		Overflow:    policy,
 		MaxSessions: *maxSessions,
 		IdleTimeout: *idle,
 		IngestDelay: *ingestDelay,
+		Workers:     *workers,
 		Registry:    obs.Default(),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, "hbserver: "+format+"\n", args...)

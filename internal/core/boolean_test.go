@@ -1,0 +1,194 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/ctl"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+// The boolean dispatcher must propagate evidence through ¬/∧/∨ and must
+// not evaluate an operand the other operand already decided. These tests
+// pin both halves of the fix: negation dualizing witnesses and
+// counterexamples, and short-circuiting recorded in Stats and the
+// algorithm string.
+
+func TestNotPropagatesCounterexampleAsWitness(t *testing.T) {
+	for ci, comp := range testComps(t) {
+		for pi, p := range conjBattery(comp) {
+			res, err := Detect(comp, ctl.Not{F: ctl.AG{F: ctl.Atom{P: p}}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cex, agHolds := AGLinear(comp, p)
+			if res.Holds == agHolds {
+				t.Fatalf("comp %d pred %d: ¬AG = %v but AG = %v", ci, pi, res.Holds, agHolds)
+			}
+			if !res.Holds {
+				if res.Witness != nil {
+					t.Fatalf("comp %d pred %d: failed ¬AG carries a witness", ci, pi)
+				}
+				continue
+			}
+			// The cut violating the invariant is the witness for its negation.
+			if len(res.Witness) != 1 {
+				t.Fatalf("comp %d pred %d: ¬AG holds but witness = %v", ci, pi, res.Witness)
+			}
+			if !res.Witness[0].Equal(cex) {
+				t.Fatalf("comp %d pred %d: ¬AG witness %v, AG counterexample %v", ci, pi, res.Witness[0], cex)
+			}
+			if p.Eval(comp, res.Witness[0]) {
+				t.Fatalf("comp %d pred %d: ¬AG witness %v satisfies p", ci, pi, res.Witness[0])
+			}
+		}
+	}
+}
+
+func TestNotPropagatesWitnessAsCounterexample(t *testing.T) {
+	for ci, comp := range testComps(t) {
+		for pi, p := range conjBattery(comp) {
+			res, err := Detect(comp, ctl.Not{F: ctl.EF{F: ctl.Atom{P: p}}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			least, found := LeastCut(comp, p)
+			if res.Holds == found {
+				t.Fatalf("comp %d pred %d: ¬EF = %v but EF = %v", ci, pi, res.Holds, found)
+			}
+			if res.Holds {
+				if res.Counterexample != nil {
+					t.Fatalf("comp %d pred %d: holding ¬EF carries a counterexample", ci, pi)
+				}
+				continue
+			}
+			// The satisfying cut for EF(p) refutes ¬EF(p).
+			if res.Counterexample == nil {
+				t.Fatalf("comp %d pred %d: failed ¬EF has no counterexample", ci, pi)
+			}
+			if !res.Counterexample.Equal(least) {
+				t.Fatalf("comp %d pred %d: ¬EF counterexample %v, least cut %v", ci, pi, res.Counterexample, least)
+			}
+			if !p.Eval(comp, res.Counterexample) {
+				t.Fatalf("comp %d pred %d: ¬EF counterexample %v does not satisfy p", ci, pi, res.Counterexample)
+			}
+		}
+	}
+}
+
+// boom panics when evaluated — placed behind an operand the dispatcher
+// must skip, it proves the exponential branch is never entered.
+var boom = predicate.Fn{
+	Name: "boom",
+	F: func(*computation.Computation, computation.Cut) bool {
+		panic("core: short-circuited operand was evaluated")
+	},
+}
+
+func TestAndShortCircuitSkipsExponentialRight(t *testing.T) {
+	comp := sim.Fig2()
+	never := ctl.EF{F: ctl.Atom{P: predicate.Conj(varCmp(0, "x", predicate.GT, 99))}}
+	// EG(boom) routes to the exponential solver and panics on first Eval;
+	// the left operand is false, so it must never run.
+	f := ctl.And{L: never, R: ctl.EG{F: ctl.Atom{P: boom}}}
+	res, err := Detect(comp, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("false && _ must be false")
+	}
+	if !strings.Contains(res.Algorithm, "(skipped)") {
+		t.Fatalf("algorithm %q does not record the skip", res.Algorithm)
+	}
+	if res.Stats.ShortCircuits != 1 {
+		t.Fatalf("ShortCircuits = %d, want 1", res.Stats.ShortCircuits)
+	}
+}
+
+func TestOrShortCircuitSkipsExponentialRight(t *testing.T) {
+	comp := sim.Fig2()
+	always := ctl.EF{F: ctl.Atom{P: predicate.Conj(varCmp(0, "x", predicate.GE, 0))}}
+	f := ctl.Or{L: always, R: ctl.AG{F: ctl.Atom{P: boom}}}
+	res, err := Detect(comp, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatal("true || _ must be true")
+	}
+	if !strings.Contains(res.Algorithm, "(skipped)") {
+		t.Fatalf("algorithm %q does not record the skip", res.Algorithm)
+	}
+	if res.Stats.ShortCircuits != 1 {
+		t.Fatalf("ShortCircuits = %d, want 1", res.Stats.ShortCircuits)
+	}
+}
+
+func TestBinaryNoShortCircuitRunsBothAndCarriesEvidence(t *testing.T) {
+	comp := sim.Fig4()
+	left := ctl.AG{F: ctl.Atom{P: predicate.Conj(varCmp(0, "x", predicate.GE, 0))}} // holds
+	right := ctl.EF{F: ctl.Atom{P: predicate.Conj(varCmp(0, "x", predicate.GE, 2))}}
+	res, err := Detect(comp, ctl.And{L: left, R: right})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatal("conjunction of holding formulas must hold")
+	}
+	if strings.Contains(res.Algorithm, "skipped") {
+		t.Fatalf("no short-circuit applies, yet algorithm = %q", res.Algorithm)
+	}
+	if !strings.Contains(res.Algorithm, "&&") {
+		t.Fatalf("algorithm %q does not compose both operands", res.Algorithm)
+	}
+	if res.Stats.ShortCircuits != 0 {
+		t.Fatalf("ShortCircuits = %d, want 0", res.Stats.ShortCircuits)
+	}
+	// The right operand's witness (EF's least cut) is the node's evidence.
+	if len(res.Witness) != 1 {
+		t.Fatalf("witness = %v, want the EF least cut", res.Witness)
+	}
+	want, found := LeastCut(comp, predicate.Conj(varCmp(0, "x", predicate.GE, 2)))
+	if !found || !res.Witness[0].Equal(want) {
+		t.Fatalf("witness %v, want %v", res.Witness[0], want)
+	}
+	// An Or whose operands both fail carries the right operand's
+	// counterexample.
+	badL := ctl.AG{F: ctl.Atom{P: predicate.Conj(varCmp(0, "x", predicate.LT, 2))}}
+	badR := ctl.AG{F: ctl.Atom{P: predicate.Conj(varCmp(0, "x", predicate.LT, 3))}}
+	res, err = Detect(comp, ctl.Or{L: badL, R: badR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("disjunction of failing formulas must fail")
+	}
+	if res.Counterexample == nil {
+		t.Fatal("failing Or dropped its counterexample")
+	}
+	cex, ok := AGLinear(comp, predicate.Conj(varCmp(0, "x", predicate.LT, 3)))
+	if ok || !res.Counterexample.Equal(cex) {
+		t.Fatalf("counterexample %v, want right operand's %v", res.Counterexample, cex)
+	}
+}
+
+// TestNotEvidenceCrossChecked: the ¬AG witness printed by hbdetect must be
+// a consistent cut of the computation (checkable in-process here).
+func TestNotEvidenceCutsAreConsistent(t *testing.T) {
+	for _, comp := range testComps(t) {
+		for _, p := range conjBattery(comp) {
+			res, err := Detect(comp, ctl.Not{F: ctl.AG{F: ctl.Atom{P: p}}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range res.Witness {
+				if !comp.Consistent(c) {
+					t.Fatalf("¬AG witness %v is not a consistent cut", c)
+				}
+			}
+		}
+	}
+}

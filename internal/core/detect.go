@@ -36,9 +36,15 @@ type Result struct {
 // otherwise. Temporal operators must not be nested (the paper's fragment);
 // boolean combinations of temporal formulas are evaluated recursively.
 func Detect(comp *computation.Computation, f ctl.Formula) (Result, error) {
+	return runDetect(comp, f, 1)
+}
+
+// runDetect is the shared body of Detect and DetectParallel; workers is
+// already normalized (>= 1).
+func runDetect(comp *computation.Computation, f ctl.Formula, workers int) (Result, error) {
 	st := &Stats{}
 	start := time.Now()
-	r, err := detect(comp, f, st)
+	r, err := detect(comp, f, st, workers)
 	if err != nil {
 		return r, err
 	}
@@ -52,19 +58,33 @@ func Detect(comp *computation.Computation, f ctl.Formula) (Result, error) {
 }
 
 // detect is the recursive dispatcher; st aggregates work across the
-// boolean structure of the formula.
-func detect(comp *computation.Computation, f ctl.Formula, st *Stats) (Result, error) {
+// boolean structure of the formula, and workers is the parallel budget
+// handed down to the sweep-shaped algorithms.
+func detect(comp *computation.Computation, f ctl.Formula, st *Stats, workers int) (Result, error) {
 	switch g := f.(type) {
 	case ctl.Not:
-		r, err := detect(comp, g.F, st)
+		r, err := detect(comp, g.F, st, workers)
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{Holds: !r.Holds, Algorithm: "negation of " + r.Algorithm}, nil
+		out := Result{Holds: !r.Holds, Algorithm: "negation of " + r.Algorithm}
+		// Evidence dualizes through negation: a counterexample cut to the
+		// operand (say, a cut violating AG(p)) is precisely a witness for
+		// the negation, and a single-cut witness to the operand (a
+		// satisfying cut for EF(p)) refutes the negation. Path-shaped
+		// witnesses have no single-cut dual and are dropped.
+		if out.Holds {
+			if r.Counterexample != nil {
+				out.Witness = []computation.Cut{r.Counterexample}
+			}
+		} else if len(r.Witness) == 1 {
+			out.Counterexample = r.Witness[0]
+		}
+		return out, nil
 	case ctl.And:
-		return detectBinary(comp, g.L, g.R, "&&", func(a, b bool) bool { return a && b }, st)
+		return detectBinary(comp, g.L, g.R, "&&", st, workers)
 	case ctl.Or:
-		return detectBinary(comp, g.L, g.R, "||", func(a, b bool) bool { return a || b }, st)
+		return detectBinary(comp, g.L, g.R, "||", st, workers)
 	case ctl.Atom:
 		st.cuts(1)
 		st.evals(1)
@@ -95,7 +115,7 @@ func detect(comp *computation.Computation, f ctl.Formula, st *Stats) (Result, er
 		if err != nil {
 			return Result{}, err
 		}
-		return detectAG(comp, p, st), nil
+		return detectAG(comp, p, st, workers), nil
 	case ctl.EU:
 		p, err := Compile(g.P)
 		if err != nil {
@@ -105,7 +125,7 @@ func detect(comp *computation.Computation, f ctl.Formula, st *Stats) (Result, er
 		if err != nil {
 			return Result{}, err
 		}
-		return detectEU(comp, p, q, st), nil
+		return detectEU(comp, p, q, st, workers), nil
 	case ctl.AU:
 		p, err := Compile(g.P)
 		if err != nil {
@@ -115,25 +135,36 @@ func detect(comp *computation.Computation, f ctl.Formula, st *Stats) (Result, er
 		if err != nil {
 			return Result{}, err
 		}
-		return detectAU(comp, p, q, st), nil
+		return detectAU(comp, p, q, st, workers), nil
 	default:
 		return Result{}, fmt.Errorf("core: unsupported formula %T", f)
 	}
 }
 
-func detectBinary(comp *computation.Computation, l, r ctl.Formula, op string, combine func(a, b bool) bool, st *Stats) (Result, error) {
-	a, err := detect(comp, l, st)
+func detectBinary(comp *computation.Computation, l, r ctl.Formula, op string, st *Stats, workers int) (Result, error) {
+	a, err := detect(comp, l, st, workers)
 	if err != nil {
 		return Result{}, err
 	}
-	b, err := detect(comp, r, st)
+	// Short-circuit: when the left operand already decides the combination
+	// the right operand is never compiled or run — it may route to the
+	// exponential solver. The skip is recorded in the algorithm string and
+	// in Stats.ShortCircuits, and the left result's evidence carries.
+	if (op == "&&" && !a.Holds) || (op == "||" && a.Holds) {
+		st.short(1)
+		a.Algorithm = "(" + a.Algorithm + ") " + op + " (skipped)"
+		return a, nil
+	}
+	// The left operand did not decide, so the combination's verdict is the
+	// right operand's — and so is its evidence (a witness for an And both
+	// conjuncts satisfy, a counterexample for an Or both disjuncts fail;
+	// the right operand's evidence is the one attributable to this node).
+	b, err := detect(comp, r, st, workers)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{
-		Holds:     combine(a.Holds, b.Holds),
-		Algorithm: "(" + a.Algorithm + ") " + op + " (" + b.Algorithm + ")",
-	}, nil
+	b.Algorithm = "(" + a.Algorithm + ") " + op + " (" + b.Algorithm + ")"
+	return b, nil
 }
 
 // Compile lowers a non-temporal CTL formula to a predicate, preserving as
@@ -363,14 +394,14 @@ func detectEG(comp *computation.Computation, p predicate.Predicate, st *Stats) R
 	return Result{Holds: egArbitrary(comp, p, st), Algorithm: "EG arbitrary: exponential search (NP-complete, Theorem 5)"}
 }
 
-func detectAG(comp *computation.Computation, p predicate.Predicate, st *Stats) Result {
+func detectAG(comp *computation.Computation, p predicate.Predicate, st *Stats, workers int) Result {
 	if s, ok := asStable(p); ok {
 		return Result{Holds: egStable(comp, s, st), Algorithm: "AG stable: evaluate at the initial cut"}
 	}
 	// AG distributes over conjunction: AG(a ∧ b) = AG(a) ∧ AG(b).
 	if and, ok := p.(predicate.And); ok {
 		for _, part := range and.Ps {
-			if sub := detectAG(comp, part, st); !sub.Holds {
+			if sub := detectAG(comp, part, st, workers); !sub.Holds {
 				sub.Algorithm = "AG over ∧: split per conjunct (" + sub.Algorithm + ")"
 				return sub // carries the counterexample when present
 			}
@@ -378,7 +409,7 @@ func detectAG(comp *computation.Computation, p predicate.Predicate, st *Stats) R
 		return Result{Holds: true, Algorithm: "AG over ∧: split per conjunct"}
 	}
 	if _, ok := asLinear(p); ok {
-		cex, holds := agLinear(comp, p, st)
+		cex, holds := agLinearParallel(comp, p, st, workers)
 		return Result{Holds: holds, Algorithm: "AG linear: Algorithm A2 (meet-irreducibles)", Counterexample: cex}
 	}
 	if d, ok := asDisjunctive(p); ok {
@@ -393,24 +424,24 @@ func detectAG(comp *computation.Computation, p predicate.Predicate, st *Stats) R
 		return r
 	}
 	if _, ok := asPostLinear(p); ok {
-		cex, holds := agPostLinear(comp, p, st)
+		cex, holds := agPostLinearParallel(comp, p, st, workers)
 		return Result{Holds: holds, Algorithm: "AG post-linear: dual Algorithm A2 (join-irreducibles)", Counterexample: cex}
 	}
 	// Theorem 6: co-NP-complete already for observer-independent predicates.
 	return Result{Holds: !efArbitrary(comp, predicate.Not{P: p}, st), Algorithm: "AG arbitrary: exponential search (co-NP-complete, Theorem 6)"}
 }
 
-func detectEU(comp *computation.Computation, p, q predicate.Predicate, st *Stats) Result {
+func detectEU(comp *computation.Computation, p, q predicate.Predicate, st *Stats, workers int) Result {
 	if cp, okP := asConjunctive(p); okP {
 		if lq, okQ := asLinear(q); okQ {
-			path, holds := euConjLinear(comp, cp, lq, st)
+			path, holds := euConjLinearParallel(comp, cp, lq, st, workers)
 			return Result{Holds: holds, Algorithm: "EU conjunctive/linear: Algorithm A3", Witness: path}
 		}
 		// The target distributes over disjunction for existential until:
 		// E[p U (a ∨ b)] = E[p U a] ∨ E[p U b].
 		if or, ok := q.(predicate.Or); ok {
 			for _, part := range or.Ps {
-				if sub := detectEU(comp, p, part, st); sub.Holds {
+				if sub := detectEU(comp, p, part, st, workers); sub.Holds {
 					sub.Algorithm = "EU target over ∨: split (" + sub.Algorithm + ")"
 					return sub
 				}
@@ -420,7 +451,7 @@ func detectEU(comp *computation.Computation, p, q predicate.Predicate, st *Stats
 		// A disjunctive target splits into its locals the same way.
 		if d, ok := q.(predicate.Disjunctive); ok {
 			for _, l := range d.Locals {
-				if sub := detectEU(comp, p, predicate.Conj(l), st); sub.Holds {
+				if sub := detectEU(comp, p, predicate.Conj(l), st, workers); sub.Holds {
 					sub.Algorithm = "EU target over disj: split (" + sub.Algorithm + ")"
 					return sub
 				}
@@ -431,11 +462,11 @@ func detectEU(comp *computation.Computation, p, q predicate.Predicate, st *Stats
 	return Result{Holds: euArbitrary(comp, p, q, st), Algorithm: "EU arbitrary: exponential search"}
 }
 
-func detectAU(comp *computation.Computation, p, q predicate.Predicate, st *Stats) Result {
+func detectAU(comp *computation.Computation, p, q predicate.Predicate, st *Stats, workers int) Result {
 	dp, okP := asDisjunctive(p)
 	dq, okQ := asDisjunctive(q)
 	if okP && okQ {
-		return Result{Holds: auDisjunctive(comp, dp, dq, st), Algorithm: "AU disjunctive: ¬(EG(¬q) ∨ E[¬q U ¬p∧¬q])"}
+		return Result{Holds: auDisjunctive(comp, dp, dq, st, workers), Algorithm: "AU disjunctive: ¬(EG(¬q) ∨ E[¬q U ¬p∧¬q])"}
 	}
 	return Result{Holds: auArbitrary(comp, p, q, st), Algorithm: "AU arbitrary: exponential search"}
 }

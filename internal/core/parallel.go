@@ -1,0 +1,312 @@
+package core
+
+// Parallel execution layer for the sweep-shaped detection algorithms.
+//
+// The paper's cheapest algorithms are embarrassingly parallel over
+// independent sub-problems: Algorithm A2 evaluates the predicate at |E|
+// meet-irreducible cuts that depend only on one event each, its dual scans
+// the |E| join-irreducible cuts, and step 2 of Algorithm A3 runs an
+// independent EG check on each frontier sub-computation of I_q. This file
+// shards those sweeps over a small worker pool, bounded by GOMAXPROCS by
+// default, while keeping every observable output — verdict, witness or
+// counterexample cut, and Stats totals — bit-identical to the sequential
+// algorithms at every worker count.
+//
+// Determinism rule: every sweep has a canonical sequential order (events
+// by process then position; frontier branches by process). The runner
+// returns the hit with the LOWEST index in that order, which is exactly
+// where the sequential left-to-right sweep would have stopped. Early
+// cancellation uses a shared atomic upper bound holding the best (lowest)
+// hit index found so far: workers abandon indices at or above the bound,
+// but always finish indices below it, so the minimum is exact and does not
+// depend on worker count or goroutine scheduling.
+//
+// Stats discipline: workers never touch a shared Stats (the hot loops stay
+// atomic-free). Sub-problem runs collect into per-worker Stats values that
+// are merged after the join — and only the sub-problems the sequential
+// sweep would have executed (indices up to and including the winning hit)
+// are merged, so the published totals are deterministic and equal the
+// sequential run's. Work performed above the winning index during the
+// cancellation window is deliberately not counted: it is scheduling noise,
+// and counting it would make Stats depend on worker count.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/computation"
+	"repro/internal/ctl"
+	"repro/internal/predicate"
+)
+
+// normWorkers resolves a worker-count request: non-positive means "as many
+// as the hardware allows" (GOMAXPROCS).
+func normWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// flatEvents returns every event in the canonical sweep order of the
+// irreducible-cut algorithms — by process, then by position. The index
+// into this slice is the determinism key of the parallel sweeps.
+func flatEvents(comp *computation.Computation) []*computation.Event {
+	out := make([]*computation.Event, 0, comp.TotalEvents())
+	for i := 0; i < comp.N(); i++ {
+		out = append(out, comp.Events(i)...)
+	}
+	return out
+}
+
+// sweepFirst is the worker-pool runner behind the parallel sweeps: it
+// searches [0, total) for the lowest index whose probe reports a hit,
+// sharding the range over at most workers goroutines in contiguous blocks.
+// probe must be safe for concurrent calls on distinct indices; each index
+// is probed by exactly one worker. It returns total when no probe hits.
+func sweepFirst(total, workers int, probe func(idx int) bool) int {
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		for i := 0; i < total; i++ {
+			if probe(i) {
+				return i
+			}
+		}
+		return total
+	}
+	// bound is the lowest hit index found so far; indices at or above it
+	// cannot win, so workers skip them — the cancellation signal.
+	var bound atomic.Int64
+	bound.Store(int64(total))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*total/workers, (w+1)*total/workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if int64(i) >= bound.Load() {
+					return
+				}
+				if !probe(i) {
+					continue
+				}
+				// CAS-min: lower hits always win, racing higher ones lose.
+				for {
+					cur := bound.Load()
+					if int64(i) >= cur || bound.CompareAndSwap(cur, int64(i)) {
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return int(bound.Load())
+}
+
+// blockFill runs fill over [0, total) sharded in contiguous blocks across
+// at most workers goroutines — the batch-construction counterpart of
+// sweepFirst (no early exit, every index runs exactly once).
+func blockFill(total, workers int, fill func(idx int)) {
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		for i := 0; i < total; i++ {
+			fill(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*total/workers, (w+1)*total/workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fill(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// DetectParallel is Detect with a parallel execution budget: the
+// sweep-shaped algorithms (A2 and its dual, A3 step 2, the AU composition
+// through A3) shard their independent sub-problems over up to workers
+// goroutines. workers <= 0 means GOMAXPROCS; 1 is exactly Detect. The
+// verdict, witness or counterexample, and Stats totals are identical to
+// Detect at every worker count (see the determinism rule above).
+func DetectParallel(comp *computation.Computation, f ctl.Formula, workers int) (Result, error) {
+	return runDetect(comp, f, normWorkers(workers))
+}
+
+// AGLinearParallel is Algorithm A2 with the |E| meet-irreducible cuts
+// sharded over up to workers goroutines (<= 0 means GOMAXPROCS). The
+// returned counterexample is the one AGLinear returns: the first failing
+// cut in the canonical event order.
+func AGLinearParallel(comp *computation.Computation, p predicate.Predicate, workers int) (counterexample computation.Cut, ok bool) {
+	return agLinearParallel(comp, p, nil, normWorkers(workers))
+}
+
+func agLinearParallel(comp *computation.Computation, p predicate.Predicate, st *Stats, workers int) (counterexample computation.Cut, ok bool) {
+	if workers <= 1 {
+		return agLinear(comp, p, st)
+	}
+	final := comp.FinalCut()
+	if !p.Eval(comp, final) {
+		st.cuts(1)
+		st.evals(1)
+		return final, false
+	}
+	evs := flatEvents(comp)
+	hits := make([]computation.Cut, len(evs))
+	k := sweepFirst(len(evs), workers, func(i int) bool {
+		m := comp.UpSetComplement(evs[i])
+		if p.Eval(comp, m) {
+			return false
+		}
+		hits[i] = m
+		return true
+	})
+	if k < len(evs) {
+		// Determinized accounting: the final cut plus irreducibles 0..k —
+		// exactly the sequential sweep's work, independent of worker count.
+		st.cuts(int64(k) + 2)
+		st.evals(int64(k) + 2)
+		return hits[k], false
+	}
+	st.cuts(int64(len(evs)) + 1)
+	st.evals(int64(len(evs)) + 1)
+	return nil, true
+}
+
+// AGPostLinearParallel is the dual of AGLinearParallel: the |E|
+// join-irreducible cuts ↓e sharded over up to workers goroutines.
+func AGPostLinearParallel(comp *computation.Computation, p predicate.Predicate, workers int) (counterexample computation.Cut, ok bool) {
+	return agPostLinearParallel(comp, p, nil, normWorkers(workers))
+}
+
+func agPostLinearParallel(comp *computation.Computation, p predicate.Predicate, st *Stats, workers int) (counterexample computation.Cut, ok bool) {
+	if workers <= 1 {
+		return agPostLinear(comp, p, st)
+	}
+	initial := comp.InitialCut()
+	if !p.Eval(comp, initial) {
+		st.cuts(1)
+		st.evals(1)
+		return initial, false
+	}
+	evs := flatEvents(comp)
+	hits := make([]computation.Cut, len(evs))
+	k := sweepFirst(len(evs), workers, func(i int) bool {
+		j := comp.DownSet(evs[i])
+		if p.Eval(comp, j) {
+			return false
+		}
+		hits[i] = j
+		return true
+	})
+	if k < len(evs) {
+		st.cuts(int64(k) + 2)
+		st.evals(int64(k) + 2)
+		return hits[k], false
+	}
+	st.cuts(int64(len(evs)) + 1)
+	st.evals(int64(len(evs)) + 1)
+	return nil, true
+}
+
+// EUConjLinearParallel is Algorithm A3 with step 2's per-frontier-event EG
+// checks running concurrently (<= 0 workers means GOMAXPROCS). Step 1 (the
+// advancement to I_q) is inherently sequential and stays so. The witness
+// is the one EUConjLinear returns: the EG path through the first
+// succeeding frontier branch in process order.
+func EUConjLinearParallel(comp *computation.Computation, p predicate.Conjunctive, q predicate.Linear, workers int) (path []computation.Cut, ok bool) {
+	return euConjLinearParallel(comp, p, q, nil, normWorkers(workers))
+}
+
+func euConjLinearParallel(comp *computation.Computation, p predicate.Conjunctive, q predicate.Linear, st *Stats, workers int) (path []computation.Cut, ok bool) {
+	if workers <= 1 {
+		return euConjLinear(comp, p, q, st)
+	}
+	// Step 1: find I_q (sequential; shares st with the caller directly).
+	iq, ok := leastCut(comp, q, st)
+	if !ok {
+		return nil, false
+	}
+	if iq.Equal(comp.InitialCut()) {
+		return []computation.Cut{iq}, true
+	}
+	// Step 2: the frontier sub-computations, in the sequential branch
+	// order. Prefixes share storage with comp; the branches below only
+	// read them (the -race cross-validation matrix pins this).
+	var subs []*computation.Computation
+	for i := range iq {
+		if !comp.MaximalEvent(iq, i) {
+			continue
+		}
+		g := iq.Copy()
+		g[i]--
+		subs = append(subs, comp.Prefix(g))
+	}
+	paths := make([][]computation.Cut, len(subs))
+	stats := make([]Stats, len(subs))
+	k := sweepFirst(len(subs), workers, func(b int) bool {
+		egPath, holds := egLinear(subs[b], p, &stats[b])
+		paths[b] = egPath
+		return holds
+	})
+	// Merge the per-branch stats the sequential run would have produced:
+	// branches strictly below the winner always run to completion (the
+	// bound can never drop below a losing branch's index), so their
+	// counters are complete.
+	last := k
+	if last >= len(subs) {
+		last = len(subs) - 1
+	}
+	for b := 0; b <= last; b++ {
+		st.merge(&stats[b])
+	}
+	if k >= len(subs) {
+		return nil, false
+	}
+	full := make([]computation.Cut, 0, len(paths[k])+1)
+	for _, c := range paths[k] {
+		full = append(full, c.Copy())
+	}
+	return append(full, iq), true
+}
+
+// MeetIrreduciblesParallel constructs the meet-irreducible cuts E − ↑e in
+// the same order as MeetIrreducibles, with the per-event Birkhoff formula
+// evaluated across up to workers goroutines (<= 0 means GOMAXPROCS).
+func MeetIrreduciblesParallel(comp *computation.Computation, workers int) []computation.Cut {
+	evs := flatEvents(comp)
+	if len(evs) == 0 {
+		return nil
+	}
+	out := make([]computation.Cut, len(evs))
+	blockFill(len(evs), normWorkers(workers), func(i int) {
+		out[i] = comp.UpSetComplement(evs[i])
+	})
+	return out
+}
+
+// JoinIrreduciblesParallel constructs the join-irreducible cuts ↓e in the
+// same order as JoinIrreducibles across up to workers goroutines.
+func JoinIrreduciblesParallel(comp *computation.Computation, workers int) []computation.Cut {
+	evs := flatEvents(comp)
+	if len(evs) == 0 {
+		return nil
+	}
+	out := make([]computation.Cut, len(evs))
+	blockFill(len(evs), normWorkers(workers), func(i int) {
+		out[i] = comp.DownSet(evs[i])
+	})
+	return out
+}

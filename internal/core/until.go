@@ -66,16 +66,16 @@ func euConjLinear(comp *computation.Computation, p predicate.Conjunctive, q pred
 // ¬p ∧ ¬q is conjunctive, hence linear (detected by Algorithm A3 under EU).
 // Total cost O(n|E|) predicate evaluations.
 func AUDisjunctive(comp *computation.Computation, p, q predicate.Disjunctive) bool {
-	return auDisjunctive(comp, p, q, nil)
+	return auDisjunctive(comp, p, q, nil, 1)
 }
 
-func auDisjunctive(comp *computation.Computation, p, q predicate.Disjunctive, st *Stats) bool {
+func auDisjunctive(comp *computation.Computation, p, q predicate.Disjunctive, st *Stats, workers int) bool {
 	notQ := q.Negate()
 	if _, eg := egLinear(comp, notQ, st); eg {
 		return false // some full path avoids q entirely
 	}
 	bad := predicate.MergeConj(p.Negate(), notQ)
-	if _, eu := euConjLinear(comp, notQ, bad, st); eu {
+	if _, eu := euConjLinearParallel(comp, notQ, bad, st, workers); eu {
 		return false // some path reaches ¬p∧¬q with q never seen before
 	}
 	return true

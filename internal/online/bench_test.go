@@ -26,6 +26,27 @@ func BenchmarkMonitorThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkEFWatchWide measures head-elimination cost on the wide
+// ping-pong computation (many bystander heads, two churning processes) —
+// the scenario where a full pairwise rescan per pop is quadratic in the
+// process count while the in-place worklist stays linear.
+func BenchmarkEFWatchWide(b *testing.B) {
+	for _, procs := range []int{8, 40} {
+		b.Run(fmt.Sprintf("P%d", procs), func(b *testing.B) {
+			const rounds = 200
+			for i := 0; i < b.N; i++ {
+				m := NewMonitor(procs)
+				w := wideWatch(m, procs)
+				wideEliminationRounds(m, rounds)
+				if w.Fired() {
+					b.Fatal("watch fired mid-churn")
+				}
+			}
+			b.ReportMetric(float64(6*rounds), "events/op")
+		})
+	}
+}
+
 // BenchmarkSnapshot measures the cost of the offline bridge.
 func BenchmarkSnapshot(b *testing.B) {
 	comp := sim.Random(sim.DefaultRandomConfig(4, 2000), 3)

@@ -68,6 +68,14 @@ type EFWatch struct {
 	procs  []int // constrained processes in registration order
 	fired  bool
 	cut    computation.Cut
+
+	// Elimination worklist: processes whose queue head changed since the
+	// last fixed point. Only heads on the worklist need re-comparing, so
+	// elimination continues in place instead of restarting the full
+	// pairwise scan after every pop.
+	dirty   []int
+	inDirty []bool // indexed by process
+	cmps    int    // head comparisons performed (cost instrumentation)
 }
 
 // WatchEF registers a conjunctive predicate given by its local conjuncts.
@@ -79,8 +87,9 @@ func (m *Monitor) WatchEF(locals ...LocalSpec) *EFWatch {
 		panic("online: WatchEF must be registered before events are observed")
 	}
 	w := &EFWatch{
-		specs:  make(map[int][]LocalSpec),
-		queues: make(map[int][]candidate),
+		specs:   make(map[int][]LocalSpec),
+		queues:  make(map[int][]candidate),
+		inDirty: make([]bool, m.n),
 	}
 	for _, l := range locals {
 		if l.Proc < 0 || l.Proc >= m.n {
@@ -102,6 +111,7 @@ func (m *Monitor) WatchEF(locals ...LocalSpec) *EFWatch {
 	for _, proc := range w.procs {
 		if m.lens[proc] == 0 && w.holdsAt(m, proc) {
 			w.queues[proc] = append(w.queues[proc], candidate{state: 0})
+			w.markDirty(proc)
 		}
 	}
 	w.advance(m)
@@ -134,12 +144,32 @@ func (w *EFWatch) observe(m *Monitor, proc int) {
 			state: k,
 			start: m.stateClocks[proc][k],
 		})
+		// Only a new HEAD can enable an elimination or a firing: a
+		// candidate queued behind an existing head changes neither, so
+		// the event costs O(1).
+		if len(w.queues[proc]) == 1 {
+			w.markDirty(proc)
+		}
 	}
-	w.advance(m)
+	if len(w.dirty) > 0 {
+		w.advance(m)
+	}
 }
 
-// advance runs head elimination until no head is provably dead, then
-// fires if every constrained process has a compatible head.
+// markDirty queues a process for head re-comparison.
+func (w *EFWatch) markDirty(proc int) {
+	if !w.inDirty[proc] {
+		w.inDirty[proc] = true
+		w.dirty = append(w.dirty, proc)
+	}
+}
+
+// advance continues head elimination from the processes whose heads
+// changed since the last fixed point, then fires if every constrained
+// process has a compatible head. Unlike a full pairwise rescan per pop,
+// each pop costs O(n): only the popped process's new head (and heads it
+// kills) re-enter the worklist, and a pair of unchanged heads is never
+// re-compared — the amortized per-event cost is O(n · pops + 1).
 //
 // Head (i, k) is dead with respect to head (j, k') when state (i, k) ends
 // before state (j, k') begins in every interleaving — i.e. event (i, k+1)
@@ -147,55 +177,71 @@ func (w *EFWatch) observe(m *Monitor, proc int) {
 // start_j[i] ≥ k+1. Deadness is monotone along j's queue (later starts
 // dominate), so popping is safe and each candidate is popped at most once.
 func (w *EFWatch) advance(m *Monitor) {
-	for {
-		// All queues must be non-empty to either eliminate or fire.
-		for _, proc := range w.procs {
-			if len(w.queues[proc]) == 0 {
-				return
-			}
+	for len(w.dirty) > 0 {
+		i := w.dirty[len(w.dirty)-1]
+		w.dirty = w.dirty[:len(w.dirty)-1]
+		w.inDirty[i] = false
+		if len(w.queues[i]) == 0 {
+			continue // no head to verify; a future candidate re-dirties i
 		}
-		popped := false
-		for _, i := range w.procs {
-			hi := w.queues[i][0]
-			for _, j := range w.procs {
-				if i == j {
-					continue
-				}
+		hi := w.queues[i][0]
+		dead := false
+		for _, j := range w.procs {
+			if j == i {
+				continue
+			}
+			// Re-compare against j's head, following pops of j in place
+			// (an empty queue j is skipped: the pair is verified from j's
+			// side when j regains a head and is marked dirty).
+			for len(w.queues[j]) > 0 {
 				hj := w.queues[j][0]
+				w.cmps++
 				if hj.start != nil && hj.start[i] >= hi.state+1 {
 					w.queues[i] = w.queues[i][1:]
-					popped = true
+					dead = true
 					break
 				}
+				if hi.start != nil && hi.start[j] >= hj.state+1 {
+					w.queues[j] = w.queues[j][1:]
+					w.markDirty(j)
+					continue // j's next head against the same hi
+				}
+				break // pair alive
 			}
-			if popped {
+			if dead {
 				break
 			}
 		}
-		if popped {
+		if dead {
+			w.markDirty(i) // restart i with its new head
+		}
+	}
+	// Fixed point: fire only if every constrained process has a head (all
+	// verified pairwise alive above).
+	for _, proc := range w.procs {
+		if len(w.queues[proc]) == 0 {
+			return
+		}
+	}
+	// Pairwise compatible: the least cut exposing all heads is the
+	// join of their start clocks; compatibility pins each constrained
+	// coordinate to its head's state.
+	cut := computation.NewCut(m.n)
+	for _, proc := range w.procs {
+		h := w.queues[proc][0]
+		if h.start == nil {
 			continue
 		}
-		// Pairwise compatible: the least cut exposing all heads is the
-		// join of their start clocks; compatibility pins each constrained
-		// coordinate to its head's state.
-		cut := computation.NewCut(m.n)
-		for _, proc := range w.procs {
-			h := w.queues[proc][0]
-			if h.start == nil {
-				continue
-			}
-			for j, x := range h.start {
-				if x > cut[j] {
-					cut[j] = x
-				}
+		for j, x := range h.start {
+			if x > cut[j] {
+				cut[j] = x
 			}
 		}
-		w.fired = true
-		w.cut = cut
-		if m.met != nil {
-			m.met.efFired.Inc()
-		}
-		return
+	}
+	w.fired = true
+	w.cut = cut
+	if m.met != nil {
+		m.met.efFired.Inc()
 	}
 }
 
