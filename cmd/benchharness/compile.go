@@ -1,0 +1,161 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/computation"
+	"repro/internal/core"
+	"repro/internal/ctl"
+	"repro/internal/pir"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+// runCompile measures the predicate IR itself: (a) how much a one-shot
+// pir.Compile + Table 1 choice costs per formula, (b) the payoff of the
+// bitset lowering — AST-walk vs word-parallel cut evaluation — on
+// conjunctive and disjunctive predicates, and (c) end-to-end Detect
+// timings on the lowered paths. The compile cost is paid once per Detect;
+// the eval cost is paid once per cut visited, so (b) is what moves the
+// sweep algorithms.
+func runCompile() {
+	// (a) compile + dispatch overhead per formula source.
+	fmt.Println("-- compile + Table 1 choice, one-shot cost per formula --")
+	sources := []struct {
+		name, src string
+		op        pir.Op
+	}{
+		{"local", "x0@P1 >= 1", pir.OpEF},
+		{"conjunctive", "conj(x0@P1 >= 1, x0@P2 >= 1, x0@P3 >= 1)", pir.OpAG},
+		{"disjunctive", "disj(x0@P1 >= 1, x0@P2 >= 1, x0@P3 >= 1)", pir.OpAG},
+		{"linear-and", "channelsEmpty && conj(x0@P1 >= 1)", pir.OpEG},
+		{"stable", "terminated", pir.OpEF},
+	}
+	fmt.Printf("%-12s %-45s %-4s %12s\n", "class", "source", "op", "ns/compile")
+	for _, s := range sources {
+		f, err := ctl.Parse(s.src)
+		if err != nil {
+			fmt.Printf("%-12s ERROR %v\n", s.name, err)
+			continue
+		}
+		const reps = 2000
+		var kind pir.Kind
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			p, err := pir.Compile(f)
+			if err != nil {
+				panic(err)
+			}
+			kind = pir.Choose(s.op, p).Kind
+		}
+		perOp := time.Since(start).Nanoseconds() / reps
+		fmt.Printf("%-12s %-45s %-4s %12d\n", s.name, s.src, s.op, perOp)
+		emit("compile", "compile/"+s.name, map[string]any{
+			"source": s.src, "op": string(s.op), "ns_per_compile": perOp, "kind": int(kind),
+		})
+	}
+
+	// (b) AST-walk vs bitset evaluation per cut.
+	fmt.Println("\n-- cut evaluation: structural AST walk vs bitset lowering --")
+	workloads := []struct {
+		name string
+		comp *computation.Computation
+	}{
+		{"small (3 procs × 10 events)", sim.Random(sim.DefaultRandomConfig(3, 10), 3)},
+		{"large (4 procs × 4000 events)", sim.Random(sim.DefaultRandomConfig(4, 4000), 3)},
+	}
+	fmt.Printf("%-30s %-12s %12s %12s %8s\n", "workload", "class", "ast ns/eval", "bits ns/eval", "speedup")
+	for _, w := range workloads {
+		comp := w.comp
+		n := comp.N()
+		locals := make([]predicate.LocalPredicate, n)
+		for i := 0; i < n; i++ {
+			locals[i] = predicate.VarCmp{Proc: i, Var: "x0", Op: predicate.GE, K: 1}
+		}
+		cuts := randomCuts(comp, 1024)
+
+		conjPred := pir.FromPredicate(predicate.Conjunctive{Locals: locals})
+		structuralConj, _ := conjPred.Conjunctive()
+		loweredConj, _ := conjPred.Bind(comp).Linear()
+		astNS := evalNS(comp, structuralConj, cuts)
+		bitNS := evalNS(comp, loweredConj, cuts)
+		report(w.name, "conjunctive", astNS, bitNS)
+
+		disjPred := pir.FromPredicate(predicate.Disjunctive{Locals: locals})
+		d, _ := disjPred.Disjunctive()
+		structuralNeg := d.Negate()
+		loweredNeg, _ := disjPred.Bind(comp).DisjunctiveComplement()
+		astNS = evalNS(comp, structuralNeg, cuts)
+		bitNS = evalNS(comp, loweredNeg, cuts)
+		report(w.name, "disjunctive", astNS, bitNS)
+	}
+
+	// (c) end-to-end detection on the lowered sweep paths.
+	fmt.Println("\n-- end-to-end Detect on the lowered paths (large workload) --")
+	big := sim.Random(sim.DefaultRandomConfig(4, 4000), 3)
+	formulas := []struct {
+		name string
+		f    ctl.Formula
+	}{
+		{"EF conjunctive", ctl.MustParse("EF(conj(x0@P1 >= 1, x0@P2 >= 1, x0@P3 >= 1, x0@P4 >= 1))")},
+		{"AG disjunctive", ctl.MustParse("AG(disj(x0@P1 >= 1, x0@P2 >= 1, x0@P3 >= 1, x0@P4 >= 1))")},
+		{"AG conjunctive (A2)", ctl.MustParse("AG(conj(x0@P1 >= 0, x0@P2 >= 0))")},
+	}
+	fmt.Printf("%-22s %-6s %-50s %12s\n", "formula", "holds", "algorithm", "time")
+	for _, c := range formulas {
+		start := time.Now()
+		res, err := core.Detect(big, c.f)
+		if err != nil {
+			fmt.Printf("%-22s ERROR %v\n", c.name, err)
+			continue
+		}
+		el := time.Since(start)
+		fmt.Printf("%-22s %-6v %-50s %12s\n", c.name, res.Holds, res.Algorithm, el.Round(time.Microsecond))
+		emit("compile", "detect/"+c.name, map[string]any{
+			"holds": res.Holds, "algorithm": res.Algorithm, "time_ns": el.Nanoseconds(),
+			"cuts_visited": res.Stats.CutsVisited, "predicate_evals": res.Stats.PredicateEvals,
+		})
+	}
+}
+
+// evalSink defeats dead-code elimination of the timed eval loops.
+var evalSink bool
+
+// evalNS times p.Eval over the cut sample and returns ns per evaluation.
+func evalNS(comp *computation.Computation, p predicate.Predicate, cuts []computation.Cut) int64 {
+	const rounds = 200
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, cut := range cuts {
+			evalSink = p.Eval(comp, cut)
+		}
+	}
+	return time.Since(start).Nanoseconds() / int64(rounds*len(cuts))
+}
+
+// report prints one AST-vs-bitset row and emits its record.
+func report(workload, class string, astNS, bitNS int64) {
+	speedup := float64(astNS) / float64(bitNS)
+	fmt.Printf("%-30s %-12s %12d %12d %7.2fx\n", workload, class, astNS, bitNS, speedup)
+	emit("compile", "eval/"+class+"/"+workload, map[string]any{
+		"workload": workload, "class": class,
+		"ast_ns_per_eval": astNS, "bitset_ns_per_eval": bitNS, "speedup": speedup,
+	})
+}
+
+// randomCuts samples k uniform cuts of comp (not necessarily consistent;
+// evaluation cost does not depend on consistency).
+func randomCuts(comp *computation.Computation, k int) []computation.Cut {
+	rng := rand.New(rand.NewSource(11))
+	cuts := make([]computation.Cut, 0, k)
+	for i := 0; i < k; i++ {
+		cut := computation.NewCut(comp.N())
+		for p := 0; p < comp.N(); p++ {
+			cut[p] = rng.Intn(comp.Len(p) + 1)
+		}
+		cuts = append(cuts, cut)
+	}
+	return cuts
+}

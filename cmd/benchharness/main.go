@@ -9,6 +9,7 @@
 //	complexity  §5/§7 complexity claims: structural vs lattice baseline
 //	ablation    design-choice ablations from DESIGN.md
 //	parallel    parallel sweeps: A2/A3 speedup and determinism check
+//	compile     predicate IR: compile/dispatch cost and bitset-lowering payoff
 //
 // Usage: benchharness [-experiment all|table1|fig1|...]
 //
@@ -41,6 +42,7 @@ var experiments = []struct {
 	{"online", "on-line detection: latency and ingest overhead", runOnline},
 	{"server", "hbserver: loopback ingest throughput and verdict latency", runServer},
 	{"parallel", "parallel sweeps: A2/A3 speedup and determinism check", runParallel},
+	{"compile", "predicate IR: compile cost and bitset-lowering payoff", runCompile},
 }
 
 func main() {

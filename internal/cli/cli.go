@@ -19,6 +19,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/lattice"
 	"repro/internal/obs"
+	"repro/internal/pir"
 	"repro/internal/predicate"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -55,6 +56,7 @@ func RunDetect(args []string, stdout, stderr io.Writer) int {
 		nested    = fs.Bool("nested", false, "allow nested temporal operators (explicit-lattice evaluation, exponential)")
 		quiet     = fs.Bool("q", false, "print only true/false")
 		stats     = fs.Bool("stats", false, "print per-run detection statistics (cuts visited, predicate evaluations, ...)")
+		explain   = fs.Bool("explain", false, "print the inferred predicate class, Table 1 cell, chosen algorithm and bitset-lowering stats")
 		workers   = fs.Int("workers", 1, "parallel workers for the sweep-shaped algorithms (0 = GOMAXPROCS)")
 		traceOut  = fs.String("trace-jsonl", "", "append one JSON line per Detect run (a detection span) to this file")
 		version   = fs.Bool("version", false, "print version and exit")
@@ -92,6 +94,14 @@ func RunDetect(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "hbdetect:", err)
 		return 2
+	}
+	if *explain && !*nested {
+		text, err := pir.Explain(comp, f)
+		if err != nil {
+			fmt.Fprintln(stderr, "hbdetect:", err)
+			return 2
+		}
+		fmt.Fprint(stdout, "explain:\n"+indentLines(text, "  "))
 	}
 	var res core.Result
 	if *nested {
@@ -149,6 +159,17 @@ func RunDetect(args []string, stdout, stderr io.Writer) int {
 }
 
 // formatStats renders a Stats line for human output.
+// indentLines prefixes every non-empty line of s with prefix.
+func indentLines(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		if l != "" {
+			lines[i] = prefix + l
+		}
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
 func formatStats(s *core.Stats) string {
 	return fmt.Sprintf("cuts=%d evals=%d forbidden=%d advance=%d memo=%d short=%d witness=%d time=%s",
 		s.CutsVisited, s.PredicateEvals, s.ForbiddenCalls, s.AdvancementSteps,

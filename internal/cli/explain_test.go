@@ -1,0 +1,61 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDetectExplainGolden pins the -explain output end to end: inferred
+// class, Table 1 cell, algorithm, justification and lowering stats, all
+// on a deterministic workload.
+func TestDetectExplainGolden(t *testing.T) {
+	code, out, errb := runDetect(
+		"-workload", "mutex:n=2,rounds=1",
+		"-formula", "AG(disj(crit@P1 != 1, crit@P2 != 1))",
+		"-explain",
+	)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errb)
+	}
+	for _, want := range []string{
+		"explain:",
+		"  AG(disj(crit@P1 != 1, crit@P2 != 1))",
+		"    class:      disjunctive, observer-independent",
+		"    cell:       Table 1 [disjunctive × AG]",
+		"    algorithm:  AG disjunctive: ¬EF(¬p) via advancement",
+		"    because:    disjunctive: ¬p is conjunctive hence linear, and AG(p) = ¬EF(¬p) by duality",
+		"    lowering:   2 conjuncts over 2 processes",
+		"algorithm:   AG disjunctive: ¬EF(¬p) via advancement",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The explanation precedes the verdict.
+	if strings.Index(out, "explain:") > strings.Index(out, "holds:") {
+		t.Errorf("explain block does not precede the verdict:\n%s", out)
+	}
+}
+
+// TestDetectExplainBoolean covers the boolean recursion and the stable
+// fast path.
+func TestDetectExplainBoolean(t *testing.T) {
+	code, out, _ := runDetect(
+		"-workload", "mutex:n=2,rounds=1",
+		"-formula", "EF(terminated) && AG(conj(crit@P1 <= 1, crit@P2 <= 1))",
+		"-explain",
+	)
+	if code != 0 {
+		t.Fatalf("exit = %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"(…) && (…): boolean conjunction, short-circuiting",
+		"EF stable: evaluate at the final cut",
+		"cell:       Table 1 [stable × EF]",
+		"AG linear: Algorithm A2 (meet-irreducibles)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

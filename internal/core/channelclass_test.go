@@ -1,0 +1,152 @@
+package core
+
+// Class inference for the channel and relational predicates
+// (internal/predicate/channel.go, relational.go), exercised through the
+// dispatcher: each predicate must route to the Table 1 cell its inferred
+// class admits, and the verdict must agree with the explicit lattice.
+// These predicates never flowed through the old as* probes in tests, so
+// this file pins the routing now that classification lives in pir.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/ctl"
+	"repro/internal/explore"
+	"repro/internal/pir"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+// monotoneComp builds a computation where req@P1 and ack@P2 are
+// nondecreasing, so MonotoneGE's linearity assumption genuinely holds
+// (the race-build cross-check verifies it against the lattice).
+func monotoneComp() *computation.Computation {
+	b := computation.NewBuilder(2)
+	b.SetInitial(0, "req", 0)
+	b.SetInitial(1, "ack", 0)
+	s1, m1 := b.Send(0)
+	computation.Set(s1, "req", 1)
+	computation.Set(b.Receive(1, m1), "ack", 1)
+	s2, m2 := b.Send(0)
+	computation.Set(s2, "req", 2)
+	computation.Set(b.Receive(1, m2), "ack", 2)
+	return b.MustBuild()
+}
+
+func TestMonotoneGEClassAndRouting(t *testing.T) {
+	p := predicate.MonotoneGE{ProcY: 1, VarY: "ack", ProcX: 0, VarX: "req"}
+	if got := pir.Infer(p); got != pir.ClassLinear {
+		t.Fatalf("Infer(MonotoneGE) = %v, want linear only", got)
+	}
+	comp := monotoneComp()
+	l := latticeOf(t, comp)
+	if cl := explore.Classify(l, p); !cl.Linear {
+		t.Fatalf("MonotoneGE empirically not linear on the monotone trace: %+v", cl)
+	}
+	for _, c := range []struct {
+		f    ctl.Formula
+		want string
+	}{
+		{ctl.EF{F: ctl.Atom{P: p}}, "EF linear: Chase–Garg advancement"},
+		{ctl.EG{F: ctl.Atom{P: p}}, "EG linear: Algorithm A1"},
+		{ctl.AG{F: ctl.Atom{P: p}}, "AG linear: Algorithm A2 (meet-irreducibles)"},
+	} {
+		res, err := Detect(comp, c.f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Algorithm != c.want {
+			t.Errorf("%s routed to %q, want %q", c.f, res.Algorithm, c.want)
+		}
+		if want := explore.Holds(l, c.f); res.Holds != want {
+			t.Errorf("%s = %v, lattice says %v", c.f, res.Holds, want)
+		}
+	}
+}
+
+func TestChannelEmptyClassAndRouting(t *testing.T) {
+	// ChannelEmpty is regular: closed under meet and join (a message is
+	// in flight at the meet/join only if it is at one of the operands).
+	p := predicate.ChannelEmpty{From: 0, To: 1}
+	if got := pir.Infer(p); got != pir.ClassLinear|pir.ClassPostLinear {
+		t.Fatalf("Infer(ChannelEmpty) = %v, want linear, post-linear", got)
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		comp := sim.Random(sim.DefaultRandomConfig(3, 8), seed)
+		l := latticeOf(t, comp)
+		cl := explore.Classify(l, p)
+		if !cl.Linear || !cl.PostLinear || !cl.Regular {
+			t.Fatalf("seed %d: ChannelEmpty empirically not regular: %+v", seed, cl)
+		}
+		for _, f := range []ctl.Formula{
+			ctl.EF{F: ctl.Atom{P: p}},
+			ctl.EG{F: ctl.Atom{P: p}},
+			ctl.AG{F: ctl.Atom{P: p}},
+		} {
+			res, err := Detect(comp, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(res.Algorithm, "linear") {
+				t.Errorf("seed %d: %s routed to %q, want a linear-class algorithm", seed, f, res.Algorithm)
+			}
+			if want := explore.Holds(l, f); res.Holds != want {
+				t.Errorf("seed %d: %s = %v, lattice says %v", seed, f, res.Holds, want)
+			}
+		}
+	}
+}
+
+func TestInFlightAtMostStaysArbitrary(t *testing.T) {
+	// InFlightAtMost(k) for k ≥ 1 is deliberately not classified: its
+	// satisfying cuts are neither meet- nor join-closed in general, so it
+	// must fall back to the exponential solver — and the verdict must
+	// still match the lattice.
+	p := predicate.InFlightAtMost{K: 1}
+	if got := pir.Infer(p); got != pir.ClassArbitrary {
+		t.Fatalf("Infer(InFlightAtMost) = %v, want arbitrary", got)
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		comp := sim.Random(sim.DefaultRandomConfig(3, 8), seed)
+		l := latticeOf(t, comp)
+		f := ctl.AG{F: ctl.Atom{P: p}}
+		res, err := Detect(comp, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(res.Algorithm, "exponential") {
+			t.Errorf("seed %d: routed to %q, want the exponential solver", seed, res.Algorithm)
+		}
+		if want := explore.Holds(l, f); res.Holds != want {
+			t.Errorf("seed %d: AG(inFlight<=1) = %v, lattice says %v", seed, res.Holds, want)
+		}
+	}
+}
+
+func TestAtLeastKStaysArbitrary(t *testing.T) {
+	// AtLeastK over stable locals is stable, but the type does not claim
+	// it (the claim would be unsound for general locals), so the IR must
+	// class it arbitrary and detection must agree with the lattice.
+	p := predicate.AtLeastK{K: 1, Locals: []predicate.LocalPredicate{
+		predicate.VarCmp{Proc: 0, Var: "x", Op: predicate.GE, K: 1},
+		predicate.VarCmp{Proc: 1, Var: "x", Op: predicate.GE, K: 1},
+	}}
+	if got := pir.Infer(p); got != pir.ClassArbitrary {
+		t.Fatalf("Infer(AtLeastK) = %v, want arbitrary", got)
+	}
+	comp := sim.Random(sim.DefaultRandomConfig(3, 8), 2)
+	l := latticeOf(t, comp)
+	f := ctl.EF{F: ctl.Atom{P: p}}
+	res, err := Detect(comp, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Algorithm, "exponential") {
+		t.Errorf("routed to %q, want the exponential solver", res.Algorithm)
+	}
+	if want := explore.Holds(l, f); res.Holds != want {
+		t.Errorf("EF(atLeast 1) = %v, lattice says %v", res.Holds, want)
+	}
+}

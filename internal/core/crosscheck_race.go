@@ -1,0 +1,29 @@
+//go:build race
+
+package core
+
+import (
+	"repro/internal/computation"
+	"repro/internal/explore"
+	"repro/internal/lattice"
+	"repro/internal/pir"
+)
+
+// In race-enabled builds (i.e. under `go test -race`, which CI runs on
+// every matrix leg) each temporal dispatch cross-checks the IR's inferred
+// class against brute-force classification on the explicit lattice, so
+// drift between the IR and the lattice classifier returns an error
+// instead of silently picking an algorithm the predicate's actual
+// structure does not admit. The check is quadratic in the lattice size,
+// so it only fires on small computations — exactly the sizes the
+// property tests generate.
+func crossCheckClass(comp *computation.Computation, p *pir.Pred) error {
+	if comp.TotalEvents() > 8 || comp.N() > 4 {
+		return nil
+	}
+	l, err := lattice.BuildLimited(comp, 4096)
+	if err != nil {
+		return nil // lattice too large to enumerate; not an IR fault
+	}
+	return explore.CrossCheckIR(l, p)
+}

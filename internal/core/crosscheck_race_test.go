@@ -1,0 +1,33 @@
+//go:build race
+
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ctl"
+)
+
+// TestDetectErrorsOnClassDriftUnderRace pins the drift contract: in
+// race-enabled builds, Detect on a formula whose inferred class the
+// explicit lattice refutes returns an error instead of silently running
+// an algorithm the predicate's actual structure does not admit. (In
+// regular builds classification is trusted; this test only compiles
+// under -race, like the cross-check itself.)
+func TestDetectErrorsOnClassDriftUnderRace(t *testing.T) {
+	comp := decayComp()
+	f := ctl.EF{F: ctl.Atom{P: unsoundStable()}}
+	_, err := Detect(comp, f)
+	if err == nil {
+		t.Fatal("Detect accepted a Stable claim the lattice refutes")
+	}
+	if !strings.Contains(err.Error(), "stable") {
+		t.Fatalf("drift error does not name the refuted class: %v", err)
+	}
+
+	// A sound claim on the same computation still detects normally.
+	if _, err := Detect(comp, ctl.MustParse("EF(x@P1 == 1)")); err != nil {
+		t.Fatalf("sound formula rejected: %v", err)
+	}
+}

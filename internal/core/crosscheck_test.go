@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/explore"
+	"repro/internal/lattice"
+	"repro/internal/pir"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+// decayComp is a two-process computation where x@P1 starts at 0 and is
+// set to 1, so "x@P1 == 0" is true initially and decays — the canonical
+// unsound Stable claim.
+func decayComp() *computation.Computation {
+	b := computation.NewBuilder(2)
+	b.SetInitial(0, "x", 0)
+	computation.Set(b.Internal(0), "x", 1)
+	b.Internal(1)
+	return b.MustBuild()
+}
+
+// unsoundStable wraps the decaying predicate in a Stable assertion.
+func unsoundStable() predicate.Predicate {
+	return predicate.Stable{P: predicate.VarCmp{Proc: 0, Var: "x", Op: predicate.EQ, K: 0}}
+}
+
+// TestIRClassSoundnessProperty is the dispatcher-drift property test:
+// over random non-temporal formulas and random computations, every class
+// the IR infers statically must hold empirically on the explicit lattice
+// (the direction CrossCheckIR enforces inside Detect in race builds), and
+// the projection explore.FromIR must never claim more than
+// explore.Classify observes.
+func TestIRClassSoundnessProperty(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		comp := sim.Random(sim.DefaultRandomConfig(2+rng.Intn(3), 5+rng.Intn(4)), seed)
+		l, err := lattice.Build(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := randomNonTemporal(rng, comp, 2)
+		p, err := pir.Compile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := explore.CrossCheckIR(l, p); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		static := explore.FromIR(p.Class)
+		empirical := explore.Classify(l, p.P)
+		if static.Linear && !empirical.Linear {
+			t.Errorf("seed %d: %s: IR claims linear, lattice disagrees", seed, p.P)
+		}
+		if static.PostLinear && !empirical.PostLinear {
+			t.Errorf("seed %d: %s: IR claims post-linear, lattice disagrees", seed, p.P)
+		}
+		if static.Stable && !empirical.Stable {
+			t.Errorf("seed %d: %s: IR claims stable, lattice disagrees", seed, p.P)
+		}
+		if static.ObserverIndependent && !empirical.ObserverIndependent {
+			t.Errorf("seed %d: %s: IR claims observer-independent, lattice disagrees", seed, p.P)
+		}
+	}
+}
+
+// TestCrossCheckIRDetectsUnsoundClaim pins that the cross-check actually
+// fires: a predicate wrapped in Stable whose truth decays must be flagged.
+func TestCrossCheckIRDetectsUnsoundClaim(t *testing.T) {
+	comp := decayComp()
+	l, err := lattice.Build(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pir.FromPredicate(unsoundStable())
+	if !p.Class.Has(pir.ClassStable) {
+		t.Fatalf("stable(...) not classed stable: %v", p.Class)
+	}
+	if err := explore.CrossCheckIR(l, p); err == nil {
+		t.Fatal("CrossCheckIR accepted a decaying predicate wrapped in stable(...)")
+	}
+}

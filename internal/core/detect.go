@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/computation"
 	"repro/internal/ctl"
+	"repro/internal/pir"
 	"repro/internal/predicate"
 )
 
@@ -33,8 +34,10 @@ type Result struct {
 // Detect decides whether the computation satisfies the CTL formula,
 // routing each temporal operator to the most specific polynomial algorithm
 // the predicate class admits and falling back to the exponential solver
-// otherwise. Temporal operators must not be nested (the paper's fragment);
-// boolean combinations of temporal formulas are evaluated recursively.
+// otherwise. Classification and algorithm selection live in the pir
+// package (the executable Table 1); this file only executes the choice.
+// Temporal operators must not be nested (the paper's fragment); boolean
+// combinations of temporal formulas are evaluated recursively.
 func Detect(comp *computation.Computation, f ctl.Formula) (Result, error) {
 	return runDetect(comp, f, 1)
 }
@@ -93,45 +96,45 @@ func detect(comp *computation.Computation, f ctl.Formula, st *Stats, workers int
 			Algorithm: "evaluation at the initial cut",
 		}, nil
 	case ctl.EF:
-		p, err := Compile(g.F)
+		p, err := compilePred(comp, g.F)
 		if err != nil {
 			return Result{}, err
 		}
 		return detectEF(comp, p, st), nil
 	case ctl.AF:
-		p, err := Compile(g.F)
+		p, err := compilePred(comp, g.F)
 		if err != nil {
 			return Result{}, err
 		}
 		return detectAF(comp, p, st), nil
 	case ctl.EG:
-		p, err := Compile(g.F)
+		p, err := compilePred(comp, g.F)
 		if err != nil {
 			return Result{}, err
 		}
 		return detectEG(comp, p, st), nil
 	case ctl.AG:
-		p, err := Compile(g.F)
+		p, err := compilePred(comp, g.F)
 		if err != nil {
 			return Result{}, err
 		}
 		return detectAG(comp, p, st, workers), nil
 	case ctl.EU:
-		p, err := Compile(g.P)
+		p, err := compilePred(comp, g.P)
 		if err != nil {
 			return Result{}, err
 		}
-		q, err := Compile(g.Q)
+		q, err := compilePred(comp, g.Q)
 		if err != nil {
 			return Result{}, err
 		}
 		return detectEU(comp, p, q, st, workers), nil
 	case ctl.AU:
-		p, err := Compile(g.P)
+		p, err := compilePred(comp, g.P)
 		if err != nil {
 			return Result{}, err
 		}
-		q, err := Compile(g.Q)
+		q, err := compilePred(comp, g.Q)
 		if err != nil {
 			return Result{}, err
 		}
@@ -167,306 +170,201 @@ func detectBinary(comp *computation.Computation, l, r ctl.Formula, op string, st
 	return b, nil
 }
 
-// Compile lowers a non-temporal CTL formula to a predicate, preserving as
-// much class structure as possible so the dispatcher can pick polynomial
-// algorithms: negations of conjunctive predicates become disjunctive (and
-// vice versa), conjunctions of conjunctive predicates merge, disjunctions
-// of disjunctive predicates merge.
+// Compile lowers a non-temporal CTL formula to a predicate. It is a thin
+// veneer over pir.Compile, kept for the public API; all normalization and
+// classification live in the pir package.
 func Compile(f ctl.Formula) (predicate.Predicate, error) {
-	switch g := f.(type) {
-	case ctl.Atom:
-		return g.P, nil
-	case ctl.Not:
-		inner, err := Compile(g.F)
-		if err != nil {
-			return nil, err
-		}
-		switch p := inner.(type) {
-		case predicate.Conjunctive:
-			return p.Negate(), nil
-		case predicate.Disjunctive:
-			return p.Negate(), nil
-		case predicate.LocalPredicate:
-			return predicate.NotLocal{P: p}, nil
-		case predicate.Not:
-			return p.P, nil
-		case predicate.Const:
-			return !p, nil
-		default:
-			return predicate.Not{P: inner}, nil
-		}
-	case ctl.And:
-		a, err := Compile(g.L)
-		if err != nil {
-			return nil, err
-		}
-		b, err := Compile(g.R)
-		if err != nil {
-			return nil, err
-		}
-		ca, okA := asConjunctive(a)
-		cb, okB := asConjunctive(b)
-		if okA && okB {
-			return predicate.MergeConj(ca, cb), nil
-		}
-		la, okA := asLinear(a)
-		lb, okB := asLinear(b)
-		if okA && okB {
-			return predicate.AndLinear{Ps: []predicate.Linear{la, lb}}, nil
-		}
-		return predicate.And{Ps: []predicate.Predicate{a, b}}, nil
-	case ctl.Or:
-		a, err := Compile(g.L)
-		if err != nil {
-			return nil, err
-		}
-		b, err := Compile(g.R)
-		if err != nil {
-			return nil, err
-		}
-		da, okA := asDisjunctive(a)
-		db, okB := asDisjunctive(b)
-		if okA && okB {
-			return predicate.Disjunctive{Locals: append(append([]predicate.LocalPredicate{}, da.Locals...), db.Locals...)}, nil
-		}
-		return predicate.Or{Ps: []predicate.Predicate{a, b}}, nil
-	default:
-		return nil, fmt.Errorf("core: nested temporal operator %s is outside the paper's fragment", f)
+	p, err := pir.Compile(f)
+	if err != nil {
+		return nil, err
 	}
+	return p.P, nil
 }
 
-// asConjunctive views p as a conjunctive predicate when possible; single
-// local predicates are one-conjunct conjunctions.
-func asConjunctive(p predicate.Predicate) (predicate.Conjunctive, bool) {
-	switch q := p.(type) {
-	case predicate.Conjunctive:
-		return q, true
-	case predicate.LocalPredicate:
-		return predicate.Conj(q), true
-	default:
-		return predicate.Conjunctive{}, false
+// compilePred compiles the operand of a temporal operator into the IR and,
+// in race-enabled test builds, cross-checks the inferred class against
+// brute-force lattice classification (crossCheckClass is a no-op
+// otherwise).
+func compilePred(comp *computation.Computation, f ctl.Formula) (*pir.Pred, error) {
+	p, err := pir.Compile(f)
+	if err != nil {
+		return nil, err
 	}
+	if err := crossCheckClass(comp, p); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
-// asDisjunctive views p as a disjunctive predicate when possible.
-func asDisjunctive(p predicate.Predicate) (predicate.Disjunctive, bool) {
-	switch q := p.(type) {
-	case predicate.Disjunctive:
-		return q, true
-	case predicate.LocalPredicate:
-		return predicate.Disj(q), true
-	default:
-		return predicate.Disjunctive{}, false
-	}
-}
-
-// asLinear views p as a linear predicate when its type carries the
-// advancement property.
-func asLinear(p predicate.Predicate) (predicate.Linear, bool) {
-	switch q := p.(type) {
-	case predicate.Linear:
-		return q, true
-	case predicate.LocalPredicate:
-		return predicate.Conj(q), true
-	default:
-		return nil, false
-	}
-}
-
-// asPostLinear views p as a post-linear predicate.
-func asPostLinear(p predicate.Predicate) (predicate.PostLinear, bool) {
-	switch q := p.(type) {
-	case predicate.PostLinear:
-		return q, true
-	case predicate.LocalPredicate:
-		return predicate.Conj(q), true
-	default:
-		return nil, false
-	}
-}
-
-// asStable recognizes predicates known stable by construction.
-func asStable(p predicate.Predicate) (predicate.Stable, bool) {
-	switch q := p.(type) {
-	case predicate.Stable:
-		return q, true
-	case predicate.Received, predicate.Terminated:
-		return predicate.Stable{P: p}, true
-	default:
-		return predicate.Stable{}, false
-	}
-}
-
-// isObserverIndependent recognizes predicates known observer-independent
-// by construction: explicitly asserted ones, stable ones, and disjunctive
-// ones.
-func isObserverIndependent(p predicate.Predicate) (predicate.Predicate, bool) {
-	switch q := p.(type) {
-	case predicate.ObserverIndependent:
-		return q.P, true
-	case predicate.Disjunctive:
-		return q, true
-	default:
-		if s, ok := asStable(p); ok {
-			return s, true
-		}
-		return nil, false
-	}
-}
-
-func detectEF(comp *computation.Computation, p predicate.Predicate, st *Stats) Result {
-	if s, ok := asStable(p); ok {
-		return Result{Holds: efStable(comp, s, st), Algorithm: "EF stable: evaluate at the final cut"}
-	}
-	// EF distributes over disjunction: EF(a ∨ b) = EF(a) ∨ EF(b), so a
-	// disjunction of structurally-detectable predicates stays polynomial.
-	if or, ok := p.(predicate.Or); ok {
+func detectEF(comp *computation.Computation, p *pir.Pred, st *Stats) Result {
+	c := pir.Choose(pir.OpEF, p)
+	switch c.Kind {
+	case pir.KindStableFinal:
+		s, _ := p.Stable()
+		return Result{Holds: efStable(comp, s, st), Algorithm: c.Algorithm}
+	case pir.KindSplitOr:
+		// EF distributes over disjunction: EF(a ∨ b) = EF(a) ∨ EF(b), so a
+		// disjunction of structurally-detectable predicates stays polynomial.
 		holds := false
-		for _, part := range or.Ps {
-			if sub := detectEF(comp, part, st); sub.Holds {
+		for _, part := range p.P.(predicate.Or).Ps {
+			if sub := detectEF(comp, pir.FromPredicate(part), st); sub.Holds {
 				holds = true
 				break
 			}
 		}
-		return Result{Holds: holds, Algorithm: "EF over ∨: split per disjunct"}
-	}
-	if d, ok := asDisjunctive(p); ok {
-		return Result{Holds: efDisjunctive(comp, d, st), Algorithm: "EF disjunctive: local state scan"}
-	}
-	if l, ok := asLinear(p); ok {
+		return Result{Holds: holds, Algorithm: c.Algorithm}
+	case pir.KindDisjunctiveScan:
+		d, _ := p.Disjunctive()
+		return Result{Holds: efDisjunctive(comp, d, st), Algorithm: c.Algorithm}
+	case pir.KindLinearLeast:
+		l, _ := p.Bind(comp).Linear()
 		cut, holds := leastCut(comp, l, st)
-		r := Result{Holds: holds, Algorithm: "EF linear: Chase–Garg advancement"}
+		r := Result{Holds: holds, Algorithm: c.Algorithm}
 		if holds {
 			r.Witness = []computation.Cut{cut}
 		}
 		return r
-	}
-	if pl, ok := asPostLinear(p); ok {
+	case pir.KindPostLinearGreatest:
+		pl, _ := p.Bind(comp).PostLinear()
 		cut, holds := greatestCut(comp, pl, st)
-		r := Result{Holds: holds, Algorithm: "EF post-linear: dual advancement"}
+		r := Result{Holds: holds, Algorithm: c.Algorithm}
 		if holds {
 			r.Witness = []computation.Cut{cut}
 		}
 		return r
+	case pir.KindObserverWalk:
+		oi, _ := p.ObserverBody()
+		return Result{Holds: detectObserverIndependent(comp, oi, st), Algorithm: c.Algorithm}
+	default:
+		return Result{Holds: efArbitrary(comp, p.P, st), Algorithm: c.Algorithm}
 	}
-	if oi, ok := isObserverIndependent(p); ok {
-		return Result{Holds: detectObserverIndependent(comp, oi, st), Algorithm: "EF observer-independent: single observation"}
-	}
-	return Result{Holds: efArbitrary(comp, p, st), Algorithm: "EF arbitrary: exponential search (NP-complete)"}
 }
 
-func detectAF(comp *computation.Computation, p predicate.Predicate, st *Stats) Result {
-	if s, ok := asStable(p); ok {
-		return Result{Holds: efStable(comp, s, st), Algorithm: "AF stable: evaluate at the final cut"}
+func detectAF(comp *computation.Computation, p *pir.Pred, st *Stats) Result {
+	c := pir.Choose(pir.OpAF, p)
+	switch c.Kind {
+	case pir.KindStableFinal:
+		s, _ := p.Stable()
+		return Result{Holds: efStable(comp, s, st), Algorithm: c.Algorithm}
+	case pir.KindConjunctiveBoxes:
+		cq, _ := p.Conjunctive()
+		_, holds := afConjunctive(comp, cq, st)
+		return Result{Holds: holds, Algorithm: c.Algorithm}
+	case pir.KindDisjunctiveDualA1:
+		nl, _ := p.Bind(comp).DisjunctiveComplement()
+		_, eg := egLinear(comp, nl, st)
+		return Result{Holds: !eg, Algorithm: c.Algorithm}
+	case pir.KindObserverWalk:
+		oi, _ := p.ObserverBody()
+		return Result{Holds: detectObserverIndependent(comp, oi, st), Algorithm: c.Algorithm}
+	default:
+		// AF for general linear predicates is an open problem in the paper.
+		return Result{Holds: !egArbitrary(comp, predicate.Not{P: p.P}, st), Algorithm: c.Algorithm}
 	}
-	if c, ok := asConjunctive(p); ok {
-		_, holds := afConjunctive(comp, c, st)
-		return Result{Holds: holds, Algorithm: "AF conjunctive: Garg–Waldecker interval boxes"}
-	}
-	if d, ok := asDisjunctive(p); ok {
-		_, eg := egLinear(comp, d.Negate(), st)
-		return Result{Holds: !eg, Algorithm: "AF disjunctive: ¬EG(¬p) via A1"}
-	}
-	if oi, ok := isObserverIndependent(p); ok {
-		return Result{Holds: detectObserverIndependent(comp, oi, st), Algorithm: "AF observer-independent: single observation"}
-	}
-	// AF for general linear predicates is an open problem in the paper.
-	return Result{Holds: !egArbitrary(comp, predicate.Not{P: p}, st), Algorithm: "AF arbitrary: exponential search"}
 }
 
-func detectEG(comp *computation.Computation, p predicate.Predicate, st *Stats) Result {
-	if s, ok := asStable(p); ok {
-		return Result{Holds: egStable(comp, s, st), Algorithm: "EG stable: evaluate at the initial cut"}
-	}
-	if l, ok := asLinear(p); ok {
+func detectEG(comp *computation.Computation, p *pir.Pred, st *Stats) Result {
+	c := pir.Choose(pir.OpEG, p)
+	switch c.Kind {
+	case pir.KindStableInitial:
+		s, _ := p.Stable()
+		return Result{Holds: egStable(comp, s, st), Algorithm: c.Algorithm}
+	case pir.KindLinearA1:
+		l, _ := p.Bind(comp).Linear()
 		path, holds := egLinear(comp, l, st)
-		return Result{Holds: holds, Algorithm: "EG linear: Algorithm A1", Witness: path}
-	}
-	if d, ok := asDisjunctive(p); ok {
+		return Result{Holds: holds, Algorithm: c.Algorithm, Witness: path}
+	case pir.KindDisjunctiveDualBoxes:
+		d, _ := p.Disjunctive()
 		_, af := afConjunctive(comp, d.Negate(), st)
-		return Result{Holds: !af, Algorithm: "EG disjunctive: ¬AF(¬p) via interval boxes"}
-	}
-	if pl, ok := asPostLinear(p); ok {
+		return Result{Holds: !af, Algorithm: c.Algorithm}
+	case pir.KindPostLinearA1Dual:
+		pl, _ := p.Bind(comp).PostLinear()
 		path, holds := egPostLinear(comp, pl, st)
-		return Result{Holds: holds, Algorithm: "EG post-linear: dual Algorithm A1", Witness: path}
+		return Result{Holds: holds, Algorithm: c.Algorithm, Witness: path}
+	default:
+		// Theorem 5: NP-complete already for observer-independent predicates.
+		return Result{Holds: egArbitrary(comp, p.P, st), Algorithm: c.Algorithm}
 	}
-	// Theorem 5: NP-complete already for observer-independent predicates.
-	return Result{Holds: egArbitrary(comp, p, st), Algorithm: "EG arbitrary: exponential search (NP-complete, Theorem 5)"}
 }
 
-func detectAG(comp *computation.Computation, p predicate.Predicate, st *Stats, workers int) Result {
-	if s, ok := asStable(p); ok {
-		return Result{Holds: egStable(comp, s, st), Algorithm: "AG stable: evaluate at the initial cut"}
-	}
-	// AG distributes over conjunction: AG(a ∧ b) = AG(a) ∧ AG(b).
-	if and, ok := p.(predicate.And); ok {
-		for _, part := range and.Ps {
-			if sub := detectAG(comp, part, st, workers); !sub.Holds {
+func detectAG(comp *computation.Computation, p *pir.Pred, st *Stats, workers int) Result {
+	c := pir.Choose(pir.OpAG, p)
+	switch c.Kind {
+	case pir.KindStableInitial:
+		s, _ := p.Stable()
+		return Result{Holds: egStable(comp, s, st), Algorithm: c.Algorithm}
+	case pir.KindSplitAnd:
+		// AG distributes over conjunction: AG(a ∧ b) = AG(a) ∧ AG(b).
+		for _, part := range p.P.(predicate.And).Ps {
+			if sub := detectAG(comp, pir.FromPredicate(part), st, workers); !sub.Holds {
 				sub.Algorithm = "AG over ∧: split per conjunct (" + sub.Algorithm + ")"
 				return sub // carries the counterexample when present
 			}
 		}
-		return Result{Holds: true, Algorithm: "AG over ∧: split per conjunct"}
-	}
-	if _, ok := asLinear(p); ok {
-		cex, holds := agLinearParallel(comp, p, st, workers)
-		return Result{Holds: holds, Algorithm: "AG linear: Algorithm A2 (meet-irreducibles)", Counterexample: cex}
-	}
-	if d, ok := asDisjunctive(p); ok {
-		r := Result{Algorithm: "AG disjunctive: ¬EF(¬p) via advancement"}
+		return Result{Holds: true, Algorithm: c.Algorithm}
+	case pir.KindLinearA2:
+		l, _ := p.Bind(comp).Linear()
+		cex, holds := agLinearParallel(comp, l, st, workers)
+		return Result{Holds: holds, Algorithm: c.Algorithm, Counterexample: cex}
+	case pir.KindDisjunctiveDualLeast:
+		r := Result{Algorithm: c.Algorithm}
 		// The least cut satisfying the conjunctive complement is a
 		// counterexample to the invariant.
-		if cex, found := leastCut(comp, d.Negate(), st); found {
+		nl, _ := p.Bind(comp).DisjunctiveComplement()
+		if cex, found := leastCut(comp, nl, st); found {
 			r.Counterexample = cex
 		} else {
 			r.Holds = true
 		}
 		return r
+	case pir.KindPostLinearA2Dual:
+		pl, _ := p.Bind(comp).PostLinear()
+		cex, holds := agPostLinearParallel(comp, pl, st, workers)
+		return Result{Holds: holds, Algorithm: c.Algorithm, Counterexample: cex}
+	default:
+		// Theorem 6: co-NP-complete already for observer-independent predicates.
+		return Result{Holds: !efArbitrary(comp, predicate.Not{P: p.P}, st), Algorithm: c.Algorithm}
 	}
-	if _, ok := asPostLinear(p); ok {
-		cex, holds := agPostLinearParallel(comp, p, st, workers)
-		return Result{Holds: holds, Algorithm: "AG post-linear: dual Algorithm A2 (join-irreducibles)", Counterexample: cex}
-	}
-	// Theorem 6: co-NP-complete already for observer-independent predicates.
-	return Result{Holds: !efArbitrary(comp, predicate.Not{P: p}, st), Algorithm: "AG arbitrary: exponential search (co-NP-complete, Theorem 6)"}
 }
 
-func detectEU(comp *computation.Computation, p, q predicate.Predicate, st *Stats, workers int) Result {
-	if cp, okP := asConjunctive(p); okP {
-		if lq, okQ := asLinear(q); okQ {
-			path, holds := euConjLinearParallel(comp, cp, lq, st, workers)
-			return Result{Holds: holds, Algorithm: "EU conjunctive/linear: Algorithm A3", Witness: path}
-		}
+func detectEU(comp *computation.Computation, p, q *pir.Pred, st *Stats, workers int) Result {
+	c := pir.ChooseUntil(pir.OpEU, p, q)
+	switch c.Kind {
+	case pir.KindUntilA3:
+		cp, _ := p.Conjunctive()
+		lq, _ := q.Bind(comp).Linear()
+		path, holds := euConjLinearParallel(comp, cp, lq, st, workers)
+		return Result{Holds: holds, Algorithm: c.Algorithm, Witness: path}
+	case pir.KindUntilSplitOr:
 		// The target distributes over disjunction for existential until:
 		// E[p U (a ∨ b)] = E[p U a] ∨ E[p U b].
-		if or, ok := q.(predicate.Or); ok {
-			for _, part := range or.Ps {
-				if sub := detectEU(comp, p, part, st, workers); sub.Holds {
-					sub.Algorithm = "EU target over ∨: split (" + sub.Algorithm + ")"
-					return sub
-				}
+		for _, part := range q.P.(predicate.Or).Ps {
+			if sub := detectEU(comp, p, pir.FromPredicate(part), st, workers); sub.Holds {
+				sub.Algorithm = "EU target over ∨: split (" + sub.Algorithm + ")"
+				return sub
 			}
-			return Result{Holds: false, Algorithm: "EU target over ∨: split per disjunct"}
 		}
+		return Result{Holds: false, Algorithm: c.Algorithm}
+	case pir.KindUntilSplitDisj:
 		// A disjunctive target splits into its locals the same way.
-		if d, ok := q.(predicate.Disjunctive); ok {
-			for _, l := range d.Locals {
-				if sub := detectEU(comp, p, predicate.Conj(l), st, workers); sub.Holds {
-					sub.Algorithm = "EU target over disj: split (" + sub.Algorithm + ")"
-					return sub
-				}
+		for _, l := range q.P.(predicate.Disjunctive).Locals {
+			if sub := detectEU(comp, p, pir.FromPredicate(predicate.Conj(l)), st, workers); sub.Holds {
+				sub.Algorithm = "EU target over disj: split (" + sub.Algorithm + ")"
+				return sub
 			}
-			return Result{Holds: false, Algorithm: "EU target over disj: split per local"}
 		}
+		return Result{Holds: false, Algorithm: c.Algorithm}
+	default:
+		return Result{Holds: euArbitrary(comp, p.P, q.P, st), Algorithm: c.Algorithm}
 	}
-	return Result{Holds: euArbitrary(comp, p, q, st), Algorithm: "EU arbitrary: exponential search"}
 }
 
-func detectAU(comp *computation.Computation, p, q predicate.Predicate, st *Stats, workers int) Result {
-	dp, okP := asDisjunctive(p)
-	dq, okQ := asDisjunctive(q)
-	if okP && okQ {
-		return Result{Holds: auDisjunctive(comp, dp, dq, st, workers), Algorithm: "AU disjunctive: ¬(EG(¬q) ∨ E[¬q U ¬p∧¬q])"}
+func detectAU(comp *computation.Computation, p, q *pir.Pred, st *Stats, workers int) Result {
+	c := pir.ChooseUntil(pir.OpAU, p, q)
+	if c.Kind == pir.KindUntilAUComposition {
+		dp, _ := p.Disjunctive()
+		dq, _ := q.Disjunctive()
+		return Result{Holds: auDisjunctive(comp, dp, dq, st, workers), Algorithm: c.Algorithm}
 	}
-	return Result{Holds: auArbitrary(comp, p, q, st), Algorithm: "AU arbitrary: exponential search"}
+	return Result{Holds: auArbitrary(comp, p.P, q.P, st), Algorithm: c.Algorithm}
 }

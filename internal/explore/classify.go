@@ -1,8 +1,11 @@
 package explore
 
 import (
+	"fmt"
+
 	"repro/internal/ctl"
 	"repro/internal/lattice"
+	"repro/internal/pir"
 	"repro/internal/predicate"
 )
 
@@ -31,6 +34,51 @@ func Classify(l *lattice.Lattice, p predicate.Predicate) Classification {
 		Stable:              stable,
 		ObserverIndependent: CheckObserverIndependent(l, ctl.Atom{P: p}),
 	}
+}
+
+// FromIR projects an IR class mask onto the empirically checkable
+// classification bits, so tests can compare static inference against
+// Classify directly.
+func FromIR(c pir.Class) Classification {
+	return Classification{
+		Linear:              c.Has(pir.ClassLinear),
+		PostLinear:          c.Has(pir.ClassPostLinear),
+		Regular:             c.Has(pir.ClassLinear | pir.ClassPostLinear),
+		Stable:              c.Has(pir.ClassStable),
+		ObserverIndependent: c.Has(pir.ClassObserverIndependent),
+	}
+}
+
+// CrossCheckIR verifies the IR's statically inferred class lattice
+// against brute-force classification on the explicit lattice: every class
+// the IR claims must hold empirically on this computation. The reverse —
+// an empirical class static inference missed — is expected incompleteness
+// (e.g. a Fn predicate that happens to be linear here) and is not an
+// error. Race-enabled builds of core.Detect run this on every temporal
+// dispatch over small computations, so dispatcher drift between the IR
+// and the lattice classifier fails loudly.
+func CrossCheckIR(l *lattice.Lattice, p *pir.Pred) error {
+	if p.Class.Has(pir.ClassLinear) {
+		if ok, a, b := l.CheckLinear(p.P); !ok {
+			return fmt.Errorf("explore: IR classed %s as linear (%s) but its satisfying cuts are not meet-closed: meet of %v and %v fails", p.P, p.Class, a, b)
+		}
+	}
+	if p.Class.Has(pir.ClassPostLinear) {
+		if ok, a, b := l.CheckPostLinear(p.P); !ok {
+			return fmt.Errorf("explore: IR classed %s as post-linear (%s) but its satisfying cuts are not join-closed: join of %v and %v fails", p.P, p.Class, a, b)
+		}
+	}
+	if p.Class.Has(pir.ClassStable) {
+		if ok, g, h := l.CheckStable(p.P); !ok {
+			return fmt.Errorf("explore: IR classed %s as stable (%s) but it decays on the cover edge %v → %v", p.P, p.Class, g, h)
+		}
+	}
+	if p.Class.Has(pir.ClassObserverIndependent) {
+		if !CheckObserverIndependent(l, ctl.Atom{P: p.P}) {
+			return fmt.Errorf("explore: IR classed %s as observer-independent (%s) but EF and AF disagree on this lattice", p.P, p.Class)
+		}
+	}
+	return nil
 }
 
 // Classes lists the class names that hold, most specific first; an empty

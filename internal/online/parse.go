@@ -3,33 +3,27 @@ package online
 import (
 	"fmt"
 
-	"repro/internal/ctl"
+	"repro/internal/pir"
 	"repro/internal/predicate"
 )
 
 // ParseConj parses a non-temporal conjunctive predicate in the ctl syntax
 // — conj(x@P1 == 1, y@P2 >= 2) or a single comparison — and adapts its
-// local conjuncts to LocalSpecs for WatchEF / WatchAG. Only variable
-// comparisons are supported online; temporal operators and other
+// local conjuncts to LocalSpecs for WatchEF / WatchAG. The predicate is
+// compiled and classified by the pir package — the same IR the offline
+// detector dispatches on — so the monitors and the server can never
+// disagree with core.Detect about what counts as conjunctive. Only
+// variable comparisons are supported online; temporal operators and other
 // predicate forms are errors. Shared by hbmon and hbserver, which both
 // accept watch predicates as text.
 func ParseConj(src string) ([]LocalSpec, error) {
-	f, err := ctl.Parse(src)
+	p, err := pir.CompileSource(src)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("watch %q must be a non-temporal conjunctive predicate: %v", src, err)
 	}
-	atom, ok := f.(ctl.Atom)
+	locals, ok := p.ConjunctLocals()
 	if !ok {
-		return nil, fmt.Errorf("watch %q must be a non-temporal conjunctive predicate", src)
-	}
-	var locals []predicate.LocalPredicate
-	switch p := atom.P.(type) {
-	case predicate.Conjunctive:
-		locals = p.Locals
-	case predicate.LocalPredicate:
-		locals = []predicate.LocalPredicate{p}
-	default:
-		return nil, fmt.Errorf("watch %q must be conjunctive, got %s", src, atom.P)
+		return nil, fmt.Errorf("watch %q must be conjunctive, got %s (class %s)", src, p.P, p.Class)
 	}
 	out := make([]LocalSpec, 0, len(locals))
 	for _, l := range locals {

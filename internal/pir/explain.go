@@ -1,0 +1,105 @@
+package pir
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/computation"
+	"repro/internal/ctl"
+)
+
+// Explain renders the IR's decisions for a formula: per temporal operator
+// the inferred class of the operand, the Table 1 cell and algorithm
+// chosen, the justification, and — when comp is non-nil — the bitset
+// lowering stats. Boolean structure is walked recursively; atoms report
+// their class and the initial-cut evaluation. This is the -explain output
+// of hbdetect.
+func Explain(comp *computation.Computation, f ctl.Formula) (string, error) {
+	var b strings.Builder
+	if err := explain(&b, comp, f, ""); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func explain(b *strings.Builder, comp *computation.Computation, f ctl.Formula, indent string) error {
+	unary := func(op Op, sub ctl.Formula) error {
+		p, err := Compile(sub)
+		if err != nil {
+			return err
+		}
+		if comp != nil {
+			p.Bind(comp)
+		}
+		writeChoice(b, indent, f, Choose(op, p), p)
+		return nil
+	}
+	binary := func(op Op, subP, subQ ctl.Formula) error {
+		p, err := Compile(subP)
+		if err != nil {
+			return err
+		}
+		q, err := Compile(subQ)
+		if err != nil {
+			return err
+		}
+		if comp != nil {
+			p.Bind(comp)
+			q.Bind(comp)
+		}
+		c := ChooseUntil(op, p, q)
+		writeChoice(b, indent, f, c, p)
+		fmt.Fprintf(b, "%s  target:     %s — class: %s\n", indent, q.P, q.Class)
+		return nil
+	}
+	switch g := f.(type) {
+	case ctl.Not:
+		fmt.Fprintf(b, "%s¬(…): negation, verdict and evidence dualize\n", indent)
+		return explain(b, comp, g.F, indent+"  ")
+	case ctl.And:
+		fmt.Fprintf(b, "%s(…) && (…): boolean conjunction, short-circuiting\n", indent)
+		if err := explain(b, comp, g.L, indent+"  "); err != nil {
+			return err
+		}
+		return explain(b, comp, g.R, indent+"  ")
+	case ctl.Or:
+		fmt.Fprintf(b, "%s(…) || (…): boolean disjunction, short-circuiting\n", indent)
+		if err := explain(b, comp, g.L, indent+"  "); err != nil {
+			return err
+		}
+		return explain(b, comp, g.R, indent+"  ")
+	case ctl.Atom:
+		p := FromPredicate(g.P)
+		fmt.Fprintf(b, "%s%s\n", indent, f)
+		fmt.Fprintf(b, "%s  class:      %s\n", indent, p.Class)
+		fmt.Fprintf(b, "%s  algorithm:  evaluation at the initial cut\n", indent)
+		return nil
+	case ctl.EF:
+		return unary(OpEF, g.F)
+	case ctl.AF:
+		return unary(OpAF, g.F)
+	case ctl.EG:
+		return unary(OpEG, g.F)
+	case ctl.AG:
+		return unary(OpAG, g.F)
+	case ctl.EU:
+		return binary(OpEU, g.P, g.Q)
+	case ctl.AU:
+		return binary(OpAU, g.P, g.Q)
+	default:
+		return fmt.Errorf("pir: unsupported formula %T", f)
+	}
+}
+
+func writeChoice(b *strings.Builder, indent string, f ctl.Formula, c Choice, p *Pred) {
+	fmt.Fprintf(b, "%s%s\n", indent, f)
+	fmt.Fprintf(b, "%s  class:      %s\n", indent, p.Class)
+	fmt.Fprintf(b, "%s  cell:       Table 1 [%s]\n", indent, c.Cell)
+	fmt.Fprintf(b, "%s  algorithm:  %s\n", indent, c.Algorithm)
+	fmt.Fprintf(b, "%s  complexity: %s\n", indent, c.Complexity)
+	fmt.Fprintf(b, "%s  because:    %s\n", indent, c.Reason)
+	if ls := p.Lowering(); ls.Lowered {
+		fmt.Fprintf(b, "%s  lowering:   %d conjuncts over %d processes → %d words / %d state bits (%d interned)\n",
+			indent, ls.Conjuncts, ls.Procs, ls.Words, ls.StateBits, ls.Interned)
+	}
+}

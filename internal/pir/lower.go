@@ -1,0 +1,213 @@
+package pir
+
+import (
+	"fmt"
+
+	"repro/internal/computation"
+	"repro/internal/predicate"
+)
+
+// lowering is the per-computation compiled evaluator attached by Bind.
+type lowering struct {
+	conj    *LoweredConj // conjunctive view, when lowerable
+	negConj *LoweredConj // complement of the disjunctive view
+	stats   LowerStats
+}
+
+// LowerStats reports what Bind compiled, for -explain and the compile
+// experiment.
+type LowerStats struct {
+	// Lowered is whether any bitset evaluator was built.
+	Lowered bool
+	// Conjuncts is how many local predicates were lowered (the complement
+	// of a disjunctive view counts its disjuncts).
+	Conjuncts int
+	// Procs is the number of distinct processes the bitsets cover.
+	Procs int
+	// StateBits is the total number of local states materialized as bits.
+	StateBits int
+	// Words is the number of 64-bit words allocated.
+	Words int
+	// Interned is how many conjuncts reused a previously built bitset.
+	Interned int
+}
+
+// Bind compiles the predicate's bitset evaluators for comp and returns
+// the same Pred. Each local conjunct/disjunct is evaluated once per local
+// state into a bitset (bit k = holds in state k), so subsequent cut
+// evaluation is one word test per process instead of an AST walk per
+// conjunct. Identical conjuncts (same process, same rendering, comparable
+// type) share an interned bitset.
+//
+// The bitsets index local states of comp; they remain valid on prefixes
+// of comp (which share its value columns) but must not be used on any
+// other computation. Bind is idempotent and must be called before the
+// Pred is shared across goroutines; the lowered evaluators themselves are
+// read-only and safe for concurrent use.
+func (pr *Pred) Bind(comp *computation.Computation) *Pred {
+	if pr.low != nil {
+		return pr
+	}
+	low := &lowering{}
+	if c, ok := conjunctiveView(pr.P); ok && len(c.Locals) > 0 {
+		low.conj = lowerConj(comp, c, &low.stats)
+	}
+	if d, ok := disjunctiveView(pr.P); ok && len(d.Locals) > 0 {
+		low.negConj = lowerConj(comp, d.Negate(), &low.stats)
+	}
+	pr.low = low
+	return pr
+}
+
+// Lowering reports the bitset-compilation stats (zero value before Bind).
+func (pr *Pred) Lowering() LowerStats {
+	if pr.low == nil {
+		return LowerStats{}
+	}
+	return pr.low.stats
+}
+
+// LoweredConj is the bitset lowering of a conjunctive predicate: one
+// bitset per conjunct over the local states of its process, plus one
+// AND-combined bitset per distinct process for evaluation. Eval is a word
+// test per process; Forbidden/Retreat scan the conjuncts in declaration
+// order so the advancement algorithms make exactly the same process
+// choices as the structural predicate.Conjunctive they replace.
+type LoweredConj struct {
+	src    predicate.Conjunctive
+	locals []loweredLocal // in Locals order, for order-exact Forbidden/Retreat
+	procs  []procWords    // distinct processes, first-appearance order
+}
+
+type loweredLocal struct {
+	proc int
+	bits []uint64
+}
+
+type procWords struct {
+	proc int
+	bits []uint64
+}
+
+var (
+	_ predicate.Linear     = (*LoweredConj)(nil)
+	_ predicate.PostLinear = (*LoweredConj)(nil)
+)
+
+// Eval implements Predicate with one word test per distinct process.
+func (p *LoweredConj) Eval(c *computation.Computation, cut computation.Cut) bool {
+	for i := range p.procs {
+		k := cut[p.procs[i].proc]
+		if p.procs[i].bits[k>>6]&(1<<(uint(k)&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Forbidden implements Linear: the first failing conjunct in declaration
+// order, matching predicate.Conjunctive.Forbidden bit for bit.
+func (p *LoweredConj) Forbidden(c *computation.Computation, cut computation.Cut) (int, bool) {
+	for i := range p.locals {
+		k := cut[p.locals[i].proc]
+		if p.locals[i].bits[k>>6]&(1<<(uint(k)&63)) == 0 {
+			return p.locals[i].proc, true
+		}
+	}
+	panic("pir: Forbidden called on satisfied conjunctive predicate")
+}
+
+// Retreat implements PostLinear with the same declaration-order scan.
+func (p *LoweredConj) Retreat(c *computation.Computation, cut computation.Cut) (int, bool) {
+	for i := range p.locals {
+		k := cut[p.locals[i].proc]
+		if p.locals[i].bits[k>>6]&(1<<(uint(k)&63)) == 0 {
+			return p.locals[i].proc, true
+		}
+	}
+	panic("pir: Retreat called on satisfied conjunctive predicate")
+}
+
+// String implements Predicate by rendering the source predicate, so
+// algorithm output and diagnostics are unchanged by the lowering.
+func (p *LoweredConj) String() string { return p.src.String() }
+
+// internKey returns a stable identity for a local predicate when one
+// exists. Only value types whose String fully determines their semantics
+// are internable; LocalFn holds a closure (uncomparable, and its name
+// need not identify the function), so it is always rebuilt.
+func internKey(l predicate.LocalPredicate) (string, bool) {
+	switch q := l.(type) {
+	case predicate.VarCmp:
+		return fmt.Sprintf("%d|%s", q.Process(), q.String()), true
+	case predicate.NotLocal:
+		if _, ok := q.P.(predicate.VarCmp); ok {
+			return fmt.Sprintf("%d|%s", q.Process(), q.String()), true
+		}
+	}
+	return "", false
+}
+
+// lowerConj materializes the bitsets for one conjunctive predicate.
+func lowerConj(comp *computation.Computation, c predicate.Conjunctive, st *LowerStats) *LoweredConj {
+	lc := &LoweredConj{src: c}
+	intern := map[string][]uint64{}
+	combined := map[int][]uint64{}
+	merged := map[int]bool{} // proc's combined slice is a private copy
+	var order []int
+	for _, l := range c.Locals {
+		proc := l.Process()
+		n := comp.Len(proc) + 1 // local states 0..Len (state k = after k events)
+		words := (n + 63) / 64
+		var bits []uint64
+		key, internable := internKey(l)
+		if internable {
+			if b, ok := intern[key]; ok {
+				bits = b
+				st.Interned++
+			}
+		}
+		if bits == nil {
+			bits = make([]uint64, words)
+			for k := 0; k < n; k++ {
+				if l.HoldsAt(comp, k) {
+					bits[k>>6] |= 1 << (uint(k) & 63)
+				}
+			}
+			if internable {
+				intern[key] = bits
+			}
+			st.StateBits += n
+			st.Words += words
+		}
+		lc.locals = append(lc.locals, loweredLocal{proc: proc, bits: bits})
+		st.Conjuncts++
+		prev, seen := combined[proc]
+		switch {
+		case !seen:
+			combined[proc] = bits
+			order = append(order, proc)
+		case !merged[proc]:
+			// Second conjunct on this process: AND into a private copy so
+			// interned and per-local slices stay pristine.
+			dst := make([]uint64, len(prev))
+			for i := range prev {
+				dst[i] = prev[i] & bits[i]
+			}
+			combined[proc] = dst
+			merged[proc] = true
+		default:
+			for i := range prev {
+				prev[i] &= bits[i]
+			}
+		}
+	}
+	for _, proc := range order {
+		lc.procs = append(lc.procs, procWords{proc: proc, bits: combined[proc]})
+	}
+	st.Lowered = true
+	if len(order) > st.Procs {
+		st.Procs = len(order)
+	}
+	return lc
+}

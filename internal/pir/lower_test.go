@@ -1,0 +1,191 @@
+package pir_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/lattice"
+	"repro/internal/pir"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+// randConj builds a random conjunctive predicate over the computation's
+// processes, sometimes with several conjuncts on one process and
+// sometimes with duplicate conjuncts (exercising the interner).
+func randConj(rng *rand.Rand, n int) predicate.Conjunctive {
+	k := 1 + rng.Intn(4)
+	locals := make([]predicate.LocalPredicate, 0, k)
+	for len(locals) < k {
+		l := predicate.VarCmp{
+			Proc: rng.Intn(n),
+			Var:  []string{"x", "y"}[rng.Intn(2)],
+			Op:   []predicate.Op{predicate.LE, predicate.GE, predicate.EQ}[rng.Intn(3)],
+			K:    rng.Intn(3),
+		}
+		locals = append(locals, l)
+		if rng.Intn(4) == 0 { // duplicate → interner hit
+			locals = append(locals, l)
+		}
+	}
+	return predicate.Conjunctive{Locals: locals}
+}
+
+// TestLoweredConjMatchesStructural checks bit-for-bit agreement between
+// the bitset lowering and the structural predicate on every cut of the
+// lattice: same Eval verdict, and — on failing cuts — the same forbidden
+// and retreat process, so the advancement algorithms make identical
+// choices and detection stays deterministic after the lowering.
+func TestLoweredConjMatchesStructural(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		comp := sim.Random(sim.DefaultRandomConfig(2+rng.Intn(2), 6+rng.Intn(4)), seed)
+		l, err := lattice.Build(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conj := randConj(rng, comp.N())
+		p := pir.FromPredicate(conj).Bind(comp)
+		low, ok := p.Linear()
+		if !ok {
+			t.Fatal("conjunctive predicate has no linear view")
+		}
+		if _, isLowered := low.(*pir.LoweredConj); !isLowered {
+			t.Fatalf("bound linear view is %T, want *pir.LoweredConj", low)
+		}
+		post, _ := p.PostLinear()
+		for _, cut := range l.Cuts() {
+			want := conj.Eval(comp, cut)
+			if got := low.Eval(comp, cut); got != want {
+				t.Fatalf("seed %d: lowered Eval(%v) = %v, structural %v (%s)", seed, cut, got, want, conj)
+			}
+			if !want {
+				wantProc, wantOK := conj.Forbidden(comp, cut)
+				gotProc, gotOK := low.Forbidden(comp, cut)
+				if gotProc != wantProc || gotOK != wantOK {
+					t.Fatalf("seed %d: lowered Forbidden(%v) = (%d,%v), structural (%d,%v)", seed, cut, gotProc, gotOK, wantProc, wantOK)
+				}
+				wantProc, wantOK = conj.Retreat(comp, cut)
+				gotProc, gotOK = post.(*pir.LoweredConj).Retreat(comp, cut)
+				if gotProc != wantProc || gotOK != wantOK {
+					t.Fatalf("seed %d: lowered Retreat(%v) = (%d,%v), structural (%d,%v)", seed, cut, gotProc, gotOK, wantProc, wantOK)
+				}
+			}
+		}
+	}
+}
+
+// TestLoweredDisjComplementMatches checks the lowered complement of a
+// disjunctive predicate (the evaluator behind the AF/AG duals) against
+// the structural Negate().
+func TestLoweredDisjComplementMatches(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		comp := sim.Random(sim.DefaultRandomConfig(2+rng.Intn(2), 6+rng.Intn(4)), seed)
+		l, err := lattice.Build(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		disj := predicate.Disjunctive{Locals: randConj(rng, comp.N()).Locals}
+		p := pir.FromPredicate(disj).Bind(comp)
+		neg, ok := p.DisjunctiveComplement()
+		if !ok {
+			t.Fatal("disjunctive predicate has no complement view")
+		}
+		structural := disj.Negate()
+		for _, cut := range l.Cuts() {
+			want := structural.Eval(comp, cut)
+			if got := neg.Eval(comp, cut); got != want {
+				t.Fatalf("seed %d: lowered ¬Eval(%v) = %v, structural %v (%s)", seed, cut, got, want, disj)
+			}
+			if !want {
+				wantProc, wantOK := structural.Forbidden(comp, cut)
+				gotProc, gotOK := neg.Forbidden(comp, cut)
+				if gotProc != wantProc || gotOK != wantOK {
+					t.Fatalf("seed %d: lowered ¬Forbidden(%v) = (%d,%v), structural (%d,%v)", seed, cut, gotProc, gotOK, wantProc, wantOK)
+				}
+			}
+		}
+	}
+}
+
+// TestLoweringStats pins the interner and the stats the -explain output
+// reports.
+func TestLoweringStats(t *testing.T) {
+	comp := sim.Random(sim.DefaultRandomConfig(3, 12), 1)
+	x := predicate.VarCmp{Proc: 0, Var: "x", Op: predicate.GE, K: 1}
+	conj := predicate.Conjunctive{Locals: []predicate.LocalPredicate{
+		x, x, // duplicate: second interned
+		predicate.VarCmp{Proc: 1, Var: "y", Op: predicate.LE, K: 2},
+	}}
+	p := pir.FromPredicate(conj).Bind(comp)
+	st := p.Lowering()
+	if !st.Lowered {
+		t.Fatal("conjunctive predicate not lowered")
+	}
+	if st.Conjuncts != 3 || st.Interned != 1 || st.Procs != 2 {
+		t.Errorf("stats = %+v, want 3 conjuncts, 1 interned, 2 procs", st)
+	}
+	wantBits := comp.Len(0) + 1 + comp.Len(1) + 1 // one bitset per distinct conjunct
+	if st.StateBits != wantBits {
+		t.Errorf("StateBits = %d, want %d", st.StateBits, wantBits)
+	}
+	if st.Words < 2 {
+		t.Errorf("Words = %d, want >= 2", st.Words)
+	}
+	// Unlowerable predicates report zero stats and Bind is idempotent.
+	q := pir.FromPredicate(predicate.ChannelsEmpty{}).Bind(comp).Bind(comp)
+	if q.Lowering().Lowered {
+		t.Error("channelsEmpty predicate claims a lowering")
+	}
+}
+
+// benchCuts returns a deterministic mix of cuts spread through a large
+// computation, for the evaluation benchmarks.
+func benchCuts(comp *computation.Computation, k int) []computation.Cut {
+	rng := rand.New(rand.NewSource(7))
+	cuts := make([]computation.Cut, 0, k)
+	for i := 0; i < k; i++ {
+		cut := computation.NewCut(comp.N())
+		for p := 0; p < comp.N(); p++ {
+			cut[p] = rng.Intn(comp.Len(p) + 1)
+		}
+		cuts = append(cuts, cut)
+	}
+	return cuts
+}
+
+// BenchmarkConjEvalAST measures the structural AST-walk evaluation of a
+// conjunctive predicate; BenchmarkConjEvalBitset measures the same
+// predicate through the interned-bitset lowering. The ratio is the
+// speedup EXPERIMENTS.md records.
+func BenchmarkConjEvalAST(b *testing.B) {
+	comp := sim.Random(sim.DefaultRandomConfig(4, 4000), 3)
+	conj := benchConj()
+	cuts := benchCuts(comp, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conj.Eval(comp, cuts[i%len(cuts)])
+	}
+}
+
+func BenchmarkConjEvalBitset(b *testing.B) {
+	comp := sim.Random(sim.DefaultRandomConfig(4, 4000), 3)
+	p := pir.FromPredicate(benchConj()).Bind(comp)
+	low, _ := p.Linear()
+	cuts := benchCuts(comp, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		low.Eval(comp, cuts[i%len(cuts)])
+	}
+}
+
+func benchConj() predicate.Conjunctive {
+	return predicate.Conjunctive{Locals: []predicate.LocalPredicate{
+		predicate.VarCmp{Proc: 0, Var: "x", Op: predicate.GE, K: 1},
+		predicate.VarCmp{Proc: 1, Var: "x", Op: predicate.GE, K: 1},
+		predicate.VarCmp{Proc: 2, Var: "y", Op: predicate.LE, K: 5},
+		predicate.VarCmp{Proc: 3, Var: "y", Op: predicate.LE, K: 5},
+	}}
+}

@@ -1,0 +1,266 @@
+package pir_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/ctl"
+	"repro/internal/pir"
+	"repro/internal/predicate"
+	"repro/internal/sim"
+)
+
+func vc(proc int, name string) predicate.VarCmp {
+	return predicate.VarCmp{Proc: proc, Var: name, Op: predicate.GE, K: 1}
+}
+
+// postOnly is post-linear but deliberately not Linear, not conjunctive
+// and not stable, to reach the post-linear rows of Table 1.
+type postOnly struct {
+	inner predicate.ChannelsEmpty
+}
+
+func (p postOnly) Eval(c *computation.Computation, cut computation.Cut) bool {
+	return p.inner.Eval(c, cut)
+}
+
+func (p postOnly) Retreat(c *computation.Computation, cut computation.Cut) (int, bool) {
+	return p.inner.Retreat(c, cut)
+}
+
+func (p postOnly) String() string { return "postOnly(channelsEmpty)" }
+
+func arbitrary() predicate.Predicate {
+	return predicate.Fn{Name: "evenCut", F: func(c *computation.Computation, cut computation.Cut) bool {
+		return cut.Size()%2 == 0
+	}}
+}
+
+// TestGoldenTable1 pins every (class × operator) cell of the paper's
+// Table 1: for each class fixture the IR must select exactly the
+// algorithm the paper prescribes, including the NP-hard cells routing to
+// the exponential solver.
+func TestGoldenTable1(t *testing.T) {
+	classes := []struct {
+		name string
+		p    predicate.Predicate
+		want map[pir.Op]string
+	}{
+		{"local", vc(0, "x"), map[pir.Op]string{
+			pir.OpEF: "EF disjunctive: local state scan",
+			pir.OpAF: "AF conjunctive: Garg–Waldecker interval boxes",
+			pir.OpEG: "EG linear: Algorithm A1",
+			pir.OpAG: "AG linear: Algorithm A2 (meet-irreducibles)",
+		}},
+		{"conjunctive", predicate.Conj(vc(0, "x"), vc(1, "y")), map[pir.Op]string{
+			pir.OpEF: "EF linear: Chase–Garg advancement",
+			pir.OpAF: "AF conjunctive: Garg–Waldecker interval boxes",
+			pir.OpEG: "EG linear: Algorithm A1",
+			pir.OpAG: "AG linear: Algorithm A2 (meet-irreducibles)",
+		}},
+		{"disjunctive", predicate.Disj(vc(0, "x"), vc(1, "y")), map[pir.Op]string{
+			pir.OpEF: "EF disjunctive: local state scan",
+			pir.OpAF: "AF disjunctive: ¬EG(¬p) via A1",
+			pir.OpEG: "EG disjunctive: ¬AF(¬p) via interval boxes",
+			pir.OpAG: "AG disjunctive: ¬EF(¬p) via advancement",
+		}},
+		{"linear", predicate.MonotoneGE{ProcY: 0, VarY: "y", ProcX: 1, VarX: "x"}, map[pir.Op]string{
+			pir.OpEF: "EF linear: Chase–Garg advancement",
+			pir.OpAF: "AF arbitrary: exponential search",
+			pir.OpEG: "EG linear: Algorithm A1",
+			pir.OpAG: "AG linear: Algorithm A2 (meet-irreducibles)",
+		}},
+		{"post-linear", postOnly{}, map[pir.Op]string{
+			pir.OpEF: "EF post-linear: dual advancement",
+			pir.OpAF: "AF arbitrary: exponential search",
+			pir.OpEG: "EG post-linear: dual Algorithm A1",
+			pir.OpAG: "AG post-linear: dual Algorithm A2 (join-irreducibles)",
+		}},
+		{"regular", predicate.ChannelsEmpty{}, map[pir.Op]string{
+			pir.OpEF: "EF linear: Chase–Garg advancement",
+			pir.OpAF: "AF arbitrary: exponential search",
+			pir.OpEG: "EG linear: Algorithm A1",
+			pir.OpAG: "AG linear: Algorithm A2 (meet-irreducibles)",
+		}},
+		{"stable", predicate.Stable{P: arbitrary()}, map[pir.Op]string{
+			pir.OpEF: "EF stable: evaluate at the final cut",
+			pir.OpAF: "AF stable: evaluate at the final cut",
+			pir.OpEG: "EG stable: evaluate at the initial cut",
+			pir.OpAG: "AG stable: evaluate at the initial cut",
+		}},
+		// Theorems 5 and 6: EG/AG are NP-/co-NP-complete already for
+		// observer-independent predicates — those cells must route to the
+		// exponential solver even though EF/AF stay linear-time.
+		{"observer-independent", predicate.ObserverIndependent{P: arbitrary()}, map[pir.Op]string{
+			pir.OpEF: "EF observer-independent: single observation",
+			pir.OpAF: "AF observer-independent: single observation",
+			pir.OpEG: "EG arbitrary: exponential search (NP-complete, Theorem 5)",
+			pir.OpAG: "AG arbitrary: exponential search (co-NP-complete, Theorem 6)",
+		}},
+		{"arbitrary", arbitrary(), map[pir.Op]string{
+			pir.OpEF: "EF arbitrary: exponential search (NP-complete)",
+			pir.OpAF: "AF arbitrary: exponential search",
+			pir.OpEG: "EG arbitrary: exponential search (NP-complete, Theorem 5)",
+			pir.OpAG: "AG arbitrary: exponential search (co-NP-complete, Theorem 6)",
+		}},
+	}
+	for _, cl := range classes {
+		p := pir.FromPredicate(cl.p)
+		for _, op := range []pir.Op{pir.OpEF, pir.OpAF, pir.OpEG, pir.OpAG} {
+			c := pir.Choose(op, p)
+			if c.Algorithm != cl.want[op] {
+				t.Errorf("%s × %s: got %q, want %q", cl.name, op, c.Algorithm, cl.want[op])
+			}
+			if c.Op != op || c.Cell == "" || c.Complexity == "" || c.Reason == "" {
+				t.Errorf("%s × %s: incomplete choice %+v", cl.name, op, c)
+			}
+		}
+	}
+}
+
+// TestGoldenTable1Until pins the binary-operator cells.
+func TestGoldenTable1Until(t *testing.T) {
+	conj := pir.FromPredicate(predicate.Conj(vc(0, "x")))
+	disj := pir.FromPredicate(predicate.Disj(vc(0, "x"), vc(1, "y")))
+	linear := pir.FromPredicate(predicate.ChannelsEmpty{})
+	orOf := pir.FromPredicate(predicate.Or{Ps: []predicate.Predicate{arbitrary(), arbitrary()}})
+	arb := pir.FromPredicate(arbitrary())
+
+	cases := []struct {
+		name string
+		op   pir.Op
+		p, q *pir.Pred
+		want string
+	}{
+		{"conj U linear", pir.OpEU, conj, linear, "EU conjunctive/linear: Algorithm A3"},
+		{"conj U or", pir.OpEU, conj, orOf, "EU target over ∨: split per disjunct"},
+		{"conj U disj", pir.OpEU, conj, disj, "EU target over disj: split per local"},
+		{"arb U arb", pir.OpEU, arb, arb, "EU arbitrary: exponential search"},
+		{"disj AU disj", pir.OpAU, disj, disj, "AU disjunctive: ¬(EG(¬q) ∨ E[¬q U ¬p∧¬q])"},
+		{"arb AU disj", pir.OpAU, arb, disj, "AU arbitrary: exponential search"},
+	}
+	for _, c := range cases {
+		got := pir.ChooseUntil(c.op, c.p, c.q)
+		if got.Algorithm != c.want {
+			t.Errorf("%s: got %q, want %q", c.name, got.Algorithm, c.want)
+		}
+	}
+	// EU's polynomial cell needs a conjunctive left operand: a disjunctive
+	// p with a linear q is still exponential.
+	if got := pir.ChooseUntil(pir.OpEU, pir.FromPredicate(postOnly{}), linear); got.Kind != pir.KindExponential {
+		t.Errorf("postOnly U linear routed to %q", got.Algorithm)
+	}
+}
+
+// TestInferClassChains pins the containment chains of Section 2 that
+// Infer encodes.
+func TestInferClassChains(t *testing.T) {
+	cases := []struct {
+		p    predicate.Predicate
+		want string
+	}{
+		{vc(0, "x"), "local, conjunctive, disjunctive, linear, post-linear, observer-independent"},
+		{predicate.Conj(vc(0, "x"), vc(1, "y")), "conjunctive, linear, post-linear"},
+		{predicate.Disj(vc(0, "x"), vc(1, "y")), "disjunctive, observer-independent"},
+		{predicate.Received{ID: 0}, "stable, linear, post-linear, observer-independent"},
+		{predicate.Terminated{}, "stable, linear, post-linear, observer-independent"},
+		{predicate.Stable{P: arbitrary()}, "stable, observer-independent"},
+		{predicate.ObserverIndependent{P: arbitrary()}, "observer-independent"},
+		{predicate.ChannelsEmpty{}, "linear, post-linear"},
+		{predicate.MonotoneGE{ProcY: 0, VarY: "y", ProcX: 1, VarX: "x"}, "linear"},
+		{postOnly{}, "post-linear"},
+		{arbitrary(), "arbitrary"},
+		{predicate.Const(true), "linear, post-linear"},
+	}
+	for _, c := range cases {
+		if got := pir.Infer(c.p).String(); got != c.want {
+			t.Errorf("Infer(%s) = %q, want %q", c.p, got, c.want)
+		}
+	}
+	if pir.Infer(arbitrary()) != pir.ClassArbitrary {
+		t.Error("arbitrary predicate has a non-empty class mask")
+	}
+	if c := pir.Infer(vc(0, "x")); !c.Has(pir.ClassLocal|pir.ClassLinear) || c.Primary() != "local" {
+		t.Errorf("local class mask %v, primary %q", c, c.Primary())
+	}
+}
+
+// TestCompileNormalization pins the class-preserving rewrites (moved here
+// from core.Compile; core.Compile remains a veneer over pir.Compile).
+func TestCompileNormalization(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"!conj(x@P1 == 1, y@P2 == 2)", "disj(!(x@P1 == 1), !(y@P2 == 2))"},
+		{"!disj(x@P1 == 1, y@P2 == 2)", "conj(!(x@P1 == 1), !(y@P2 == 2))"},
+		{"!(x@P1 == 1)", "!(x@P1 == 1)"},
+		{"!!(x@P1 == 1)", "!(!(x@P1 == 1))"}, // stays local, so the class is preserved
+		{"!true", "false"},
+		{"conj(x@P1 == 1) && conj(y@P2 == 2)", "conj(x@P1 == 1, y@P2 == 2)"},
+		{"x@P1 == 1 && y@P2 == 2", "conj(x@P1 == 1, y@P2 == 2)"},
+		{"x@P1 == 1 || y@P2 == 2", "disj(x@P1 == 1, y@P2 == 2)"},
+		{"channelsEmpty && x@P1 == 1", "and(channelsEmpty, conj(x@P1 == 1))"},
+	}
+	for _, c := range cases {
+		p, err := pir.CompileSource(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if got := p.P.String(); got != c.want {
+			t.Errorf("compile(%s) = %q, want %q", c.src, got, c.want)
+		}
+		if p.Source == nil {
+			t.Errorf("compile(%s): no source formula recorded", c.src)
+		}
+	}
+	if _, err := pir.CompileSource("EF(x@P1 == 1)"); err == nil || !strings.Contains(err.Error(), "outside the paper's fragment") {
+		t.Errorf("temporal subformula compiled, err = %v", err)
+	}
+	if _, err := pir.CompileSource("conj("); err == nil {
+		t.Error("syntax error compiled")
+	}
+}
+
+// TestExplainGolden pins the -explain rendering end to end, including the
+// lowering line that appears once the predicate is bound to a
+// computation.
+func TestExplainGolden(t *testing.T) {
+	comp := sim.Fig2()
+	f := ctl.MustParse("EF(conj(x1@P1 >= 2, x2@P2 <= 1))")
+	got, err := pir.Explain(comp, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"EF(conj(x1@P1 >= 2, x2@P2 <= 1))",
+		"  class:      conjunctive, linear, post-linear",
+		"  cell:       Table 1 [linear × EF]",
+		"  algorithm:  EF linear: Chase–Garg advancement",
+		"  complexity: O(n|E|) evaluations",
+		"  because:    linear: satisfying cuts are meet-closed, so the advancement property finds the least one",
+	}, "\n") + "\n"
+	if !strings.HasPrefix(got, want) {
+		t.Errorf("Explain = %q, want prefix %q", got, want)
+	}
+	if !strings.Contains(got, "lowering:   2 conjuncts over 2 processes") {
+		t.Errorf("Explain missing lowering stats:\n%s", got)
+	}
+
+	// Boolean structure recurses, and without a computation there is no
+	// lowering line.
+	got, err = pir.Explain(nil, ctl.MustParse("EG(channelsEmpty) || AG(x1@P1 >= 0)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"(…) || (…): boolean disjunction, short-circuiting",
+		"EG linear: Algorithm A1",
+		"AG linear: Algorithm A2 (meet-irreducibles)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Explain missing %q:\n%s", want, got)
+		}
+	}
+}
