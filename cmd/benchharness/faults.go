@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/sim"
+)
+
+// runFaults measures the cost of fault tolerance: the same streamed EF
+// watch is pushed through a seeded flaky proxy at increasing fault
+// intensity, and the resuming client must still deliver every event
+// exactly once. Reported per intensity: wall-clock ingest (vs the clean
+// run), how many resume handshakes the client performed, how many
+// buffered frames it retransmitted, and the total disconnected time.
+// Upstream silent drops are enabled — they exercise the seq-gap
+// detection path — but downstream drops are not, because a verdict
+// frame silently dropped on a healthy connection is undetectable by
+// design (only connection loss triggers replay; see DESIGN.md).
+func runFaults() {
+	fmt.Println("flaky-proxy ingest: exactly-once delivery under injected faults (seed 1)")
+	fmt.Printf("%8s %10s %12s %12s %10s %12s %12s\n",
+		"profile", "events", "ingest", "overhead", "resumes", "replayed", "outage")
+	const events = 2000
+	comp := sim.Random(sim.DefaultRandomConfig(4, events), 21)
+	pred := "conj(x0@P1 >= 2, x0@P2 >= 2, x0@P3 >= 2)"
+
+	var cleanDt time.Duration
+	for _, tc := range []struct {
+		name string
+		cfg  faults.Config
+	}{
+		{"clean", faults.Config{}},
+		{"mild", faults.Config{Reset: 0.002, Partial: 0.001, Drop: 0.003, Dup: 0.01, Delay: 0.02, MaxDelay: time.Millisecond}},
+		{"harsh", faults.Config{Reset: 0.01, Partial: 0.005, Drop: 0.02, Dup: 0.04, Delay: 0.05, MaxDelay: 2 * time.Millisecond}},
+	} {
+		srv := server.New(server.Config{Registry: obs.NewRegistry(), AckEvery: 4, IdleTimeout: 10 * time.Second})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		go srv.Serve(ln) //nolint:errcheck // closed by Shutdown
+
+		up := tc.cfg
+		up.Seed = 1
+		down := up
+		down.Drop = 0 // silent downstream drops are undetectable by design
+		proxy, err := faults.NewProxyAsym(ln.Addr().String(), up, down)
+		if err != nil {
+			panic(err)
+		}
+
+		sess, err := client.Dial(proxy.Addr(), client.Config{
+			Processes:   comp.N(),
+			Watches:     []server.Watch{{Op: "EF", Pred: pred}},
+			Reconnect:   true,
+			DialTimeout: 2 * time.Second,
+			BackoffBase: 2 * time.Millisecond,
+			BackoffMax:  50 * time.Millisecond,
+			MaxAttempts: 60,
+			JitterSeed:  1,
+		})
+		if err != nil {
+			panic(err)
+		}
+
+		start := time.Now()
+		streamComputation(comp, sess, &[]time.Time{})
+		if _, err := sess.Snapshot("EF(" + pred + ")"); err != nil { // barrier: all applied
+			panic(err)
+		}
+		dt := time.Since(start)
+		stats := sess.Stats()
+
+		gb, err := sess.Close()
+		if err != nil {
+			panic(err)
+		}
+		if gb.Events != comp.TotalEvents() {
+			panic(fmt.Sprintf("exactly-once violated under %q: goodbye %d events (want %d)",
+				tc.name, gb.Events, comp.TotalEvents()))
+		}
+		proxy.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		srv.Shutdown(ctx) //nolint:errcheck
+		cancel()
+
+		if tc.name == "clean" {
+			cleanDt = dt
+		}
+		overhead := "baseline"
+		if tc.name != "clean" && cleanDt > 0 {
+			overhead = fmt.Sprintf("%.2fx", float64(dt)/float64(cleanDt))
+		}
+		fmt.Printf("%8s %10d %12s %12s %10d %12d %12s\n",
+			tc.name, comp.TotalEvents(), dt.Round(time.Microsecond), overhead,
+			stats.Reconnects, stats.Replayed, stats.Outage.Round(time.Microsecond))
+		emit("faults", tc.name, map[string]any{
+			"events": comp.TotalEvents(), "ingest_ns": dt.Nanoseconds(),
+			"reconnects": stats.Reconnects, "replayed": stats.Replayed,
+			"outage_ns": stats.Outage.Nanoseconds(),
+		})
+	}
+}

@@ -6,6 +6,7 @@
 //	fig3        Fig. 3: NP/co-NP-hardness constructions (Theorems 5 & 6)
 //	fig4        Fig. 4: the E[p U q] example detected by Algorithm A3
 //	fig5        Fig. 5: Algorithm A3 and the AU composition — scaling
+//	faults      flaky-proxy ingest: resume/replay cost under faults
 //	complexity  §5/§7 complexity claims: structural vs lattice baseline
 //	ablation    design-choice ablations from DESIGN.md
 //	parallel    parallel sweeps: A2/A3 speedup and determinism check
@@ -41,6 +42,7 @@ var experiments = []struct {
 	{"control", "predicate control: EG witness → enforced AG", runControl},
 	{"online", "on-line detection: latency and ingest overhead", runOnline},
 	{"server", "hbserver: loopback ingest throughput and verdict latency", runServer},
+	{"faults", "flaky-proxy ingest: resume/replay cost under injected faults", runFaults},
 	{"parallel", "parallel sweeps: A2/A3 speedup and determinism check", runParallel},
 	{"compile", "predicate IR: compile cost and bitset-lowering payoff", runCompile},
 }

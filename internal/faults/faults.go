@@ -1,0 +1,184 @@
+// Package faults injects deterministic, seeded network faults for
+// testing the fault-tolerant streaming protocol. It wraps net.Conn and
+// net.Listener with write-granularity faults (drop, delay, duplicate,
+// partial write, connection reset) and provides a flaky TCP proxy that
+// applies the same faults at NDJSON line granularity in both directions.
+//
+// Everything is driven by math/rand seeded from Config.Seed, with each
+// connection (and each proxy direction) deriving its own stream, so a
+// test run with a fixed seed makes exactly the same fault decisions
+// every time regardless of goroutine scheduling.
+package faults
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets per-unit fault probabilities, where a unit is one Write
+// call on a wrapped conn or one NDJSON line through the proxy. All
+// probabilities are in [0,1] and are evaluated in the order reset,
+// partial, drop, duplicate, delay — at most one fault fires per unit.
+// The zero value injects nothing.
+type Config struct {
+	// Seed is the base seed; connection i derives seed Seed*i-mixed so
+	// fault schedules are per-connection deterministic.
+	Seed int64
+	// Reset closes the connection (both legs, for the proxy) instead of
+	// forwarding the unit.
+	Reset float64
+	// Partial forwards a strict prefix of the unit and then resets —
+	// the receiver sees a truncated frame.
+	Partial float64
+	// Drop silently discards the unit; the connection lives on.
+	Drop float64
+	// Dup forwards the unit twice.
+	Dup float64
+	// Delay sleeps up to MaxDelay before forwarding the unit.
+	Delay float64
+	// MaxDelay bounds Delay sleeps (default 5ms when Delay > 0).
+	MaxDelay time.Duration
+}
+
+// action is one fault decision.
+type action int
+
+const (
+	actPass action = iota
+	actReset
+	actPartial
+	actDrop
+	actDup
+	actDelay
+)
+
+// roller makes fault decisions from a private rand stream. Callers
+// serialize access (one roller per conn direction).
+type roller struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// deriveSeed mixes the base seed with a per-connection (and per-
+// direction) index using splitmix64-style constants, so adjacent
+// indices get uncorrelated streams.
+func deriveSeed(base, idx int64) int64 {
+	z := uint64(base) + uint64(idx)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+func newRoller(cfg Config, idx int64) *roller {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 5 * time.Millisecond
+	}
+	return &roller{cfg: cfg, rng: rand.New(rand.NewSource(deriveSeed(cfg.Seed, idx)))}
+}
+
+// roll decides the fate of the next unit. Exactly one rng draw per
+// call keeps the schedule a pure function of the seed and unit index.
+func (r *roller) roll() action {
+	p := r.rng.Float64()
+	for _, c := range []struct {
+		prob float64
+		act  action
+	}{
+		{r.cfg.Reset, actReset},
+		{r.cfg.Partial, actPartial},
+		{r.cfg.Drop, actDrop},
+		{r.cfg.Dup, actDup},
+		{r.cfg.Delay, actDelay},
+	} {
+		if p < c.prob {
+			return c.act
+		}
+		p -= c.prob
+	}
+	return actPass
+}
+
+// delay returns the sleep for an actDelay decision.
+func (r *roller) delay() time.Duration {
+	return time.Duration(r.rng.Int63n(int64(r.cfg.MaxDelay)) + 1)
+}
+
+// cut returns the strict-prefix length for an actPartial decision on a
+// unit of n bytes.
+func (r *roller) cut(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return 1 + r.rng.Intn(n-1)
+}
+
+// Conn wraps a net.Conn, applying one fault decision per Write. Reads
+// pass through untouched; to fault both directions of a dialog, use the
+// Proxy instead.
+type Conn struct {
+	net.Conn
+	mu sync.Mutex // serializes Write decisions so the schedule is stable
+	r  *roller
+}
+
+// NewConn wraps c with write faults decided by cfg's stream for idx.
+func NewConn(c net.Conn, cfg Config, idx int64) *Conn {
+	return &Conn{Conn: c, r: newRoller(cfg, idx)}
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	act := c.r.roll()
+	var sleep time.Duration
+	var cut int
+	switch act {
+	case actDelay:
+		sleep = c.r.delay()
+	case actPartial:
+		cut = c.r.cut(len(p))
+	}
+	c.mu.Unlock()
+	switch act {
+	case actReset:
+		c.Conn.Close()
+		return 0, net.ErrClosed
+	case actPartial:
+		c.Conn.Write(p[:cut]) //nolint:errcheck // about to reset anyway
+		c.Conn.Close()
+		return cut, net.ErrClosed
+	case actDrop:
+		return len(p), nil // swallowed: caller believes it was sent
+	case actDup:
+		if n, err := c.Conn.Write(p); err != nil {
+			return n, err
+		}
+		return c.Conn.Write(p)
+	case actDelay:
+		time.Sleep(sleep)
+	}
+	return c.Conn.Write(p)
+}
+
+// Listener wraps a net.Listener so every accepted conn gets write
+// faults from its own derived stream (connection i uses index i).
+type Listener struct {
+	net.Listener
+	cfg Config
+	n   atomic.Int64
+}
+
+// WrapListener returns ln with per-connection fault injection.
+func WrapListener(ln net.Listener, cfg Config) *Listener {
+	return &Listener{Listener: ln, cfg: cfg}
+}
+
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(c, l.cfg, l.n.Add(1)), nil
+}

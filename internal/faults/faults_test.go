@@ -1,0 +1,228 @@
+package faults
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestRollerDeterminism: the same seed and index must yield the same
+// decision sequence; different indices must not.
+func TestRollerDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, Reset: 0.05, Partial: 0.05, Drop: 0.1, Dup: 0.1, Delay: 0.2}
+	seq := func(idx int64) []action {
+		r := newRoller(cfg, idx)
+		out := make([]action, 200)
+		for i := range out {
+			out[i] = r.roll()
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at decision %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := seq(8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("adjacent connection indices produced identical fault schedules")
+	}
+}
+
+// TestRollerDistribution: with probabilities summing to 1, actPass never
+// fires; with the zero config, nothing but actPass fires.
+func TestRollerDistribution(t *testing.T) {
+	r := newRoller(Config{Seed: 1, Reset: 0.2, Partial: 0.2, Drop: 0.2, Dup: 0.2, Delay: 0.2}, 0)
+	for i := 0; i < 1000; i++ {
+		if r.roll() == actPass {
+			t.Fatal("probabilities summing to 1 still produced a pass")
+		}
+	}
+	r = newRoller(Config{Seed: 1}, 0)
+	for i := 0; i < 1000; i++ {
+		if act := r.roll(); act != actPass {
+			t.Fatalf("zero config produced fault %v", act)
+		}
+	}
+}
+
+// pipePair returns two ends of an in-process TCP connection.
+func pipePair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	cli, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { cli.Close(); r.c.Close() })
+	return cli, r.c
+}
+
+// TestConnDup: a duplicate fault delivers the payload twice.
+func TestConnDup(t *testing.T) {
+	cli, srv := pipePair(t)
+	fc := NewConn(cli, Config{Seed: 1, Dup: 1}, 0)
+	if _, err := fc.Write([]byte("hello\n")); err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(srv) //nolint:errcheck // reads until EOF
+	if got, want := buf.String(), "hello\nhello\n"; got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+// TestConnDrop: a dropped write reports success but delivers nothing.
+func TestConnDrop(t *testing.T) {
+	cli, srv := pipePair(t)
+	fc := NewConn(cli, Config{Seed: 1, Drop: 1}, 0)
+	n, err := fc.Write([]byte("hello\n"))
+	if err != nil || n != 6 {
+		t.Fatalf("drop write returned (%d, %v), want (6, nil)", n, err)
+	}
+	cli.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(srv) //nolint:errcheck
+	if buf.Len() != 0 {
+		t.Fatalf("dropped write still delivered %q", buf.String())
+	}
+}
+
+// TestConnPartial: a partial fault delivers a strict prefix and kills
+// the connection with an error.
+func TestConnPartial(t *testing.T) {
+	cli, srv := pipePair(t)
+	fc := NewConn(cli, Config{Seed: 1, Partial: 1}, 0)
+	payload := []byte("0123456789\n")
+	n, err := fc.Write(payload)
+	if err == nil {
+		t.Fatal("partial write reported success")
+	}
+	if n <= 0 || n >= len(payload) {
+		t.Fatalf("partial wrote %d bytes, want a strict prefix of %d", n, len(payload))
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(srv) //nolint:errcheck
+	if got := buf.String(); got != string(payload[:n]) {
+		t.Fatalf("delivered %q, want prefix %q", got, payload[:n])
+	}
+}
+
+// TestProxyPassthrough: with the zero config the proxy is a faithful
+// line forwarder in both directions.
+func TestProxyPassthrough(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { // line echo server
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					fmt.Fprintf(c, "echo %s\n", sc.Text())
+				}
+			}(c)
+		}
+	}()
+
+	p, err := NewProxy(ln.Addr().String(), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sc := bufio.NewScanner(c)
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(c, "line-%d\n", i)
+		if !sc.Scan() {
+			t.Fatalf("stream ended at line %d: %v", i, sc.Err())
+		}
+		if got, want := sc.Text(), fmt.Sprintf("echo line-%d", i); got != want {
+			t.Fatalf("got %q, want %q", got, want)
+		}
+	}
+}
+
+// TestProxyReset: a reset-always proxy severs the very first line and
+// the client observes the close promptly.
+func TestProxyReset(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) { // swallow input until close
+				buf := make([]byte, 1024)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	p, err := NewProxy(ln.Addr().String(), Config{Seed: 1, Reset: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fmt.Fprintf(c, "doomed\n")
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection survived a reset-always proxy")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("proxy never severed the connection")
+	}
+}

@@ -1,0 +1,168 @@
+package faults
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is a flaky TCP proxy for NDJSON protocols: it forwards complete
+// lines between client and server, making one seeded fault decision per
+// line per direction. Unlike Conn it can corrupt both directions of a
+// dialog, which is what a chaos test needs — acks and verdict pushes
+// are as faultable as event frames.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	up     Config // client → server faults
+	down   Config // server → client faults
+	n      atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+
+	wg sync.WaitGroup
+}
+
+// NewProxy starts a proxy on a fresh loopback port forwarding to
+// target, faulting both directions with cfg. Close stops it.
+func NewProxy(target string, cfg Config) (*Proxy, error) {
+	return NewProxyAsym(target, cfg, cfg)
+}
+
+// NewProxyAsym starts a proxy with separate fault configs per direction
+// (up = client → server, down = server → client). Chaos tests use this
+// to confine silent drops to the upstream leg, where sequence numbers
+// detect them; a frame silently dropped downstream on an otherwise
+// healthy connection is undetectable by design — only connection loss
+// triggers the replay that redelivers recorded frames.
+func NewProxyAsym(target string, up, down Config) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, up: up, down: down, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's dialable address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Close stops accepting, severs every proxied connection, and waits for
+// the pump goroutines to exit.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	p.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+}
+
+// track registers a live conn for Close, unless the proxy is already
+// closing (then the conn is closed immediately).
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		c.Close()
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		cli, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		srv, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+		if err != nil {
+			cli.Close()
+			continue
+		}
+		if !p.track(cli) || !p.track(srv) {
+			cli.Close()
+			srv.Close()
+			return
+		}
+		id := p.n.Add(1)
+		// Each direction gets its own decision stream; severing either
+		// leg kills both, like a real connection reset.
+		p.wg.Add(2)
+		go p.pump(cli, srv, newRoller(p.up, 2*id))
+		go p.pump(srv, cli, newRoller(p.down, 2*id+1))
+	}
+}
+
+// pump forwards NDJSON lines src → dst, one fault decision per line.
+// Any fault that severs the stream (reset, partial) closes both legs so
+// the peerwise failure is symmetric; so does src EOF.
+func (p *Proxy) pump(src, dst net.Conn, r *roller) {
+	defer p.wg.Done()
+	defer func() {
+		src.Close()
+		dst.Close()
+		p.untrack(src)
+		p.untrack(dst)
+	}()
+	br := bufio.NewReader(src)
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(line) > 0 {
+			switch r.roll() {
+			case actReset:
+				return
+			case actPartial:
+				dst.Write(line[:r.cut(len(line))]) //nolint:errcheck // severing anyway
+				return
+			case actDrop:
+				continue
+			case actDup:
+				if _, werr := dst.Write(line); werr != nil {
+					return
+				}
+				if _, werr := dst.Write(line); werr != nil {
+					return
+				}
+				// fall through to the err check below
+			case actDelay:
+				time.Sleep(r.delay())
+				fallthrough
+			default:
+				if _, werr := dst.Write(line); werr != nil {
+					return
+				}
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// String describes the proxy for logs.
+func (p *Proxy) String() string {
+	return fmt.Sprintf("faults.Proxy(%s -> %s, seed=%d)", p.Addr(), p.target, p.up.Seed)
+}

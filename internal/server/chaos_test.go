@@ -1,0 +1,255 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ctl"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// chaosSeeds returns the fault-schedule seeds to run: the CI chaos job
+// sets HB_CHAOS_SEEDS to sweep a matrix; the default keeps local runs
+// fast but still seeded.
+func chaosSeeds(t *testing.T) []int64 {
+	t.Helper()
+	spec := os.Getenv("HB_CHAOS_SEEDS")
+	if spec == "" {
+		spec = "1,7"
+	}
+	var seeds []int64
+	for _, s := range strings.Split(spec, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			t.Fatalf("HB_CHAOS_SEEDS: %v", err)
+		}
+		seeds = append(seeds, v)
+	}
+	return seeds
+}
+
+// TestChaosResumedSessionsMatchOffline is the fault-tolerance acceptance
+// test: many concurrent resumable sessions stream the scripted
+// computation through a flaky proxy injecting seeded resets, partial
+// writes, duplicates, delays, and (upstream only) silent drops. Despite
+// arbitrary connection loss and redelivery, every session must latch
+// exactly the verdicts of offline core.Detect at the exact determining
+// prefixes, the server's exactly-once counters must reconcile, and no
+// goroutine may leak.
+func TestChaosResumedSessionsMatchOffline(t *testing.T) {
+	for _, seed := range chaosSeeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { runChaos(t, seed) })
+	}
+}
+
+func runChaos(t *testing.T, seed int64) {
+	baseline := runtime.NumGoroutine()
+	reg := obs.NewRegistry()
+	srv := server.New(server.Config{
+		AckEvery: 4,
+		// Short enough that a session whose bye frame the proxy ate is
+		// reclaimed (and its goodbye emitted) well inside the client's
+		// close timeout; long enough that no live client, with its
+		// sub-second reconnect backoff, ever idles into it.
+		IdleTimeout: 3 * time.Second,
+		Registry:    reg,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck // closed by Shutdown
+
+	up := faults.Config{Seed: seed, Reset: 0.02, Partial: 0.01, Drop: 0.03, Dup: 0.05, Delay: 0.10, MaxDelay: 2 * time.Millisecond}
+	down := up
+	down.Drop = 0 // silent downstream drops are undetectable by design; see NewProxyAsym
+	proxy, err := faults.NewProxyAsym(ln.Addr().String(), up, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("chaos run via %s", proxy)
+
+	const sessions = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions*4)
+	fail := func(format string, args ...any) { errs <- fmt.Errorf(format, args...) }
+	var mu sync.Mutex
+	var reconnects, replayed int
+	var goodbyes int
+
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			extra := i % 2
+			steps := script(extra)
+			full := buildPrefix(t, steps, len(steps))
+
+			cfg := client.Config{
+				Processes: 3,
+				Watches: []server.Watch{
+					{Op: "EF", Pred: efPred},
+					{Op: "AG", Pred: agPred},
+					{Op: "STABLE", Pred: stablePred},
+				},
+				Reconnect:   true,
+				DialTimeout: 300 * time.Millisecond,
+				BackoffBase: 2 * time.Millisecond,
+				BackoffMax:  50 * time.Millisecond,
+				MaxAttempts: 40,
+				JitterSeed:  seed + int64(i),
+			}
+			// The initial dial goes through the proxy too; a handshake
+			// eaten by a fault is the client's problem to retry.
+			var sess *client.Session
+			var derr error
+			for try := 0; try < 10; try++ {
+				if sess, derr = client.Dial(proxy.Addr(), cfg); derr == nil {
+					break
+				}
+			}
+			if derr != nil {
+				fail("session %d: dial never succeeded: %v", i, derr)
+				return
+			}
+			stream(sess, steps)
+			gb, cerr := sess.Close()
+			if cerr != nil && gb == nil {
+				// Tolerated: the goodbye itself can be lost after the
+				// session is already over server-side. Verdicts are
+				// verified below and accounting via the registry.
+				t.Logf("session %d: close without goodbye: %v", i, cerr)
+			} else if cerr != nil {
+				fail("session %d: close: %v", i, cerr)
+				return
+			}
+			if gb != nil {
+				if gb.Events != len(steps) || gb.Dropped != 0 {
+					fail("session %d: goodbye %d events (%d dropped), want %d (0)", i, gb.Events, gb.Dropped, len(steps))
+				}
+				mu.Lock()
+				goodbyes++
+				mu.Unlock()
+			}
+
+			st := sess.Stats()
+			mu.Lock()
+			reconnects += st.Reconnects
+			replayed += st.Replayed
+			mu.Unlock()
+
+			// Exactly-once ingestion means no semantic error frames: a
+			// redelivered send would otherwise error as a duplicate msg.
+			verdicts := make(map[int]server.ServerFrame)
+			for _, fr := range sess.Latched() {
+				switch fr.Type {
+				case server.FrameError:
+					fail("session %d: unexpected error frame: %s (%s)", i, fr.Error, fr.Code)
+					return
+				case server.FrameVerdict:
+					if _, dup := verdicts[fr.Watch]; dup {
+						fail("session %d: watch %d latched twice (replay dedupe broken)", i, fr.Watch)
+						return
+					}
+					verdicts[fr.Watch] = fr
+				}
+			}
+
+			// Verdicts and determining prefixes must be bit-identical to
+			// offline detection, interruptions notwithstanding.
+			efOffline, _ := core.Detect(full, ctl.MustParse("EF("+efPred+")"))
+			fr, fired := verdicts[0]
+			if fired != efOffline.Holds {
+				fail("session %d: EF fired=%v, offline=%v", i, fired, efOffline.Holds)
+				return
+			}
+			if fired {
+				if err := exactPrefix(t, steps, fr.Event, "EF("+efPred+")", true); err != nil {
+					fail("session %d: EF latch: %v", i, err)
+					return
+				}
+			}
+			agOffline, _ := core.Detect(full, ctl.MustParse("AG("+agPred+")"))
+			fr, violated := verdicts[1]
+			if violated != !agOffline.Holds {
+				fail("session %d: AG violated=%v, offline holds=%v", i, violated, agOffline.Holds)
+				return
+			}
+			if violated {
+				if err := exactPrefix(t, steps, fr.Event, "AG("+agPred+")", false); err != nil {
+					fail("session %d: AG latch: %v", i, err)
+					return
+				}
+			}
+			fr, ok := verdicts[2]
+			if !ok {
+				fail("session %d: STABLE watch never fired", i)
+				return
+			}
+			if fr.Event != 5 {
+				fail("session %d: STABLE fired at event %d, want 5", i, fr.Event)
+				return
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Metrics reconciliation: every streamed event was accepted once,
+	// journaled once, and detected once — nothing dropped, nothing
+	// double-applied. (Orphan sessions from half-lost handshakes carry
+	// zero events, so the totals are exact.)
+	steps := int64(len(script(0)))
+	events := reg.Counter("hb_server_events_total", "").Value()
+	journaled := reg.Counter("hb_server_events_journaled_total", "").Value()
+	if events != sessions*steps {
+		t.Errorf("events_total = %d, want %d (exactly-once ingestion violated)", events, sessions*steps)
+	}
+	if journaled != events {
+		t.Errorf("journaled_total = %d != events_total = %d", journaled, events)
+	}
+	if d := reg.Counter("hb_server_events_dropped_total", "").Value(); d != 0 {
+		t.Errorf("events_dropped_total = %d on resumable sessions, want 0", d)
+	}
+	dupes := reg.Counter("hb_server_events_duplicate_total", "").Value()
+	resumes := reg.Counter(`hb_server_resumes_total{result="ok"}`, "").Value()
+	t.Logf("seed %d: %d reconnects, %d frames replayed, %d duplicates dropped, %d resumes, %d/%d goodbyes",
+		seed, reconnects, replayed, dupes, resumes, goodbyes, sessions)
+
+	proxy.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Zero goroutine leaks: reconnect loops, pumps, readers, writers and
+	// monitor loops must all have wound down.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			pprof.Lookup("goroutine").WriteTo(os.Stderr, 1) //nolint:errcheck
+			t.Fatalf("goroutine leak: %d live, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

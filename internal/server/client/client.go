@@ -3,12 +3,24 @@
 // pushed verdict frames, and runs snapshot queries. An Observer adapter
 // lets a dist-instrumented program report its computation to a remote
 // server as it executes.
+//
+// With Config.Reconnect the session is fault tolerant: frames carry
+// sequence numbers, a bounded in-flight buffer holds everything the
+// server has not yet acked, and a lost connection triggers automatic
+// redial with exponential backoff and jitter followed by a resume
+// handshake that replays exactly the unaccepted suffix. The server
+// dedupes on seq and the client dedupes pushed frames on idx, so a
+// resumed session's verdicts and determining prefixes are identical to
+// an uninterrupted run.
 package client
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -23,89 +35,213 @@ type Config struct {
 	Watches []server.Watch
 	// DialTimeout bounds connect and handshake (default 5s).
 	DialTimeout time.Duration
+
+	// Reconnect opens the session as resumable and enables automatic
+	// reconnection: event methods never fail on a dropped connection —
+	// frames buffer (bounded by BufferLimit, applying backpressure when
+	// full) and replay after the resume handshake.
+	Reconnect bool
+	// MaxAttempts bounds consecutive failed reconnect attempts per
+	// outage before the session fails sticky (default 8).
+	MaxAttempts int
+	// BackoffBase is the first retry delay; attempt n waits
+	// BackoffBase·2ⁿ with jitter, capped at BackoffMax (defaults 25ms
+	// and 2s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// JitterSeed seeds the deterministic backoff jitter (default 1).
+	JitterSeed int64
+	// BufferLimit caps the in-flight (unacked) frame buffer; writes
+	// block when it is full (default 1024). Must exceed the server's
+	// ack interval or writers and acks deadlock.
+	BufferLimit int
+	// Dial overrides the dialer — the hook fault-injection tests use to
+	// hand the session deliberately unreliable connections.
+	Dial func(addr string) (net.Conn, error)
+}
+
+// Stats counts the reconnect machinery's work, for tests and the
+// benchharness faults experiment.
+type Stats struct {
+	// Reconnects is how many resume handshakes completed.
+	Reconnects int
+	// Replayed is how many buffered frames were retransmitted.
+	Replayed int
+	// Outage is the total wall-clock time spent disconnected.
+	Outage time.Duration
+}
+
+// errDisconnected reports a write attempted while the connection is
+// down in reconnect mode; sequenced frames are buffered instead.
+var errDisconnected = errors.New("client: disconnected (reconnecting)")
+
+// resumeError is a handshake rejected by the server, with its
+// machine-readable code. Only server.CodeBusy is retried.
+type resumeError struct {
+	code string
+	msg  string
+}
+
+func (e *resumeError) Error() string { return fmt.Sprintf("%s (%s)", e.msg, e.code) }
+
+// snapWaiter is one pending snapshot query: the response channel and
+// the request frame, kept so a resume can re-issue it if the response
+// was lost with the connection.
+type snapWaiter struct {
+	ch chan server.ServerFrame
+	f  server.ClientFrame
 }
 
 // Session is an open client session. Event methods take 0-based process
 // indices, matching the engine packages; the wire carries 1-based ids.
 // Methods are safe for concurrent use; events are written in call order.
 type Session struct {
-	conn net.Conn
+	cfg  Config
+	addr string
 	id   string
 
-	wmu     sync.Mutex // serializes writes and the msg-id counter
+	wmu     sync.Mutex // serializes writes, the msg-id counter, and connection state
+	space   *sync.Cond // on wmu; signaled when the outbox shrinks or state changes
+	conn    net.Conn   // current connection; nil while disconnected
 	nextMsg int
-	err     error // sticky; set by the first failed write or read
+	nextSeq int64
+	acked   int64                // highest seq the server confirmed applied or accepted
+	outbox  []server.ClientFrame // unacked sequenced frames, ascending seq
+	err     error                // sticky; set by the first unrecoverable failure
+	failed  chan struct{}        // closed alongside the sticky error, to unblock waiters
+	failOne sync.Once
+	rejoin  bool  // a reconnect loop is running (single flight)
+	byeSent bool  // Close initiated; a resume re-sends the bye
+	byeSeq  int64 // the bye's sequence number, for exactly-once re-send
+	stats   Stats
+	rng     *rand.Rand // backoff jitter; only the single-flight reconnect loop uses it
 
 	mu       sync.Mutex
 	frames   []server.ServerFrame // latched verdict/error pushes, in order
-	snaps    map[int]chan server.ServerFrame
+	lastIdx  int                  // highest recorded-frame idx seen, for replay dedupe
+	snaps    map[int]*snapWaiter
 	nextSnap int
 	goodbye  *server.ServerFrame
 
 	verdicts chan server.ServerFrame
-	done     chan struct{} // closed when the reader exits
+	done     chan struct{} // closed when the session is over (goodbye or fatal)
+	doneOne  sync.Once
 }
 
 // Dial connects to an hbserver TCP listener, performs the hello/welcome
 // handshake, and starts the frame reader.
 func Dial(addr string, cfg Config) (*Session, error) {
-	timeout := cfg.DialTimeout
-	if timeout <= 0 {
-		timeout = 5 * time.Second
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
 	}
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 8
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 25 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if cfg.JitterSeed == 0 {
+		cfg.JitterSeed = 1
+	}
+	if cfg.BufferLimit <= 0 {
+		cfg.BufferLimit = 1024
+	}
+	s := &Session{
+		cfg:      cfg,
+		addr:     addr,
+		snaps:    make(map[int]*snapWaiter),
+		verdicts: make(chan server.ServerFrame, 256),
+		done:     make(chan struct{}),
+		failed:   make(chan struct{}),
+		rng:      rand.New(rand.NewSource(cfg.JitterSeed)),
+	}
+	s.space = sync.NewCond(&s.wmu)
+	hello := server.ClientFrame{
+		Type:      server.FrameHello,
+		Processes: cfg.Processes,
+		Watches:   cfg.Watches,
+		Resumable: cfg.Reconnect,
+	}
+	conn, sc, welcome, err := s.connect(hello)
 	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
+		var re *resumeError
+		if errors.As(err, &re) {
+			return nil, fmt.Errorf("client: server rejected session: %s", re.msg)
+		}
+		return nil, err
 	}
-	hello := server.ClientFrame{Type: server.FrameHello, Processes: cfg.Processes, Watches: cfg.Watches}
-	conn.SetDeadline(time.Now().Add(timeout))
-	if err := writeClientFrame(conn, hello); err != nil {
+	s.conn = conn
+	s.id = welcome.Session
+	go s.read(conn, sc)
+	return s, nil
+}
+
+// connect dials and performs one handshake (hello or resume), returning
+// the connection, its scanner (which may have buffered frames past the
+// welcome), and the welcome frame.
+func (s *Session) connect(first server.ClientFrame) (net.Conn, *bufio.Scanner, server.ServerFrame, error) {
+	var zero server.ServerFrame
+	var conn net.Conn
+	var err error
+	if s.cfg.Dial != nil {
+		conn, err = s.cfg.Dial(s.addr)
+	} else {
+		conn, err = net.DialTimeout("tcp", s.addr, s.cfg.DialTimeout)
+	}
+	if err != nil {
+		return nil, nil, zero, fmt.Errorf("client: %w", err)
+	}
+	conn.SetDeadline(time.Now().Add(s.cfg.DialTimeout))
+	if err := writeClientFrame(conn, first); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("client: hello: %w", err)
+		return nil, nil, zero, fmt.Errorf("client: handshake: %w", err)
 	}
 	sc := newScanner(conn)
 	if !sc.Scan() {
 		conn.Close()
 		if err := sc.Err(); err != nil {
-			return nil, fmt.Errorf("client: handshake: %w", err)
+			return nil, nil, zero, fmt.Errorf("client: handshake: %w", err)
 		}
-		return nil, errors.New("client: server closed connection during handshake")
+		return nil, nil, zero, errors.New("client: server closed connection during handshake")
 	}
 	var welcome server.ServerFrame
 	if err := decodeServerFrame(sc.Bytes(), &welcome); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("client: handshake: %w", err)
+		return nil, nil, zero, fmt.Errorf("client: handshake: %w", err)
 	}
 	switch welcome.Type {
 	case server.FrameWelcome:
 	case server.FrameError:
 		conn.Close()
-		return nil, fmt.Errorf("client: server rejected session: %s", welcome.Error)
+		return nil, nil, zero, &resumeError{code: welcome.Code, msg: welcome.Error}
 	default:
 		conn.Close()
-		return nil, fmt.Errorf("client: expected welcome, got %q", welcome.Type)
+		return nil, nil, zero, fmt.Errorf("client: expected welcome, got %q", welcome.Type)
 	}
 	conn.SetDeadline(time.Time{})
-	s := &Session{
-		conn:     conn,
-		id:       welcome.Session,
-		snaps:    make(map[int]chan server.ServerFrame),
-		verdicts: make(chan server.ServerFrame, 256),
-		done:     make(chan struct{}),
-	}
-	go s.read(sc)
-	return s, nil
+	return conn, sc, welcome, nil
 }
 
 // ID returns the server-assigned session id.
 func (s *Session) ID() string { return s.id }
 
-// Err returns the sticky session error, if any: the first write or read
-// failure, after which all event methods are no-ops.
+// Err returns the sticky session error, if any: the first unrecoverable
+// write, read, or reconnect failure, after which all event methods are
+// no-ops. Transient connection loss in reconnect mode is not an error.
 func (s *Session) Err() error {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
 	return s.err
+}
+
+// Stats returns the reconnect machinery's counters so far.
+func (s *Session) Stats() Stats {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return s.stats
 }
 
 // Verdicts returns the channel of pushed verdict and error frames. The
@@ -115,14 +251,15 @@ func (s *Session) Err() error {
 func (s *Session) Verdicts() <-chan server.ServerFrame { return s.verdicts }
 
 // Latched returns all verdict and error frames pushed so far, in order.
+// Frames redelivered by a resume replay appear exactly once.
 func (s *Session) Latched() []server.ServerFrame {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]server.ServerFrame(nil), s.frames...)
 }
 
-// Done returns a channel closed when the server side of the session has
-// finished (goodbye received or connection lost).
+// Done returns a channel closed when the session is over: goodbye
+// received, or reconnection abandoned.
 func (s *Session) Done() <-chan struct{} { return s.done }
 
 // Goodbye returns the final accounting frame, once received.
@@ -167,21 +304,28 @@ func (s *Session) Receive(proc, msg int, sets map[string]int) {
 
 // Snapshot asks the server to freeze the session's observed prefix and
 // run an offline detection query on it. It blocks until the response
-// frame arrives; Holds on the returned frame is the verdict.
+// frame arrives; Holds on the returned frame is the verdict. In
+// reconnect mode the request survives connection loss: a resume
+// re-issues any snapshot still awaiting its response.
 func (s *Session) Snapshot(formula string) (server.ServerFrame, error) {
 	s.mu.Lock()
 	s.nextSnap++
 	id := s.nextSnap
+	f := server.ClientFrame{Type: server.FrameSnapshot, ID: id, Formula: formula}
 	resp := make(chan server.ServerFrame, 1)
-	s.snaps[id] = resp
+	s.snaps[id] = &snapWaiter{ch: resp, f: f}
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
 		delete(s.snaps, id)
 		s.mu.Unlock()
 	}()
-	if err := s.write(server.ClientFrame{Type: server.FrameSnapshot, ID: id, Formula: formula}); err != nil {
-		return server.ServerFrame{}, err
+	if err := s.write(f); err != nil {
+		if !(s.cfg.Reconnect && errors.Is(err, errDisconnected)) {
+			return server.ServerFrame{}, err
+		}
+		// Disconnected mid-outage: the pending request is registered and
+		// will be re-issued by the resume handshake.
 	}
 	select {
 	case fr := <-resp:
@@ -191,29 +335,49 @@ func (s *Session) Snapshot(formula string) (server.ServerFrame, error) {
 		return fr, nil
 	case <-s.done:
 		return server.ServerFrame{}, errors.New("client: session ended before snapshot response")
+	case <-s.failed:
+		return server.ServerFrame{}, s.Err()
 	}
 }
 
 // Close sends the bye frame, waits for the server's goodbye (or the
 // connection to end), closes the connection, and returns the final
-// accounting frame when one was received.
+// accounting frame when one was received. In reconnect mode a bye lost
+// with the connection is re-sent by the resume handshake.
 func (s *Session) Close() (*server.ServerFrame, error) {
-	err := s.write(server.ClientFrame{Type: server.FrameBye})
+	// One critical section: byeSent and the bye's seq must be set
+	// atomically with the write, or a concurrent resume could replay an
+	// unsequenced bye that bypasses the server's gap check.
+	s.wmu.Lock()
+	s.byeSent = true
+	err := s.writeLocked(server.ClientFrame{Type: server.FrameBye})
+	s.wmu.Unlock()
+	if s.cfg.Reconnect && errors.Is(err, errDisconnected) {
+		err = nil
+	}
 	select {
 	case <-s.done:
 	case <-time.After(10 * time.Second):
 		err = errors.New("client: timed out waiting for goodbye")
 	}
-	s.conn.Close()
+	s.wmu.Lock()
+	if s.conn != nil {
+		s.conn.Close()
+	}
+	s.wmu.Unlock()
 	if gb := s.Goodbye(); gb != nil {
 		return gb, nil
 	}
+	// No goodbye: the session is over regardless; make that state
+	// sticky so reconnect machinery and waiters wind down.
 	if err == nil {
 		err = s.Err()
 	}
 	if err == nil {
 		err = errors.New("client: connection ended without goodbye")
 	}
+	s.fail(err)
+	s.finish()
 	return nil, err
 }
 
@@ -223,26 +387,72 @@ func (s *Session) write(f server.ClientFrame) error {
 	return s.writeLocked(f)
 }
 
+// writeLocked sends one frame under wmu. In reconnect mode, init/event
+// frames take the next sequence number and enter the bounded in-flight
+// buffer first — when the buffer is full the caller blocks until acks
+// make room (backpressure) — and a write failure is not an error: the
+// frame is safe in the buffer, the connection is torn down, and the
+// reconnect loop takes over.
 func (s *Session) writeLocked(f server.ClientFrame) error {
 	if s.err != nil {
 		return s.err
 	}
+	sequenced := false
+	if s.cfg.Reconnect && (f.Type == server.FrameInit || f.Type == server.FrameEvent || f.Type == server.FrameBye) {
+		for len(s.outbox) >= s.cfg.BufferLimit && s.err == nil && !s.isDone() {
+			s.space.Wait()
+		}
+		if s.err != nil {
+			return s.err
+		}
+		if f.Type != server.FrameBye && s.isDone() {
+			return errors.New("client: session ended")
+		}
+		s.nextSeq++
+		f.Seq = s.nextSeq
+		// The bye is sequenced — so a gap before it (a lost final event)
+		// is detected instead of silently closing the session short —
+		// but re-sent via byeSeq rather than the outbox, keeping the
+		// replay order events → pending snapshots → bye.
+		if f.Type == server.FrameBye {
+			s.byeSeq = f.Seq
+		} else {
+			s.outbox = append(s.outbox, f)
+		}
+		sequenced = true
+	}
+	if s.conn == nil {
+		if !s.cfg.Reconnect {
+			return errors.New("client: connection closed")
+		}
+		if sequenced {
+			return nil // buffered; the resume replay delivers it
+		}
+		return errDisconnected
+	}
 	if err := writeClientFrame(s.conn, f); err != nil {
-		s.err = fmt.Errorf("client: write: %w", err)
+		if s.cfg.Reconnect {
+			s.dropConnLocked()
+			if sequenced {
+				return nil
+			}
+			return errDisconnected
+		}
+		s.failLocked(fmt.Errorf("client: write: %w", err))
 		return s.err
 	}
 	return nil
 }
 
-// read is the frame reader: it routes snapshot responses to their
-// waiters, stores the goodbye frame, and pushes everything else to the
-// verdict stream.
-func (s *Session) read(sc scanner) {
-	defer close(s.done)
+// read is the frame reader for one connection: it routes acks to the
+// in-flight buffer, snapshot responses to their waiters, stores the
+// goodbye frame, and pushes everything else — deduped on idx across
+// resume replays — to the verdict stream.
+func (s *Session) read(conn net.Conn, sc *bufio.Scanner) {
 	for sc.Scan() {
 		var fr server.ServerFrame
 		if err := decodeServerFrame(sc.Bytes(), &fr); err != nil {
-			s.fail(err)
+			s.readerGone(conn, fmt.Errorf("client: read: %w", err))
 			return
 		}
 		switch {
@@ -250,35 +460,272 @@ func (s *Session) read(sc scanner) {
 			s.mu.Lock()
 			s.goodbye = &fr
 			s.mu.Unlock()
+			s.finish()
 			return
+		case fr.Type == server.FrameAck && fr.ID == 0 && fr.Seq > 0:
+			s.handleAck(fr.Seq)
+		case fr.Type == server.FrameError && fr.ID == 0 && fr.Code != "":
+			// Transport-level signal (seq gap, bad seq): the server is
+			// about to drop the connection and the reconnect machinery
+			// recovers. Not a detection verdict; keep it out of Latched
+			// so resumed runs stay bit-identical to uninterrupted ones.
 		case (fr.Type == server.FrameSnapshot || fr.Type == server.FrameError) && fr.ID > 0:
 			s.mu.Lock()
-			resp := s.snaps[fr.ID]
+			w := s.snaps[fr.ID]
 			s.mu.Unlock()
-			if resp != nil {
-				resp <- fr
+			if w != nil {
+				// Non-blocking: a re-issued snapshot can answer twice,
+				// and the second response must not wedge the reader.
+				select {
+				case w.ch <- fr:
+				default:
+				}
 				continue
 			}
-			fallthrough
+			s.record(fr)
 		default:
-			s.mu.Lock()
-			s.frames = append(s.frames, fr)
-			s.mu.Unlock()
-			select {
-			case s.verdicts <- fr:
-			default: // consumer behind; Latched keeps the full record
-			}
+			s.record(fr)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		s.fail(fmt.Errorf("client: read: %w", err))
+	var err error
+	if scErr := sc.Err(); scErr != nil {
+		err = fmt.Errorf("client: read: %w", scErr)
 	}
+	s.readerGone(conn, err)
+}
+
+// record stores a pushed frame and forwards it to the verdict stream,
+// dropping resume-replay duplicates by their recorded-frame idx.
+func (s *Session) record(fr server.ServerFrame) {
+	s.mu.Lock()
+	if fr.Idx > 0 {
+		if fr.Idx <= s.lastIdx {
+			s.mu.Unlock()
+			return
+		}
+		s.lastIdx = fr.Idx
+	}
+	s.frames = append(s.frames, fr)
+	s.mu.Unlock()
+	select {
+	case s.verdicts <- fr:
+	default: // consumer behind; Latched keeps the full record
+	}
+}
+
+// readerGone handles the end of a connection's read loop (err is nil on
+// clean EOF). In reconnect mode any end — EOF or error — is an outage:
+// start the reconnect loop if this reader's connection is still current.
+// Plain sessions die with their connection, exactly as before resume
+// existed: surface read errors sticky and end the session, unblocking
+// snapshot waiters and Close.
+func (s *Session) readerGone(conn net.Conn, err error) {
+	if s.cfg.Reconnect {
+		if s.isDone() {
+			return
+		}
+		s.wmu.Lock()
+		if s.conn == conn {
+			s.dropConnLocked()
+		}
+		s.wmu.Unlock()
+		return
+	}
+	if err != nil {
+		s.fail(err)
+	}
+	s.finish()
+}
+
+// handleAck releases every in-flight frame the server confirmed.
+func (s *Session) handleAck(seq int64) {
+	s.wmu.Lock()
+	if seq > s.acked {
+		s.acked = seq
+		s.pruneOutboxLocked(seq)
+		s.space.Broadcast()
+	}
+	s.wmu.Unlock()
+}
+
+func (s *Session) pruneOutboxLocked(seq int64) {
+	i := 0
+	for i < len(s.outbox) && s.outbox[i].Seq <= seq {
+		i++
+	}
+	if i > 0 {
+		s.outbox = append([]server.ClientFrame(nil), s.outbox[i:]...)
+	}
+}
+
+// dropConnLocked tears down the current connection and starts the
+// single-flight reconnect loop. Callers hold wmu.
+func (s *Session) dropConnLocked() {
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+	}
+	if s.rejoin || s.err != nil || s.isDone() {
+		return
+	}
+	s.rejoin = true
+	go s.reconnectLoop()
+}
+
+// reconnectLoop redials with exponential backoff + jitter and performs
+// the resume handshake until it succeeds, the session ends, or
+// MaxAttempts consecutive attempts fail. Exactly one loop runs at a
+// time (the rejoin flag), so rng and the handshake are race-free.
+func (s *Session) reconnectLoop() {
+	outage := time.Now()
+	for attempt := 0; ; attempt++ {
+		if s.isDone() || s.Err() != nil {
+			s.endRejoin()
+			return
+		}
+		if attempt >= s.cfg.MaxAttempts {
+			s.fail(fmt.Errorf("client: giving up after %d reconnect attempts", attempt))
+			s.finish()
+			s.endRejoin()
+			return
+		}
+		time.Sleep(s.backoff(attempt))
+		s.wmu.Lock()
+		acked := s.acked
+		byeSent := s.byeSent
+		s.wmu.Unlock()
+		conn, sc, welcome, err := s.connect(server.ClientFrame{Type: server.FrameResume, Session: s.id, Seq: acked})
+		if err != nil {
+			var re *resumeError
+			if !errors.As(err, &re) {
+				continue // dial or I/O failure: retry
+			}
+			switch {
+			case re.code == server.CodeBusy:
+				// The server has not yet noticed the dead connection
+				// (its reader is waiting out the read deadline); retry.
+				continue
+			case re.code == server.CodeUnknownSession && byeSent:
+				// The bye was delivered but the goodbye was lost with
+				// the connection: the session is over, not broken.
+				s.finish()
+				s.endRejoin()
+				return
+			default:
+				s.fail(fmt.Errorf("client: resume rejected: %w", re))
+				s.finish()
+				s.endRejoin()
+				return
+			}
+		}
+		if s.adopt(conn, sc, welcome.Seq, outage) {
+			return
+		}
+		// Replay failed mid-write; the handshake did reach the server,
+		// so this is a fresh outage.
+		attempt = -1
+	}
+}
+
+func (s *Session) endRejoin() {
+	s.wmu.Lock()
+	s.rejoin = false
+	s.wmu.Unlock()
+}
+
+// adopt installs a freshly resumed connection: prunes the in-flight
+// buffer below the server's accept high-water mark, replays the rest in
+// order, re-issues pending snapshot queries (their responses may have
+// died with the old connection) and the bye if Close already ran, then
+// restarts the reader. Returns false if the connection died during the
+// replay.
+func (s *Session) adopt(conn net.Conn, sc *bufio.Scanner, serverSeq int64, outage time.Time) bool {
+	s.mu.Lock()
+	pending := make([]server.ClientFrame, 0, len(s.snaps))
+	for _, w := range s.snaps {
+		pending = append(pending, w.f)
+	}
+	s.mu.Unlock()
+	sort.Slice(pending, func(i, j int) bool { return pending[i].ID < pending[j].ID })
+
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if serverSeq > s.acked {
+		// The server accepted more than it had acked before the outage.
+		s.acked = serverSeq
+		s.pruneOutboxLocked(serverSeq)
+	}
+	replay := s.outbox
+	for _, f := range replay {
+		if writeClientFrame(conn, f) != nil {
+			conn.Close()
+			return false
+		}
+	}
+	for _, f := range pending {
+		if writeClientFrame(conn, f) != nil {
+			conn.Close()
+			return false
+		}
+	}
+	if s.byeSent {
+		if writeClientFrame(conn, server.ClientFrame{Type: server.FrameBye, Seq: s.byeSeq}) != nil {
+			conn.Close()
+			return false
+		}
+	}
+	s.conn = conn
+	s.rejoin = false
+	s.stats.Reconnects++
+	s.stats.Replayed += len(replay)
+	s.stats.Outage += time.Since(outage)
+	s.space.Broadcast()
+	go s.read(conn, sc)
+	return true
+}
+
+// backoff returns the delay before reconnect attempt n: the exponential
+// floor plus deterministic jitter over its upper half.
+func (s *Session) backoff(attempt int) time.Duration {
+	if attempt > 20 {
+		attempt = 20
+	}
+	d := s.cfg.BackoffBase << uint(attempt)
+	if d <= 0 || d > s.cfg.BackoffMax {
+		d = s.cfg.BackoffMax
+	}
+	half := d / 2
+	return half + time.Duration(s.rng.Int63n(int64(half)+1))
 }
 
 func (s *Session) fail(err error) {
 	s.wmu.Lock()
+	s.failLocked(err)
+	s.wmu.Unlock()
+}
+
+// failLocked records the sticky error and unblocks everyone waiting on
+// the session: buffered writers (space) and snapshot waiters (failed),
+// which previously could hang until the reader happened to exit.
+func (s *Session) failLocked(err error) {
 	if s.err == nil {
 		s.err = err
 	}
-	s.wmu.Unlock()
+	s.failOne.Do(func() { close(s.failed) })
+	s.space.Broadcast()
+}
+
+// finish marks the session over. Idempotent.
+func (s *Session) finish() {
+	s.doneOne.Do(func() { close(s.done) })
+	s.space.Broadcast()
+}
+
+func (s *Session) isDone() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
 }

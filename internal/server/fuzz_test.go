@@ -1,7 +1,14 @@
 package server
 
 import (
+	"bufio"
+	"context"
+	"net"
+	"sync"
 	"testing"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // FuzzDecodeClientFrame asserts the wire decoder never panics on
@@ -21,6 +28,17 @@ func FuzzDecodeClientFrame(f *testing.F) {
 	f.Add([]byte(`[]`))
 	f.Add([]byte{0x00, 0xff, 0xfe})
 	f.Add([]byte(``))
+	// Resume-protocol frames and hostile sequence numbers.
+	f.Add([]byte(`{"type":"hello","processes":2,"resumable":true}`))
+	f.Add([]byte(`{"type":"resume","session":"s-0001","seq":42}`))
+	f.Add([]byte(`{"type":"resume","session":"","seq":0}`))                          // missing session
+	f.Add([]byte(`{"type":"resume","session":"s-0001","seq":-1}`))                   // negative seq
+	f.Add([]byte(`{"type":"resume","session":"s-0001","seq":9223372036854775807}`))  // int64 max
+	f.Add([]byte(`{"type":"resume","session":"s-0001","seq":92233720368547758070}`)) // overflows int64
+	f.Add([]byte(`{"type":"event","proc":1,"kind":"internal","seq":-9223372036854775808}`))
+	f.Add([]byte(`{"type":"event","proc":1,"kind":"internal","seq":9223372036854775807}`))
+	f.Add([]byte(`{"type":"bye","seq":7}`))
+	f.Add([]byte(`{"type":"ack","seq":3}`)) // server frame type sent by a confused client
 
 	f.Fuzz(func(t *testing.T, line []byte) {
 		fr, err := DecodeClientFrame(line)
@@ -36,6 +54,75 @@ func FuzzDecodeClientFrame(f *testing.F) {
 					t.Fatalf("ValidateHello accepted %d watches", len(fr.Watches))
 				}
 			}
+		}
+		if fr.Type == FrameResume {
+			if ValidateResume(fr) == nil {
+				if fr.Session == "" {
+					t.Fatal("ValidateResume accepted an empty session id")
+				}
+				if fr.Seq < 0 {
+					t.Fatalf("ValidateResume accepted negative seq %d", fr.Seq)
+				}
+			}
+		}
+	})
+}
+
+// fuzzSrv is the shared server FuzzFirstFrame connections hit; one per
+// process keeps iterations cheap.
+var (
+	fuzzSrvOnce sync.Once
+	fuzzSrvAddr string
+	fuzzSrv     *Server
+)
+
+func fuzzServer(f *testing.F) string {
+	fuzzSrvOnce.Do(func() {
+		fuzzSrv = New(Config{Registry: obs.NewRegistry(), ReadTimeout: time.Second, IdleTimeout: time.Second})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			f.Fatal(err)
+		}
+		go fuzzSrv.Serve(ln) //nolint:errcheck
+		fuzzSrvAddr = ln.Addr().String()
+	})
+	f.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		fuzzSrv.Shutdown(ctx) //nolint:errcheck // repeated shutdown across fuzz targets is fine
+	})
+	return fuzzSrvAddr
+}
+
+// FuzzFirstFrame throws arbitrary bytes at a live server as the opening
+// frame of a fresh connection — hello, resume-before-hello, hostile
+// seqs, garbage — and asserts the server answers (or closes) without
+// wedging and stays up for the next connection.
+func FuzzFirstFrame(f *testing.F) {
+	f.Add([]byte(`{"type":"hello","processes":2,"resumable":true}`))
+	f.Add([]byte(`{"type":"resume","session":"s-0001","seq":0}`))  // resume before any hello
+	f.Add([]byte(`{"type":"resume","session":"s-0001","seq":-5}`)) // negative seq
+	f.Add([]byte(`{"type":"resume","session":"s-0001","seq":9223372036854775807}`))
+	f.Add([]byte(`{"type":"event","proc":1,"kind":"internal"}`)) // event before hello
+	f.Add([]byte(`{"type":"bye"}`))
+	f.Add([]byte(`{"type":"resume"}`))
+	f.Add([]byte(`not json at all`))
+	addr := fuzzServer(f)
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			t.Skip("server saturated") // accept backlog under fuzz load, not a bug
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(3 * time.Second))
+		conn.Write(append(line, '\n')) //nolint:errcheck // server may reject early
+		// Whatever we sent, the connection must terminate promptly: a
+		// frame response, a close, or the read timeout server-side.
+		sc := bufio.NewScanner(conn)
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		for sc.Scan() {
+			// drain until the server closes or the deadline trips
 		}
 	})
 }

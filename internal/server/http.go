@@ -58,6 +58,10 @@ func RegisterHTTP(mux *http.ServeMux, srv *Server) {
 			Processes: sess.N(),
 			Events:    int(sess.Events()),
 			Dropped:   int(sess.Dropped()),
+			// Resumable-session accounting: high-water applied seq and
+			// whether the session survives transport loss.
+			Seq:     sess.AckedSeq(),
+			Resumed: sess.Resumable(),
 		})
 	})
 

@@ -17,6 +17,30 @@ type metrics struct {
 	stableFired    *obs.Counter   // hb_server_verdicts_total{kind="stable_fired"}
 	snapshots      *obs.Counter   // hb_server_snapshots_total
 	protoErrors    *obs.Counter   // hb_server_protocol_errors_total
+	duplicates     *obs.Counter   // hb_server_events_duplicate_total
+	journaled      *obs.Counter   // hb_server_events_journaled_total
+	resumesOK      *obs.Counter   // hb_server_resumes_total{result="ok"}
+	resumesRej     *obs.Counter   // hb_server_resumes_total{result="rejected"}
+
+	// connCloses counts TCP connection teardowns by typed reason, so a
+	// half-open peer timing out is distinguishable from a clean bye.
+	connCloses map[string]*obs.Counter // hb_server_conn_closes_total{reason=...}
+}
+
+// Typed TCP connection close reasons (hb_server_conn_closes_total labels).
+const (
+	CloseBye         = "bye"          // client sent bye; orderly close
+	CloseSessionDone = "session_done" // session ended server-side (shutdown, idle, error)
+	CloseEOF         = "eof"          // peer closed the connection
+	CloseReadTimeout = "read_timeout" // read deadline expired on a silent/half-open peer
+	CloseProtoError  = "proto_error"  // malformed frame desynchronized the stream
+	CloseSeqGap      = "seq_gap"      // sequenced frames lost in flight; client must resume
+	CloseError       = "error"        // other I/O error
+)
+
+var closeReasons = []string{
+	CloseBye, CloseSessionDone, CloseEOF, CloseReadTimeout,
+	CloseProtoError, CloseSeqGap, CloseError,
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -46,5 +70,32 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Offline snapshot queries served."),
 		protoErrors: reg.Counter("hb_server_protocol_errors_total",
 			"Frames rejected as malformed, out of range, or out of order."),
+		duplicates: reg.Counter("hb_server_events_duplicate_total",
+			"Sequenced frames idempotently dropped as duplicates (at-least-once redelivery)."),
+		journaled: reg.Counter("hb_server_events_journaled_total",
+			"Event frames recorded in session journals (must reconcile with hb_server_events_total)."),
+		resumesOK: reg.Counter(`hb_server_resumes_total{result="ok"}`,
+			"Resume handshakes by outcome."),
+		resumesRej: reg.Counter(`hb_server_resumes_total{result="rejected"}`,
+			"Resume handshakes by outcome."),
+		connCloses: closeCounters(reg),
 	}
+}
+
+func closeCounters(reg *obs.Registry) map[string]*obs.Counter {
+	m := make(map[string]*obs.Counter, len(closeReasons))
+	for _, r := range closeReasons {
+		m[r] = reg.Counter(`hb_server_conn_closes_total{reason="`+r+`"}`,
+			"TCP ingest connection closes by reason.")
+	}
+	return m
+}
+
+// connClosed counts one TCP teardown under its typed reason.
+func (m *metrics) connClosed(reason string) {
+	if c, ok := m.connCloses[reason]; ok {
+		c.Inc()
+		return
+	}
+	m.connCloses[CloseError].Inc()
 }

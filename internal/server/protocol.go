@@ -40,6 +40,7 @@ const (
 // Client → server frame types.
 const (
 	FrameHello    = "hello"    // opens the session: processes + watches
+	FrameResume   = "resume"   // reattaches to a live resumable session by id + seq
 	FrameInit     = "init"     // initial variable value, before events of that process
 	FrameEvent    = "event"    // one observed event (internal, send, receive)
 	FrameSnapshot = "snapshot" // freeze the prefix, run an offline core.Detect query
@@ -52,7 +53,19 @@ const (
 	FrameVerdict = "verdict" // a watch latched
 	FrameError   = "error"   // rejected frame or failed request
 	FrameGoodbye = "goodbye" // session closed; final accounting
-	FrameAck     = "ack"     // HTTP batch-ingest accounting
+	FrameAck     = "ack"     // seq acknowledgement / HTTP batch-ingest accounting
+)
+
+// Machine-readable codes on error frames, so clients can decide whether
+// a failed resume is worth retrying. CodeBusy is the only retryable one:
+// the server has not yet noticed that the previous connection died.
+const (
+	CodeUnknownSession = "unknown-session" // no such live session (never existed, expired, or closed)
+	CodeNotResumable   = "not-resumable"   // session was not opened with resumable:true
+	CodeBusy           = "busy"            // another transport is still attached; retry after backoff
+	CodeBadSeq         = "bad-seq"         // resume seq is negative or ahead of anything the server accepted
+	CodeStaleSeq       = "stale-seq"       // resume point has fallen out of the journal retention window
+	CodeSeqGap         = "seq-gap"         // frames were lost in flight; reconnect and resume from the last ack
 )
 
 // Watch declares one predicate watch in a hello frame.
@@ -76,6 +89,19 @@ type ClientFrame struct {
 	// hello
 	Processes int     `json:"processes,omitempty"`
 	Watches   []Watch `json:"watches,omitempty"`
+	// Resumable opts the session into fault tolerance: init/event frames
+	// carry client-assigned sequence numbers, accepted frames are
+	// journaled, the server acks periodically, and a dropped connection
+	// detaches the transport instead of closing the session, so the
+	// client can reattach with a resume frame.
+	Resumable bool `json:"resumable,omitempty"`
+
+	// resume: Session names the session to reattach to; Seq is the
+	// highest sequence number the client has seen acked. Seq also rides
+	// on init/event frames of resumable sessions (1,2,3,... per session;
+	// 0 means unsequenced).
+	Session string `json:"session,omitempty"`
+	Seq     int64  `json:"seq,omitempty"`
 
 	// init (Proc, Var, Value) and event (Proc, Kind, Msg, Sets)
 	Proc  int            `json:"proc,omitempty"`
@@ -117,7 +143,23 @@ type ServerFrame struct {
 	Events  int `json:"events,omitempty"`  // events applied to the monitor
 	Dropped int `json:"dropped,omitempty"` // events shed by the overflow policy
 
+	// Seq on an ack frame: every sequenced frame ≤ Seq has been applied
+	// (the client may release its in-flight copies). On a welcome frame:
+	// the server's high-water accepted seq — a resuming client replays
+	// only what is above it.
+	Seq int64 `json:"seq,omitempty"`
+	// Idx is the 1-based position of a recorded (verdict/error) frame in
+	// the session's latched-frame log. Resume replays the log; clients
+	// drop frames whose Idx they have already seen, so redelivery is
+	// idempotent.
+	Idx int `json:"idx,omitempty"`
+	// Resumed marks the welcome frame of a resume handshake.
+	Resumed bool `json:"resumed,omitempty"`
+
 	Error string `json:"error,omitempty"`
+	// Code classifies error frames (Code* constants); empty for
+	// free-form semantic errors.
+	Code string `json:"code,omitempty"`
 }
 
 // DecodeClientFrame parses one NDJSON line into a ClientFrame. Unknown
@@ -151,6 +193,22 @@ func ValidateHello(f ClientFrame) error {
 	}
 	if len(f.Watches) > MaxWatches {
 		return fmt.Errorf("server: at most %d watches, got %d", MaxWatches, len(f.Watches))
+	}
+	return nil
+}
+
+// ValidateResume checks the structural constraints of a resume frame.
+// A hostile seq (negative, or absurdly ahead) is rejected here or by the
+// per-session window check; it must never corrupt session state.
+func ValidateResume(f ClientFrame) error {
+	if f.Type != FrameResume {
+		return fmt.Errorf("server: expected %q frame, got %q", FrameResume, f.Type)
+	}
+	if f.Session == "" {
+		return fmt.Errorf("server: resume without session id")
+	}
+	if f.Seq < 0 {
+		return fmt.Errorf("server: resume with negative seq %d", f.Seq)
 	}
 	return nil
 }

@@ -61,8 +61,23 @@ type Config struct {
 	MaxSessions int
 	// IdleTimeout closes sessions that ingested nothing for this long
 	// (0 disables). TCP connections additionally enforce it as a read
-	// deadline.
+	// deadline. It is also what reclaims a resumable session whose
+	// client never comes back.
 	IdleTimeout time.Duration
+	// ReadTimeout bounds each TCP frame read, so a half-open peer that
+	// stopped sending cannot park a reader goroutine forever (default
+	// 5m; negative disables). Timed-out reads close the connection with
+	// reason "read_timeout" in hb_server_conn_closes_total; resumable
+	// sessions survive the close and wait for a resume.
+	ReadTimeout time.Duration
+	// RetentionWindow is how many accepted sequenced frames a resumable
+	// session journals (default 4096). A resume whose last-acked seq has
+	// fallen more than this far behind is rejected as stale.
+	RetentionWindow int
+	// AckEvery is how many applied sequenced frames pass between ack
+	// frames on resumable sessions (default 32). Clients bound their
+	// in-flight buffer by it: BufferLimit must exceed AckEvery.
+	AckEvery int
 	// IngestDelay adds an artificial per-event processing delay in the
 	// monitor loop — for demos and backpressure testing.
 	IngestDelay time.Duration
@@ -85,6 +100,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	sessions map[string]*Session
+	morgue   map[string]morgueEntry // finished resumable sessions, for terminal replay
 	nextID   int
 	draining bool
 	lns      []net.Listener
@@ -105,10 +121,20 @@ func New(cfg Config) *Server {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = 5 * time.Minute
+	}
+	if cfg.RetentionWindow <= 0 {
+		cfg.RetentionWindow = 4096
+	}
+	if cfg.AckEvery <= 0 {
+		cfg.AckEvery = 32
+	}
 	s := &Server{
 		cfg:      cfg,
 		met:      newMetrics(cfg.Registry),
 		sessions: make(map[string]*Session),
+		morgue:   make(map[string]morgueEntry),
 		stop:     make(chan struct{}),
 	}
 	if cfg.IdleTimeout > 0 {
@@ -149,13 +175,17 @@ func (s *Server) Open(cfg SessionConfig) (*Session, error) {
 	s.nextID++
 	id := fmt.Sprintf("s-%04d", s.nextID)
 	sess := newSession(s, id, cfg.Processes, ws)
+	if cfg.Resumable {
+		sess.resumable = true
+		sess.journal = make([]journalEntry, 0, min(s.cfg.RetentionWindow, 256))
+	}
 	s.sessions[id] = sess
 	n := len(s.sessions)
 	s.mu.Unlock()
 
 	s.met.sessionsTotal.Inc()
 	s.met.sessionsActive.Set(int64(n))
-	s.logf("session %s opened: %d processes, %d watches", id, cfg.Processes, len(ws))
+	s.logf("session %s opened: %d processes, %d watches (resumable=%v)", id, cfg.Processes, len(ws), cfg.Resumable)
 	s.wg.Add(1)
 	go sess.run()
 	return sess, nil
@@ -166,6 +196,108 @@ func (s *Server) Session(id string) *Session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.sessions[id]
+}
+
+// morgueEntry is the terminal state of a finished resumable session,
+// lingering so a client whose last connection died between bye and
+// goodbye can still resume and collect the recorded frames it missed —
+// the TIME_WAIT of the resume protocol. Without it, verdicts latched
+// just before close would be unrecoverable exactly when the network is
+// at its worst.
+type morgueEntry struct {
+	welcome ServerFrame
+	frames  []ServerFrame // the full latched record, Idx-stamped
+	goodbye ServerFrame
+	enqSeq  int64
+	retired time.Time
+}
+
+// morgueTTL is how long a finished session lingers for terminal replay.
+func (s *Server) morgueTTL() time.Duration {
+	if s.cfg.IdleTimeout > 0 {
+		return s.cfg.IdleTimeout
+	}
+	return 30 * time.Second
+}
+
+// retire parks a finished resumable session in the morgue, pruning
+// expired entries and bounding the morgue at MaxSessions.
+func (s *Server) retire(id string, welcome ServerFrame, frames []ServerFrame, goodbye ServerFrame, enqSeq int64) {
+	ttl := s.morgueTTL()
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, e := range s.morgue {
+		if now.Sub(e.retired) > ttl {
+			delete(s.morgue, k)
+		}
+	}
+	if len(s.morgue) >= s.cfg.MaxSessions {
+		var oldest string
+		var oldestAt time.Time
+		for k, e := range s.morgue {
+			if oldest == "" || e.retired.Before(oldestAt) {
+				oldest, oldestAt = k, e.retired
+			}
+		}
+		delete(s.morgue, oldest)
+	}
+	s.morgue[id] = morgueEntry{welcome: welcome, frames: frames, goodbye: goodbye, enqSeq: enqSeq, retired: now}
+}
+
+// lookupMorgue returns the lingering terminal state of id, if any.
+func (s *Server) lookupMorgue(id string) (morgueEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.morgue[id]
+	if ok && time.Since(e.retired) > s.morgueTTL() {
+		delete(s.morgue, id)
+		return morgueEntry{}, false
+	}
+	return e, ok
+}
+
+// resume reattaches a transport to a live resumable session. On success
+// the attachment is installed atomically with the replay snapshot: the
+// caller must write welcome (Seq = high-water accepted seq) and then the
+// replayed frames before consuming att.ch, so the client sees exactly
+// the record → push order an uninterrupted connection would have.
+//
+// A nil *Session with a nil error is a terminal replay: the session
+// already finished but lingers in the morgue — the caller writes
+// welcome and the replay (which ends with the goodbye) and closes.
+// Failures carry a Code* constant; only CodeBusy is worth retrying.
+func (s *Server) resume(f ClientFrame, att *attachment) (*Session, ServerFrame, []ServerFrame, string, error) {
+	if err := ValidateResume(f); err != nil {
+		s.met.resumesRej.Inc()
+		return nil, ServerFrame{}, nil, CodeBadSeq, err
+	}
+	sess := s.Session(f.Session)
+	if sess == nil {
+		if e, ok := s.lookupMorgue(f.Session); ok {
+			s.met.resumesOK.Inc()
+			s.logf("session %s resumed from morgue (%d frames + goodbye to replay)", f.Session, len(e.frames))
+			welcome := e.welcome
+			welcome.Seq = e.enqSeq
+			welcome.Resumed = true
+			replay := append(append([]ServerFrame(nil), e.frames...), e.goodbye)
+			return nil, welcome, replay, "", nil
+		}
+		s.met.resumesRej.Inc()
+		return nil, ServerFrame{}, nil, CodeUnknownSession,
+			fmt.Errorf("server: no live session %q (never opened, expired, or closed)", f.Session)
+	}
+	seq, replay, code, err := sess.tryResume(f.Seq, att)
+	if err != nil {
+		s.met.resumesRej.Inc()
+		return nil, ServerFrame{}, nil, code, err
+	}
+	s.met.resumesOK.Inc()
+	s.logf("session %s resumed at seq %d (%d frames to replay)", sess.id, seq, len(replay))
+	welcome := sess.Welcome()
+	welcome.Seq = seq
+	welcome.Resumed = true
+	return sess, welcome, replay, "", nil
 }
 
 // SessionCount returns the number of currently open sessions.

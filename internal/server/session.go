@@ -25,6 +25,12 @@ var (
 type SessionConfig struct {
 	Processes int
 	Watches   []Watch
+	// Resumable sessions journal accepted sequenced frames, ack them,
+	// and survive transport loss: a dropped connection detaches instead
+	// of closing, and a resume frame reattaches. Resumable sessions
+	// always apply backpressure — the drop overflow policy would break
+	// the exactly-once contract.
+	Resumable bool
 }
 
 // watchState tracks one registered watch through the session's lifetime.
@@ -70,6 +76,38 @@ type inFrame struct {
 	resp chan ServerFrame // non-nil for requests awaiting an in-band reply
 }
 
+// attachment is one transport subscription (a TCP connection's writer).
+// done is closed when the transport goes away, so an emit blocked on a
+// full channel never wedges the monitor loop on a dead connection.
+type attachment struct {
+	ch       chan ServerFrame
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+func newAttachment() *attachment {
+	return &attachment{ch: make(chan ServerFrame, 64), done: make(chan struct{})}
+}
+
+// close marks the transport gone. Safe to call multiple times.
+func (a *attachment) close() { a.doneOnce.Do(func() { close(a.done) }) }
+
+// journalEntry is one accepted sequenced frame in the session journal.
+type journalEntry struct {
+	Seq  int64
+	Type string
+	Proc int
+}
+
+// seqVerdict is the transport-side triage of a sequenced frame.
+type seqVerdict int
+
+const (
+	seqAccept seqVerdict = iota // next-in-order: enqueue it
+	seqDup                      // already accepted: drop idempotently
+	seqGap                      // frames lost in flight: drop the connection
+)
+
 // Session is one detection session: a bounded ingest queue feeding a
 // serialized monitor loop. Transports enqueue concurrently; the loop is
 // the only goroutine that touches the monitor and the watches, so
@@ -90,12 +128,20 @@ type Session struct {
 	registered bool        // watches registered (deferred until the first event)
 	msgIDs     map[int]int // wire msg id → monitor msg id
 	seen       int         // events applied
+	journal    []journalEntry
+	jnext      int // ring cursor once the journal reaches the retention window
 
 	mu      sync.Mutex
-	sub     chan ServerFrame // transport subscriber (TCP writer), nil for HTTP sessions
-	frames  []ServerFrame    // latched verdict and error frames, for HTTP pull
+	att     *attachment   // attached transport (TCP writer), nil for HTTP/detached sessions
+	frames  []ServerFrame // latched verdict and error frames, for HTTP pull and resume replay
 	goodbye *ServerFrame
 	reason  string
+
+	resumable bool
+	enqSeq    atomic.Int64 // high-water sequenced frame accepted by the transport
+	ackSeq    atomic.Int64 // high-water sequenced frame applied by the loop
+	dupes     atomic.Int64 // duplicate sequenced frames idempotently dropped
+	journaled atomic.Int64 // event frames journaled (reconciles with events)
 
 	events     atomic.Int64
 	dropped    atomic.Int64
@@ -131,6 +177,21 @@ func (s *Session) Events() int64 { return s.events.Load() }
 
 // Dropped returns the number of events shed by the overflow policy.
 func (s *Session) Dropped() int64 { return s.dropped.Load() }
+
+// Resumable reports whether the session survives transport loss.
+func (s *Session) Resumable() bool { return s.resumable }
+
+// AckedSeq returns the highest sequenced frame applied by the monitor
+// loop — everything a client may safely release from its buffer.
+func (s *Session) AckedSeq() int64 { return s.ackSeq.Load() }
+
+// Duplicates returns the sequenced frames idempotently dropped.
+func (s *Session) Duplicates() int64 { return s.dupes.Load() }
+
+// Journaled returns the event frames recorded in the session journal —
+// by construction equal to Events on a resumable session, and asserted
+// so by the chaos suite (accepted == journaled == detected).
+func (s *Session) Journaled() int64 { return s.journaled.Load() }
 
 // AvgIngest returns the mean enqueue-to-applied latency of this
 // session's events — the per-session view of hb_server_ingest_seconds.
@@ -169,10 +230,79 @@ func (s *Session) Welcome() ServerFrame {
 
 // attach registers the transport subscriber; latched frames are pushed
 // to it as they happen. Attach before ingesting, or pull via Frames.
-func (s *Session) attach(sub chan ServerFrame) {
+func (s *Session) attach(att *attachment) {
 	s.mu.Lock()
-	s.sub = sub
+	s.att = att
 	s.mu.Unlock()
+}
+
+// detach removes att if it is still the attached transport. A resumable
+// session keeps running detached — frames latch into the record and a
+// later resume replays them.
+func (s *Session) detach(att *attachment) {
+	s.mu.Lock()
+	if s.att == att {
+		s.att = nil
+	}
+	s.mu.Unlock()
+	att.close()
+}
+
+// tryResume validates a resume request and, atomically with the checks,
+// installs att and snapshots the recorded frames for replay. Holding mu
+// across both means no frame can latch between the snapshot and the
+// attachment — record-before-push plus replay-from-record is lossless.
+// A second resume while a transport is attached is rejected (CodeBusy):
+// the first loser of a connection must be detached — by its reader
+// noticing the close, or by the read deadline — before a successor may
+// take over, so two clients can never ingest interleaved.
+func (s *Session) tryResume(clientSeq int64, att *attachment) (int64, []ServerFrame, string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.resumable {
+		return 0, nil, CodeNotResumable, errors.New("server: session is not resumable")
+	}
+	select {
+	case <-s.stop:
+		return 0, nil, CodeUnknownSession, errors.New("server: session closing")
+	default:
+	}
+	if s.att != nil {
+		return 0, nil, CodeBusy, errors.New("server: a transport is still attached (concurrent resume, or the previous connection has not timed out yet)")
+	}
+	enq := s.enqSeq.Load()
+	if clientSeq > enq {
+		return 0, nil, CodeBadSeq, fmt.Errorf("server: resume seq %d is ahead of anything accepted (%d)", clientSeq, enq)
+	}
+	if enq-clientSeq > int64(s.srv.cfg.RetentionWindow) {
+		return 0, nil, CodeStaleSeq, fmt.Errorf("server: resume seq %d is %d frames behind, beyond the retention window %d",
+			clientSeq, enq-clientSeq, s.srv.cfg.RetentionWindow)
+	}
+	s.att = att
+	replay := append([]ServerFrame(nil), s.frames...)
+	s.lastActive.Store(time.Now().UnixNano())
+	return enq, replay, "", nil
+}
+
+// acceptSeq triages one sequenced frame on the attached transport:
+// next-in-order advances the accept high-water mark, an already-accepted
+// seq is a redelivery to drop, and anything further ahead means frames
+// were lost — the transport must drop the connection and force a resume.
+// Only the single attached transport calls this, so the read-then-store
+// is race-free; the atomic makes the mark visible to tryResume.
+func (s *Session) acceptSeq(seq int64) seqVerdict {
+	enq := s.enqSeq.Load()
+	switch {
+	case seq <= enq:
+		s.dupes.Add(1)
+		s.srv.met.duplicates.Inc()
+		return seqDup
+	case seq == enq+1:
+		s.enqSeq.Store(seq)
+		return seqAccept
+	default:
+		return seqGap
+	}
 }
 
 // Close stops the session: ingest ends, the monitor loop drains whatever
@@ -197,7 +327,10 @@ func (s *Session) Ingest(f ClientFrame) error {
 }
 
 func (s *Session) enqueue(in inFrame) error {
-	if s.srv.cfg.Overflow == OverflowDrop && in.f.Type == FrameEvent {
+	// Resumable sessions always block: shedding an accepted sequenced
+	// frame would violate exactly-once ingestion (the client has been
+	// told, via the seq high-water mark, not to resend it).
+	if s.srv.cfg.Overflow == OverflowDrop && !s.resumable && in.f.Type == FrameEvent {
 		select {
 		case s.queue <- in:
 			return nil
@@ -313,11 +446,21 @@ func (s *Session) finish() {
 		gb.Error = s.reason
 	}
 	s.goodbye = &gb
-	sub := s.sub
+	att := s.att
+	var record []ServerFrame
+	if s.resumable {
+		record = append([]ServerFrame(nil), s.frames...)
+	}
 	s.mu.Unlock()
-	if sub != nil {
+	if s.resumable {
+		// Linger in the morgue: a client whose connection died between
+		// bye and goodbye resumes against this terminal state and still
+		// collects every recorded frame exactly once.
+		s.srv.retire(s.id, s.Welcome(), record, gb, s.enqSeq.Load())
+	}
+	if att != nil {
 		select {
-		case sub <- gb:
+		case att.ch <- gb:
 		default: // writer backlogged; accounting still available via Goodbye
 		}
 	}
@@ -330,8 +473,11 @@ func (s *Session) handle(f inFrame) {
 	switch f.f.Type {
 	case FrameInit:
 		s.handleInit(f)
+		s.noteSeq(f.f, false)
 	case FrameEvent:
+		before := s.seen
 		s.handleEvent(f)
+		s.noteSeq(f.f, s.seen > before)
 	case FrameSnapshot:
 		s.handleSnapshot(f)
 	case frameFlush:
@@ -342,6 +488,39 @@ func (s *Session) handle(f inFrame) {
 		f.resp <- ServerFrame{Type: FrameAck}
 	default:
 		s.reject(f, fmt.Sprintf("unknown frame type %q", f.f.Type))
+	}
+}
+
+// noteSeq finishes the monitor loop's side of a sequenced frame: the
+// applied high-water mark advances (a semantically rejected frame still
+// consumes its seq — redelivering it must not re-error), the frame is
+// journaled, and every AckEvery applied frames an ack is pushed so the
+// client can release its in-flight copies. The transport guarantees
+// in-order, gap-free, duplicate-free delivery into the queue, so the
+// loop sees each seq exactly once in order; the guard is defensive.
+func (s *Session) noteSeq(f ClientFrame, applied bool) {
+	if !s.resumable || f.Seq == 0 {
+		return
+	}
+	if f.Seq <= s.ackSeq.Load() {
+		s.dupes.Add(1)
+		s.srv.met.duplicates.Inc()
+		return
+	}
+	s.ackSeq.Store(f.Seq)
+	entry := journalEntry{Seq: f.Seq, Type: f.Type, Proc: f.Proc}
+	if len(s.journal) < s.srv.cfg.RetentionWindow {
+		s.journal = append(s.journal, entry)
+	} else {
+		s.journal[s.jnext] = entry
+		s.jnext = (s.jnext + 1) % len(s.journal)
+	}
+	if applied {
+		s.journaled.Add(1)
+		s.srv.met.journaled.Inc()
+	}
+	if f.Seq%int64(s.srv.cfg.AckEvery) == 0 {
+		s.emit(ServerFrame{Type: FrameAck, Session: s.id, Seq: f.Seq, Event: s.seen}, false)
 	}
 }
 
@@ -518,25 +697,32 @@ func (s *Session) checkWatches() {
 }
 
 // emit records a latched frame (when record is set) and pushes it to the
-// transport subscriber. Safe from any goroutine; never blocks past Close.
+// attached transport. Recording happens before the push and resume
+// replays the record, so a frame is never lost to a dying connection —
+// at worst it is delivered twice, and the client dedupes on Idx. Safe
+// from any goroutine; never blocks past Close or a transport detach.
 func (s *Session) emit(fr ServerFrame, record bool) {
 	s.mu.Lock()
 	if record {
+		fr.Idx = len(s.frames) + 1
 		s.frames = append(s.frames, fr)
 	}
-	sub := s.sub
+	att := s.att
 	s.mu.Unlock()
-	if sub == nil {
+	if att == nil {
 		return
 	}
 	// Prefer the buffered send: during the post-Close drain stop is
 	// already closed, but the writer is still draining the subscriber, so
 	// verdicts for drained events must not be shed while there is room.
 	select {
-	case sub <- fr:
+	case att.ch <- fr:
 	default:
 		select {
-		case sub <- fr:
+		case att.ch <- fr:
+		case <-att.done:
+			// Transport died with a backlogged channel; recorded frames
+			// reach the client via resume replay or Frames / Goodbye.
 		case <-s.stop:
 			// Closing with a backlogged subscriber; the frame stays
 			// available via Frames / Goodbye.

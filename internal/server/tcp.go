@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -9,8 +10,9 @@ import (
 
 // Serve accepts TCP ingest connections on ln until the listener is
 // closed (Shutdown closes it). Each connection speaks the NDJSON frame
-// protocol: a hello frame opens a dedicated session, event frames stream
-// the computation, and verdict frames are pushed back as they latch.
+// protocol: a hello frame opens a dedicated session (a resume frame
+// reattaches to a live one), event frames stream the computation, and
+// verdict frames are pushed back as they latch.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.draining {
@@ -38,6 +40,21 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
+// flush writes every frame already queued on ch, stopping at the first
+// write error (the peer is gone; recorded frames replay on resume).
+func flush(conn net.Conn, ch chan ServerFrame) {
+	for {
+		select {
+		case fr := <-ch:
+			if writeFrame(conn, fr) != nil {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
 // writeFrame writes one NDJSON frame, refusing to block forever on a
 // stuck peer.
 func writeFrame(conn net.Conn, fr ServerFrame) error {
@@ -46,11 +63,46 @@ func writeFrame(conn net.Conn, fr ServerFrame) error {
 	return err
 }
 
-// handleConn runs one TCP connection: handshake, then a reader loop
-// ingesting frames and a writer goroutine pushing latched frames back.
-// The writer owns all writes after the handshake; it exits when the
-// session finishes, and the subscriber channel is never closed (so a
+// armReadDeadline bounds the next frame read so a half-open peer that
+// went silent cannot park the reader goroutine forever. The effective
+// deadline is the shorter of ReadTimeout and IdleTimeout.
+func (s *Server) armReadDeadline(conn net.Conn) {
+	d := s.cfg.ReadTimeout
+	if d < 0 {
+		d = 0
+	}
+	if s.cfg.IdleTimeout > 0 && (d == 0 || s.cfg.IdleTimeout < d) {
+		d = s.cfg.IdleTimeout
+	}
+	if d > 0 {
+		conn.SetReadDeadline(time.Now().Add(d))
+	}
+}
+
+// scanEndReason classifies why the frame scanner stopped: clean EOF, an
+// expired read deadline, or another I/O error.
+func scanEndReason(err error) string {
+	if err == nil {
+		return CloseEOF
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return CloseReadTimeout
+	}
+	return CloseError
+}
+
+// handleConn runs one TCP connection: handshake (hello opens a session,
+// resume reattaches to one), then a reader loop ingesting frames and a
+// writer goroutine pushing latched frames back. The writer owns all
+// writes after the handshake; it exits when the session finishes or the
+// transport detaches, and the subscriber channel is never closed (so a
 // drain-time emit cannot panic).
+//
+// When the connection ends, a resumable session detaches — it keeps
+// running, frames latch into its record, and a later resume replays
+// them — while a plain session closes, exactly as before resumability
+// existed.
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
@@ -58,29 +110,89 @@ func (s *Server) handleConn(conn net.Conn) {
 	defer s.met.connsActive.Add(-1)
 
 	sc := newFrameScanner(conn)
-	if s.cfg.IdleTimeout > 0 {
-		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-	}
+	s.armReadDeadline(conn)
 	if !sc.Scan() {
+		s.met.connClosed(scanEndReason(sc.Err()))
 		return
 	}
-	hello, err := DecodeClientFrame(sc.Bytes())
-	if err == nil {
-		err = ValidateHello(hello)
-	}
+	first, err := DecodeClientFrame(sc.Bytes())
 	if err != nil {
 		s.met.protoErrors.Inc()
-		writeFrame(conn, ServerFrame{Type: FrameError, Error: err.Error()})
-		return
-	}
-	sess, err := s.Open(SessionConfig{Processes: hello.Processes, Watches: hello.Watches})
-	if err != nil {
-		s.met.protoErrors.Inc()
+		s.met.connClosed(CloseProtoError)
 		writeFrame(conn, ServerFrame{Type: FrameError, Error: err.Error()})
 		return
 	}
 
-	sub := make(chan ServerFrame, 64)
+	att := newAttachment()
+	var sess *Session
+	switch first.Type {
+	case FrameHello:
+		if err := ValidateHello(first); err != nil {
+			s.met.protoErrors.Inc()
+			s.met.connClosed(CloseProtoError)
+			writeFrame(conn, ServerFrame{Type: FrameError, Error: err.Error()})
+			return
+		}
+		sess, err = s.Open(SessionConfig{Processes: first.Processes, Watches: first.Watches, Resumable: first.Resumable})
+		if err != nil {
+			s.met.protoErrors.Inc()
+			s.met.connClosed(CloseProtoError)
+			writeFrame(conn, ServerFrame{Type: FrameError, Error: err.Error()})
+			return
+		}
+		// Welcome goes through the subscriber so the writer stays the
+		// only writer; attach afterwards so no verdict can overtake it.
+		// Watches are registered lazily at the first event, and only this
+		// connection ingests, so nothing latches in between.
+		att.ch <- sess.Welcome()
+		sess.attach(att)
+	case FrameResume:
+		resumed, welcome, replay, code, err := s.resume(first, att)
+		if err != nil {
+			s.met.connClosed(CloseError)
+			writeFrame(conn, ServerFrame{Type: FrameError, Code: code, Error: err.Error()})
+			return
+		}
+		if resumed == nil {
+			// Terminal replay: the session already finished but lingers
+			// in the morgue. Serve its record and goodbye, then close.
+			if writeFrame(conn, welcome) == nil {
+				for _, fr := range replay {
+					if writeFrame(conn, fr) != nil {
+						break
+					}
+				}
+			}
+			s.met.connClosed(CloseSessionDone)
+			return
+		}
+		sess = resumed
+		// The writer does not exist yet, so the handshake writes happen
+		// inline: welcome (carrying the accept high-water seq), then the
+		// recorded-frame replay. Frames latched after the attach go to
+		// att.ch and are pushed once the writer starts — tryResume
+		// snapshots the record atomically with the attach, so the replay
+		// and the live stream neither overlap nor leave a hole.
+		if writeFrame(conn, welcome) != nil {
+			sess.detach(att)
+			s.met.connClosed(CloseError)
+			return
+		}
+		for _, fr := range replay {
+			if writeFrame(conn, fr) != nil {
+				sess.detach(att)
+				s.met.connClosed(CloseError)
+				return
+			}
+		}
+	default:
+		s.met.protoErrors.Inc()
+		s.met.connClosed(CloseProtoError)
+		writeFrame(conn, ServerFrame{Type: FrameError,
+			Error: fmt.Sprintf("server: first frame must be %q or %q, got %q", FrameHello, FrameResume, first.Type)})
+		return
+	}
+
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
@@ -90,47 +202,90 @@ func (s *Server) handleConn(conn net.Conn) {
 		defer conn.Close()
 		for {
 			select {
-			case fr := <-sub:
+			case fr := <-att.ch:
 				if writeFrame(conn, fr) != nil {
 					return
 				}
+			case <-att.done:
+				// Transport detached (or handleConn is winding down after a
+				// bye). Flush what is already queued — the goodbye may be in
+				// here, and select may have picked this case over att.ch —
+				// then stop. Recorded frames that fail to flush replay on
+				// resume; a best-effort flush to a dead conn just errors out.
+				flush(conn, att.ch)
+				return
 			case <-sess.Done():
 				// Flush frames emitted before Done closed, then stop.
-				for {
-					select {
-					case fr := <-sub:
-						if writeFrame(conn, fr) != nil {
-							return
-						}
-					default:
-						return
-					}
-				}
+				flush(conn, att.ch)
+				return
 			}
 		}
 	}()
-	// Welcome goes through the subscriber so the writer stays the only
-	// writer; attach afterwards so no verdict can overtake it. Watches are
-	// registered lazily at the first event, and only this connection
-	// ingests, so nothing latches in between.
-	sub <- sess.Welcome()
-	sess.attach(sub)
 
+	reason := s.readFrames(conn, sc, sess)
+	// Reader finished: EOF, read error/timeout, seq gap, or session end.
+	if sess.Resumable() && reason != CloseBye {
+		// The session survives the connection: detach and wait for a
+		// resume. The idle janitor reclaims it if the client never
+		// returns; Shutdown closes it with everything else.
+		sess.detach(att)
+	} else {
+		sess.Close("connection closed")
+	}
+	att.close()
+	<-writerDone
+	s.met.connClosed(reason)
+}
+
+// readFrames is handleConn's reader loop; it returns the typed close
+// reason. For resumable sessions it triages sequence numbers before
+// ingest: duplicates are idempotently dropped (at-least-once delivery
+// becomes exactly-once ingestion) and a gap — frames lost in flight —
+// kills the connection so the client reconnects and replays from the
+// last ack.
+func (s *Server) readFrames(conn net.Conn, sc *bufio.Scanner, sess *Session) string {
 	for sc.Scan() {
-		if s.cfg.IdleTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-		}
+		s.armReadDeadline(conn)
 		f, err := DecodeClientFrame(sc.Bytes())
 		if err != nil {
 			// A malformed line means the stream is desynchronized; no
-			// later frame can be trusted, so fail the session.
+			// later frame can be trusted. A resumable session survives —
+			// the client will resume and replay from the last ack — but
+			// the connection cannot.
 			s.met.protoErrors.Inc()
-			sess.Close(err.Error())
-			break
+			if !sess.Resumable() {
+				sess.Close(err.Error())
+			}
+			return CloseProtoError
+		}
+		// The bye is triaged too: without a seq it could bypass the gap
+		// check and close the session while the final events are still
+		// lost in flight.
+		if sess.Resumable() && (f.Type == FrameInit || f.Type == FrameEvent || f.Type == FrameBye) && f.Seq != 0 {
+			if f.Seq < 0 {
+				s.met.protoErrors.Inc()
+				sess.emit(ServerFrame{Type: FrameError, Session: sess.id, Code: CodeBadSeq,
+					Error: fmt.Sprintf("negative seq %d", f.Seq)}, false)
+				return CloseProtoError
+			}
+			switch sess.acceptSeq(f.Seq) {
+			case seqDup:
+				continue // already accepted; drop idempotently
+			case seqGap:
+				s.met.protoErrors.Inc()
+				sess.emit(ServerFrame{Type: FrameError, Session: sess.id, Code: CodeSeqGap,
+					Error: fmt.Sprintf("seq gap: got %d, expected %d — reconnect and resume", f.Seq, sess.enqSeq.Load()+1)}, false)
+				return CloseSeqGap
+			}
 		}
 		switch f.Type {
 		case FrameBye:
+			// Orderly close: the loop drains, the writer flushes the
+			// goodbye and closes the conn. Wait here so the close reason
+			// is attributed to the bye, not to the ensuing EOF.
 			sess.Close("bye")
+			<-sess.Done()
+			return CloseBye
 		case FrameSnapshot:
 			// Response is produced by the monitor loop and emitted to the
 			// subscriber (resp == nil path), preserving stream order.
@@ -143,21 +298,28 @@ func (s *Server) handleConn(conn net.Conn) {
 			default:
 				sess.Close("")
 			}
-		case FrameHello:
+		case FrameHello, FrameResume:
+			// A mid-stream handshake frame desynchronizes the dialog. For
+			// a resumable session this is connection-fatal only (a flaky
+			// network can duplicate the resume line itself); a plain
+			// session dies with its connection anyway.
 			s.met.protoErrors.Inc()
-			sess.Close("duplicate hello")
+			if !sess.Resumable() {
+				sess.Close("duplicate handshake frame")
+			}
+			return CloseProtoError
 		default:
 			s.met.protoErrors.Inc()
 			sess.Close(fmt.Sprintf("unknown frame type %q", f.Type))
 		}
 		select {
 		case <-sess.Done():
+			if f.Type == FrameBye {
+				return CloseBye
+			}
+			return CloseSessionDone
 		default:
-			continue
 		}
-		break
 	}
-	// Reader finished: EOF, read error/timeout, or session closed above.
-	sess.Close("connection closed")
-	<-writerDone
+	return scanEndReason(sc.Err())
 }
