@@ -11,6 +11,7 @@
 //	ablation    design-choice ablations from DESIGN.md
 //	parallel    parallel sweeps: A2/A3 speedup and determinism check
 //	compile     predicate IR: compile/dispatch cost and bitset-lowering payoff
+//	spanhb      OTel-style span ingest: decode, HB lowering, detection
 //
 // Usage: benchharness [-experiment all|table1|fig1|...]
 //
@@ -21,9 +22,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 
 	"repro/internal/buildinfo"
+	"repro/internal/obs"
 )
 
 var experiments = []struct {
@@ -45,16 +49,30 @@ var experiments = []struct {
 	{"faults", "flaky-proxy ingest: resume/replay cost under injected faults", runFaults},
 	{"parallel", "parallel sweeps: A2/A3 speedup and determinism check", runParallel},
 	{"compile", "predicate IR: compile cost and bitset-lowering payoff", runCompile},
+	{"spanhb", "OTel-style span ingest: decode, HB lowering, detection", runSpanhb},
 }
 
 func main() {
 	which := flag.String("experiment", "all", "experiment id or 'all'")
 	jsonOut := flag.Bool("json", false, "emit measurements as JSON on stdout (human tables go to stderr)")
+	pprof := flag.Bool("pprof", false, "serve /debug/pprof (and /metrics) on an ephemeral localhost port for the run")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
 		buildinfo.Print(os.Stdout, "benchharness")
 		return
+	}
+	if *pprof {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchharness:", err)
+			os.Exit(2)
+		}
+		defer ln.Close()
+		mux := obs.NewMux(obs.Default())
+		obs.RegisterPprof(mux)
+		go http.Serve(ln, mux) //nolint:errcheck // closed on exit
+		fmt.Fprintf(os.Stderr, "benchharness: pprof on http://%s/debug/pprof/\n", ln.Addr())
 	}
 	realStdout := os.Stdout
 	if *jsonOut {

@@ -10,7 +10,10 @@
 //	hbserver -overflow drop -queue 64        # shed + count under overload
 //
 // The HTTP address serves both the session API (/api/sessions/...) and
-// telemetry (/metrics, /healthz, /debug/pprof). SIGINT/SIGTERM drains
+// telemetry (/metrics, /healthz, /debug/obs; /debug/pprof behind
+// -pprof). -span-jsonl emits the server's own pipeline spans — ingestible
+// back through `hbdetect -spans` — and -slow logs over-threshold
+// detection runs as JSONL. SIGINT/SIGTERM drains
 // gracefully: queued events are applied, goodbye frames flush, and a
 // summary is printed. The wire protocol is documented in DESIGN.md.
 package main

@@ -22,24 +22,59 @@ import (
 	"repro/internal/pir"
 	"repro/internal/predicate"
 	"repro/internal/sim"
+	"repro/internal/spanhb"
 	"repro/internal/trace"
 )
 
-// load reads a computation from a trace file or builds a workload; exactly
-// one of the two must be non-empty.
-func load(traceFile, workload string) (*computation.Computation, error) {
-	if (traceFile == "") == (workload == "") {
-		return nil, fmt.Errorf("need exactly one of -trace or -workload")
+// load reads a computation from a trace file, an OTel-style span JSONL
+// file (lowered onto the HB model), or a workload spec; exactly one of
+// the three must be non-empty. When lowering spans, the service →
+// process mapping is printed to info (formulas name processes, so the
+// user needs it), along with how much causality survived.
+func load(traceFile, spansFile, workload string, info io.Writer) (*computation.Computation, error) {
+	set := 0
+	for _, s := range []string{traceFile, spansFile, workload} {
+		if s != "" {
+			set++
+		}
 	}
-	if traceFile != "" {
+	if set != 1 {
+		return nil, fmt.Errorf("need exactly one of -trace, -spans, or -workload")
+	}
+	switch {
+	case traceFile != "":
 		f, err := os.Open(traceFile)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
 		return trace.Decode(f)
+	case spansFile != "":
+		f, err := os.Open(spansFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		spans, err := spanhb.Decode(f)
+		if err != nil {
+			return nil, err
+		}
+		r, err := spanhb.Lower(spans, spanhb.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if info != nil {
+			fmt.Fprintf(info, "spanhb: %d spans, %d causal edges (%d dropped as skew) → %d processes:",
+				r.Spans, r.Edges, r.SkewDropped, len(r.Services))
+			for i, svc := range r.Services {
+				fmt.Fprintf(info, " P%d=%s", i+1, svc)
+			}
+			fmt.Fprintln(info)
+		}
+		return r.Comp, nil
+	default:
+		return sim.FromSpec(workload)
 	}
-	return sim.FromSpec(workload)
 }
 
 // RunDetect is the hbdetect command.
@@ -48,6 +83,7 @@ func RunDetect(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		traceFile = fs.String("trace", "", "JSON trace file to analyze")
+		spansFile = fs.String("spans", "", "OTel-style span JSONL file to lower onto the HB model (services become processes; see internal/spanhb)")
 		workload  = fs.String("workload", "", "generate a workload instead of reading a trace (see internal/sim.FromSpec)")
 		formula   = fs.String("formula", "", "CTL formula to detect")
 		formulas  = fs.String("formulas", "", "file with one formula per line ('#' comments); overrides -formula")
@@ -59,6 +95,8 @@ func RunDetect(args []string, stdout, stderr io.Writer) int {
 		explain   = fs.Bool("explain", false, "print the inferred predicate class, Table 1 cell, chosen algorithm and bitset-lowering stats")
 		workers   = fs.Int("workers", 1, "parallel workers for the sweep-shaped algorithms (0 = GOMAXPROCS)")
 		traceOut  = fs.String("trace-jsonl", "", "append one JSON line per Detect run (a detection span) to this file")
+		slow      = fs.Duration("slow", 0, "log Detect runs slower than this as structured JSONL (0 disables)")
+		slowOut   = fs.String("slow-jsonl", "", "slow-detection log destination (default stderr)")
 		version   = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -67,6 +105,20 @@ func RunDetect(args []string, stdout, stderr io.Writer) int {
 	if *version {
 		buildinfo.Print(stdout, "hbdetect")
 		return 0
+	}
+	if *slow > 0 {
+		w := io.Writer(stderr)
+		if *slowOut != "" {
+			f, err := os.OpenFile(*slowOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintln(stderr, "hbdetect:", err)
+				return 2
+			}
+			defer f.Close()
+			w = f
+		}
+		core.SetSlowLog(obs.NewSlowLog(64, *slow, w))
+		defer core.SetSlowLog(nil)
 	}
 	if *traceOut != "" {
 		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -82,7 +134,7 @@ func RunDetect(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "hbdetect: -formula or -formulas is required")
 		return 2
 	}
-	comp, err := load(*traceFile, *workload)
+	comp, err := load(*traceFile, *spansFile, *workload, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "hbdetect:", err)
 		return 2
@@ -244,9 +296,10 @@ func RunTraceGen(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		workload = fs.String("workload", "", "workload spec (see internal/sim.FromSpec)")
-		out      = fs.String("o", "", "output file (default stdout)")
-		version  = fs.Bool("version", false, "print version and exit")
+		workload  = fs.String("workload", "", "workload spec (see internal/sim.FromSpec)")
+		spansFile = fs.String("spans", "", "convert an OTel-style span JSONL file into a trace instead of generating a workload")
+		out       = fs.String("o", "", "output file (default stdout)")
+		version   = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -255,11 +308,11 @@ func RunTraceGen(args []string, stdout, stderr io.Writer) int {
 		buildinfo.Print(stdout, "tracegen")
 		return 0
 	}
-	if *workload == "" {
-		fmt.Fprintln(stderr, "tracegen: -workload is required")
+	if *workload == "" && *spansFile == "" {
+		fmt.Fprintln(stderr, "tracegen: -workload or -spans is required")
 		return 2
 	}
-	comp, err := sim.FromSpec(*workload)
+	comp, err := load("", *spansFile, *workload, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "tracegen:", err)
 		return 2
@@ -290,6 +343,7 @@ func RunLatticeViz(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		traceFile = fs.String("trace", "", "JSON trace file")
+		spansFile = fs.String("spans", "", "OTel-style span JSONL file to lower onto the HB model")
 		workload  = fs.String("workload", "", "workload spec (see internal/sim.FromSpec)")
 		mark      = fs.String("mark", "", "non-temporal predicate; satisfying cuts are filled in the DOT output")
 		dotFile   = fs.String("dot", "", "write Graphviz DOT to this file ('-' for stdout)")
@@ -304,7 +358,7 @@ func RunLatticeViz(args []string, stdout, stderr io.Writer) int {
 		buildinfo.Print(stdout, "latticeviz")
 		return 0
 	}
-	comp, err := load(*traceFile, *workload)
+	comp, err := load(*traceFile, *spansFile, *workload, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "latticeviz:", err)
 		return 2

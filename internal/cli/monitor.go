@@ -23,8 +23,10 @@ func RunMonitor(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		traceFile = fs.String("trace", "", "JSON trace file to replay")
+		spansFile = fs.String("spans", "", "OTel-style span JSONL file to lower onto the HB model and replay")
 		workload  = fs.String("workload", "", "generate a workload instead of reading a trace")
-		listen    = fs.String("listen", "", "serve live telemetry on this address (/metrics, /debug/vars, /healthz, /debug/pprof)")
+		listen    = fs.String("listen", "", "serve live telemetry on this address (/metrics, /debug/vars, /healthz, /debug/obs)")
+		pprof     = fs.Bool("pprof", false, "also serve /debug/pprof on the -listen address")
 		delay     = fs.Duration("delay", 0, "sleep between replayed events (useful with -listen to watch metrics move)")
 		version   = fs.Bool("version", false, "print version and exit")
 		efSrcs    = multiFlag{}
@@ -39,7 +41,7 @@ func RunMonitor(args []string, stdout, stderr io.Writer) int {
 		buildinfo.Print(stdout, "hbmon")
 		return 0
 	}
-	comp, err := load(*traceFile, *workload)
+	comp, err := load(*traceFile, *spansFile, *workload, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "hbmon:", err)
 		return 2
@@ -58,7 +60,12 @@ func RunMonitor(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		defer ln.Close()
-		srv := &http.Server{Handler: obs.NewMux(obs.Default())}
+		mux := obs.NewMux(obs.Default())
+		(&obs.Debug{Registry: obs.Default()}).Register(mux)
+		if *pprof {
+			obs.RegisterPprof(mux)
+		}
+		srv := &http.Server{Handler: mux}
 		go srv.Serve(ln) //nolint:errcheck // closed on exit
 		defer srv.Close()
 		fmt.Fprintf(stderr, "hbmon: telemetry on http://%s/metrics\n", ln.Addr())

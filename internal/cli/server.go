@@ -10,7 +10,10 @@ import (
 	"runtime"
 	"time"
 
+	"os"
+
 	"repro/internal/buildinfo"
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -36,6 +39,9 @@ func RunServer(args []string, stdout, stderr io.Writer) int {
 		ackEvery    = fs.Int("ack-every", 32, "ack resumable sessions every N applied frames (clients size in-flight buffers from this)")
 		ingestDelay = fs.Duration("ingest-delay", 0, "artificial per-event processing delay (testing/demos)")
 		workers     = fs.Int("workers", 1, "parallel workers for snapshot detection queries (0 = GOMAXPROCS)")
+		pprof       = fs.Bool("pprof", false, "also serve /debug/pprof on the -http address")
+		spanJSONL   = fs.String("span-jsonl", "", "append pipeline spans (session, frame, stages) as JSON lines to this file")
+		slow        = fs.Duration("slow", 0, "log detection runs slower than this to /debug/obs (0 disables)")
 		version     = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -55,6 +61,30 @@ func RunServer(args []string, stdout, stderr io.Writer) int {
 		// "use the hardware" request here.
 		*workers = runtime.GOMAXPROCS(0)
 	}
+
+	// Pipeline observability: recent spans and slow detections are kept
+	// in memory for /debug/obs; -span-jsonl additionally persists every
+	// span. The tracer stays nil unless something consumes spans, so the
+	// default hot path never allocates a span.
+	ring := obs.NewSpanRing(256)
+	slowLog := obs.NewSlowLog(128, *slow, nil)
+	if *slow > 0 {
+		core.SetSlowLog(slowLog)
+		defer core.SetSlowLog(nil)
+	}
+	var tracer *obs.Tracer
+	if *spanJSONL != "" {
+		f, err := os.OpenFile(*spanJSONL, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(stderr, "hbserver:", err)
+			return 2
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(f).Mirror(ring)
+	} else if *httpAddr != "" {
+		tracer = obs.NewTracer(nil).Mirror(ring)
+	}
+
 	srv := server.New(server.Config{
 		QueueDepth:      *queue,
 		Overflow:        policy,
@@ -66,6 +96,7 @@ func RunServer(args []string, stdout, stderr io.Writer) int {
 		IngestDelay:     *ingestDelay,
 		Workers:         *workers,
 		Registry:        obs.Default(),
+		Tracer:          tracer,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, "hbserver: "+format+"\n", args...)
 		},
@@ -89,6 +120,10 @@ func RunServer(args []string, stdout, stderr io.Writer) int {
 	if *httpAddr != "" {
 		mux := obs.NewMux(obs.Default())
 		server.RegisterHTTP(mux, srv)
+		(&obs.Debug{Registry: obs.Default(), Spans: ring, Slow: slowLog}).Register(mux)
+		if *pprof {
+			obs.RegisterPprof(mux)
+		}
 		hln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			fmt.Fprintln(stderr, "hbserver:", err)

@@ -57,6 +57,7 @@ func runDetect(comp *computation.Computation, f ctl.Formula, workers int) (Resul
 	r.Stats = st
 	st.publish()
 	emitSpan(f.String(), r, st)
+	emitSlow(f.String(), r, st)
 	return r, nil
 }
 
@@ -198,6 +199,7 @@ func compilePred(comp *computation.Computation, f ctl.Formula) (*pir.Pred, error
 
 func detectEF(comp *computation.Computation, p *pir.Pred, st *Stats) Result {
 	c := pir.Choose(pir.OpEF, p)
+	st.choice(c)
 	switch c.Kind {
 	case pir.KindStableFinal:
 		s, _ := p.Stable()
@@ -242,6 +244,7 @@ func detectEF(comp *computation.Computation, p *pir.Pred, st *Stats) Result {
 
 func detectAF(comp *computation.Computation, p *pir.Pred, st *Stats) Result {
 	c := pir.Choose(pir.OpAF, p)
+	st.choice(c)
 	switch c.Kind {
 	case pir.KindStableFinal:
 		s, _ := p.Stable()
@@ -265,6 +268,7 @@ func detectAF(comp *computation.Computation, p *pir.Pred, st *Stats) Result {
 
 func detectEG(comp *computation.Computation, p *pir.Pred, st *Stats) Result {
 	c := pir.Choose(pir.OpEG, p)
+	st.choice(c)
 	switch c.Kind {
 	case pir.KindStableInitial:
 		s, _ := p.Stable()
@@ -289,6 +293,7 @@ func detectEG(comp *computation.Computation, p *pir.Pred, st *Stats) Result {
 
 func detectAG(comp *computation.Computation, p *pir.Pred, st *Stats, workers int) Result {
 	c := pir.Choose(pir.OpAG, p)
+	st.choice(c)
 	switch c.Kind {
 	case pir.KindStableInitial:
 		s, _ := p.Stable()
@@ -329,6 +334,7 @@ func detectAG(comp *computation.Computation, p *pir.Pred, st *Stats, workers int
 
 func detectEU(comp *computation.Computation, p, q *pir.Pred, st *Stats, workers int) Result {
 	c := pir.ChooseUntil(pir.OpEU, p, q)
+	st.choice(c)
 	switch c.Kind {
 	case pir.KindUntilA3:
 		cp, _ := p.Conjunctive()
@@ -361,6 +367,7 @@ func detectEU(comp *computation.Computation, p, q *pir.Pred, st *Stats, workers 
 
 func detectAU(comp *computation.Computation, p, q *pir.Pred, st *Stats, workers int) Result {
 	c := pir.ChooseUntil(pir.OpAU, p, q)
+	st.choice(c)
 	if c.Kind == pir.KindUntilAUComposition {
 		dp, _ := p.Disjunctive()
 		dq, _ := q.Disjunctive()

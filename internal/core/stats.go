@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/pir"
 )
 
 // Stats records the work one Detect run performed — the paper's complexity
@@ -44,6 +45,18 @@ type Stats struct {
 	WitnessLength int `json:"witness_length"`
 	// Duration is the wall-clock time of the Detect run.
 	Duration time.Duration `json:"duration_ns"`
+	// Choice is the Table 1 dispatch decision of the run's first temporal
+	// operator (nil for purely boolean/local formulas). Excluded from the
+	// JSON form — the slow-detection log flattens the fields it needs.
+	Choice *pir.Choice `json:"-"`
+}
+
+// choice records the first Table 1 dispatch of the run — the cell the
+// slow-detection log attributes a slow run to.
+func (s *Stats) choice(c pir.Choice) {
+	if s != nil && s.Choice == nil {
+		s.Choice = &c
+	}
 }
 
 func (s *Stats) cuts(n int64) {
@@ -120,6 +133,53 @@ var tracer atomic.Pointer[obs.Tracer]
 
 // SetTracer installs (or, with nil, removes) the detection-trace sink.
 func SetTracer(t *obs.Tracer) { tracer.Store(t) }
+
+// slowLog, when set, receives one structured record per Detect run whose
+// duration crosses the log's threshold: the formula, the Table 1 choice
+// that routed it, and the full Stats — enough to aim computation slicing
+// at the hot cells without re-running anything.
+var slowLog atomic.Pointer[obs.SlowLog]
+
+// SetSlowLog installs (or, with nil, removes) the slow-detection log.
+func SetSlowLog(l *obs.SlowLog) { slowLog.Store(l) }
+
+// slowDetection is the JSONL record of one over-threshold Detect run.
+type slowDetection struct {
+	TS         string `json:"ts"`
+	Formula    string `json:"formula"`
+	Algorithm  string `json:"algorithm"`
+	Holds      bool   `json:"holds"`
+	DurationUS int64  `json:"dur_us"`
+	// The Table 1 dispatch that routed the run (empty for purely
+	// boolean/local formulas).
+	Cell       string `json:"cell,omitempty"`
+	Complexity string `json:"complexity,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+	// The run's work counters, cut counts included.
+	Stats *Stats `json:"stats"`
+}
+
+// emitSlow records the run in the slow-detection log when its duration
+// crosses the threshold. One atomic load plus a comparison on the fast
+// path; the record is only built for genuinely slow runs.
+func emitSlow(formula string, r Result, st *Stats) {
+	sl := slowLog.Load()
+	if !sl.Exceeds(st.Duration) {
+		return
+	}
+	rec := slowDetection{
+		TS:         time.Now().UTC().Format(time.RFC3339Nano),
+		Formula:    formula,
+		Algorithm:  st.Algorithm,
+		Holds:      r.Holds,
+		DurationUS: st.Duration.Microseconds(),
+		Stats:      st,
+	}
+	if c := st.Choice; c != nil {
+		rec.Cell, rec.Complexity, rec.Reason = c.Cell, c.Complexity, c.Reason
+	}
+	sl.Record(rec)
+}
 
 func emitSpan(formula string, r Result, st *Stats) {
 	t := tracer.Load()

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanContextPropagation(t *testing.T) {
+	var b strings.Builder
+	tr := NewTracer(&b)
+	root := tr.Start("session")
+	child := root.StartChild("frame")
+	grand := tr.StartAt("apply", child.Context(), time.Time{})
+	grand.End()
+	child.End()
+	root.End()
+
+	var recs []SpanRecord
+	for _, line := range strings.Split(strings.TrimSpace(b.String()), "\n") {
+		var r SpanRecord
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad line %q: %v", line, err)
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d spans, want 3", len(recs))
+	}
+	apply, frame, session := recs[0], recs[1], recs[2]
+	if session.Parent != "" {
+		t.Errorf("root has parent %q", session.Parent)
+	}
+	if frame.Parent != session.ID || frame.Trace != session.Trace {
+		t.Errorf("frame parent/trace = %q/%q, want %q/%q", frame.Parent, frame.Trace, session.ID, session.Trace)
+	}
+	if apply.Parent != frame.ID || apply.Trace != session.Trace {
+		t.Errorf("apply parent/trace = %q/%q, want %q/%q", apply.Parent, apply.Trace, frame.ID, session.Trace)
+	}
+	ids := map[string]bool{session.ID: true, frame.ID: true, apply.ID: true}
+	if len(ids) != 3 {
+		t.Errorf("span ids not unique: %v", ids)
+	}
+}
+
+func TestSpanRingWrapsAndKeepsOrder(t *testing.T) {
+	ring := NewSpanRing(3)
+	tr := NewTracer(nil).Mirror(ring)
+	for i := 0; i < 5; i++ {
+		tr.Start("s").Set("i", i).End()
+	}
+	spans, total := ring.Snapshot()
+	if total != 5 || len(spans) != 3 {
+		t.Fatalf("total=%d len=%d, want 5/3", total, len(spans))
+	}
+	for k, want := range []int{2, 3, 4} {
+		if got := spans[k].Attrs["i"].(int); got != want {
+			t.Errorf("span %d has i=%v, want %d", k, got, want)
+		}
+	}
+}
+
+func TestNilRingAndSlowLogAreSafe(t *testing.T) {
+	var ring *SpanRing
+	ring.Add(SpanRecord{})
+	if s, n := ring.Snapshot(); s != nil || n != 0 {
+		t.Error("nil ring snapshot not empty")
+	}
+	var sl *SlowLog
+	if sl.Exceeds(time.Hour) {
+		t.Error("nil slow log exceeds")
+	}
+	sl.Record("x")
+	sl.SetThreshold(time.Second)
+}
+
+func TestSlowLogThresholdAndRing(t *testing.T) {
+	var b strings.Builder
+	sl := NewSlowLog(2, 10*time.Millisecond, &b)
+	if sl.Exceeds(5 * time.Millisecond) {
+		t.Error("5ms exceeds 10ms threshold")
+	}
+	if !sl.Exceeds(10 * time.Millisecond) {
+		t.Error("10ms does not exceed 10ms threshold")
+	}
+	type rec struct {
+		N int `json:"n"`
+	}
+	for i := 0; i < 3; i++ {
+		sl.Record(rec{N: i})
+	}
+	recs, total := sl.Snapshot()
+	if total != 3 || len(recs) != 2 {
+		t.Fatalf("total=%d len=%d, want 3/2", total, len(recs))
+	}
+	var first rec
+	if err := json.Unmarshal(recs[0], &first); err != nil || first.N != 1 {
+		t.Errorf("oldest retained = %s (err %v), want n=1", recs[0], err)
+	}
+	if lines := strings.Split(strings.TrimSpace(b.String()), "\n"); len(lines) != 3 {
+		t.Errorf("JSONL sink got %d lines, want 3", len(lines))
+	}
+	sl.SetThreshold(0)
+	if sl.Exceeds(time.Hour) {
+		t.Error("disabled threshold still fires")
+	}
+}
+
+func TestDebugEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hb_y_total", "help").Add(3)
+	ring := NewSpanRing(8)
+	NewTracer(nil).Mirror(ring).Start("detect").End()
+	sl := NewSlowLog(8, time.Nanosecond, nil)
+	sl.Record(map[string]any{"formula": "EF(p)"})
+
+	mux := NewMux(r)
+	(&Debug{Registry: r, Spans: ring, Slow: sl}).Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Spans      []SpanRecord      `json:"spans"`
+		SpansTotal int64             `json:"spans_total"`
+		Slow       []json.RawMessage `json:"slow"`
+		SlowTotal  int64             `json:"slow_total"`
+		Metrics    map[string]any    `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.SpansTotal != 1 || len(doc.Spans) != 1 || doc.Spans[0].Span != "detect" {
+		t.Errorf("spans = %+v (total %d)", doc.Spans, doc.SpansTotal)
+	}
+	if doc.SlowTotal != 1 || len(doc.Slow) != 1 {
+		t.Errorf("slow = %v (total %d)", doc.Slow, doc.SlowTotal)
+	}
+	if v, ok := doc.Metrics["hb_y_total"].(float64); !ok || v != 3 {
+		t.Errorf("metrics snapshot = %v", doc.Metrics)
+	}
+}
+
+// TestHistogramObserveSnapshotRace hammers Observe, Snapshot, and the
+// Prometheus exposition concurrently (run under -race) and asserts the
+// exposition invariants a scraper relies on: cumulative buckets are
+// non-decreasing and the reported count equals the +Inf bucket. Before
+// the snapshot fix, the count was read from a separate atomic and could
+// disagree with the bucket sum mid-Observe.
+func TestHistogramObserveSnapshotRace(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("hb_race_seconds", "help", []float64{0.001, 0.01, 0.1, 1})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			vals := []float64{0.0005, 0.005, 0.05, 0.5, 5}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(vals[(i+w)%len(vals)])
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		cum, count, sum := h.snapshot()
+		var prev int64
+		for b, c := range cum {
+			if c < prev {
+				t.Fatalf("iteration %d: bucket %d decreases: %v", i, b, cum)
+			}
+			prev = c
+		}
+		if count != cum[len(cum)-1] {
+			t.Fatalf("iteration %d: count %d != +Inf bucket %d", i, count, cum[len(cum)-1])
+		}
+		if sum < 0 {
+			t.Fatalf("iteration %d: negative sum %v", i, sum)
+		}
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	cum, count, _ := h.snapshot()
+	if count != h.Count() || count != cum[len(cum)-1] {
+		t.Fatalf("quiescent count %d (atomic %d, +Inf %d) disagree", count, h.Count(), cum[len(cum)-1])
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net/http"
@@ -9,8 +10,9 @@ import (
 )
 
 // This file wires a registry into the operational HTTP surface used by the
-// long-running binaries (hbmon -listen): Prometheus metrics, expvar,
-// health, and the stdlib profiler.
+// long-running binaries (hbserver -http, hbmon -listen): Prometheus
+// metrics, expvar, health, the /debug/obs introspection endpoint, and —
+// behind an explicit flag — the stdlib profiler.
 
 // MetricsHandler serves the registry in Prometheus text format.
 func (r *Registry) MetricsHandler() http.Handler {
@@ -32,12 +34,14 @@ func PublishExpvar(r *Registry) {
 	})
 }
 
-// NewMux returns an http.ServeMux with the full telemetry surface:
+// NewMux returns an http.ServeMux with the base telemetry surface:
 //
 //	/metrics      Prometheus text exposition of r
 //	/debug/vars   expvar JSON (includes r via PublishExpvar)
 //	/healthz      liveness probe ("ok")
-//	/debug/pprof  stdlib profiler index, plus cmdline/profile/symbol/trace
+//
+// The profiler is NOT mounted here: every binary gates it behind the same
+// -pprof flag via RegisterPprof, and Debug.Register mounts /debug/obs.
 func NewMux(r *Registry) *http.ServeMux {
 	PublishExpvar(r)
 	mux := http.NewServeMux()
@@ -47,10 +51,54 @@ func NewMux(r *Registry) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	return mux
+}
+
+// RegisterPprof mounts the stdlib profiler under /debug/pprof — the one
+// wiring point every binary's -pprof flag routes through.
+func RegisterPprof(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+}
+
+// Debug bundles the introspection state served at /debug/obs: the
+// recent-spans ring, the slow-detection log, and a registry snapshot.
+// Nil fields are simply omitted from the response.
+type Debug struct {
+	Registry *Registry
+	Spans    *SpanRing
+	Slow     *SlowLog
+}
+
+// debugSnapshot is the /debug/obs response document.
+type debugSnapshot struct {
+	Spans      []SpanRecord      `json:"spans,omitempty"`
+	SpansTotal int64             `json:"spans_total"`
+	Slow       []json.RawMessage `json:"slow,omitempty"`
+	SlowTotal  int64             `json:"slow_total"`
+	Metrics    map[string]any    `json:"metrics,omitempty"`
+}
+
+// Handler serves the debug snapshot as indented JSON.
+func (d *Debug) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var snap debugSnapshot
+		snap.Spans, snap.SpansTotal = d.Spans.Snapshot()
+		snap.Slow, snap.SlowTotal = d.Slow.Snapshot()
+		if d.Registry != nil {
+			snap.Metrics = d.Registry.Snapshot()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap) //nolint:errcheck // exposition is best-effort
+	})
+}
+
+// Register mounts the debug endpoint at /debug/obs.
+func (d *Debug) Register(mux *http.ServeMux) {
+	mux.Handle("/debug/obs", d.Handler())
 }

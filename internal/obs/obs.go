@@ -240,7 +240,11 @@ func (h *Histogram) Sum() float64 {
 // snapshot returns cumulative bucket counts aligned with bounds plus the
 // +Inf total, consistent enough for exposition (buckets are read without a
 // global lock, so a scrape racing an Observe may be off by one — the usual
-// Prometheus client behavior).
+// Prometheus client behavior). The reported count is derived from the
+// bucket read itself, not the separate count atomic: an Observe that has
+// bumped its bucket but not yet the total (or vice versa) would otherwise
+// expose count != +Inf bucket, which breaks the Prometheus histogram
+// invariant scrapers quantile over. The race stress test pins this down.
 func (h *Histogram) snapshot() (cumulative []int64, count int64, sum float64) {
 	cumulative = make([]int64, len(h.counts))
 	var running int64
@@ -248,5 +252,5 @@ func (h *Histogram) snapshot() (cumulative []int64, count int64, sum float64) {
 		running += h.counts[i].Load()
 		cumulative[i] = running
 	}
-	return cumulative, h.count.Load(), h.Sum()
+	return cumulative, running, h.Sum()
 }

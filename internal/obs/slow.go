@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowLog retains the most recent records of operations that exceeded a
+// configurable duration threshold — the "slow query log" of the detection
+// engine. Records are arbitrary JSON-marshalable values (core attaches
+// the pir.Choice and core.Stats of a slow Detect run); each is kept in a
+// bounded in-memory ring for /debug/obs and optionally appended as one
+// JSONL line to a writer.
+//
+// A nil *SlowLog is valid: Exceeds reports false and Record does nothing,
+// so instrumented code holds one unconditionally.
+type SlowLog struct {
+	threshold atomic.Int64 // nanoseconds; <= 0 disables
+
+	mu      sync.Mutex
+	enc     *json.Encoder
+	recs    []json.RawMessage
+	next    int
+	total   int64
+	dropped int64 // records that failed to marshal
+}
+
+// NewSlowLog returns a slow log retaining up to capacity records
+// (minimum 1), with the given threshold (<= 0 disables) and an optional
+// JSONL writer.
+func NewSlowLog(capacity int, threshold time.Duration, w io.Writer) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	l := &SlowLog{recs: make([]json.RawMessage, 0, capacity)}
+	if w != nil {
+		l.enc = json.NewEncoder(w)
+	}
+	l.threshold.Store(int64(threshold))
+	return l
+}
+
+// SetThreshold updates the slowness threshold (<= 0 disables).
+func (l *SlowLog) SetThreshold(d time.Duration) {
+	if l != nil {
+		l.threshold.Store(int64(d))
+	}
+}
+
+// Threshold returns the current slowness threshold.
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return time.Duration(l.threshold.Load())
+}
+
+// Exceeds reports whether d crosses the threshold — the hot-path gate:
+// one atomic load, false on a nil log or a disabled threshold.
+func (l *SlowLog) Exceeds(d time.Duration) bool {
+	if l == nil {
+		return false
+	}
+	t := l.threshold.Load()
+	return t > 0 && int64(d) >= t
+}
+
+// Record stores one slow-operation record. Marshal failures are counted,
+// never propagated — the slow log must not make a slow path slower still
+// by erroring.
+func (l *SlowLog) Record(rec any) {
+	if l == nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err != nil {
+		l.dropped++
+		return
+	}
+	l.total++
+	if len(l.recs) < cap(l.recs) {
+		l.recs = append(l.recs, b)
+	} else {
+		l.recs[l.next] = b
+		l.next = (l.next + 1) % len(l.recs)
+	}
+	if l.enc != nil {
+		l.enc.Encode(json.RawMessage(b)) //nolint:errcheck // logging is best-effort
+	}
+}
+
+// Snapshot returns the retained records, oldest first, plus the total
+// ever recorded.
+func (l *SlowLog) Snapshot() (recs []json.RawMessage, total int64) {
+	if l == nil {
+		return nil, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	recs = make([]json.RawMessage, 0, len(l.recs))
+	recs = append(recs, l.recs[l.next:]...)
+	recs = append(recs, l.recs[:l.next]...)
+	return recs, l.total
+}

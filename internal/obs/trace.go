@@ -2,26 +2,64 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// SpanContext identifies a span within a trace: a trace id shared by every
+// span of one logical operation (a detection session, a Detect run), a
+// span id unique within the tracer, and the parent span's id (empty for a
+// root). Contexts propagate across goroutine boundaries by value, so a
+// monitor loop can parent its spans under the transport's frame span.
+type SpanContext struct {
+	TraceID string `json:"trace,omitempty"`
+	SpanID  string `json:"id,omitempty"`
+	Parent  string `json:"parent,omitempty"`
+}
+
+// Valid reports whether the context names a span.
+func (c SpanContext) Valid() bool { return c.TraceID != "" && c.SpanID != "" }
 
 // Tracer records spans as JSON lines — the structured detection traces of
 // the observability layer. One line per completed span:
 //
-//	{"ts":"2026-08-05T10:15:04.123Z","span":"detect","dur_us":412,"attrs":{...}}
+//	{"ts":"...","span":"detect","dur_us":412,"trace":"t-01","id":"s-01","attrs":{...}}
 //
-// A nil *Tracer is valid and records nothing, so instrumented code can
-// hold a tracer unconditionally.
+// Span and trace ids are allocated from per-tracer counters, so the id
+// sequence of a serialized workload is deterministic — golden tests rely
+// on this. A tracer can additionally Mirror completed spans into a
+// SpanRing for the /debug/obs endpoint; the writer may be nil when only
+// the ring sink is wanted. A nil *Tracer is valid and records nothing, so
+// instrumented code can hold a tracer unconditionally.
 type Tracer struct {
-	mu  sync.Mutex
-	enc *json.Encoder
+	mu   sync.Mutex
+	enc  *json.Encoder
+	ring *SpanRing
+
+	traceSeq atomic.Uint64
+	spanSeq  atomic.Uint64
 }
 
-// NewTracer returns a tracer writing JSON lines to w.
+// NewTracer returns a tracer writing JSON lines to w (nil for no writer —
+// useful with Mirror when only the in-memory ring is wanted).
 func NewTracer(w io.Writer) *Tracer {
-	return &Tracer{enc: json.NewEncoder(w)}
+	t := &Tracer{}
+	if w != nil {
+		t.enc = json.NewEncoder(w)
+	}
+	return t
+}
+
+// Mirror additionally records every completed span into r and returns the
+// tracer for chaining.
+func (t *Tracer) Mirror(r *SpanRing) *Tracer {
+	if t != nil {
+		t.ring = r
+	}
+	return t
 }
 
 // Span is an in-progress span. Attributes are added with Set; End emits
@@ -30,15 +68,58 @@ type Span struct {
 	t     *Tracer
 	name  string
 	start time.Time
+	ctx   SpanContext
 	attrs map[string]any
 }
 
-// Start begins a span. Safe on a nil tracer (returns a nil span).
+// Start begins a root span of a fresh trace. Safe on a nil tracer
+// (returns a nil span).
 func (t *Tracer) Start(name string) *Span {
 	if t == nil {
 		return nil
 	}
-	return &Span{t: t, name: name, start: time.Now()}
+	return &Span{t: t, name: name, start: time.Now(), ctx: SpanContext{
+		TraceID: fmt.Sprintf("t-%04x", t.traceSeq.Add(1)),
+		SpanID:  fmt.Sprintf("s-%06x", t.spanSeq.Add(1)),
+	}}
+}
+
+// StartChild begins a span in s's trace with s as parent. Safe on a nil
+// span (returns nil).
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.StartAt(name, s.ctx, time.Now())
+}
+
+// StartAt begins a span under an explicit parent context with an explicit
+// start time — the propagation primitive: a frame span started by the
+// transport reader can parent monitor-loop spans, and a stage whose
+// beginning was observed before the span object existed (decode) keeps
+// its true start. A zero parent starts a new trace; a zero start means
+// now.
+func (t *Tracer) StartAt(name string, parent SpanContext, start time.Time) *Span {
+	if t == nil {
+		return nil
+	}
+	if start.IsZero() {
+		start = time.Now()
+	}
+	ctx := SpanContext{TraceID: parent.TraceID, Parent: parent.SpanID}
+	if ctx.TraceID == "" {
+		ctx.TraceID = fmt.Sprintf("t-%04x", t.traceSeq.Add(1))
+	}
+	ctx.SpanID = fmt.Sprintf("s-%06x", t.spanSeq.Add(1))
+	return &Span{t: t, name: name, start: start, ctx: ctx}
+}
+
+// Context returns the span's identifiers (zero for a nil span).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.ctx
 }
 
 // Set attaches an attribute to the span and returns it for chaining.
@@ -53,26 +134,89 @@ func (s *Span) Set(key string, value any) *Span {
 	return s
 }
 
-// spanRecord is the serialized form of a completed span.
-type spanRecord struct {
-	TS    string         `json:"ts"`
-	Span  string         `json:"span"`
-	DurUS int64          `json:"dur_us"`
-	Attrs map[string]any `json:"attrs,omitempty"`
+// SpanRecord is the serialized form of a completed span — one JSONL line,
+// and one entry of the /debug/obs recent-spans ring.
+type SpanRecord struct {
+	TS     string         `json:"ts"`
+	Span   string         `json:"span"`
+	DurUS  int64          `json:"dur_us"`
+	Trace  string         `json:"trace,omitempty"`
+	ID     string         `json:"id,omitempty"`
+	Parent string         `json:"parent,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
 }
 
-// End completes the span and writes its JSON line.
+// End completes the span, writes its JSON line, and mirrors it into the
+// ring, if configured.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
-	rec := spanRecord{
-		TS:    s.start.UTC().Format(time.RFC3339Nano),
-		Span:  s.name,
-		DurUS: time.Since(s.start).Microseconds(),
-		Attrs: s.attrs,
+	rec := SpanRecord{
+		TS:     s.start.UTC().Format(time.RFC3339Nano),
+		Span:   s.name,
+		DurUS:  time.Since(s.start).Microseconds(),
+		Trace:  s.ctx.TraceID,
+		ID:     s.ctx.SpanID,
+		Parent: s.ctx.Parent,
+		Attrs:  s.attrs,
+	}
+	if s.t.ring != nil {
+		s.t.ring.Add(rec)
+	}
+	if s.t.enc == nil {
+		return
 	}
 	s.t.mu.Lock()
 	defer s.t.mu.Unlock()
 	s.t.enc.Encode(rec) //nolint:errcheck // tracing is best-effort
+}
+
+// SpanRing is a bounded ring of completed spans — the in-memory recent
+// history served at /debug/obs. Concurrent-safe; when full, the oldest
+// record is overwritten.
+type SpanRing struct {
+	mu    sync.Mutex
+	buf   []SpanRecord
+	next  int
+	total int64
+}
+
+// NewSpanRing returns a ring holding up to capacity completed spans
+// (minimum 1).
+func NewSpanRing(capacity int) *SpanRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpanRing{buf: make([]SpanRecord, 0, capacity)}
+}
+
+// Add records one completed span. Safe on a nil ring.
+func (r *SpanRing) Add(rec SpanRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+		return
+	}
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+// Snapshot returns the retained spans, oldest first, plus the count of
+// all spans ever added (so a reader can tell how many scrolled away).
+func (r *SpanRing) Snapshot() (spans []SpanRecord, total int64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	spans = make([]SpanRecord, 0, len(r.buf))
+	spans = append(spans, r.buf[r.next:]...)
+	spans = append(spans, r.buf[:r.next]...)
+	return spans, r.total
 }

@@ -85,7 +85,9 @@ func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
 func TestMuxEndpoints(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("hb_x_total", "help").Add(9)
-	srv := httptest.NewServer(NewMux(r))
+	mux := NewMux(r)
+	RegisterPprof(mux) // every binary mounts this behind its -pprof flag
+	srv := httptest.NewServer(mux)
 	defer srv.Close()
 
 	get := func(path string) (int, string) {

@@ -1,6 +1,10 @@
 package server
 
-import "repro/internal/obs"
+import (
+	"time"
+
+	"repro/internal/obs"
+)
 
 // metrics holds the hbserver metric handles. The names are part of the
 // operational interface and documented in DESIGN.md; the registry is
@@ -25,6 +29,29 @@ type metrics struct {
 	// connCloses counts TCP connection teardowns by typed reason, so a
 	// half-open peer timing out is distinguishable from a clean bye.
 	connCloses map[string]*obs.Counter // hb_server_conn_closes_total{reason=...}
+
+	// stageDur breaks the ingest pipeline into per-stage latency
+	// histograms, so "where does detection time go" is answerable from
+	// /metrics alone: hb_server_stage_seconds{stage=...}.
+	stageDur map[string]*obs.Histogram
+}
+
+// Pipeline stages (hb_server_stage_seconds labels), in traversal order.
+const (
+	StageAccept  = "accept"  // connection handshake: first frame read → session attached
+	StageDecode  = "decode"  // one NDJSON line → ClientFrame
+	StageEnqueue = "enqueue" // ingest call → frame queued (blocking = backpressure)
+	StageApply   = "apply"   // monitor step: frame applied to detection state
+	StageVerdict = "verdict" // watch latch → verdict frame emitted
+)
+
+var stages = []string{StageAccept, StageDecode, StageEnqueue, StageApply, StageVerdict}
+
+// stage records one duration under the named pipeline stage.
+func (m *metrics) stage(name string, d time.Duration) {
+	if h, ok := m.stageDur[name]; ok {
+		h.Observe(d.Seconds())
+	}
 }
 
 // Typed TCP connection close reasons (hb_server_conn_closes_total labels).
@@ -79,7 +106,17 @@ func newMetrics(reg *obs.Registry) *metrics {
 		resumesRej: reg.Counter(`hb_server_resumes_total{result="rejected"}`,
 			"Resume handshakes by outcome."),
 		connCloses: closeCounters(reg),
+		stageDur:   stageHistograms(reg),
 	}
+}
+
+func stageHistograms(reg *obs.Registry) map[string]*obs.Histogram {
+	m := make(map[string]*obs.Histogram, len(stages))
+	for _, st := range stages {
+		m[st] = reg.Histogram(`hb_server_stage_seconds{stage="`+st+`"}`,
+			"Per-stage pipeline latency: accept, decode, enqueue, apply, verdict.", nil)
+	}
+	return m
 }
 
 func closeCounters(reg *obs.Registry) map[string]*obs.Counter {

@@ -87,6 +87,14 @@ type Config struct {
 	Workers int
 	// Registry receives the hb_server_* metrics (nil → obs.Default()).
 	Registry *obs.Registry
+	// Tracer, when non-nil, receives pipeline spans: one root span per
+	// session and, under it, per-frame spans for each pipeline stage
+	// (decode → frame → enqueue → apply → verdict). Span attributes carry
+	// a "service" key so the server's own traces round-trip through the
+	// spanhb adapter back onto the happened-before model — the dogfood
+	// path. Nil disables span collection entirely (every call degrades to
+	// a nil check).
+	Tracer *obs.Tracer
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }

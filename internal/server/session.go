@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ctl"
+	"repro/internal/obs"
 	"repro/internal/online"
 )
 
@@ -74,6 +75,7 @@ type inFrame struct {
 	f    ClientFrame
 	enq  time.Time
 	resp chan ServerFrame // non-nil for requests awaiting an in-band reply
+	span *obs.Span        // the frame's pipeline span (nil when tracing is off)
 }
 
 // attachment is one transport subscription (a TCP connection's writer).
@@ -125,6 +127,7 @@ type Session struct {
 	// Owned by the monitor loop.
 	mon        *online.Monitor
 	watches    []*watchState
+	curSpan    *obs.Span   // the frame span being applied (verdict spans parent here)
 	registered bool        // watches registered (deferred until the first event)
 	msgIDs     map[int]int // wire msg id → monitor msg id
 	seen       int         // events applied
@@ -136,6 +139,9 @@ type Session struct {
 	frames  []ServerFrame // latched verdict and error frames, for HTTP pull and resume replay
 	goodbye *ServerFrame
 	reason  string
+
+	tracer *obs.Tracer // from Config; nil disables pipeline spans
+	span   *obs.Span   // per-session root span (nil when tracing is off)
 
 	resumable bool
 	enqSeq    atomic.Int64 // high-water sequenced frame accepted by the transport
@@ -161,7 +167,12 @@ func newSession(srv *Server, id string, n int, watches []*watchState) *Session {
 		mon:     online.NewMonitor(n),
 		watches: watches,
 		msgIDs:  make(map[int]int),
+		tracer:  srv.cfg.Tracer,
 	}
+	// The per-session root span: every frame span of this session parents
+	// here, so one trace id covers the session's full pipeline traversal.
+	s.span = s.tracer.Start("session")
+	s.span.Set("service", "session").Set("session", id).Set("processes", n)
 	s.lastActive.Store(time.Now().UnixNano())
 	return s
 }
@@ -222,6 +233,10 @@ func (s *Session) Goodbye() *ServerFrame {
 // Done returns a channel closed when the monitor loop has exited and the
 // session has been removed from the server.
 func (s *Session) Done() <-chan struct{} { return s.done }
+
+// spanCtx is the session root span's context; transport-side spans
+// (accept, decode) parent here. Zero when tracing is off.
+func (s *Session) spanCtx() obs.SpanContext { return s.span.Context() }
 
 // Welcome returns the session's welcome frame.
 func (s *Session) Welcome() ServerFrame {
@@ -327,6 +342,38 @@ func (s *Session) Ingest(f ClientFrame) error {
 }
 
 func (s *Session) enqueue(in inFrame) error {
+	var es *obs.Span
+	if s.tracer != nil && in.f.Type != frameFlush {
+		// The frame span starts at ingest time and ends when the monitor
+		// loop has applied the frame; its children are the pipeline stages.
+		fs := s.tracer.StartAt("frame", s.span.Context(), in.enq)
+		fs.Set("service", "transport").Set("type", in.f.Type)
+		if in.f.Proc != 0 {
+			fs.Set("proc", in.f.Proc)
+		}
+		if in.f.Seq != 0 {
+			fs.Set("seq", in.f.Seq)
+		}
+		in.span = fs
+		es = fs.StartChild("enqueue").Set("service", "transport")
+	}
+	start := time.Now()
+	err := s.enqueueRaw(in)
+	if in.f.Type != frameFlush { // flush barriers would skew the stage
+		s.srv.met.stage(StageEnqueue, time.Since(start))
+	}
+	if es != nil {
+		es.End()
+	}
+	if err != nil && in.span != nil {
+		// The frame never reaches the monitor loop; close its span here.
+		in.span.Set("error", err.Error())
+		in.span.End()
+	}
+	return err
+}
+
+func (s *Session) enqueueRaw(in inFrame) error {
 	// Resumable sessions always block: shedding an accepted sequenced
 	// frame would violate exactly-once ingestion (the client has been
 	// told, via the seq high-water mark, not to resend it).
@@ -464,12 +511,34 @@ func (s *Session) finish() {
 		default: // writer backlogged; accounting still available via Goodbye
 		}
 	}
+	s.span.Set("events", int(s.events.Load())).Set("dropped", int(s.dropped.Load()))
+	if gb.Error != "" {
+		s.span.Set("error", gb.Error)
+	}
+	s.span.End()
 	s.srv.remove(s.id)
 	close(s.done)
 }
 
 func (s *Session) handle(f inFrame) {
 	s.lastActive.Store(time.Now().UnixNano())
+	// The apply span covers the monitor step for this frame; verdict
+	// spans latched by it parent under the frame span via curSpan.
+	applyStart := time.Now()
+	as := f.span.StartChild("apply")
+	as.Set("service", "monitor")
+	s.curSpan = f.span
+	defer func() {
+		s.curSpan = nil
+		if f.f.Type == FrameInit || f.f.Type == FrameEvent || f.f.Type == FrameSnapshot {
+			s.srv.met.stage(StageApply, time.Since(applyStart))
+		}
+		as.Set("event", s.seen)
+		as.End()
+		if f.span != nil {
+			f.span.End()
+		}
+	}()
 	switch f.f.Type {
 	case FrameInit:
 		s.handleInit(f)
@@ -692,7 +761,12 @@ func (s *Session) checkWatches() {
 		default:
 			continue
 		}
+		verdictStart := time.Now()
+		vs := s.curSpan.StartChild("verdict")
+		vs.Set("service", "monitor").Set("watch", i).Set("op", w.op).Set("event", s.seen)
 		s.emit(fr, true)
+		vs.End()
+		s.srv.met.stage(StageVerdict, time.Since(verdictStart))
 	}
 }
 

@@ -108,6 +108,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
 	s.met.connsActive.Add(1)
 	defer s.met.connsActive.Add(-1)
+	connStart := time.Now()
 
 	sc := newFrameScanner(conn)
 	s.armReadDeadline(conn)
@@ -193,6 +194,16 @@ func (s *Server) handleConn(conn net.Conn) {
 		return
 	}
 
+	// The handshake is complete and the session attached: that interval
+	// is the accept stage. Its span parents under the session root so the
+	// trace shows which connection fed which session.
+	s.met.stage(StageAccept, time.Since(connStart))
+	if s.cfg.Tracer != nil {
+		as := s.cfg.Tracer.StartAt("accept", sess.spanCtx(), connStart)
+		as.Set("service", "transport").Set("session", sess.id).Set("handshake", string(first.Type))
+		as.End()
+	}
+
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
@@ -246,7 +257,14 @@ func (s *Server) handleConn(conn net.Conn) {
 func (s *Server) readFrames(conn net.Conn, sc *bufio.Scanner, sess *Session) string {
 	for sc.Scan() {
 		s.armReadDeadline(conn)
+		decStart := time.Now()
 		f, err := DecodeClientFrame(sc.Bytes())
+		s.met.stage(StageDecode, time.Since(decStart))
+		if err == nil && s.cfg.Tracer != nil {
+			ds := s.cfg.Tracer.StartAt("decode", sess.spanCtx(), decStart)
+			ds.Set("service", "transport").Set("type", f.Type)
+			ds.End()
+		}
 		if err != nil {
 			// A malformed line means the stream is desynchronized; no
 			// later frame can be trusted. A resumable session survives —

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/computation"
+	"repro/internal/spanhb"
+)
+
+// SpanConfig shapes a synthetic microservice trace: Requests fan-out RPC
+// trees of the given Depth and Fanout over Services services, with
+// consecutive requests overlapping in time so concurrent handling (the
+// interesting case for inflight predicates) actually occurs.
+type SpanConfig struct {
+	Services int   // processes after lowering (≥ 2)
+	Requests int   // independent traces (≥ 1)
+	Depth    int   // call-tree depth below the root span (≥ 0)
+	Fanout   int   // child calls per span (≥ 1 when Depth > 0)
+	Seed     int64 // PRNG seed for downstream service selection
+}
+
+// Spans generates an OTel-style span workload: each request is a trace
+// rooted at service 0 whose spans call pseudo-randomly chosen downstream
+// services. Timestamps are synthetic and consistent (children nest
+// strictly inside parents), so lowering never drops edges as skew, and
+// the same config always yields the same spans.
+func Spans(cfg SpanConfig) ([]spanhb.Span, error) {
+	if cfg.Services < 2 {
+		return nil, fmt.Errorf("sim: span workload needs ≥ 2 services, got %d", cfg.Services)
+	}
+	if cfg.Requests < 1 {
+		return nil, fmt.Errorf("sim: span workload needs ≥ 1 request, got %d", cfg.Requests)
+	}
+	if cfg.Depth > 0 && cfg.Fanout < 1 {
+		return nil, fmt.Errorf("sim: span workload with depth %d needs fanout ≥ 1", cfg.Depth)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var spans []spanhb.Span
+	n := 0
+	// gen emits the span tree rooted at (svc, depth) starting at start,
+	// returning the subtree's end time. Children run sequentially inside
+	// the parent, each on a different service than its caller.
+	var gen func(traceID, parentID string, svc, depth int, start int64) int64
+	gen = func(traceID, parentID string, svc, depth int, start int64) int64 {
+		n++
+		id := fmt.Sprintf("sp-%05d", n)
+		cur := start + 40 // work before the first downstream call
+		if depth > 0 {
+			for f := 0; f < cfg.Fanout; f++ {
+				child := (svc + 1 + rng.Intn(cfg.Services-1)) % cfg.Services
+				cur = gen(traceID, id, child, depth-1, cur+20)
+			}
+		}
+		end := cur + 40
+		spans = append(spans, spanhb.Span{
+			TraceID:  traceID,
+			SpanID:   id,
+			ParentID: parentID,
+			Service:  fmt.Sprintf("svc-%02d", svc),
+			Name:     fmt.Sprintf("op-d%d", depth),
+			StartNS:  start,
+			EndNS:    end,
+			Attrs:    map[string]int{"depth": depth},
+		})
+		return end
+	}
+	var start int64
+	for r := 0; r < cfg.Requests; r++ {
+		end := gen(fmt.Sprintf("tr-%03d", r), "", 0, cfg.Depth, start)
+		// The next request begins well before this one ends, so handler
+		// spans overlap and inflight counts exceed one.
+		start += (end - start) / 3
+	}
+	// Random routing may leave a service unreached; give each one an idle
+	// heartbeat span so "services=N" always lowers to N processes.
+	seen := make(map[string]bool, cfg.Services)
+	for _, s := range spans {
+		seen[s.Service] = true
+	}
+	for svc := 0; svc < cfg.Services; svc++ {
+		name := fmt.Sprintf("svc-%02d", svc)
+		if !seen[name] {
+			n++
+			spans = append(spans, spanhb.Span{
+				TraceID: fmt.Sprintf("tr-idle-%02d", svc),
+				SpanID:  fmt.Sprintf("sp-%05d", n),
+				Service: name,
+				Name:    "idle",
+				StartNS: 0,
+				EndNS:   1,
+			})
+		}
+	}
+	return spans, nil
+}
+
+// SpanWorkload generates the span workload and lowers it onto the
+// happened-before model — the "spans:" entry of FromSpec.
+func SpanWorkload(cfg SpanConfig) (*computation.Computation, error) {
+	spans, err := Spans(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r, err := spanhb.Lower(spans, spanhb.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return r.Comp, nil
+}

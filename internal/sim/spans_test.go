@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ctl"
+	"repro/internal/spanhb"
+)
+
+func TestSpansDeterministicAndSkewFree(t *testing.T) {
+	cfg := SpanConfig{Services: 4, Requests: 3, Depth: 2, Fanout: 2, Seed: 7}
+	a, err := Spans(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Spans(cfg)
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic span count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].SpanID != b[i].SpanID || a[i].Service != b[i].Service || a[i].StartNS != b[i].StartNS {
+			t.Fatalf("span %d differs across runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	r, err := spanhb.Lower(a, spanhb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SkewDropped != 0 {
+		t.Errorf("synthetic timestamps dropped %d edges as skew", r.SkewDropped)
+	}
+	if r.Edges == 0 {
+		t.Error("no cross-service edges generated")
+	}
+}
+
+func TestSpanWorkloadViaFromSpec(t *testing.T) {
+	comp, err := FromSpec("spans:services=3,requests=4,depth=1,fanout=2,seed=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.N() != 3 {
+		t.Fatalf("processes = %d, want 3", comp.N())
+	}
+	// Overlapping requests push the root service's inflight above one.
+	res, err := core.Detect(comp, ctl.MustParse("EF(inflight@P1 >= 2)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Error("overlapping requests never concurrent at the root service")
+	}
+	if _, err := FromSpec("spans:services=1"); err == nil {
+		t.Error("single-service span workload accepted")
+	}
+}

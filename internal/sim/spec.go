@@ -23,6 +23,9 @@ import (
 //	snapshot:n=3                  Chandy–Lamport snapshot round
 //	termination:workers=3,work=2  diffusing computation (Dijkstra–Scholten)
 //	causal:violate=0|1            causal broadcast (optionally violated)
+//	spans:services=3,requests=3,depth=2,fanout=2,seed=1
+//	                              OTel-style RPC span trees lowered onto
+//	                              the HB model (package spanhb)
 //	fig2, fig4                    the paper's example computations
 //
 // Process numbers in specs are counts; the faulty/abort keys are 1-based
@@ -79,6 +82,14 @@ func FromSpec(spec string) (*computation.Computation, error) {
 		return Termination(get("workers", 3), get("work", 2)), nil
 	case "causal":
 		return CausalBroadcast(get("violate", 0) != 0), nil
+	case "spans":
+		return SpanWorkload(SpanConfig{
+			Services: get("services", 3),
+			Requests: get("requests", 3),
+			Depth:    get("depth", 2),
+			Fanout:   get("fanout", 2),
+			Seed:     int64(get("seed", 1)),
+		})
 	case "fig2":
 		return Fig2(), nil
 	case "fig4":

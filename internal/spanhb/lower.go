@@ -1,0 +1,320 @@
+package spanhb
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/computation"
+)
+
+// Builtin variables maintained on every process by the lowering, beside
+// the span attributes. Attribute keys that collide with a builtin are
+// dropped (the builtin wins) so the invariants below always hold.
+const (
+	// VarInflight gauges the spans currently open on the process.
+	VarInflight = "inflight"
+	// VarStarted counts spans started on the process (monotone).
+	VarStarted = "started"
+	// VarDone counts spans completed on the process (monotone).
+	VarDone = "done"
+)
+
+// Options tunes the lowering.
+type Options struct {
+	// PersistAttrs keeps a span's attribute values on its process after
+	// the span ends. The default (false) treats attributes as gauges and
+	// resets them to zero at span end — the right reading for external
+	// traces, where an attribute describes the span, not the service.
+	// The dogfood path persists them, so latched facts ("this session
+	// saw an init") stay visible to AG predicates.
+	PersistAttrs bool
+}
+
+// Result is a lowered trace: the computation plus the accounting a
+// caller needs to judge coverage.
+type Result struct {
+	Comp     *computation.Computation
+	Services []string // sorted; Services[i] is process i's service name
+	Spans    int      // spans lowered
+	Events   int      // events in the computation (incl. sends/receives)
+	Edges    int      // cross-service causal edges lowered as messages
+	// SkewDropped counts causal edges contradicted by the timestamps
+	// (e.g. a child starting before its parent): clock skew between
+	// services. Dropping them keeps the computation consistent; the
+	// count tells the caller how much causality was lost.
+	SkewDropped int
+}
+
+// node identifies one lowered event: a span's start or end.
+type node struct {
+	span int  // index into spans
+	end  bool // false = start event, true = end event
+}
+
+func (n node) key(spans []Span) nodeKey {
+	s := spans[n.span]
+	ts := s.StartNS
+	if n.end {
+		ts = s.EndNS
+	}
+	return nodeKey{ts: ts, service: s.Service, spanID: s.SpanID, end: n.end}
+}
+
+// nodeKey is the deterministic ordering of lowered events: timestamp,
+// then service, then span id, then start-before-end. Every tie in the
+// input resolves the same way on every run, so lowering is reproducible.
+type nodeKey struct {
+	ts      int64
+	service string
+	spanID  string
+	end     bool
+}
+
+func (a nodeKey) less(b nodeKey) bool {
+	if a.ts != b.ts {
+		return a.ts < b.ts
+	}
+	if a.service != b.service {
+		return a.service < b.service
+	}
+	if a.spanID != b.spanID {
+		return a.spanID < b.spanID
+	}
+	return !a.end && b.end
+}
+
+// Lower maps spans onto the happened-before model. Services become
+// processes (sorted by name); each span start and end becomes an
+// internal event on its service's process, in timestamp order; each
+// cross-service causal relation — parent start before child start,
+// child end before parent end, link source end before link target start
+// — becomes a message, so vector clocks carry exactly the causality the
+// trace asserts. Relations whose timestamps contradict the causal
+// direction are dropped and counted as skew. A causal cycle (possible
+// only with skewed cross-trace links) is an error.
+func Lower(spans []Span, opt Options) (*Result, error) {
+	if len(spans) == 0 {
+		return nil, fmt.Errorf("spanhb: no spans to lower")
+	}
+
+	// Services → processes, sorted for determinism.
+	svcSet := make(map[string]int)
+	for _, s := range spans {
+		svcSet[s.Service] = 0
+	}
+	services := make([]string, 0, len(svcSet))
+	for svc := range svcSet {
+		services = append(services, svc)
+	}
+	sort.Strings(services)
+	for i, svc := range services {
+		svcSet[svc] = i
+	}
+
+	byID := make(map[string]int, len(spans))
+	for i, s := range spans {
+		if _, dup := byID[s.SpanID]; dup {
+			return nil, fmt.Errorf("spanhb: duplicate spanID %q", s.SpanID)
+		}
+		byID[s.SpanID] = i
+	}
+
+	// Nodes: 2 per span (start = 2i, end = 2i+1).
+	id := func(n node) int {
+		if n.end {
+			return 2*n.span + 1
+		}
+		return 2 * n.span
+	}
+	nodes := make([]node, 2*len(spans))
+	for i := range spans {
+		nodes[2*i] = node{span: i}
+		nodes[2*i+1] = node{span: i, end: true}
+	}
+
+	adj := make([][]int, len(nodes))
+	indeg := make([]int, len(nodes))
+	addEdge := func(from, to node) {
+		f, t := id(from), id(to)
+		adj[f] = append(adj[f], t)
+		indeg[t]++
+	}
+
+	// Program order: each process's events in deterministic timestamp
+	// order, chained. This also sequences same-service parent/child
+	// relations without needing a message.
+	perProc := make([][]node, len(services))
+	for i, s := range spans {
+		p := svcSet[s.Service]
+		perProc[p] = append(perProc[p], node{span: i}, node{span: i, end: true})
+	}
+	for _, ns := range perProc {
+		sort.Slice(ns, func(a, b int) bool { return ns[a].key(spans).less(ns[b].key(spans)) })
+		for k := 1; k < len(ns); k++ {
+			addEdge(ns[k-1], ns[k])
+		}
+	}
+
+	// Cross-service causal relations become message edges. msgEdge pairs
+	// lower as: send right after the source event, receive right before
+	// the target event.
+	type msgEdge struct{ from, to node }
+	var msgs []msgEdge
+	skew := 0
+	causal := func(from, to node) {
+		fk, tk := from.key(spans), to.key(spans)
+		if tk.ts < fk.ts {
+			skew++ // the trace asserts causality the clocks contradict
+			return
+		}
+		msgs = append(msgs, msgEdge{from, to})
+		addEdge(from, to)
+	}
+	for i, s := range spans {
+		if pi, ok := byID[s.ParentID]; ok && s.ParentID != "" && spans[pi].Service != s.Service {
+			// The parent caused the child: parent.start → child.start.
+			// The child's completion flows back: child.end → parent.end.
+			causal(node{span: pi}, node{span: i})
+			causal(node{span: i, end: true}, node{span: pi, end: true})
+		}
+		for _, l := range s.Links {
+			if li, ok := byID[l.SpanID]; ok && spans[li].Service != s.Service {
+				// A link names a span whose completion this span follows.
+				causal(node{span: li, end: true}, node{span: i})
+			}
+		}
+	}
+
+	// Kahn's algorithm with a deterministic ready heap: the emission
+	// order is a linearization of the happened-before order that breaks
+	// ties by nodeKey, so identical inputs lower identically.
+	h := &nodeHeap{spans: spans}
+	for _, n := range nodes {
+		if indeg[id(n)] == 0 {
+			heap.Push(h, n)
+		}
+	}
+	b := computation.NewBuilder(len(services))
+	for p := range services {
+		b.SetInitial(p, VarInflight, 0)
+		b.SetInitial(p, VarStarted, 0)
+		b.SetInitial(p, VarDone, 0)
+	}
+	// Per-process running values of the builtins, and incoming message
+	// handles keyed by target node.
+	inflight := make([]int, len(services))
+	started := make([]int, len(services))
+	done := make([]int, len(services))
+	pending := make(map[int][]computation.Msg) // target node id → msgs to receive
+	outgoing := make(map[int][]int)            // source node id → target node ids, emission order
+	for _, m := range msgs {
+		outgoing[id(m.from)] = append(outgoing[id(m.from)], id(m.to))
+	}
+	emitted := 0
+	for h.Len() > 0 {
+		n := heap.Pop(h).(node)
+		ni := id(n)
+		s := spans[n.span]
+		p := svcSet[s.Service]
+
+		// Receives first: the causal inputs land immediately before the
+		// event they enable.
+		for _, m := range pending[ni] {
+			b.Receive(p, m)
+		}
+		delete(pending, ni)
+
+		e := b.Internal(p)
+		label := s.Name
+		if label == "" {
+			label = s.SpanID
+		}
+		if n.end {
+			computation.WithLabel(e, label+":end")
+			inflight[p]--
+			done[p]++
+			computation.Set(e, VarInflight, inflight[p])
+			computation.Set(e, VarDone, done[p])
+			if !opt.PersistAttrs {
+				for _, k := range sortedKeys(s.Attrs) {
+					if !builtin(k) {
+						computation.Set(e, k, 0)
+					}
+				}
+			}
+		} else {
+			computation.WithLabel(e, label+":start")
+			inflight[p]++
+			started[p]++
+			computation.Set(e, VarInflight, inflight[p])
+			computation.Set(e, VarStarted, started[p])
+			for _, k := range sortedKeys(s.Attrs) {
+				if !builtin(k) {
+					computation.Set(e, k, s.Attrs[k])
+				}
+			}
+		}
+
+		// Sends after: the causal outputs leave immediately after the
+		// event that produced them.
+		for _, ti := range outgoing[ni] {
+			_, m := b.Send(p)
+			pending[ti] = append(pending[ti], m)
+		}
+
+		for _, ti := range adj[ni] {
+			indeg[ti]--
+			if indeg[ti] == 0 {
+				heap.Push(h, nodes[ti])
+			}
+		}
+		emitted++
+	}
+	if emitted != len(nodes) {
+		return nil, fmt.Errorf("spanhb: causal cycle among spans (%d of %d events orderable)", emitted, len(nodes))
+	}
+
+	comp, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("spanhb: %w", err)
+	}
+	return &Result{
+		Comp:        comp,
+		Services:    services,
+		Spans:       len(spans),
+		Events:      comp.TotalEvents(),
+		Edges:       len(msgs),
+		SkewDropped: skew,
+	}, nil
+}
+
+func builtin(k string) bool {
+	return k == VarInflight || k == VarStarted || k == VarDone
+}
+
+func sortedKeys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// nodeHeap is the deterministic ready queue of Kahn's algorithm.
+type nodeHeap struct {
+	spans []Span
+	ns    []node
+}
+
+func (h *nodeHeap) Len() int { return len(h.ns) }
+func (h *nodeHeap) Less(a, b int) bool {
+	return h.ns[a].key(h.spans).less(h.ns[b].key(h.spans))
+}
+func (h *nodeHeap) Swap(a, b int)  { h.ns[a], h.ns[b] = h.ns[b], h.ns[a] }
+func (h *nodeHeap) Push(x any)     { h.ns = append(h.ns, x.(node)) }
+func (h *nodeHeap) Pop() (x any)   { x, h.ns = h.ns[len(h.ns)-1], h.ns[:len(h.ns)-1]; return }
+func (h *nodeHeap) String() string { return fmt.Sprintf("%d ready", len(h.ns)) }
+
+var _ heap.Interface = (*nodeHeap)(nil)

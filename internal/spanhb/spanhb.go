@@ -1,0 +1,188 @@
+// Package spanhb lowers OTel-style distributed trace spans onto the
+// happened-before model, so the Table 1 detection algorithms run over the
+// trace shapes real systems actually emit.
+//
+// The lowering maps each service to a process, each span's start and end
+// to events on that process, and each cross-service causal relation —
+// parent/child nesting and explicit span links — to a message, so the
+// vector clocks computed by internal/computation capture exactly the
+// causality the trace asserts. Spans of the detector's own pipeline
+// tracer (internal/obs) convert via FromObs, closing the dogfood loop:
+// the server's detection of a computation is itself a computation the
+// server can detect predicates on.
+package spanhb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"time"
+
+	"encoding/json"
+
+	"repro/internal/obs"
+)
+
+// Link is an explicit causal edge from another span to the span holding
+// the link — OTel span links, the escape hatch for causality that
+// parent/child nesting cannot express (batch consumers, scatter/gather).
+type Link struct {
+	TraceID string `json:"traceID,omitempty"`
+	SpanID  string `json:"spanID"`
+}
+
+// Span is one OTel-style span: the unit of ingest. Only the fields the
+// happened-before lowering needs are modeled; unknown JSON fields are
+// ignored so real exporter output can be fed in unmodified.
+//
+// Attrs carry integer-valued span attributes; they become the process
+// variables predicates range over.
+type Span struct {
+	TraceID  string         `json:"traceID,omitempty"`
+	SpanID   string         `json:"spanID"`
+	ParentID string         `json:"parentID,omitempty"`
+	Service  string         `json:"service"`
+	Name     string         `json:"name,omitempty"`
+	StartNS  int64          `json:"startTimeUnixNano"`
+	EndNS    int64          `json:"endTimeUnixNano"`
+	Links    []Link         `json:"links,omitempty"`
+	Attrs    map[string]int `json:"attrs,omitempty"`
+}
+
+// MaxLineBytes bounds one JSONL span line; a longer line is a malformed
+// input, not a reason to allocate without limit.
+const MaxLineBytes = 1 << 20
+
+// Decode reads spans from OTel-style JSONL: one span object per line,
+// blank lines ignored. Lines in the pipeline tracer's own record format
+// (internal/obs, as written by `hbserver -span-jsonl`) are accepted too
+// and converted as FromObs would, so a span file the server wrote about
+// itself feeds straight back in. It validates what the lowering relies
+// on — every span has an id and a service, ends at or after it starts,
+// and ids are unique — and reports the offending line number otherwise.
+func Decode(r io.Reader) ([]Span, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxLineBytes)
+	var spans []Span
+	seen := make(map[string]int)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var s Span
+		if err := json.Unmarshal(b, &s); err != nil {
+			var ok bool
+			if s, ok = decodeObsLine(b); !ok {
+				return nil, fmt.Errorf("spanhb: line %d: %w", line, err)
+			}
+		}
+		if s.SpanID == "" {
+			var ok bool
+			if s, ok = decodeObsLine(b); !ok {
+				return nil, fmt.Errorf("spanhb: line %d: span has no spanID", line)
+			}
+		}
+		if s.Service == "" {
+			return nil, fmt.Errorf("spanhb: line %d: span %q has no service", line, s.SpanID)
+		}
+		if s.EndNS < s.StartNS {
+			return nil, fmt.Errorf("spanhb: line %d: span %q ends before it starts", line, s.SpanID)
+		}
+		if prev, dup := seen[s.SpanID]; dup {
+			return nil, fmt.Errorf("spanhb: line %d: duplicate spanID %q (first on line %d)", line, s.SpanID, prev)
+		}
+		seen[s.SpanID] = line
+		spans = append(spans, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("spanhb: %w", err)
+	}
+	return spans, nil
+}
+
+// FromObs converts completed spans of the pipeline tracer (internal/obs)
+// into ingestible spans — the dogfood path. The service comes from the
+// "service" attribute the server sets on every pipeline span; records
+// without one (or without an id) are skipped. Integer-valued attributes
+// survive; everything else is dropped, since process variables are ints.
+func FromObs(recs []obs.SpanRecord) []Span {
+	spans := make([]Span, 0, len(recs))
+	for _, r := range recs {
+		if s, ok := fromRecord(r); ok {
+			spans = append(spans, s)
+		}
+	}
+	return spans
+}
+
+// decodeObsLine attempts one JSONL line as a pipeline tracer record —
+// the Decode fallback that lets `hbserver -span-jsonl` output feed
+// straight back into `-spans`.
+func decodeObsLine(b []byte) (Span, bool) {
+	var r obs.SpanRecord
+	if err := json.Unmarshal(b, &r); err != nil {
+		return Span{}, false
+	}
+	return fromRecord(r)
+}
+
+// fromRecord converts one tracer record; ok is false when the record
+// lacks what the lowering needs (id, service attribute, parseable ts).
+func fromRecord(r obs.SpanRecord) (Span, bool) {
+	if r.ID == "" {
+		return Span{}, false
+	}
+	svc, ok := r.Attrs["service"].(string)
+	if !ok || svc == "" {
+		return Span{}, false
+	}
+	start, err := time.Parse(time.RFC3339Nano, r.TS)
+	if err != nil {
+		return Span{}, false
+	}
+	s := Span{
+		TraceID:  r.Trace,
+		SpanID:   r.ID,
+		ParentID: r.Parent,
+		Service:  svc,
+		Name:     r.Span,
+		StartNS:  start.UnixNano(),
+		EndNS:    start.UnixNano() + r.DurUS*int64(time.Microsecond),
+	}
+	for k, v := range r.Attrs {
+		if k == "service" {
+			continue
+		}
+		n, ok := intAttr(v)
+		if !ok {
+			continue
+		}
+		if s.Attrs == nil {
+			s.Attrs = make(map[string]int)
+		}
+		s.Attrs[k] = n
+	}
+	return s, true
+}
+
+// intAttr coerces the attribute representations that survive a JSON
+// round-trip (float64) and the in-memory ones (int variants, bool).
+func intAttr(v any) (int, bool) {
+	switch x := v.(type) {
+	case int:
+		return x, true
+	case int64:
+		return int(x), true
+	case float64:
+		return int(x), true
+	case bool:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}

@@ -1,0 +1,359 @@
+package spanhb
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/computation"
+	"repro/internal/core"
+	"repro/internal/ctl"
+	"repro/internal/obs"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// rpc returns a two-service client/server trace: the client opens a
+// request span, the server handles it in a child span that finishes
+// before the client span does.
+func rpc() []Span {
+	return []Span{
+		{TraceID: "t1", SpanID: "c1", Service: "client", Name: "GET /x", StartNS: 100, EndNS: 500},
+		{TraceID: "t1", SpanID: "s1", ParentID: "c1", Service: "server", Name: "handle", StartNS: 200, EndNS: 400,
+			Attrs: map[string]int{"status": 200}},
+	}
+}
+
+func TestDecodeValidatesInput(t *testing.T) {
+	good := `{"spanID":"a","service":"x","startTimeUnixNano":1,"endTimeUnixNano":2}
+
+{"spanID":"b","service":"y","startTimeUnixNano":1,"endTimeUnixNano":2,"links":[{"spanID":"a"}]}
+`
+	spans, err := Decode(strings.NewReader(good))
+	if err != nil || len(spans) != 2 {
+		t.Fatalf("Decode = %d spans, err %v", len(spans), err)
+	}
+	if spans[1].Links[0].SpanID != "a" {
+		t.Errorf("link lost: %+v", spans[1])
+	}
+	for name, bad := range map[string]string{
+		"no id":        `{"service":"x","startTimeUnixNano":1,"endTimeUnixNano":2}`,
+		"no service":   `{"spanID":"a","startTimeUnixNano":1,"endTimeUnixNano":2}`,
+		"ends early":   `{"spanID":"a","service":"x","startTimeUnixNano":5,"endTimeUnixNano":2}`,
+		"bad json":     `{"spanID":`,
+		"duplicate id": "{\"spanID\":\"a\",\"service\":\"x\",\"startTimeUnixNano\":1,\"endTimeUnixNano\":2}\n{\"spanID\":\"a\",\"service\":\"y\",\"startTimeUnixNano\":1,\"endTimeUnixNano\":2}",
+	} {
+		if _, err := Decode(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: Decode accepted %q", name, bad)
+		}
+	}
+}
+
+func TestLowerSimpleRPC(t *testing.T) {
+	r, err := Lower(rpc(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Services) != 2 || r.Services[0] != "client" || r.Services[1] != "server" {
+		t.Fatalf("services = %v", r.Services)
+	}
+	if r.Spans != 2 || r.Edges != 2 || r.SkewDropped != 0 {
+		t.Fatalf("spans=%d edges=%d skew=%d, want 2/2/0", r.Spans, r.Edges, r.SkewDropped)
+	}
+	comp := r.Comp
+
+	// The trace's causality must be exactly the computation's: the
+	// client's request start happens before the server's handling, and
+	// the handling happens before the request completes.
+	find := func(label string) *computation.Event {
+		for i := 0; i < comp.N(); i++ {
+			for _, e := range comp.Events(i) {
+				if e.Label == label {
+					return e
+				}
+			}
+		}
+		t.Fatalf("no event labeled %q", label)
+		return nil
+	}
+	cStart, cEnd := find("GET /x:start"), find("GET /x:end")
+	sStart, sEnd := find("handle:start"), find("handle:end")
+	if !comp.HappenedBefore(cStart, sStart) {
+		t.Error("client start does not happen before server handle start")
+	}
+	if !comp.HappenedBefore(sEnd, cEnd) {
+		t.Error("server handle end does not happen before client end")
+	}
+	if !comp.HappenedBefore(sStart, cEnd) {
+		// Via handle end → client end, transitively.
+		t.Error("expected server start ordered before client end")
+	}
+
+	// Validate every per-process vector-clock timeline against the
+	// vclock consistency oracle, and every message against the
+	// sent-before-received order.
+	for i := 0; i < comp.N(); i++ {
+		clocks := make([]vclock.VC, 0, comp.Len(i))
+		for _, e := range comp.Events(i) {
+			clocks = append(clocks, e.Clock)
+		}
+		if err := vclock.CheckTimeline(i, clocks); err != nil {
+			t.Errorf("process %d (%s): %v", i, r.Services[i], err)
+		}
+	}
+	for _, m := range comp.Messages() {
+		s, rcv := comp.SendOf(m), comp.RecvOf(m)
+		if rcv == nil {
+			t.Fatalf("message %d never received", m)
+		}
+		if !s.Clock.Less(rcv.Clock) {
+			t.Errorf("message %d: send clock %v not < recv clock %v", m, s.Clock, rcv.Clock)
+		}
+	}
+}
+
+func TestLowerBuiltinsAndAttrGauge(t *testing.T) {
+	r, err := Lower(rpc(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := r.Comp
+	srv := 1 // services sorted: client=0, server=1
+	last := comp.Len(srv)
+	if v, _ := comp.Value(srv, last, VarDone); v != 1 {
+		t.Errorf("final done@server = %d, want 1", v)
+	}
+	if v, _ := comp.Value(srv, last, VarInflight); v != 0 {
+		t.Errorf("final inflight@server = %d, want 0", v)
+	}
+	if v, _ := comp.Value(srv, last, "status"); v != 0 {
+		t.Errorf("gauge attrs: final status@server = %d, want 0", v)
+	}
+
+	p, err := Lower(rpc(), Options{PersistAttrs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.Comp.Value(srv, p.Comp.Len(srv), "status"); v != 200 {
+		t.Errorf("persisted attrs: final status@server = %d, want 200", v)
+	}
+}
+
+func TestLowerSkewDropsContradictedEdges(t *testing.T) {
+	spans := []Span{
+		{SpanID: "p", Service: "a", StartNS: 300, EndNS: 350},
+		// Child "starts" before its parent: cross-service clock skew.
+		{SpanID: "c", ParentID: "p", Service: "b", StartNS: 100, EndNS: 200},
+	}
+	r, err := Lower(spans, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// parent.start→child.start is contradicted (300 > 100); the
+	// completion edge child.end→parent.end (200 ≤ 350) survives.
+	if r.SkewDropped != 1 || r.Edges != 1 {
+		t.Errorf("skew=%d edges=%d, want 1/1", r.SkewDropped, r.Edges)
+	}
+}
+
+func TestLowerLinkEdge(t *testing.T) {
+	spans := []Span{
+		{SpanID: "prod", Service: "producer", StartNS: 100, EndNS: 200},
+		{SpanID: "cons", Service: "consumer", StartNS: 300, EndNS: 400,
+			Links: []Link{{SpanID: "prod"}}},
+	}
+	r, err := Lower(spans, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Edges != 1 {
+		t.Fatalf("edges = %d, want 1 (link)", r.Edges)
+	}
+	comp := r.Comp
+	// producer end (consumer sorted after producer? services sorted:
+	// consumer=0, producer=1). Link: prod.end happens before cons.start.
+	prodEnd := comp.Events(1)[len(comp.Events(1))-1]
+	consStart := comp.Events(0)[0]
+	for _, e := range comp.Events(0) {
+		if e.Label == "cons:start" {
+			consStart = e
+		}
+	}
+	if !comp.HappenedBefore(prodEnd, consStart) {
+		t.Error("link edge not causal: producer end must happen before consumer start")
+	}
+}
+
+func TestLowerDeterministic(t *testing.T) {
+	// Identical inputs (with timestamp ties across services) must lower
+	// to byte-identical serialized computations.
+	spans := []Span{
+		{SpanID: "a", Service: "s1", StartNS: 100, EndNS: 300},
+		{SpanID: "b", Service: "s2", StartNS: 100, EndNS: 300},
+		{SpanID: "c", ParentID: "a", Service: "s2", StartNS: 150, EndNS: 250},
+		{SpanID: "d", ParentID: "b", Service: "s1", StartNS: 150, EndNS: 250},
+	}
+	var out [2]bytes.Buffer
+	for i := range out {
+		r, err := Lower(spans, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.Encode(&out[i], r.Comp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if out[0].String() != out[1].String() {
+		t.Error("lowering is not deterministic")
+	}
+}
+
+func TestLowerCycleIsAnError(t *testing.T) {
+	// Two spans at identical instants, each linking the other: no valid
+	// happened-before order exists.
+	spans := []Span{
+		{SpanID: "x", Service: "a", StartNS: 100, EndNS: 100, Links: []Link{{SpanID: "y"}}},
+		{SpanID: "y", Service: "b", StartNS: 100, EndNS: 100, Links: []Link{{SpanID: "x"}}},
+	}
+	if _, err := Lower(spans, Options{}); err == nil {
+		t.Fatal("cycle lowered without error")
+	}
+}
+
+func TestDetectOverLoweredTrace(t *testing.T) {
+	// The point of the adapter: Table 1 predicates run over real trace
+	// shapes. Two overlapping requests on the server push inflight to 2
+	// in some (EF) but not every (AG) observation order.
+	spans := []Span{
+		{SpanID: "c1", Service: "client", Name: "req1", StartNS: 100, EndNS: 900},
+		{SpanID: "c2", Service: "client", Name: "req2", StartNS: 150, EndNS: 950},
+		{SpanID: "s1", ParentID: "c1", Service: "server", Name: "h1", StartNS: 200, EndNS: 600},
+		{SpanID: "s2", ParentID: "c2", Service: "server", Name: "h2", StartNS: 300, EndNS: 700},
+	}
+	r, err := Lower(spans, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Process order: client=1, server=2 (1-based in formulas).
+	res, err := core.Detect(r.Comp, ctl.MustParse("EF(inflight@P2 >= 2)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Error("EF(inflight@P2 >= 2) should hold: the handler spans overlap")
+	}
+	res, err = core.Detect(r.Comp, ctl.MustParse("AG(inflight@P2 <= 2)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Error("AG(inflight@P2 <= 2) should hold: only two handler spans exist")
+	}
+}
+
+func TestFromObsRoundTrip(t *testing.T) {
+	ring := obs.NewSpanRing(16)
+	tr := obs.NewTracer(nil).Mirror(ring)
+	root := tr.Start("session")
+	root.Set("service", "session").Set("processes", 2)
+	child := root.StartChild("frame")
+	child.Set("service", "transport").Set("seq", 7)
+	time.Sleep(time.Millisecond)
+	child.End()
+	root.End()
+	// A record without a service attribute must be skipped.
+	tr.Start("unattributed").End()
+
+	recs, _ := ring.Snapshot()
+	spans := FromObs(recs)
+	if len(spans) != 2 {
+		t.Fatalf("FromObs kept %d spans, want 2", len(spans))
+	}
+	byID := map[string]Span{}
+	for _, s := range spans {
+		byID[s.SpanID] = s
+	}
+	rootS := byID[rootCtxID(t, spans, "session")]
+	childS := byID[rootCtxID(t, spans, "frame")]
+	if childS.ParentID != rootS.SpanID || childS.TraceID != rootS.TraceID {
+		t.Errorf("parent/trace lost: %+v vs %+v", childS, rootS)
+	}
+	if childS.Attrs["seq"] != 7 || rootS.Attrs["processes"] != 2 {
+		t.Errorf("int attrs lost: %+v %+v", childS.Attrs, rootS.Attrs)
+	}
+	if childS.EndNS < childS.StartNS {
+		t.Errorf("span duration negative: %+v", childS)
+	}
+	if _, err := Lower(spans, Options{PersistAttrs: true}); err != nil {
+		t.Fatalf("lowering the tracer's own spans: %v", err)
+	}
+}
+
+func rootCtxID(t *testing.T, spans []Span, name string) string {
+	t.Helper()
+	for _, s := range spans {
+		if s.Name == name {
+			return s.SpanID
+		}
+	}
+	t.Fatalf("no span named %q", name)
+	return ""
+}
+
+func TestFromObsJSONRoundTrip(t *testing.T) {
+	// Spans serialized by the tracer and re-read as JSONL (float64
+	// attrs) convert the same as in-memory ones.
+	var b strings.Builder
+	tr := obs.NewTracer(&b)
+	sp := tr.Start("detect")
+	sp.Set("service", "engine").Set("cuts", 42)
+	sp.End()
+	var rec obs.SpanRecord
+	if err := json.Unmarshal([]byte(strings.TrimSpace(b.String())), &rec); err != nil {
+		t.Fatal(err)
+	}
+	spans := FromObs([]obs.SpanRecord{rec})
+	if len(spans) != 1 || spans[0].Attrs["cuts"] != 42 || spans[0].Service != "engine" {
+		t.Fatalf("FromObs over JSON round-trip = %+v", spans)
+	}
+}
+
+func TestDecodeObsRecordLines(t *testing.T) {
+	// A span file written by the tracer itself (`hbserver -span-jsonl`)
+	// decodes directly — the on-disk dogfood path — and mixes freely
+	// with OTel-shaped lines.
+	var b strings.Builder
+	tr := obs.NewTracer(&b)
+	root := tr.Start("session")
+	root.Set("service", "session")
+	child := root.StartChild("frame")
+	child.Set("service", "transport").Set("seq", 7)
+	child.End()
+	root.End()
+	b.WriteString(`{"traceID":"t9","spanID":"x1","service":"client","startTimeUnixNano":1,"endTimeUnixNano":2}` + "\n")
+	spans, err := Decode(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 3 {
+		t.Fatalf("decoded %d spans, want 3: %+v", len(spans), spans)
+	}
+	frame := spans[0] // the tracer emits completed spans: child first
+	if frame.Name != "frame" || frame.Service != "transport" || frame.Attrs["seq"] != 7 {
+		t.Errorf("frame span = %+v", frame)
+	}
+	if frame.ParentID != spans[1].SpanID {
+		t.Errorf("frame parent %q, want session id %q", frame.ParentID, spans[1].SpanID)
+	}
+	if spans[2].SpanID != "x1" || spans[2].Service != "client" {
+		t.Errorf("OTel line = %+v", spans[2])
+	}
+	// A tracer record without a service attribute is still an error, not
+	// a silent skip.
+	bad := `{"ts":"2026-01-01T00:00:00Z","span":"detect","dur_us":1,"trace":"t","id":"s-1"}` + "\n"
+	if _, err := Decode(strings.NewReader(bad)); err == nil {
+		t.Error("record without service attr decoded without error")
+	}
+}

@@ -53,6 +53,17 @@ type EventRec struct {
 
 // Encode writes comp as JSON to w.
 func Encode(w io.Writer, comp *computation.Computation) error {
+	f := FileFrom(comp)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// FileFrom converts comp to its serialized form: initial values plus the
+// events of one valid linearization. Useful on its own when a computation
+// produced in memory (e.g. a lowered span trace) must be persisted or
+// re-streamed without an intermediate encode/decode round-trip.
+func FileFrom(comp *computation.Computation) File {
 	f := File{Version: Version, Processes: comp.N()}
 	for i := 0; i < comp.N(); i++ {
 		for _, name := range comp.Vars(i) {
@@ -83,9 +94,7 @@ func Encode(w io.Writer, comp *computation.Computation) error {
 			}
 		}
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(f)
+	return f
 }
 
 // Decode reads a JSON trace from r, validates it, and rebuilds the

@@ -93,3 +93,36 @@ func (v VC) String() string {
 	}
 	return "[" + strings.Join(parts, " ") + "]"
 }
+
+// CheckTimeline verifies that clocks is a valid vector-clock history for
+// process i: the own component ticks by exactly one per event, no
+// component ever regresses, and every clock has the same width. This is
+// the consistency oracle adapters use to validate clocks they construct
+// (e.g. lowering external trace spans onto the happened-before model).
+func CheckTimeline(i int, clocks []VC) error {
+	if len(clocks) == 0 {
+		return nil
+	}
+	n := len(clocks[0])
+	if i < 0 || i >= n {
+		return fmt.Errorf("vclock: process %d out of range for width %d", i, n)
+	}
+	if clocks[0][i] != 1 {
+		return fmt.Errorf("vclock: first clock of P%d has own component %d, want 1", i+1, clocks[0][i])
+	}
+	for k := 1; k < len(clocks); k++ {
+		prev, cur := clocks[k-1], clocks[k]
+		if len(cur) != n {
+			return fmt.Errorf("vclock: clock %d of P%d has width %d, want %d", k, i+1, len(cur), n)
+		}
+		if cur[i] != prev[i]+1 {
+			return fmt.Errorf("vclock: P%d event %d: own component %d, want %d", i+1, k+1, cur[i], prev[i]+1)
+		}
+		for j := range cur {
+			if cur[j] < prev[j] {
+				return fmt.Errorf("vclock: P%d event %d: component %d regresses %d → %d", i+1, k+1, j+1, prev[j], cur[j])
+			}
+		}
+	}
+	return nil
+}
