@@ -1,0 +1,172 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/computation"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/sim"
+)
+
+// runCluster measures what the multi-node detection cluster costs and
+// what it buys: the same streamed EF watch is ingested (a) by a plain
+// single-node resumable session — the baseline, (b) by a keyed session
+// on a 3-node cluster with replication factor 2 — the steady-state
+// replication overhead (acks gated on the replica's durability
+// watermark), and (c) by a keyed session whose home node is killed once
+// half the events are in flight — the failover path, reporting the
+// client's measured outage and the frames it replayed onto the replica.
+// All three runs must deliver every event exactly once.
+func runCluster() {
+	fmt.Println("detection cluster: replication overhead and failover cost (3 nodes, 2 copies, seed 1)")
+	fmt.Printf("%12s %10s %12s %12s %10s %12s %12s\n",
+		"profile", "events", "ingest", "overhead", "resumes", "replayed", "outage")
+	const events = 2000
+	comp := sim.Random(sim.DefaultRandomConfig(4, events), 21)
+	pred := "conj(x0@P1 >= 2, x0@P2 >= 2, x0@P3 >= 2)"
+
+	var cleanDt time.Duration
+	for _, tc := range []struct {
+		name     string
+		nodes    int
+		failover bool
+	}{
+		{"standalone", 1, false},
+		{"replicated", 3, false},
+		{"failover", 3, true},
+	} {
+		dt, stats := clusterIngest(comp, pred, tc.nodes, tc.failover)
+		if tc.name == "standalone" {
+			cleanDt = dt
+		}
+		overhead := "baseline"
+		if tc.name != "standalone" && cleanDt > 0 {
+			overhead = fmt.Sprintf("%.2fx", float64(dt)/float64(cleanDt))
+		}
+		fmt.Printf("%12s %10d %12s %12s %10d %12d %12s\n",
+			tc.name, comp.TotalEvents(), dt.Round(time.Microsecond), overhead,
+			stats.Reconnects, stats.Replayed, stats.Outage.Round(time.Microsecond))
+		emit("cluster", tc.name, map[string]any{
+			"events": comp.TotalEvents(), "ingest_ns": dt.Nanoseconds(),
+			"reconnects": stats.Reconnects, "replayed": stats.Replayed,
+			"outage_ns": stats.Outage.Nanoseconds(),
+		})
+	}
+}
+
+// clusterIngest streams comp through one keyed session on an n-node
+// cluster (n=1 keeps the hooks installed but leaves nothing to replicate
+// to, isolating the replication cost in the comparison) and returns the
+// ingest wall-clock and the client's reconnect stats. With failover set,
+// the session's home node is killed once half the events are in flight.
+func clusterIngest(comp *computation.Computation, pred string, n int, failover bool) (time.Duration, client.Stats) {
+	lns := make([]net.Listener, n)
+	kls := make([]*faults.KillableListener, n)
+	ids := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		lns[i] = ln
+		kls[i] = faults.WrapKillable(ln)
+		ids[i] = ln.Addr().String()
+	}
+	nodes := make([]*cluster.Node, n)
+	for i := range nodes {
+		node, err := cluster.New(
+			server.Config{Registry: obs.NewRegistry(), AckEvery: 4, IdleTimeout: 10 * time.Second},
+			cluster.NodeConfig{Self: ids[i], Peers: ids, Replicas: 2, Registry: obs.NewRegistry()},
+		)
+		if err != nil {
+			panic(err)
+		}
+		nodes[i] = node
+		go node.Serve(kls[i]) //nolint:errcheck // closed by Shutdown
+	}
+
+	const key = "bench-cluster"
+	sess, err := client.Dial("", client.Config{
+		Processes:   comp.N(),
+		Watches:     []server.Watch{{Op: "EF", Pred: pred}},
+		Key:         key,
+		Peers:       ids,
+		Reconnect:   true,
+		DialTimeout: 2 * time.Second,
+		BackoffBase: 2 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+		MaxAttempts: 60,
+		JitterSeed:  1,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	killAt := -1
+	if failover {
+		killAt = comp.TotalEvents() / 2
+	}
+	owner := nodes[0].Ring().Owner(key)
+	start := time.Now()
+	streamed := 0
+	for p := 0; p < comp.N(); p++ {
+		for _, name := range comp.Vars(p) {
+			if v, _ := comp.Value(p, 0, name); v != 0 {
+				sess.SetInitial(p, name, v)
+			}
+		}
+	}
+	seq := comp.SomeLinearization()
+	for s := 1; s < len(seq); s++ {
+		prev, cur := seq[s-1], seq[s]
+		for p := range cur {
+			if cur[p] <= prev[p] {
+				continue
+			}
+			e := comp.Event(p, cur[p])
+			switch e.Kind {
+			case computation.Internal:
+				sess.Internal(p, e.Sets)
+			case computation.Send:
+				sess.SendMsg(p, e.Msg, e.Sets)
+			case computation.Receive:
+				sess.Receive(p, e.Msg, e.Sets)
+			}
+			if streamed++; streamed == killAt {
+				for i, id := range ids {
+					if id == owner {
+						kls[i].Kill()
+					}
+				}
+			}
+			break
+		}
+	}
+	if _, err := sess.Snapshot("EF(" + pred + ")"); err != nil { // barrier: all applied
+		panic(err)
+	}
+	dt := time.Since(start)
+	stats := sess.Stats()
+
+	gb, err := sess.Close()
+	if err != nil {
+		panic(err)
+	}
+	if gb.Events != comp.TotalEvents() {
+		panic(fmt.Sprintf("exactly-once violated (nodes=%d failover=%v): goodbye %d events (want %d)",
+			n, failover, gb.Events, comp.TotalEvents()))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	for _, node := range nodes {
+		node.Shutdown(ctx) //nolint:errcheck
+	}
+	cancel()
+	return dt, stats
+}

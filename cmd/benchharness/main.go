@@ -7,6 +7,7 @@
 //	fig4        Fig. 4: the E[p U q] example detected by Algorithm A3
 //	fig5        Fig. 5: Algorithm A3 and the AU composition — scaling
 //	faults      flaky-proxy ingest: resume/replay cost under faults
+//	cluster     multi-node cluster: replication overhead and failover cost
 //	complexity  §5/§7 complexity claims: structural vs lattice baseline
 //	ablation    design-choice ablations from DESIGN.md
 //	parallel    parallel sweeps: A2/A3 speedup and determinism check
@@ -47,6 +48,7 @@ var experiments = []struct {
 	{"online", "on-line detection: latency and ingest overhead", runOnline},
 	{"server", "hbserver: loopback ingest throughput and verdict latency", runServer},
 	{"faults", "flaky-proxy ingest: resume/replay cost under injected faults", runFaults},
+	{"cluster", "detection cluster: replication overhead and failover cost", runCluster},
 	{"parallel", "parallel sweeps: A2/A3 speedup and determinism check", runParallel},
 	{"compile", "predicate IR: compile cost and bitset-lowering payoff", runCompile},
 	{"spanhb", "OTel-style span ingest: decode, HB lowering, detection", runSpanhb},

@@ -12,7 +12,10 @@ import (
 
 	"os"
 
+	"strings"
+
 	"repro/internal/buildinfo"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -42,6 +45,10 @@ func RunServer(args []string, stdout, stderr io.Writer) int {
 		pprof       = fs.Bool("pprof", false, "also serve /debug/pprof on the -http address")
 		spanJSONL   = fs.String("span-jsonl", "", "append pipeline spans (session, frame, stages) as JSON lines to this file")
 		slow        = fs.Duration("slow", 0, "log detection runs slower than this to /debug/obs (0 disables)")
+		peers       = fs.String("cluster-peers", "", "comma-separated static cluster membership (ring identities, this node included); enables cluster mode")
+		self        = fs.String("cluster-self", "", "this node's ring identity within -cluster-peers (default: the -listen address)")
+		replicas    = fs.Int("cluster-replicas", 2, "copies of each keyed session's frame log, the owner included")
+		ringSeed    = fs.Uint64("cluster-seed", 0, "placement ring seed; every node and ring-aware client must agree (0 = built-in default)")
 		version     = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -85,7 +92,10 @@ func RunServer(args []string, stdout, stderr io.Writer) int {
 		tracer = obs.NewTracer(nil).Mirror(ring)
 	}
 
-	srv := server.New(server.Config{
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(stderr, "hbserver: "+format+"\n", args...)
+	}
+	srvCfg := server.Config{
 		QueueDepth:      *queue,
 		Overflow:        policy,
 		MaxSessions:     *maxSessions,
@@ -97,10 +107,35 @@ func RunServer(args []string, stdout, stderr io.Writer) int {
 		Workers:         *workers,
 		Registry:        obs.Default(),
 		Tracer:          tracer,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(stderr, "hbserver: "+format+"\n", args...)
-		},
-	})
+		Logf:            logf,
+	}
+	// Cluster mode: the node installs the placement/replication hooks and
+	// owns the server; standalone mode builds the server directly.
+	var srv *server.Server
+	var node *cluster.Node
+	if *peers != "" {
+		id := *self
+		if id == "" {
+			id = *listen
+		}
+		node, err = cluster.New(srvCfg, cluster.NodeConfig{
+			Self:     id,
+			Peers:    splitPeers(*peers),
+			Replicas: *replicas,
+			Seed:     *ringSeed,
+			Registry: obs.Default(),
+			Logf:     logf,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "hbserver:", err)
+			return 2
+		}
+		srv = node.Server()
+		fmt.Fprintf(stderr, "hbserver: cluster mode: %d nodes, %d copies per session, self=%s\n",
+			len(node.Ring().Nodes()), *replicas, id)
+	} else {
+		srv = server.New(srvCfg)
+	}
 
 	// Register before the address is printed, so a supervisor (or test)
 	// that signals as soon as it sees the address cannot kill the process.
@@ -152,11 +187,28 @@ func RunServer(args []string, stdout, stderr io.Writer) int {
 	if hsrv != nil {
 		hsrv.Shutdown(ctx) //nolint:errcheck // best-effort
 	}
-	if err := srv.Shutdown(ctx); err != nil {
+	if node != nil {
+		err = node.Shutdown(ctx)
+	} else {
+		err = srv.Shutdown(ctx)
+	}
+	if err != nil {
 		fmt.Fprintln(stderr, "hbserver: shutdown:", err)
 		return 1
 	}
 	sessions, events, dropped := srv.Stats()
 	fmt.Fprintf(stdout, "hbserver: served %d sessions, %d events (%d dropped)\n", sessions, events, dropped)
 	return 0
+}
+
+// splitPeers parses the -cluster-peers list, trimming whitespace and
+// dropping empty entries so a trailing comma is not a phantom node.
+func splitPeers(spec string) []string {
+	var peers []string
+	for _, p := range strings.Split(spec, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
 }

@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"net"
 	"regexp"
 	"strings"
 	"sync"
@@ -18,6 +19,7 @@ func TestServerUsageErrors(t *testing.T) {
 		{"-bogus"},
 		{"-overflow", "sideways"},
 		{"-listen", "not an address"},
+		{"-cluster-peers", "10.0.0.1:1,10.0.0.2:1", "-cluster-self", "10.0.0.9:1"}, // self outside the ring
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer
@@ -111,5 +113,67 @@ func TestServerServesAndDrainsOnSignal(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "served 1 sessions, 1 events") {
 		t.Errorf("summary = %q", stdout.String())
+	}
+}
+
+// TestServerClusterMode starts hbserver with the cluster flags (a
+// single-node ring) and drives a keyed ring-aware session through it.
+func TestServerClusterMode(t *testing.T) {
+	// The ring identity must be known before the server starts, so
+	// reserve a loopback port and hand it to -listen.
+	rl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := rl.Addr().String()
+	rl.Close()
+
+	var stdout, stderr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- RunServer([]string{"-listen", addr, "-cluster-peers", addr}, &stdout, &stderr)
+	}()
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if s := stderr.String(); strings.Contains(s, "cluster mode") && strings.Contains(s, "ingest on") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced cluster mode: %s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	sess, err := client.Dial("", client.Config{
+		Processes: 2,
+		Watches:   []server.Watch{{Op: "EF", Pred: "conj(x@P1 == 1)"}},
+		Key:       "cli-smoke",
+		Peers:     []string{addr},
+		Reconnect: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.ID() != "cli-smoke" {
+		t.Fatalf("session id = %q, want the client key", sess.ID())
+	}
+	sess.Internal(0, map[string]int{"x": 1})
+	gb, err := sess.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb.Events != 1 {
+		t.Fatalf("goodbye events = %d, want 1", gb.Events)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server did not drain on SIGTERM\nstderr: %s", stderr.String())
 	}
 }

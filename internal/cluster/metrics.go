@@ -1,0 +1,49 @@
+package cluster
+
+import "repro/internal/obs"
+
+// metrics is the node's hb_cluster_* instrument set, following the
+// naming idiom of the hb_server_* family in internal/server.
+type metrics struct {
+	sessionsOwned      *obs.Gauge
+	sessionsReplicated *obs.Gauge
+	ringNodes          *obs.Gauge
+	replLag            *obs.Gauge
+	framesSent         *obs.Counter
+	framesRecv         *obs.Counter
+	acksRecv           *obs.Counter
+	resyncs            *obs.Counter
+	connErrors         *obs.Counter
+	failovers          *obs.Counter
+	redirects          *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &metrics{
+		sessionsOwned: reg.Gauge("hb_cluster_sessions_owned",
+			"Keyed sessions this node currently hosts and replicates out."),
+		sessionsReplicated: reg.Gauge("hb_cluster_sessions_replicated",
+			"Foreign session logs this node holds as a replica."),
+		ringNodes: reg.Gauge("hb_cluster_ring_nodes",
+			"Nodes in the placement ring (static membership)."),
+		replLag: reg.Gauge("hb_cluster_repl_lag_frames",
+			"Accepted frames not yet acknowledged by every connected replica, summed over hosted sessions."),
+		framesSent: reg.Counter("hb_cluster_repl_frames_sent_total",
+			"Replication frames written to peer links (resends after reconnect included)."),
+		framesRecv: reg.Counter("hb_cluster_repl_frames_recv_total",
+			"Replication frames appended to replica logs (duplicates excluded)."),
+		acksRecv: reg.Counter("hb_cluster_repl_acks_recv_total",
+			"Replication acks received from replicas."),
+		resyncs: reg.Counter("hb_cluster_repl_resyncs_total",
+			"Peer-link (re)connects that restarted a session resync from the durability watermark."),
+		connErrors: reg.Counter("hb_cluster_repl_conn_errors_total",
+			"Peer-link dial failures and connection drops."),
+		failovers: reg.Counter("hb_cluster_failovers_total",
+			"Sessions rebuilt from a replicated log after their home node was lost."),
+		redirects: reg.Counter("hb_cluster_redirects_total",
+			"Keyed handshakes rejected with a not-owner redirect."),
+	}
+}

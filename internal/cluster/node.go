@@ -1,0 +1,445 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// NodeConfig configures one cluster node.
+type NodeConfig struct {
+	// Self is this node's ring identity — the address peers and clients
+	// know it by. It must appear in Peers.
+	Self string
+	// Peers is the full static cluster membership, including Self. Every
+	// node and every ring-aware client must be configured with the same
+	// set (order does not matter; the ring sorts).
+	Peers []string
+	// Replicas is the total number of copies of each session's frame log,
+	// the owner included (default 2: owner + one replica). Clamped to the
+	// cluster size.
+	Replicas int
+	// Seed is the placement seed (default DefaultRingSeed). All nodes and
+	// clients must agree on it.
+	Seed uint64
+	// ReplTargets optionally maps a peer's ring identity to the address
+	// replication links actually dial. The cluster chaos harness routes
+	// client traffic through flaky proxies (the proxy addresses are the
+	// ring identities) while replication dials the real listeners, so a
+	// simulated network fault can never make the durability watermark lie.
+	// Unlisted peers are dialed by their ring identity.
+	ReplTargets map[string]string
+	// Registry receives the hb_cluster_* metrics (nil → obs.Default()).
+	Registry *obs.Registry
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// hostedSession is the replication state of one keyed session this node
+// hosts: the keyed hello plus every accepted sequenced frame from seq 1,
+// in order — frames[i] carries seq i+1. This is deliberately the full
+// frame log, not the server's bounded metadata journal: a replica
+// rebuilds the session by replaying it through the same deterministic
+// monitor pipeline, which is what makes post-failover verdicts
+// bit-identical. The log lives for the session's lifetime and is
+// released once every replica has acknowledged its bye.
+type hostedSession struct {
+	key      string
+	hello    server.ClientFrame
+	frames   []server.ClientFrame
+	replicas []string // ring successors holding copies (self excluded)
+	durable  int64    // highest seq acked by every connected replica, monotonic
+	bye      bool     // log ends in a bye; drop once durable covers it
+}
+
+// replicaLog is a foreign session's replicated state on this node.
+type replicaLog struct {
+	hello  server.ClientFrame
+	frames []server.ClientFrame
+}
+
+// Node is one member of a detection cluster: a standalone *server.Server
+// plus the placement ring, the outgoing replication links for sessions
+// it hosts, the replica logs it holds for peers, and the recovery path
+// that turns a replica log back into a live session after the home node
+// dies.
+type Node struct {
+	srv  *server.Server
+	ring *Ring
+	self string
+	r    int // replication factor (total copies)
+	dial map[string]string
+	met  *metrics
+	logf func(format string, args ...any)
+
+	stopc chan struct{}  // closed by Shutdown; unblocks link backoff sleeps
+	wg    sync.WaitGroup // link goroutines
+
+	// mu guards everything below plus all peerLink state; cond is
+	// broadcast whenever new frames are appended, a link's connectivity
+	// changes, or the node closes — the send loops wait on it.
+	mu         sync.Mutex
+	cond       *sync.Cond
+	hosted     map[string]*hostedSession
+	replicated map[string]*replicaLog
+	links      map[string]*peerLink
+	promoting  map[string]chan struct{} // in-flight recoveries, keyed by session
+	inbound    map[net.Conn]struct{}    // live inbound replication conns, closed on Shutdown
+	closed     bool
+}
+
+// New builds a cluster node: it installs the cluster hooks into srvCfg
+// and constructs the underlying server. The caller serves connections
+// via Serve (or the returned Server directly) and shuts down via
+// Shutdown.
+func New(srvCfg server.Config, nc NodeConfig) (*Node, error) {
+	ring, err := NewRing(nc.Peers, seedOrDefault(nc.Seed))
+	if err != nil {
+		return nil, err
+	}
+	if nc.Self == "" || !ring.Contains(nc.Self) {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list %v", nc.Self, ring.Nodes())
+	}
+	r := nc.Replicas
+	if r <= 0 {
+		r = 2
+	}
+	if r > len(ring.Nodes()) {
+		r = len(ring.Nodes())
+	}
+	n := &Node{
+		ring:       ring,
+		self:       nc.Self,
+		r:          r,
+		dial:       nc.ReplTargets,
+		met:        newMetrics(nc.Registry),
+		logf:       nc.Logf,
+		stopc:      make(chan struct{}),
+		hosted:     make(map[string]*hostedSession),
+		replicated: make(map[string]*replicaLog),
+		links:      make(map[string]*peerLink),
+		promoting:  make(map[string]chan struct{}),
+		inbound:    make(map[net.Conn]struct{}),
+	}
+	n.cond = sync.NewCond(&n.mu)
+	n.met.ringNodes.Set(int64(len(ring.Nodes())))
+	srvCfg.Cluster = &server.ClusterHooks{
+		Takeover:  n.takeover,
+		Placement: n.placement,
+		OnOpen:    n.onOpen,
+		OnAccept:  n.onAccept,
+		AckGate:   n.ackGate,
+		Recover:   n.recoverSession,
+	}
+	n.srv = server.New(srvCfg)
+	return n, nil
+}
+
+func seedOrDefault(seed uint64) uint64 {
+	if seed == 0 {
+		return DefaultRingSeed
+	}
+	return seed
+}
+
+// Server returns the underlying detection server.
+func (n *Node) Server() *server.Server { return n.srv }
+
+// Ring returns the node's placement ring.
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Self returns this node's ring identity.
+func (n *Node) Self() string { return n.self }
+
+// Serve accepts connections on ln — client ingest and replication links
+// share it; the takeover hook separates them by their first line.
+func (n *Node) Serve(ln net.Listener) error { return n.srv.Serve(ln) }
+
+// Shutdown stops the replication links, then drains the server.
+func (n *Node) Shutdown(ctx context.Context) error {
+	n.mu.Lock()
+	n.closed = true
+	links := make([]*peerLink, 0, len(n.links))
+	for _, l := range n.links {
+		links = append(links, l)
+	}
+	inbound := make([]net.Conn, 0, len(n.inbound))
+	for c := range n.inbound {
+		inbound = append(inbound, c)
+	}
+	n.cond.Broadcast()
+	n.mu.Unlock()
+	close(n.stopc)
+	for _, l := range links {
+		l.shut()
+	}
+	// Inbound links belong to peers that may outlive this node; closing
+	// them here unblocks the server's connection handlers so its drain
+	// can finish.
+	for _, c := range inbound {
+		c.Close()
+	}
+	err := n.srv.Shutdown(ctx)
+	n.wg.Wait()
+	return err
+}
+
+func (n *Node) log(format string, args ...any) {
+	if n.logf != nil {
+		n.logf(format, args...)
+	}
+}
+
+// takeover is the server's connection-takeover hook: replication links
+// announce themselves with a repl-hello line and are served in place.
+func (n *Node) takeover(first []byte, conn net.Conn) bool {
+	if !isReplHello(first) {
+		return false
+	}
+	m, err := decodeReplMsg(first)
+	if err != nil {
+		return false
+	}
+	n.serveRepl(m.From, conn)
+	return true
+}
+
+// placement vets a keyed hello: any of the key's R placement nodes may
+// accept it (so opening against a replica works while the owner is
+// down); everyone else redirects to the owner.
+func (n *Node) placement(key string) (owner string, ok bool) {
+	succ := n.ring.Successors(key, n.r)
+	for _, s := range succ {
+		if s == n.self {
+			return succ[0], true
+		}
+	}
+	n.met.redirects.Inc()
+	return succ[0], false
+}
+
+// onOpen registers a freshly opened keyed session for replication and
+// wakes the links to its ring successors.
+func (n *Node) onOpen(sess *server.Session, cfg server.SessionConfig) {
+	hello := server.ClientFrame{
+		Type:      server.FrameHello,
+		Processes: cfg.Processes,
+		Watches:   cfg.Watches,
+		Resumable: true,
+		Session:   cfg.ID,
+	}
+	n.registerHosted(cfg.ID, hello, nil)
+}
+
+// registerHosted installs (or replaces) the hosted replication state for
+// key and ensures links to its replicas exist.
+func (n *Node) registerHosted(key string, hello server.ClientFrame, backlog []server.ClientFrame) {
+	replicas := make([]string, 0, n.r)
+	for _, s := range n.ring.Successors(key, n.r) {
+		if s != n.self {
+			replicas = append(replicas, s)
+		}
+	}
+	hs := &hostedSession{key: key, hello: hello, frames: backlog, replicas: replicas}
+	if len(backlog) > 0 && backlog[len(backlog)-1].Type == server.FrameBye {
+		hs.bye = true
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.hosted[key] = hs
+	n.met.sessionsOwned.Set(int64(len(n.hosted)))
+	for _, peer := range replicas {
+		n.ensureLinkLocked(peer)
+	}
+	n.cond.Broadcast()
+	n.mu.Unlock()
+	n.log("cluster: hosting %s (replicas %v, backlog %d)", key, replicas, len(backlog))
+}
+
+// onAccept appends one accepted sequenced frame to the session's log and
+// wakes the links. Frames arrive in seq order from the single attached
+// transport; a frame re-accepted after a promotion race is deduped by
+// seq.
+func (n *Node) onAccept(sess *server.Session, f server.ClientFrame) {
+	n.mu.Lock()
+	hs := n.hosted[sess.ID()]
+	if hs == nil || f.Seq <= int64(len(hs.frames)) {
+		n.mu.Unlock()
+		return // unkeyed session, or a duplicate past the log's high water
+	}
+	hs.frames = append(hs.frames, f)
+	if f.Type == server.FrameBye {
+		hs.bye = true
+	}
+	n.updateLagLocked()
+	n.cond.Broadcast()
+	n.mu.Unlock()
+}
+
+// updateLagLocked refreshes the replication-lag gauge: accepted frames
+// not yet covered by the durability watermark, summed over hosted
+// sessions. Caller holds n.mu.
+func (n *Node) updateLagLocked() {
+	var lag int64
+	for _, hs := range n.hosted {
+		if d := int64(len(hs.frames)) - hs.durable; d > 0 {
+			lag += d
+		}
+	}
+	n.met.replLag.Set(lag)
+}
+
+// ackGate bounds the seq the server may ack to its client: the minimum
+// seq acknowledged by every *connected* replica of the session. A
+// disconnected replica is skipped — with every replica down the gate
+// opens entirely (availability over durability; DESIGN.md Decision 11
+// spells out this tradeoff). The withheld tail is released by Ack pushes
+// from noteAcks when replica acks advance the watermark.
+func (n *Node) ackGate(session string, seq int64) int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	hs := n.hosted[session]
+	if hs == nil {
+		return seq
+	}
+	d, gated := n.durableLocked(hs)
+	if !gated || d > seq {
+		d = seq
+	}
+	if d > hs.durable {
+		hs.durable = d
+	}
+	return d
+}
+
+// durableLocked returns the replication durability watermark of hs: the
+// lowest ack among its connected replica links. gated=false means no
+// replica link is currently connected, so no bound applies.
+func (n *Node) durableLocked(hs *hostedSession) (d int64, gated bool) {
+	d = int64(1<<62 - 1)
+	for _, peer := range hs.replicas {
+		l := n.links[peer]
+		if l == nil || !l.connected {
+			continue
+		}
+		gated = true
+		if r := l.racked[hs.key]; r < d {
+			d = r
+		}
+	}
+	if !gated {
+		return 0, false
+	}
+	return d, true
+}
+
+// noteAcks recomputes the durability watermark of key after a replica
+// ack and, when it advances, re-offers the acks that ackGate withheld.
+// Called from a link's ack reader, outside n.mu.
+func (n *Node) noteAcks(key string) {
+	n.mu.Lock()
+	hs := n.hosted[key]
+	if hs == nil {
+		n.mu.Unlock()
+		return
+	}
+	d, gated := n.durableLocked(hs)
+	if !gated || d > int64(len(hs.frames)) {
+		d = int64(len(hs.frames))
+	}
+	var advance int64
+	if d > hs.durable {
+		hs.durable = d
+		advance = d
+	}
+	if hs.bye && hs.durable == int64(len(hs.frames)) {
+		// Every replica holds the full log through the bye; the hosted
+		// state has done its job.
+		delete(n.hosted, hs.key)
+		n.met.sessionsOwned.Set(int64(len(n.hosted)))
+		for _, l := range n.links {
+			delete(l.racked, hs.key)
+			delete(l.sent, hs.key)
+			delete(l.opened, hs.key)
+		}
+	}
+	n.updateLagLocked()
+	n.mu.Unlock()
+	if advance > 0 {
+		if sess := n.srv.Session(key); sess != nil {
+			sess.Ack(advance)
+		}
+	}
+}
+
+// recoverSession is the server's recovery hook: a resume named a session
+// with no local state. If this node is not in the key's placement it
+// redirects to the owner; if it holds a replica log it promotes itself —
+// rebuilding the session by replay and taking over replication to the
+// remaining successors; otherwise the session is simply unknown here
+// (the client's candidate sweep moves on to the next successor).
+func (n *Node) recoverSession(key string) (*server.Session, error) {
+	succ := n.ring.Successors(key, n.r)
+	inPlacement := false
+	for _, s := range succ {
+		if s == n.self {
+			inPlacement = true
+			break
+		}
+	}
+	if !inPlacement {
+		n.met.redirects.Inc()
+		return nil, &server.RejectError{
+			Code:  server.CodeNotOwner,
+			Owner: succ[0],
+			Msg:   fmt.Sprintf("cluster: session %q is not placed on this node; dial %s", key, succ[0]),
+		}
+	}
+
+	n.mu.Lock()
+	if wait, racing := n.promoting[key]; racing {
+		// Another connection is already promoting this key: wait for it,
+		// then hand back whatever it built. A bye-terminated recovery
+		// leaves no live session — returning (nil, nil) sends the caller
+		// to the morgue, where the terminal replay now lives.
+		n.mu.Unlock()
+		<-wait
+		return n.srv.Session(key), nil
+	}
+	rl := n.replicated[key]
+	if rl == nil {
+		n.mu.Unlock()
+		return nil, nil // genuinely unknown here
+	}
+	done := make(chan struct{})
+	n.promoting[key] = done
+	hello := rl.hello
+	frames := append([]server.ClientFrame(nil), rl.frames...)
+	n.mu.Unlock()
+
+	defer func() {
+		n.mu.Lock()
+		delete(n.promoting, key)
+		n.mu.Unlock()
+		close(done)
+	}()
+
+	n.log("cluster: promoting %s from replica log (%d frames)", key, len(frames))
+	sess, err := n.srv.OpenRecovered(hello, frames)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: promote %s: %v", key, err)
+	}
+	n.met.failovers.Inc()
+	// This node is the session's host now: replicate the whole backlog to
+	// the remaining successors (replicas dedupe by seq, so re-offering
+	// frames they already hold is idempotent).
+	n.registerHosted(key, hello, frames)
+	return sess, nil
+}

@@ -1,0 +1,349 @@
+package cluster
+
+import (
+	"bufio"
+	"net"
+	"time"
+
+	"repro/internal/server"
+)
+
+// peerLink is this node's outgoing replication link to one peer. A link
+// is created lazily when a hosted session first needs the peer and then
+// lives until shutdown: a dedicated goroutine dials (with backoff),
+// performs the repl-hello handshake, and streams repl-open/repl-frame
+// messages for every hosted session placed on the peer, while a reader
+// goroutine collects repl-acks into the racked watermark that gates
+// client acks. On reconnect the send cursors reset to the racked
+// watermark — everything unacknowledged is re-sent, and the replica
+// dedupes by seq, so a dropped link never leaves a hole in a log.
+//
+// All fields are guarded by the owning Node's mu.
+type peerLink struct {
+	node *Node
+	peer string // ring identity
+	addr string // dial address (ReplTargets override, else the identity)
+
+	conn      net.Conn
+	connected bool             // handshake done; racked gates acks while true
+	racked    map[string]int64 // per-session contiguous ack high-water
+	sent      map[string]int   // per-session frames written this connection
+	opened    map[string]bool  // repl-open written this connection
+}
+
+// ensureLinkLocked creates (once) and starts the link to peer. Caller
+// holds n.mu.
+func (n *Node) ensureLinkLocked(peer string) {
+	if n.links[peer] != nil || n.closed {
+		return
+	}
+	addr := peer
+	if a, ok := n.dial[peer]; ok {
+		addr = a
+	}
+	l := &peerLink{
+		node:   n,
+		peer:   peer,
+		addr:   addr,
+		racked: make(map[string]int64),
+		sent:   make(map[string]int),
+		opened: make(map[string]bool),
+	}
+	n.links[peer] = l
+	n.wg.Add(1)
+	go l.run()
+}
+
+// shut closes the link's current connection so its goroutines unblock;
+// the run loop observes node.closed and exits.
+func (l *peerLink) shut() {
+	l.node.mu.Lock()
+	conn := l.conn
+	l.node.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// done reports whether the node is shutting down.
+func (l *peerLink) done() bool {
+	l.node.mu.Lock()
+	defer l.node.mu.Unlock()
+	return l.node.closed
+}
+
+// sleep waits d or until shutdown; it reports whether to exit.
+func (l *peerLink) sleep(d time.Duration) bool {
+	select {
+	case <-l.node.stopc:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}
+
+func (l *peerLink) run() {
+	defer l.node.wg.Done()
+	backoff := 10 * time.Millisecond
+	for {
+		if l.done() {
+			return
+		}
+		conn, err := net.DialTimeout("tcp", l.addr, 2*time.Second)
+		if err != nil {
+			l.node.met.connErrors.Inc()
+			if l.sleep(backoff) {
+				return
+			}
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			continue
+		}
+		l.node.mu.Lock()
+		if l.node.closed {
+			l.node.mu.Unlock()
+			conn.Close()
+			return
+		}
+		l.conn = conn
+		l.node.mu.Unlock()
+
+		sc := bufio.NewScanner(conn)
+		sc.Buffer(make([]byte, 0, 4096), server.MaxFrameBytes)
+		if err := l.handshake(conn, sc); err != nil {
+			l.node.met.connErrors.Inc()
+			conn.Close()
+			if l.sleep(backoff) {
+				return
+			}
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			continue
+		}
+		backoff = 10 * time.Millisecond
+		l.node.met.resyncs.Inc()
+		l.node.log("cluster: replication link to %s up", l.peer)
+
+		ackDone := make(chan struct{})
+		go func() {
+			defer close(ackDone)
+			l.readAcks(conn, sc)
+		}()
+		l.sendLoop(conn)
+		conn.Close()
+		<-ackDone
+		l.node.met.connErrors.Inc()
+	}
+}
+
+// handshake opens the replication dialog: repl-hello, then wait for the
+// repl-welcome before writing anything else — the receiving server peeks
+// only the first line before handing the connection over, so nothing may
+// follow the hello until the replica has taken it.
+func (l *peerLink) handshake(conn net.Conn, sc *bufio.Scanner) error {
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	defer conn.SetDeadline(time.Time{})
+	if _, err := conn.Write(appendReplMsg(replMsg{Type: msgReplHello, From: l.node.self})); err != nil {
+		return err
+	}
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		return net.ErrClosed
+	}
+	m, err := decodeReplMsg(sc.Bytes())
+	if err != nil {
+		return err
+	}
+	if m.Type != msgReplWelcome {
+		return net.ErrClosed
+	}
+	return nil
+}
+
+// sendLoop streams pending repl messages until the connection dies or
+// the node shuts down. Batches are snapshotted under the node lock and
+// written outside it; the sent cursors advance optimistically and reset
+// to the racked watermark on the next connection.
+func (l *peerLink) sendLoop(conn net.Conn) {
+	n := l.node
+	n.mu.Lock()
+	l.connected = true
+	for k := range l.opened {
+		delete(l.opened, k)
+	}
+	for k, r := range l.racked {
+		l.sent[k] = int(r)
+	}
+	n.cond.Broadcast() // connectivity change: the ack gate now binds on this link
+	for {
+		if n.closed || l.conn != conn {
+			break
+		}
+		batch := l.collectLocked()
+		if len(batch) == 0 {
+			n.cond.Wait()
+			continue
+		}
+		n.mu.Unlock()
+		conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		_, err := conn.Write(batch)
+		n.mu.Lock()
+		if err != nil {
+			break
+		}
+	}
+	l.connected = false
+	if l.conn == conn {
+		l.conn = nil
+	}
+	n.cond.Broadcast()
+	n.mu.Unlock()
+}
+
+// collectLocked gathers the next batch of repl messages for this peer:
+// an open for every hosted session not yet announced on this connection,
+// then its unsent frames in seq order, bounded per batch so one busy
+// session cannot monopolize the wire buffer. Caller holds n.mu.
+func (l *peerLink) collectLocked() []byte {
+	const maxBatch = 256
+	var batch []byte
+	msgs := 0
+	for key, hs := range l.node.hosted {
+		if !hs.replicatesTo(l.peer) {
+			continue
+		}
+		if !l.opened[key] {
+			l.opened[key] = true
+			hello := hs.hello
+			batch = append(batch, appendReplMsg(replMsg{Type: msgReplOpen, Session: key, Hello: &hello})...)
+			msgs++
+		}
+		for l.sent[key] < len(hs.frames) && msgs < maxBatch {
+			f := hs.frames[l.sent[key]]
+			l.sent[key]++
+			batch = append(batch, appendReplMsg(replMsg{Type: msgReplFrame, Session: key, Frame: &f})...)
+			l.node.met.framesSent.Inc()
+			msgs++
+		}
+		if msgs >= maxBatch {
+			break
+		}
+	}
+	return batch
+}
+
+// replicatesTo reports whether peer holds a copy of this session.
+func (hs *hostedSession) replicatesTo(peer string) bool {
+	for _, p := range hs.replicas {
+		if p == peer {
+			return true
+		}
+	}
+	return false
+}
+
+// readAcks drains repl-ack messages, advancing the racked watermark and
+// re-offering client acks the gate withheld. It exits when the
+// connection dies, waking the send loop.
+func (l *peerLink) readAcks(conn net.Conn, sc *bufio.Scanner) {
+	n := l.node
+	for sc.Scan() {
+		m, err := decodeReplMsg(sc.Bytes())
+		if err != nil || m.Type != msgReplAck || m.Session == "" {
+			break
+		}
+		n.met.acksRecv.Inc()
+		n.mu.Lock()
+		if m.Seq > l.racked[m.Session] {
+			l.racked[m.Session] = m.Seq
+		}
+		n.mu.Unlock()
+		n.noteAcks(m.Session)
+	}
+	conn.Close()
+	n.mu.Lock()
+	if l.conn == conn {
+		l.conn = nil
+		l.connected = false
+	}
+	n.cond.Broadcast()
+	n.mu.Unlock()
+}
+
+// serveRepl is the replica side of a replication link: it runs on the
+// takeover connection's goroutine, appends in-order frames to the
+// per-session replica logs, and acks every message with the log's
+// contiguous high-water seq. Out-of-order or duplicate frames are
+// acknowledged without being applied — the resync protocol relies on
+// redelivery being idempotent.
+func (n *Node) serveRepl(from string, conn net.Conn) {
+	n.log("cluster: replication link from %s", from)
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.inbound[conn] = struct{}{}
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.inbound, conn)
+		n.mu.Unlock()
+	}()
+	// Replication links idle legitimately; the ingest read deadline the
+	// server armed before the takeover must not kill them.
+	conn.SetReadDeadline(time.Time{})
+	if _, err := conn.Write(appendReplMsg(replMsg{Type: msgReplWelcome})); err != nil {
+		return
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), server.MaxFrameBytes)
+	for sc.Scan() {
+		m, err := decodeReplMsg(sc.Bytes())
+		if err != nil {
+			return
+		}
+		var high int64
+		switch m.Type {
+		case msgReplOpen:
+			if m.Hello == nil || m.Session == "" {
+				return
+			}
+			n.mu.Lock()
+			rl := n.replicated[m.Session]
+			if rl == nil {
+				rl = &replicaLog{hello: *m.Hello}
+				n.replicated[m.Session] = rl
+				n.met.sessionsReplicated.Set(int64(len(n.replicated)))
+			}
+			high = int64(len(rl.frames))
+			n.mu.Unlock()
+		case msgReplFrame:
+			if m.Frame == nil || m.Session == "" {
+				return
+			}
+			n.mu.Lock()
+			rl := n.replicated[m.Session]
+			if rl == nil {
+				n.mu.Unlock()
+				return // frame before open: protocol error
+			}
+			if m.Frame.Seq == int64(len(rl.frames))+1 {
+				rl.frames = append(rl.frames, *m.Frame)
+				n.met.framesRecv.Inc()
+			}
+			high = int64(len(rl.frames))
+			n.mu.Unlock()
+		default:
+			return
+		}
+		conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		if _, err := conn.Write(appendReplMsg(replMsg{Type: msgReplAck, Session: m.Session, Seq: high})); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package cluster turns hbserver into one node of a multi-node
+// detection cluster: sessions are placed on nodes by a deterministic
+// consistent-hash ring, the per-session frame journal is replicated to
+// the placement's ring successors over an internal NDJSON protocol
+// riding the same listener as client ingest, and a client whose
+// session's home node dies can resume onto a replica node and continue
+// from its last acked seq — with verdicts, evidence, and determining
+// prefixes bit-identical to an offline core.Detect run, because the
+// replica rebuilds the session by replaying the replicated frame log
+// through the very same deterministic monitor pipeline.
+//
+// Membership is static (the -cluster-peers flag); there is no failure
+// detector, no consensus, and no fencing. What is and is not guaranteed
+// during failover is spelled out in DESIGN.md ("Decision 11").
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultRingSeed is the placement seed nodes and clients use unless
+// configured otherwise. Every node and every ring-aware client must
+// agree on the seed, or they will disagree about session placement.
+const DefaultRingSeed uint64 = 1
+
+// Ring places string keys on a static set of nodes by rendezvous
+// (highest-random-weight) hashing: every (node, key) pair gets a seeded
+// 64-bit score and the key's owner is the highest-scoring node, its
+// replica successors the next-highest. Rendezvous hashing gives the two
+// properties the cluster needs without virtual-node bookkeeping: even
+// distribution (scores are i.i.d. uniform per node) and minimal
+// disruption (removing a node moves exactly the keys it owned — ~1/N —
+// and every moved key lands on its former second choice, which is
+// precisely the replica already holding its journal).
+//
+// A Ring is immutable after construction and safe for concurrent use.
+type Ring struct {
+	nodes []string // sorted, unique
+	seed  uint64
+	hash  []uint64 // per-node identity hash, parallel to nodes
+}
+
+// NewRing builds a ring over the given node addresses. Nodes are
+// deduplicated and sorted, so rings built from differently-ordered peer
+// lists are identical — placement depends only on the membership set
+// and the seed.
+func NewRing(nodes []string, seed uint64) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	uniq := make([]string, 0, len(nodes))
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node address in ring")
+		}
+		if !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{nodes: uniq, seed: seed, hash: make([]uint64, len(uniq))}
+	for i, n := range uniq {
+		r.hash[i] = fnv64a(n)
+	}
+	return r, nil
+}
+
+// Nodes returns the ring membership, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Seed returns the placement seed.
+func (r *Ring) Seed() uint64 { return r.seed }
+
+// Contains reports whether node is a ring member.
+func (r *Ring) Contains(node string) bool {
+	i := sort.SearchStrings(r.nodes, node)
+	return i < len(r.nodes) && r.nodes[i] == node
+}
+
+// score is the rendezvous weight of key on node i: the node identity
+// hash, the key hash, and the seed mixed through a splitmix64-style
+// finalizer so per-node streams are uncorrelated.
+func (r *Ring) score(i int, keyHash uint64) uint64 {
+	z := r.hash[i] ^ (keyHash * 0x9e3779b97f4a7c15) ^ r.seed
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Owner returns the node that owns key: the highest rendezvous score,
+// ties broken by node name so placement is a pure function of
+// (membership, seed, key).
+func (r *Ring) Owner(key string) string {
+	kh := fnv64a(key)
+	best := 0
+	bestScore := r.score(0, kh)
+	for i := 1; i < len(r.nodes); i++ {
+		if s := r.score(i, kh); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return r.nodes[best]
+}
+
+// Successors returns up to n nodes for key in placement order: the
+// owner first, then the replica successors by descending score. A
+// session with replication factor R lives on Successors(key, R).
+func (r *Ring) Successors(key string, n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	kh := fnv64a(key)
+	type scored struct {
+		node  string
+		score uint64
+	}
+	all := make([]scored, len(r.nodes))
+	for i, node := range r.nodes {
+		all[i] = scored{node: node, score: r.score(i, kh)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].node < all[j].node
+	})
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].node
+	}
+	return out
+}
+
+// fnv64a is the 64-bit FNV-1a string hash — dependency-free and stable
+// across platforms, which is what makes golden placement tests possible.
+func fnv64a(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

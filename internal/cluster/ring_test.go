@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+var ringNodes = []string{"10.0.0.1:7457", "10.0.0.2:7457", "10.0.0.3:7457"}
+
+// TestRingGoldenPlacement pins the exact placement of a fixed key set on
+// a fixed membership and seed. If this test breaks, every deployed ring
+// disagrees with every old one: placement is wire-compatible state, not
+// an implementation detail.
+func TestRingGoldenPlacement(t *testing.T) {
+	r, err := NewRing(ringNodes, DefaultRingSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := map[string]string{
+		"sess-0": "10.0.0.3:7457",
+		"sess-1": "10.0.0.2:7457",
+		"sess-2": "10.0.0.3:7457",
+		"sess-3": "10.0.0.1:7457",
+		"sess-4": "10.0.0.3:7457",
+		"sess-5": "10.0.0.2:7457",
+		"sess-6": "10.0.0.1:7457",
+		"sess-7": "10.0.0.1:7457",
+		"cart":   "10.0.0.1:7457",
+		"users":  "10.0.0.3:7457",
+	}
+	for key, want := range golden {
+		if got := r.Owner(key); got != want {
+			t.Errorf("Owner(%q) = %s, want %s", key, got, want)
+		}
+	}
+	// Successor chains start with the owner and never repeat a node.
+	for key := range golden {
+		succ := r.Successors(key, 3)
+		if len(succ) != 3 {
+			t.Fatalf("Successors(%q, 3) = %v", key, succ)
+		}
+		if succ[0] != r.Owner(key) {
+			t.Errorf("Successors(%q)[0] = %s, owner %s", key, succ[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Errorf("Successors(%q) repeats %s", key, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestRingDeterministicAcrossRestarts asserts placement is a pure
+// function of (membership set, seed): independently constructed rings,
+// including ones built from a permuted peer list, agree on every key.
+func TestRingDeterministicAcrossRestarts(t *testing.T) {
+	a, _ := NewRing(ringNodes, 42)
+	b, _ := NewRing([]string{ringNodes[2], ringNodes[0], ringNodes[1]}, 42)
+	other, _ := NewRing(ringNodes, 43)
+	differ := 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("k-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: ring order changed placement (%s vs %s)", key, a.Owner(key), b.Owner(key))
+		}
+		for j, s := range a.Successors(key, 3) {
+			if b.Successors(key, 3)[j] != s {
+				t.Fatalf("key %q: successor %d differs across construction order", key, j)
+			}
+		}
+		if a.Owner(key) != other.Owner(key) {
+			differ++
+		}
+	}
+	// A different seed must actually reshuffle placement.
+	if differ == 0 {
+		t.Error("seed 42 and 43 place all 500 keys identically; seed is not mixed in")
+	}
+}
+
+// TestRingBoundedMovement asserts the consistent-hashing contract: when
+// a node joins or leaves, only ~1/N of keys move, and keys not owned by
+// the departed node never move at all.
+func TestRingBoundedMovement(t *testing.T) {
+	const keys = 4000
+	nodes := []string{"n1:1", "n2:1", "n3:1", "n4:1"}
+	full, _ := NewRing(nodes, 7)
+	smaller, _ := NewRing(nodes[:3], 7) // n4 leaves
+
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("s-%d", i)
+		before, after := full.Owner(key), smaller.Owner(key)
+		if before != after {
+			moved++
+			if before != "n4:1" {
+				t.Fatalf("key %q moved from surviving node %s to %s", key, before, after)
+			}
+			// A moved key must land on its former second choice: that is
+			// the node already holding its replicated journal.
+			if want := full.Successors(key, 2)[1]; after != want {
+				t.Fatalf("key %q moved to %s, want former successor %s", key, after, want)
+			}
+		}
+	}
+	// Expected movement is keys/4; allow a generous tolerance band.
+	lo, hi := keys/4-keys/16, keys/4+keys/16
+	if moved < lo || moved > hi {
+		t.Errorf("node leave moved %d/%d keys, want within [%d,%d] (~1/N)", moved, keys, lo, hi)
+	}
+
+	// Join is the same property in reverse: growing 3 → 4 moves only
+	// keys that the new ring assigns to the new node.
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("s-%d", i)
+		if smaller.Owner(key) != full.Owner(key) && full.Owner(key) != "n4:1" {
+			t.Fatalf("key %q relocated on join without involving the new node", key)
+		}
+	}
+}
+
+// TestRingEvenDistribution asserts HRW's load balance: each node owns
+// its fair share of keys within a ±25% band.
+func TestRingEvenDistribution(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("node-%d:7457", i)
+		}
+		r, _ := NewRing(nodes, 11)
+		const keys = 8000
+		counts := map[string]int{}
+		for i := 0; i < keys; i++ {
+			counts[r.Owner(fmt.Sprintf("session-%d", i))]++
+		}
+		fair := keys / n
+		for node, c := range counts {
+			if c < fair*3/4 || c > fair*5/4 {
+				t.Errorf("%d nodes: %s owns %d keys, fair share %d (±25%%)", n, node, c, fair)
+			}
+		}
+	}
+}
+
+// TestRingValidation covers the constructor's error paths and the
+// degenerate single-node ring.
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 1); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 1); err == nil {
+		t.Error("empty node address accepted")
+	}
+	r, err := NewRing([]string{"only:1", "only:1"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Nodes()) != 1 || r.Owner("anything") != "only:1" {
+		t.Errorf("deduped single-node ring misbehaves: %v", r.Nodes())
+	}
+	if got := r.Successors("k", 5); len(got) != 1 {
+		t.Errorf("Successors beyond membership = %v", got)
+	}
+	if !r.Contains("only:1") || r.Contains("other:1") {
+		t.Error("Contains is wrong")
+	}
+}

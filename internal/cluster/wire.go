@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/server"
+)
+
+// Replication protocol message types. The protocol is NDJSON, one
+// replMsg per line, riding the same TCP listener as client ingest: the
+// server's takeover hook recognizes the repl-hello line and hands the
+// connection to the replica handler before client-frame decoding.
+//
+// The dialog is deliberately half-step: after repl-hello the sender
+// waits for repl-welcome before writing anything else, so no replication
+// byte can sit in the ingest handshake's scanner buffer when the
+// connection is handed over. After that the sender streams repl-open and
+// repl-frame messages and the replica answers every appended frame with
+// repl-ack carrying its contiguous per-session high-water seq — the
+// sender's durability watermark, which gates client acks.
+const (
+	msgReplHello   = "repl-hello"   // sender → replica: opens the link (From = sender identity)
+	msgReplWelcome = "repl-welcome" // replica → sender: link accepted
+	msgReplOpen    = "repl-open"    // sender → replica: begin (or resync) a session log; Hello carries the keyed hello
+	msgReplFrame   = "repl-frame"   // sender → replica: one accepted sequenced frame, in seq order
+	msgReplAck     = "repl-ack"     // replica → sender: contiguous per-session high-water seq applied to the log
+)
+
+// replMsg is one replication protocol message. Type selects the fields.
+type replMsg struct {
+	Type string `json:"type"`
+	// From identifies the dialing node on repl-hello (its ring identity).
+	From string `json:"from,omitempty"`
+	// Session is the placement key the message concerns.
+	Session string `json:"session,omitempty"`
+	// Seq is the replica's contiguous high-water mark on repl-ack.
+	Seq int64 `json:"seq,omitempty"`
+	// Hello is the session's keyed hello frame on repl-open.
+	Hello *server.ClientFrame `json:"hello,omitempty"`
+	// Frame is the replicated sequenced frame on repl-frame.
+	Frame *server.ClientFrame `json:"frame,omitempty"`
+}
+
+// isReplHello reports whether a connection's first line opens the
+// replication protocol — the takeover test. A client hello decodes too
+// (both are JSON objects with a type field) but can never carry the
+// repl-hello type, so the check cannot misfire on ingest traffic.
+func isReplHello(line []byte) bool {
+	var m replMsg
+	if json.Unmarshal(line, &m) != nil {
+		return false
+	}
+	return m.Type == msgReplHello
+}
+
+// decodeReplMsg parses one replication protocol line.
+func decodeReplMsg(line []byte) (replMsg, error) {
+	var m replMsg
+	if err := json.Unmarshal(line, &m); err != nil {
+		return m, fmt.Errorf("cluster: bad replication frame: %v", err)
+	}
+	return m, nil
+}
+
+// appendReplMsg marshals m as one NDJSON line.
+func appendReplMsg(m replMsg) []byte {
+	b, err := json.Marshal(m)
+	if err != nil {
+		panic("cluster: marshal replication frame: " + err.Error())
+	}
+	return append(b, '\n')
+}

@@ -1,0 +1,101 @@
+package faults
+
+import (
+	"net"
+	"sync"
+)
+
+// KillableListener wraps a net.Listener so a test can crash the node
+// behind it without tearing down the listener socket: Kill abruptly
+// closes every connection accepted so far and makes the listener refuse
+// new ones (accept-then-immediately-close, so dialers see a reset rather
+// than a hang), and Restart puts it back in service. The underlying
+// listener stays bound throughout, which is exactly what a crashed
+// process that has not yet been restarted looks like to clients — the
+// address resolves, the TCP handshake may complete, and then the
+// connection dies.
+type KillableListener struct {
+	net.Listener
+
+	mu     sync.Mutex
+	dead   bool
+	active map[net.Conn]struct{}
+}
+
+// WrapKillable returns ln with kill/restart control over its accepted
+// connections.
+func WrapKillable(ln net.Listener) *KillableListener {
+	return &KillableListener{Listener: ln, active: make(map[net.Conn]struct{})}
+}
+
+// Accept tracks accepted connections so Kill can close them. While the
+// listener is killed, connections are accepted and immediately closed.
+func (l *KillableListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		if l.dead {
+			l.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		tracked := &killConn{Conn: conn, ln: l}
+		l.active[tracked] = struct{}{}
+		l.mu.Unlock()
+		return tracked, nil
+	}
+}
+
+// Kill abruptly closes all live accepted connections and refuses new
+// ones until Restart. Idempotent.
+func (l *KillableListener) Kill() {
+	l.mu.Lock()
+	l.dead = true
+	conns := make([]net.Conn, 0, len(l.active))
+	for c := range l.active {
+		conns = append(conns, c)
+	}
+	l.active = make(map[net.Conn]struct{})
+	l.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Restart puts the listener back in service; connections accepted after
+// it are tracked again.
+func (l *KillableListener) Restart() {
+	l.mu.Lock()
+	l.dead = false
+	l.mu.Unlock()
+}
+
+// Killed reports whether the listener is currently refusing service.
+func (l *KillableListener) Killed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dead
+}
+
+// forget drops a closed connection from the tracking set.
+func (l *KillableListener) forget(c net.Conn) {
+	l.mu.Lock()
+	delete(l.active, c)
+	l.mu.Unlock()
+}
+
+// killConn untracks itself on Close so the active set stays bounded by
+// the number of live connections.
+type killConn struct {
+	net.Conn
+	ln   *KillableListener
+	once sync.Once
+}
+
+func (c *killConn) Close() error {
+	c.once.Do(func() { c.ln.forget(c) })
+	return c.Conn.Close()
+}

@@ -1,0 +1,135 @@
+package faults
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServe runs a line-echo accept loop on l until the listener closes.
+func echoServe(l net.Listener) {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go io.Copy(c, c)
+	}
+}
+
+func dialEcho(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	return c
+}
+
+// roundTrip writes one line and expects it echoed back.
+func roundTrip(t *testing.T, c net.Conn) error {
+	t.Helper()
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Write([]byte("ping\n")); err != nil {
+		return err
+	}
+	line, err := bufio.NewReader(c).ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if line != "ping\n" {
+		t.Fatalf("echo returned %q", line)
+	}
+	return nil
+}
+
+func TestKillableListener(t *testing.T) {
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	kl := WrapKillable(base)
+	go echoServe(kl)
+
+	// Healthy: connections echo.
+	c1 := dialEcho(t, base.Addr().String())
+	defer c1.Close()
+	if err := roundTrip(t, c1); err != nil {
+		t.Fatalf("healthy round trip: %v", err)
+	}
+
+	// Kill: the live connection dies abruptly.
+	kl.Kill()
+	if !kl.Killed() {
+		t.Fatal("Killed() = false after Kill")
+	}
+	c1.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := bufio.NewReader(c1).ReadString('\n'); err == nil {
+		t.Fatal("read on a killed connection succeeded")
+	}
+
+	// While dead the address still resolves and the TCP handshake may
+	// complete — like a crashed process on a live host — but the
+	// connection is useless: no echo ever comes back.
+	c2 := dialEcho(t, base.Addr().String())
+	defer c2.Close()
+	if err := roundTrip(t, c2); err == nil {
+		t.Fatal("round trip succeeded on a killed listener")
+	}
+
+	// Kill is idempotent.
+	kl.Kill()
+
+	// Restart: service resumes for new connections.
+	kl.Restart()
+	if kl.Killed() {
+		t.Fatal("Killed() = true after Restart")
+	}
+	c3 := dialEcho(t, base.Addr().String())
+	defer c3.Close()
+	if err := roundTrip(t, c3); err != nil {
+		t.Fatalf("round trip after Restart: %v", err)
+	}
+}
+
+// TestKillableListenerTracksCloses asserts the active set shrinks when
+// connections close normally, so Kill only touches live ones.
+func TestKillableListenerTracksCloses(t *testing.T) {
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	kl := WrapKillable(base)
+	accepted := make(chan net.Conn, 4)
+	go func() {
+		for {
+			c, err := kl.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+
+	c := dialEcho(t, base.Addr().String())
+	srv := <-accepted
+	srv.Close()
+	c.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		kl.mu.Lock()
+		n := len(kl.active)
+		kl.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("active set still has %d conns after close", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

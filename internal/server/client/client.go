@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -35,6 +36,20 @@ type Config struct {
 	Watches []server.Watch
 	// DialTimeout bounds connect and handshake (default 5s).
 	DialTimeout time.Duration
+
+	// Key is a client-chosen session key for cluster placement: the hello
+	// carries it, it becomes the session id, and the consistent-hash ring
+	// decides which node hosts it. Requires Reconnect (keyed sessions are
+	// replicated, which needs sequenced frames).
+	Key string
+	// Peers is the cluster membership, enabling ring-aware dialing: the
+	// client computes the key's placement order, dials the owner first,
+	// fails over to successors when a node is unreachable or does not
+	// know the session, and follows not-owner redirects. Requires Key.
+	Peers []string
+	// RingSeed is the placement seed (default cluster.DefaultRingSeed);
+	// it must match the server's -cluster-seed.
+	RingSeed uint64
 
 	// Reconnect opens the session as resumable and enables automatic
 	// reconnection: event methods never fail on a dropped connection —
@@ -75,14 +90,37 @@ type Stats struct {
 // down in reconnect mode; sequenced frames are buffered instead.
 var errDisconnected = errors.New("client: disconnected (reconnecting)")
 
+// ErrNotOwner reports a handshake rejected because the dialed node does
+// not host the session's placement; Owner is the node to dial instead.
+// Ring-aware sessions (Config.Peers) follow the redirect automatically;
+// single-address sessions surface it — extract with errors.As — so
+// callers can re-dial rather than misclassify an ownership move as a
+// fatal protocol error.
+type ErrNotOwner struct {
+	Owner string
+}
+
+func (e *ErrNotOwner) Error() string {
+	return fmt.Sprintf("client: node does not own the session (owner %s)", e.Owner)
+}
+
 // resumeError is a handshake rejected by the server, with its
 // machine-readable code. Only server.CodeBusy is retried.
 type resumeError struct {
-	code string
-	msg  string
+	code  string
+	msg   string
+	owner string // redirect target on CodeNotOwner
 }
 
 func (e *resumeError) Error() string { return fmt.Sprintf("%s (%s)", e.msg, e.code) }
+
+// Unwrap exposes a not-owner rejection as the typed ErrNotOwner.
+func (e *resumeError) Unwrap() error {
+	if e.code == server.CodeNotOwner {
+		return &ErrNotOwner{Owner: e.owner}
+	}
+	return nil
+}
 
 // snapWaiter is one pending snapshot query: the response channel and
 // the request frame, kept so a resume can re-issue it if the response
@@ -96,9 +134,14 @@ type snapWaiter struct {
 // indices, matching the engine packages; the wire carries 1-based ids.
 // Methods are safe for concurrent use; events are written in call order.
 type Session struct {
-	cfg  Config
-	addr string
-	id   string
+	cfg Config
+	id  string
+
+	// candidates is the dial list in placement order (owner first); cand
+	// indexes the current choice. Single-address sessions have exactly
+	// one candidate. Guarded by wmu.
+	candidates []string
+	cand       int
 
 	wmu     sync.Mutex // serializes writes, the msg-id counter, and connection state
 	space   *sync.Cond // on wmu; signaled when the outbox shrinks or state changes
@@ -136,6 +179,11 @@ func Dial(addr string, cfg Config) (*Session, error) {
 	}
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 8
+		if len(cfg.Peers) > 1 {
+			// Ring-aware outages need budget for a hysteretic sweep of the
+			// whole membership before giving up.
+			cfg.MaxAttempts = 8 * len(cfg.Peers)
+		}
 	}
 	if cfg.BackoffBase <= 0 {
 		cfg.BackoffBase = 25 * time.Millisecond
@@ -149,14 +197,18 @@ func Dial(addr string, cfg Config) (*Session, error) {
 	if cfg.BufferLimit <= 0 {
 		cfg.BufferLimit = 1024
 	}
+	candidates, err := dialCandidates(addr, cfg)
+	if err != nil {
+		return nil, err
+	}
 	s := &Session{
-		cfg:      cfg,
-		addr:     addr,
-		snaps:    make(map[int]*snapWaiter),
-		verdicts: make(chan server.ServerFrame, 256),
-		done:     make(chan struct{}),
-		failed:   make(chan struct{}),
-		rng:      rand.New(rand.NewSource(cfg.JitterSeed)),
+		cfg:        cfg,
+		candidates: candidates,
+		snaps:      make(map[int]*snapWaiter),
+		verdicts:   make(chan server.ServerFrame, 256),
+		done:       make(chan struct{}),
+		failed:     make(chan struct{}),
+		rng:        rand.New(rand.NewSource(cfg.JitterSeed)),
 	}
 	s.space = sync.NewCond(&s.wmu)
 	hello := server.ClientFrame{
@@ -164,32 +216,155 @@ func Dial(addr string, cfg Config) (*Session, error) {
 		Processes: cfg.Processes,
 		Watches:   cfg.Watches,
 		Resumable: cfg.Reconnect,
+		Session:   cfg.Key,
 	}
-	conn, sc, welcome, err := s.connect(hello)
-	if err != nil {
-		var re *resumeError
-		if errors.As(err, &re) {
-			return nil, fmt.Errorf("client: server rejected session: %s", re.msg)
+	// Ring-aware open: try candidates in placement order, following
+	// not-owner redirects, bounded at four sweeps so a misconfigured ring
+	// cannot loop forever. Rotation is hysteretic — a node is given two
+	// consecutive failures before the key moves to a successor — because
+	// opening a keyed session anywhere but its owner costs an extra
+	// replication hop for the whole session.
+	var conn net.Conn
+	var sc *bufio.Scanner
+	var welcome server.ServerFrame
+	first := hello
+	streak := 0
+	for tries := 0; ; tries++ {
+		conn, sc, welcome, err = s.connect(s.curAddr(), first)
+		if err == nil {
+			break
 		}
-		return nil, err
+		var re *resumeError
+		rejected := errors.As(err, &re)
+		if tries+1 >= 4*len(candidates) {
+			if rejected {
+				return nil, fmt.Errorf("client: server rejected session: %w", re)
+			}
+			return nil, err
+		}
+		switch {
+		case rejected && re.code == server.CodeBusy:
+			// An orphan of an earlier attempt still looks attached; the
+			// server notices the dead connection within its read deadline.
+			streak = 0
+		case rejected && re.code == server.CodeKeyInUse && cfg.Key != "" && cfg.Reconnect:
+			// An earlier hello opened the session but the welcome was lost
+			// in transit: adopt the orphan by resuming it instead.
+			streak = 0
+			first = server.ClientFrame{Type: server.FrameResume, Session: cfg.Key}
+		case rejected && re.code == server.CodeUnknownSession && first.Type == server.FrameResume:
+			// The orphan expired between attempts; open fresh.
+			streak = 0
+			first = hello
+		case rejected && re.code == server.CodeNotOwner && len(candidates) > 1:
+			streak = 0
+			s.followRedirect(re.owner)
+		case rejected:
+			return nil, fmt.Errorf("client: server rejected session: %w", re)
+		case len(candidates) > 1:
+			if streak++; streak >= 2 {
+				streak = 0
+				s.advanceAddr() // node looks down; a successor may accept the keyed hello
+			}
+		default:
+			return nil, err
+		}
+		time.Sleep(s.backoff(tries))
 	}
 	s.conn = conn
 	s.id = welcome.Session
+	if welcome.Resumed {
+		// Adopted an orphan: align the sequence space with whatever the
+		// server already accepted under this key.
+		s.nextSeq = welcome.Seq
+		s.acked = welcome.Seq
+	}
 	go s.read(conn, sc)
 	return s, nil
+}
+
+// dialCandidates resolves the dial list: the key's placement order over
+// Peers when configured, else just addr.
+func dialCandidates(addr string, cfg Config) ([]string, error) {
+	if cfg.Key != "" {
+		if !cfg.Reconnect {
+			return nil, errors.New("client: a session key requires Reconnect (keyed sessions are replicated)")
+		}
+		if err := server.ValidateKey(cfg.Key); err != nil {
+			return nil, fmt.Errorf("client: %v", err)
+		}
+	}
+	if len(cfg.Peers) == 0 {
+		if addr == "" {
+			return nil, errors.New("client: no address to dial")
+		}
+		return []string{addr}, nil
+	}
+	if cfg.Key == "" {
+		return nil, errors.New("client: Peers requires a session Key for placement")
+	}
+	seed := cfg.RingSeed
+	if seed == 0 {
+		seed = cluster.DefaultRingSeed
+	}
+	ring, err := cluster.NewRing(cfg.Peers, seed)
+	if err != nil {
+		return nil, fmt.Errorf("client: %v", err)
+	}
+	candidates := ring.Successors(cfg.Key, len(cfg.Peers))
+	if addr != "" {
+		// An explicit addr is tried first when it is a member — useful to
+		// pin the first dial in tests; placement order follows.
+		for i, c := range candidates {
+			if c == addr {
+				candidates[0], candidates[i] = candidates[i], candidates[0]
+				break
+			}
+		}
+	}
+	return candidates, nil
+}
+
+// curAddr returns the current dial target.
+func (s *Session) curAddr() string {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return s.candidates[s.cand]
+}
+
+// advanceAddr rotates to the next candidate node.
+func (s *Session) advanceAddr() {
+	s.wmu.Lock()
+	s.cand = (s.cand + 1) % len(s.candidates)
+	s.wmu.Unlock()
+}
+
+// followRedirect jumps to the redirect target when it is a known
+// candidate, else just advances.
+func (s *Session) followRedirect(owner string) {
+	s.wmu.Lock()
+	for i, c := range s.candidates {
+		if c == owner {
+			s.cand = i
+			s.wmu.Unlock()
+			return
+		}
+	}
+	s.cand = (s.cand + 1) % len(s.candidates)
+	s.wmu.Unlock()
 }
 
 // connect dials and performs one handshake (hello or resume), returning
 // the connection, its scanner (which may have buffered frames past the
 // welcome), and the welcome frame.
-func (s *Session) connect(first server.ClientFrame) (net.Conn, *bufio.Scanner, server.ServerFrame, error) {
+func (s *Session) connect(addr string, first server.ClientFrame) (net.Conn, *bufio.Scanner, server.ServerFrame, error) {
 	var zero server.ServerFrame
 	var conn net.Conn
 	var err error
 	if s.cfg.Dial != nil {
-		conn, err = s.cfg.Dial(s.addr)
+		conn, err = s.cfg.Dial(addr)
 	} else {
-		conn, err = net.DialTimeout("tcp", s.addr, s.cfg.DialTimeout)
+		conn, err = net.DialTimeout("tcp", addr, s.cfg.DialTimeout)
 	}
 	if err != nil {
 		return nil, nil, zero, fmt.Errorf("client: %w", err)
@@ -216,7 +391,7 @@ func (s *Session) connect(first server.ClientFrame) (net.Conn, *bufio.Scanner, s
 	case server.FrameWelcome:
 	case server.FrameError:
 		conn.Close()
-		return nil, nil, zero, &resumeError{code: welcome.Code, msg: welcome.Error}
+		return nil, nil, zero, &resumeError{code: welcome.Code, msg: welcome.Error, owner: welcome.Owner}
 	default:
 		conn.Close()
 		return nil, nil, zero, fmt.Errorf("client: expected welcome, got %q", welcome.Type)
@@ -576,8 +751,21 @@ func (s *Session) dropConnLocked() {
 // the resume handshake until it succeeds, the session ends, or
 // MaxAttempts consecutive attempts fail. Exactly one loop runs at a
 // time (the rejoin flag), so rng and the handshake are race-free.
+//
+// With multiple candidates (ring-aware sessions) the loop also rotates
+// nodes: repeated dial failures or an unknown-session rejection move on
+// to the next successor — after a node death the session's replica
+// legitimately answers where the home node cannot — and a not-owner
+// redirect jumps straight to the indicated owner. Rotation on plain
+// dial/I/O failure is hysteretic (three consecutive failures) so one
+// faulted handshake does not move the session off a live owner and
+// trigger an unnecessary replica promotion. Unknown-session (or
+// stale-replica bad-seq) rejections fail sticky only after a full sweep
+// of candidates agrees the session is gone.
 func (s *Session) reconnectLoop() {
 	outage := time.Now()
+	unknown := 0 // consecutive unknown/bad-seq rejections across candidates
+	streak := 0  // consecutive dial/I/O failures on the current candidate
 	for attempt := 0; ; attempt++ {
 		if s.isDone() || s.Err() != nil {
 			s.endRejoin()
@@ -593,17 +781,30 @@ func (s *Session) reconnectLoop() {
 		s.wmu.Lock()
 		acked := s.acked
 		byeSent := s.byeSent
+		addr := s.candidates[s.cand]
+		ringAware := len(s.candidates) > 1
 		s.wmu.Unlock()
-		conn, sc, welcome, err := s.connect(server.ClientFrame{Type: server.FrameResume, Session: s.id, Seq: acked})
+		conn, sc, welcome, err := s.connect(addr, server.ClientFrame{Type: server.FrameResume, Session: s.id, Seq: acked})
 		if err != nil {
 			var re *resumeError
 			if !errors.As(err, &re) {
+				if ringAware {
+					if streak++; streak >= 3 {
+						streak = 0
+						s.advanceAddr() // the node looks dead; try a successor
+					}
+				}
 				continue // dial or I/O failure: retry
 			}
+			streak = 0
 			switch {
 			case re.code == server.CodeBusy:
 				// The server has not yet noticed the dead connection
 				// (its reader is waiting out the read deadline); retry.
+				continue
+			case re.code == server.CodeNotOwner && ringAware:
+				unknown = 0
+				s.followRedirect(re.owner)
 				continue
 			case re.code == server.CodeUnknownSession && byeSent:
 				// The bye was delivered but the goodbye was lost with
@@ -611,6 +812,18 @@ func (s *Session) reconnectLoop() {
 				s.finish()
 				s.endRejoin()
 				return
+			case (re.code == server.CodeUnknownSession || re.code == server.CodeBadSeq) && ringAware:
+				// This node does not have the session (or holds a stale
+				// replica); a successor may. Only a full sweep of
+				// unknowns means the session is really gone.
+				if unknown++; unknown >= len(s.candidates) {
+					s.fail(fmt.Errorf("client: resume rejected by every cluster node: %w", re))
+					s.finish()
+					s.endRejoin()
+					return
+				}
+				s.advanceAddr()
+				continue
 			default:
 				s.fail(fmt.Errorf("client: resume rejected: %w", re))
 				s.finish()
@@ -618,6 +831,7 @@ func (s *Session) reconnectLoop() {
 				return
 			}
 		}
+		unknown, streak = 0, 0
 		if s.adopt(conn, sc, welcome.Seq, outage) {
 			return
 		}

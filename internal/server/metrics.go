@@ -63,11 +63,12 @@ const (
 	CloseProtoError  = "proto_error"  // malformed frame desynchronized the stream
 	CloseSeqGap      = "seq_gap"      // sequenced frames lost in flight; client must resume
 	CloseError       = "error"        // other I/O error
+	CloseTakeover    = "takeover"     // handed to the cluster replication protocol
 )
 
 var closeReasons = []string{
 	CloseBye, CloseSessionDone, CloseEOF, CloseReadTimeout,
-	CloseProtoError, CloseSeqGap, CloseError,
+	CloseProtoError, CloseSeqGap, CloseError, CloseTakeover,
 }
 
 func newMetrics(reg *obs.Registry) *metrics {

@@ -35,6 +35,10 @@ const (
 	MaxProcesses = 4096
 	// MaxWatches bounds the watches a hello frame may register.
 	MaxWatches = 256
+	// MaxKeyBytes bounds the client-chosen session key a hello frame may
+	// carry in cluster mode (the key doubles as the session id and the
+	// consistent-hash placement input).
+	MaxKeyBytes = 128
 )
 
 // Client → server frame types.
@@ -66,7 +70,21 @@ const (
 	CodeBadSeq         = "bad-seq"         // resume seq is negative or ahead of anything the server accepted
 	CodeStaleSeq       = "stale-seq"       // resume point has fallen out of the journal retention window
 	CodeSeqGap         = "seq-gap"         // frames were lost in flight; reconnect and resume from the last ack
+	CodeNotOwner       = "not-owner"       // cluster mode: this node does not host the key; dial Owner instead
+	CodeKeyInUse       = "key-in-use"      // a live session already holds this key; resume it instead of re-opening
 )
+
+// RejectError is a typed handshake rejection. Code is one of the Code*
+// constants; Owner, when set (CodeNotOwner), is the cluster node the
+// client should dial instead. The transport copies both onto the error
+// frame so ring-aware clients can follow the redirect.
+type RejectError struct {
+	Code  string
+	Owner string
+	Msg   string
+}
+
+func (e *RejectError) Error() string { return e.Msg }
 
 // Watch declares one predicate watch in a hello frame.
 type Watch struct {
@@ -86,7 +104,10 @@ type Watch struct {
 type ClientFrame struct {
 	Type string `json:"type"`
 
-	// hello
+	// hello. In cluster mode Session may carry a client-chosen session
+	// key: it becomes the session id and the consistent-hash ring places
+	// the key on a node — a hello arriving anywhere else is rejected
+	// with a not-owner redirect. Standalone servers reject keyed hellos.
 	Processes int     `json:"processes,omitempty"`
 	Watches   []Watch `json:"watches,omitempty"`
 	// Resumable opts the session into fault tolerance: init/event frames
@@ -160,6 +181,9 @@ type ServerFrame struct {
 	// Code classifies error frames (Code* constants); empty for
 	// free-form semantic errors.
 	Code string `json:"code,omitempty"`
+	// Owner accompanies CodeNotOwner: the cluster node that hosts the
+	// session's placement — the address to dial instead.
+	Owner string `json:"owner,omitempty"`
 }
 
 // DecodeClientFrame parses one NDJSON line into a ClientFrame. Unknown
@@ -193,6 +217,33 @@ func ValidateHello(f ClientFrame) error {
 	}
 	if len(f.Watches) > MaxWatches {
 		return fmt.Errorf("server: at most %d watches, got %d", MaxWatches, len(f.Watches))
+	}
+	if f.Session != "" {
+		if err := ValidateKey(f.Session); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateKey checks a client-chosen session key: bounded, printable,
+// and outside the server's auto-assigned id namespace ("s-...") so a
+// keyed session can never collide with or spoof an auto-id one.
+func ValidateKey(key string) error {
+	if len(key) > MaxKeyBytes {
+		return fmt.Errorf("server: session key exceeds %d bytes", MaxKeyBytes)
+	}
+	if len(key) >= 2 && key[0] == 's' && key[1] == '-' {
+		return fmt.Errorf("server: session key %q is inside the auto-id namespace s-", key)
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-', c == ':':
+		default:
+			return fmt.Errorf("server: session key contains %q (want [a-zA-Z0-9._:-])", c)
+		}
 	}
 	return nil
 }

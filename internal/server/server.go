@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -87,6 +88,13 @@ type Config struct {
 	Workers int
 	// Registry receives the hb_server_* metrics (nil → obs.Default()).
 	Registry *obs.Registry
+	// Cluster, when non-nil, turns this server into one node of a
+	// detection cluster (internal/cluster installs it): session keys are
+	// vetted against the placement ring, accepted sequenced frames are
+	// replicated, client acks are gated on replication durability, and
+	// resumes of unknown sessions may be recovered from a replicated
+	// journal. All hook fields are optional.
+	Cluster *ClusterHooks
 	// Tracer, when non-nil, receives pipeline spans: one root span per
 	// session and, under it, per-frame spans for each pipeline stage
 	// (decode → frame → enqueue → apply → verdict). Span attributes carry
@@ -97,6 +105,44 @@ type Config struct {
 	Tracer *obs.Tracer
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+}
+
+// ClusterHooks is the integration surface internal/cluster installs to
+// turn a standalone server into one node of a detection cluster. Every
+// field is optional; a nil hook keeps standalone behavior. The hooks
+// deliberately live on this side of the package boundary so the cluster
+// package needs no access to session internals.
+type ClusterHooks struct {
+	// Takeover inspects the first line of a new connection before frame
+	// decoding; returning true transfers the connection to the hook (the
+	// replication protocol rides the same listener as client ingest).
+	// The hook runs on the connection's goroutine and must return only
+	// when it is done with the conn; the server closes it afterwards.
+	Takeover func(first []byte, conn net.Conn) bool
+	// Placement vets a keyed hello: ok=false rejects it with a
+	// not-owner redirect to owner. Resumes are vetted lazily — only
+	// when the session is unknown locally (see Recover) — so a node
+	// always serves the sessions it actually holds.
+	Placement func(key string) (owner string, ok bool)
+	// OnOpen observes every keyed resumable session opened by a hello
+	// frame, before any frame of it is ingested.
+	OnOpen func(sess *Session, cfg SessionConfig)
+	// OnAccept observes every accepted sequenced frame (init, event,
+	// bye) of a resumable session, in seq order, on the transport
+	// goroutine — blocking applies backpressure to the client.
+	OnAccept func(sess *Session, f ClientFrame)
+	// AckGate bounds the seq the server may ack on the given session;
+	// the cluster returns its replication durability watermark so
+	// clients never release frames that exist on fewer nodes than the
+	// replication factor. Returning seq unchanged means ungated.
+	AckGate func(session string, seq int64) int64
+	// Recover is consulted when a resume names a session with no live or
+	// morgue state: a replica node rebuilds it from the replicated
+	// journal and returns the live session (or nil after replaying a
+	// journal that ended in a bye — the morgue then serves the terminal
+	// replay). Returning (nil, *RejectError) redirects or rejects;
+	// (nil, nil) with no local knowledge means unknown-session.
+	Recover func(session string) (*Session, error)
 }
 
 // Server multiplexes detection sessions. Transports (Serve for TCP,
@@ -167,6 +213,11 @@ func (s *Server) Open(cfg SessionConfig) (*Session, error) {
 	if len(cfg.Watches) > MaxWatches {
 		return nil, fmt.Errorf("server: at most %d watches, got %d", MaxWatches, len(cfg.Watches))
 	}
+	if cfg.ID != "" {
+		if err := ValidateKey(cfg.ID); err != nil {
+			return nil, err
+		}
+	}
 	ws, err := buildWatches(cfg.Processes, cfg.Watches)
 	if err != nil {
 		return nil, err
@@ -180,8 +231,23 @@ func (s *Server) Open(cfg SessionConfig) (*Session, error) {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("server: session limit %d reached", s.cfg.MaxSessions)
 	}
-	s.nextID++
-	id := fmt.Sprintf("s-%04d", s.nextID)
+	id := cfg.ID
+	if id == "" {
+		s.nextID++
+		id = fmt.Sprintf("s-%04d", s.nextID)
+	} else {
+		if _, taken := s.sessions[id]; taken {
+			s.mu.Unlock()
+			// Typed so clients can tell "my earlier hello opened this but
+			// the welcome was lost" (recover by resuming the key) from a
+			// plain rejection.
+			return nil, &RejectError{Code: CodeKeyInUse,
+				Msg: fmt.Sprintf("server: session key %q already in use", id)}
+		}
+		// A fresh session under this key supersedes any terminal state a
+		// previous incarnation left lingering for replay.
+		delete(s.morgue, id)
+	}
 	sess := newSession(s, id, cfg.Processes, ws)
 	if cfg.Resumable {
 		sess.resumable = true
@@ -196,6 +262,58 @@ func (s *Server) Open(cfg SessionConfig) (*Session, error) {
 	s.logf("session %s opened: %d processes, %d watches (resumable=%v)", id, cfg.Processes, len(ws), cfg.Resumable)
 	s.wg.Add(1)
 	go sess.run()
+	return sess, nil
+}
+
+// OpenRecovered rebuilds a resumable session from a replicated frame log:
+// it opens the session under its original id and replays every sequenced
+// frame through the normal ingest path, so the rebuilt monitor, journal,
+// verdict record, and Idx numbering are bit-identical to what the failed
+// home node held — detection is deterministic, so same frames in, same
+// verdicts out. The hello frame supplies the session config; frames must
+// be the accepted sequenced frames from seq 1 in order. If the log ends
+// in a bye the session runs to completion and (nil, nil) is returned: the
+// terminal state is then in the morgue for replay. Otherwise the returned
+// session is live, detached, fully applied, and ready for tryResume.
+func (s *Server) OpenRecovered(hello ClientFrame, frames []ClientFrame) (*Session, error) {
+	if err := ValidateHello(hello); err != nil {
+		return nil, err
+	}
+	if hello.Session == "" || !hello.Resumable {
+		return nil, fmt.Errorf("server: recovery needs a keyed resumable hello")
+	}
+	sess, err := s.Open(SessionConfig{
+		ID:        hello.Session,
+		Processes: hello.Processes,
+		Watches:   hello.Watches,
+		Resumable: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range frames {
+		if f.Type == FrameBye {
+			sess.Close("bye")
+			<-sess.Done()
+			return nil, nil
+		}
+		if f.Seq > 0 {
+			// The transport normally advances the accept mark via
+			// acceptSeq; replay owns the session exclusively, so it stores
+			// the high-water directly before handing the frame to the loop.
+			sess.enqSeq.Store(f.Seq)
+		}
+		if err := sess.Ingest(f); err != nil {
+			sess.Close("recovery failed")
+			return nil, fmt.Errorf("server: recovery replay of %s: %v", hello.Session, err)
+		}
+	}
+	// Settle the loop so the caller hands out a fully-applied session:
+	// tryResume's replay snapshot then contains every verdict the log
+	// determines, not a prefix of them.
+	if err := sess.Flush(); err != nil {
+		return nil, fmt.Errorf("server: recovery flush of %s: %v", hello.Session, err)
+	}
 	return sess, nil
 }
 
@@ -291,9 +409,40 @@ func (s *Server) resume(f ClientFrame, att *attachment) (*Session, ServerFrame, 
 			replay := append(append([]ServerFrame(nil), e.frames...), e.goodbye)
 			return nil, welcome, replay, "", nil
 		}
-		s.met.resumesRej.Inc()
-		return nil, ServerFrame{}, nil, CodeUnknownSession,
-			fmt.Errorf("server: no live session %q (never opened, expired, or closed)", f.Session)
+		// Cluster mode: a replica may hold this session's replicated
+		// journal and can rebuild it; failing that, redirect the client
+		// toward the placement's owner rather than declaring the session
+		// gone — only a node that could legitimately host the key may
+		// answer unknown-session.
+		if h := s.cfg.Cluster; h != nil && h.Recover != nil {
+			rec, err := h.Recover(f.Session)
+			if err != nil {
+				s.met.resumesRej.Inc()
+				var rej *RejectError
+				if errors.As(err, &rej) {
+					return nil, ServerFrame{}, nil, rej.Code, err
+				}
+				return nil, ServerFrame{}, nil, CodeUnknownSession, err
+			}
+			if rec != nil {
+				sess = rec
+			} else if e, ok := s.lookupMorgue(f.Session); ok {
+				// The recovered journal ended in a bye: the rebuilt
+				// session already finished into the morgue.
+				s.met.resumesOK.Inc()
+				s.logf("session %s recovered into terminal replay (%d frames)", f.Session, len(e.frames))
+				welcome := e.welcome
+				welcome.Seq = e.enqSeq
+				welcome.Resumed = true
+				replay := append(append([]ServerFrame(nil), e.frames...), e.goodbye)
+				return nil, welcome, replay, "", nil
+			}
+		}
+		if sess == nil {
+			s.met.resumesRej.Inc()
+			return nil, ServerFrame{}, nil, CodeUnknownSession,
+				fmt.Errorf("server: no live session %q (never opened, expired, or closed)", f.Session)
+		}
 	}
 	seq, replay, code, err := sess.tryResume(f.Seq, att)
 	if err != nil {

@@ -24,6 +24,10 @@ var (
 
 // SessionConfig describes a session to Open: the hello frame's payload.
 type SessionConfig struct {
+	// ID fixes the session id instead of auto-assigning one. Cluster mode
+	// sets it to the client-chosen placement key; it must pass ValidateKey
+	// and be unique among live sessions. Empty means auto-assign.
+	ID        string
 	Processes int
 	Watches   []Watch
 	// Resumable sessions journal accepted sequenced frames, ack them,
@@ -589,8 +593,32 @@ func (s *Session) noteSeq(f ClientFrame, applied bool) {
 		s.srv.met.journaled.Inc()
 	}
 	if f.Seq%int64(s.srv.cfg.AckEvery) == 0 {
-		s.emit(ServerFrame{Type: FrameAck, Session: s.id, Seq: f.Seq, Event: s.seen}, false)
+		ack := f.Seq
+		if h := s.srv.cfg.Cluster; h != nil && h.AckGate != nil {
+			// An ack releases the client's in-flight copy, so in cluster
+			// mode it must not outrun replication durability: the gate
+			// returns the highest seq safe to acknowledge right now. The
+			// withheld tail is re-offered by Session.Ack when the gate
+			// advances.
+			ack = h.AckGate(s.id, f.Seq)
+		}
+		if ack > 0 {
+			s.emit(ServerFrame{Type: FrameAck, Session: s.id, Seq: ack, Event: s.seen}, false)
+		}
 	}
+}
+
+// Ack pushes an unrecorded ack frame for seq, clamped to the applied
+// high-water mark. Cluster replication calls it when the durability gate
+// advances past acks that noteSeq withheld; safe from any goroutine.
+func (s *Session) Ack(seq int64) {
+	if applied := s.ackSeq.Load(); seq > applied {
+		seq = applied
+	}
+	if seq <= 0 {
+		return
+	}
+	s.emit(ServerFrame{Type: FrameAck, Session: s.id, Seq: seq}, false)
 }
 
 // reject reports a non-fatal protocol error back to the client. The

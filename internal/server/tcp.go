@@ -116,6 +116,14 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.met.connClosed(scanEndReason(sc.Err()))
 		return
 	}
+	// Cluster replication rides the same listener: the takeover hook peeks
+	// at the first line and, if it is a replication handshake, runs the
+	// whole replication dialog on this goroutine (the deferred Close still
+	// tears the conn down when it returns).
+	if h := s.cfg.Cluster; h != nil && h.Takeover != nil && h.Takeover(sc.Bytes(), conn) {
+		s.met.connClosed(CloseTakeover)
+		return
+	}
 	first, err := DecodeClientFrame(sc.Bytes())
 	if err != nil {
 		s.met.protoErrors.Inc()
@@ -134,12 +142,53 @@ func (s *Server) handleConn(conn net.Conn) {
 			writeFrame(conn, ServerFrame{Type: FrameError, Error: err.Error()})
 			return
 		}
-		sess, err = s.Open(SessionConfig{Processes: first.Processes, Watches: first.Watches, Resumable: first.Resumable})
+		cfg := SessionConfig{Processes: first.Processes, Watches: first.Watches, Resumable: first.Resumable}
+		if first.Session != "" {
+			// A keyed hello pins the session id for cluster placement.
+			h := s.cfg.Cluster
+			switch {
+			case h == nil:
+				s.met.protoErrors.Inc()
+				s.met.connClosed(CloseProtoError)
+				writeFrame(conn, ServerFrame{Type: FrameError,
+					Error: "server: session key requires cluster mode"})
+				return
+			case !first.Resumable:
+				s.met.protoErrors.Inc()
+				s.met.connClosed(CloseProtoError)
+				writeFrame(conn, ServerFrame{Type: FrameError,
+					Error: "server: keyed sessions must be resumable (replication needs sequenced frames)"})
+				return
+			}
+			if h.Placement != nil {
+				if owner, ok := h.Placement(first.Session); !ok {
+					s.met.connClosed(CloseError)
+					writeFrame(conn, ServerFrame{Type: FrameError, Code: CodeNotOwner, Owner: owner,
+						Error: fmt.Sprintf("server: session key %q is not placed here; dial %s", first.Session, owner)})
+					return
+				}
+			}
+			cfg.ID = first.Session
+		}
+		sess, err = s.Open(cfg)
 		if err != nil {
 			s.met.protoErrors.Inc()
 			s.met.connClosed(CloseProtoError)
-			writeFrame(conn, ServerFrame{Type: FrameError, Error: err.Error()})
+			fr := ServerFrame{Type: FrameError, Error: err.Error()}
+			var rej *RejectError
+			if errors.As(err, &rej) {
+				// key-in-use: tell the client machine-readably so it can
+				// resume the orphan its earlier (welcome-lost) hello opened.
+				fr.Code = rej.Code
+				fr.Owner = rej.Owner
+			}
+			writeFrame(conn, fr)
 			return
+		}
+		if cfg.ID != "" {
+			if h := s.cfg.Cluster; h != nil && h.OnOpen != nil {
+				h.OnOpen(sess, cfg)
+			}
 		}
 		// Welcome goes through the subscriber so the writer stays the
 		// only writer; attach afterwards so no verdict can overtake it.
@@ -151,7 +200,12 @@ func (s *Server) handleConn(conn net.Conn) {
 		resumed, welcome, replay, code, err := s.resume(first, att)
 		if err != nil {
 			s.met.connClosed(CloseError)
-			writeFrame(conn, ServerFrame{Type: FrameError, Code: code, Error: err.Error()})
+			fr := ServerFrame{Type: FrameError, Code: code, Error: err.Error()}
+			var rej *RejectError
+			if errors.As(err, &rej) {
+				fr.Owner = rej.Owner
+			}
+			writeFrame(conn, fr)
 			return
 		}
 		if resumed == nil {
@@ -294,6 +348,12 @@ func (s *Server) readFrames(conn net.Conn, sc *bufio.Scanner, sess *Session) str
 				sess.emit(ServerFrame{Type: FrameError, Session: sess.id, Code: CodeSeqGap,
 					Error: fmt.Sprintf("seq gap: got %d, expected %d — reconnect and resume", f.Seq, sess.enqSeq.Load()+1)}, false)
 				return CloseSeqGap
+			}
+			// Freshly accepted: offer the frame to cluster replication
+			// before ingest. The hook runs on this goroutine, so a slow
+			// replica applies backpressure to this client, not to others.
+			if h := s.cfg.Cluster; h != nil && h.OnAccept != nil {
+				h.OnAccept(sess, f)
 			}
 		}
 		switch f.Type {
