@@ -6,6 +6,7 @@
 //	fig3        Fig. 3: NP/co-NP-hardness constructions (Theorems 5 & 6)
 //	fig4        Fig. 4: the E[p U q] example detected by Algorithm A3
 //	fig5        Fig. 5: Algorithm A3 and the AU composition — scaling
+//	ingest      ingest encodings: NDJSON frame-per-event vs binary batched
 //	faults      flaky-proxy ingest: resume/replay cost under faults
 //	cluster     multi-node cluster: replication overhead and failover cost
 //	complexity  §5/§7 complexity claims: structural vs lattice baseline
@@ -47,6 +48,7 @@ var experiments = []struct {
 	{"control", "predicate control: EG witness → enforced AG", runControl},
 	{"online", "on-line detection: latency and ingest overhead", runOnline},
 	{"server", "hbserver: loopback ingest throughput and verdict latency", runServer},
+	{"ingest", "ingest encodings: NDJSON frame-per-event vs binary batched", runIngest},
 	{"faults", "flaky-proxy ingest: resume/replay cost under injected faults", runFaults},
 	{"cluster", "detection cluster: replication overhead and failover cost", runCluster},
 	{"parallel", "parallel sweeps: A2/A3 speedup and determinism check", runParallel},

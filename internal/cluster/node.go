@@ -274,6 +274,12 @@ func (n *Node) onAccept(sess *server.Session, f server.ClientFrame) {
 		n.mu.Unlock()
 		return // unkeyed session, or a duplicate past the log's high water
 	}
+	if f.Batch != nil {
+		// Binary-decoded batches are pooled and recycled once the session
+		// applies them; the replication log outlives that, so keep a
+		// private copy.
+		f.Batch = f.Batch.Clone()
+	}
 	hs.frames = append(hs.frames, f)
 	if f.Type == server.FrameBye {
 		hs.bye = true

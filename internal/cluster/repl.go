@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"bufio"
 	"net"
 	"time"
 
@@ -109,8 +108,7 @@ func (l *peerLink) run() {
 		l.conn = conn
 		l.node.mu.Unlock()
 
-		sc := bufio.NewScanner(conn)
-		sc.Buffer(make([]byte, 0, 4096), server.MaxFrameBytes)
+		sc := server.NewFrameScanner(conn)
 		if err := l.handshake(conn, sc); err != nil {
 			l.node.met.connErrors.Inc()
 			conn.Close()
@@ -142,7 +140,7 @@ func (l *peerLink) run() {
 // repl-welcome before writing anything else — the receiving server peeks
 // only the first line before handing the connection over, so nothing may
 // follow the hello until the replica has taken it.
-func (l *peerLink) handshake(conn net.Conn, sc *bufio.Scanner) error {
+func (l *peerLink) handshake(conn net.Conn, sc *server.FrameScanner) error {
 	conn.SetDeadline(time.Now().Add(5 * time.Second))
 	defer conn.SetDeadline(time.Time{})
 	if _, err := conn.Write(appendReplMsg(replMsg{Type: msgReplHello, From: l.node.self})); err != nil {
@@ -249,7 +247,7 @@ func (hs *hostedSession) replicatesTo(peer string) bool {
 // readAcks drains repl-ack messages, advancing the racked watermark and
 // re-offering client acks the gate withheld. It exits when the
 // connection dies, waking the send loop.
-func (l *peerLink) readAcks(conn net.Conn, sc *bufio.Scanner) {
+func (l *peerLink) readAcks(conn net.Conn, sc *server.FrameScanner) {
 	n := l.node
 	for sc.Scan() {
 		m, err := decodeReplMsg(sc.Bytes())
@@ -300,8 +298,7 @@ func (n *Node) serveRepl(from string, conn net.Conn) {
 	if _, err := conn.Write(appendReplMsg(replMsg{Type: msgReplWelcome})); err != nil {
 		return
 	}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 4096), server.MaxFrameBytes)
+	sc := server.NewFrameScanner(conn)
 	for sc.Scan() {
 		m, err := decodeReplMsg(sc.Bytes())
 		if err != nil {

@@ -1,0 +1,219 @@
+package server_test
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ctl"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// TestBinaryBatchSessionsMatchOffline is the binary-encoding acceptance
+// test: the scripted computation streamed through batched binary frames
+// must latch exactly the verdicts of offline core.Detect at the exact
+// determining prefixes — for batch sizes that split the stream at every
+// boundary (1), mid-batch (3), and all-in-one (64).
+func TestBinaryBatchSessionsMatchOffline(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	for _, batch := range []int{1, 3, 64} {
+		for extra := 0; extra < 2; extra++ {
+			steps := script(extra)
+			full := buildPrefix(t, steps, len(steps))
+
+			sess, err := client.Dial(addr, client.Config{
+				Processes: 3,
+				Watches: []server.Watch{
+					{Op: "EF", Pred: efPred},
+					{Op: "AG", Pred: agPred},
+					{Op: "STABLE", Pred: stablePred},
+				},
+				Encoding:  server.EncodingBinary,
+				BatchSize: batch,
+			})
+			if err != nil {
+				t.Fatalf("batch=%d extra=%d: dial: %v", batch, extra, err)
+			}
+			stream(sess, steps)
+
+			// The snapshot flushes the partial batch first, so it must see
+			// the full prefix.
+			formula := "EF(" + efPred + ")"
+			fr, err := sess.Snapshot(formula)
+			if err != nil {
+				t.Fatalf("batch=%d extra=%d: snapshot: %v", batch, extra, err)
+			}
+			want, err := core.Detect(full, ctl.MustParse(formula))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *fr.Holds != want.Holds || fr.Event != len(steps) {
+				t.Fatalf("batch=%d extra=%d: snapshot %v at %d, offline %v at %d",
+					batch, extra, *fr.Holds, fr.Event, want.Holds, len(steps))
+			}
+
+			gb, err := sess.Close()
+			if err != nil {
+				t.Fatalf("batch=%d extra=%d: close: %v", batch, extra, err)
+			}
+			if gb.Events != len(steps) || gb.Dropped != 0 {
+				t.Fatalf("batch=%d extra=%d: goodbye %d events (%d dropped), want %d (0)",
+					batch, extra, gb.Events, gb.Dropped, len(steps))
+			}
+
+			verdicts := make(map[int]server.ServerFrame)
+			for _, fr := range sess.Latched() {
+				if fr.Type == server.FrameError {
+					t.Fatalf("batch=%d extra=%d: unexpected error frame: %s", batch, extra, fr.Error)
+				}
+				if fr.Type == server.FrameVerdict {
+					verdicts[fr.Watch] = fr
+				}
+			}
+			efOffline, _ := core.Detect(full, ctl.MustParse("EF("+efPred+")"))
+			vfr, fired := verdicts[0]
+			if fired != efOffline.Holds {
+				t.Fatalf("batch=%d extra=%d: EF fired=%v, offline=%v", batch, extra, fired, efOffline.Holds)
+			}
+			if fired {
+				if err := exactPrefix(t, steps, vfr.Event, "EF("+efPred+")", true); err != nil {
+					t.Fatalf("batch=%d extra=%d: EF latch: %v", batch, extra, err)
+				}
+			}
+			agOffline, _ := core.Detect(full, ctl.MustParse("AG("+agPred+")"))
+			vfr, violated := verdicts[1]
+			if violated != !agOffline.Holds {
+				t.Fatalf("batch=%d extra=%d: AG violated=%v, offline holds=%v", batch, extra, violated, agOffline.Holds)
+			}
+			if violated {
+				if err := exactPrefix(t, steps, vfr.Event, "AG("+agPred+")", false); err != nil {
+					t.Fatalf("batch=%d extra=%d: AG latch: %v", batch, extra, err)
+				}
+			}
+			// The STABLE watch must fire at event 5 regardless of how the
+			// batching splits the stream: verdict indexes are per event,
+			// not per frame.
+			vfr, ok := verdicts[2]
+			if !ok || vfr.Event != 5 {
+				t.Fatalf("batch=%d extra=%d: STABLE verdict %+v, want event 5", batch, extra, vfr)
+			}
+		}
+	}
+}
+
+// TestResumableRejectsUnsequencedFrames is the regression test for the
+// triage hole: ingest frames without a seq (or with seq 0) on a
+// resumable session used to bypass the dup/gap triage entirely — an
+// at-least-once redelivery would be ingested twice. They must now be
+// rejected with a typed error, killing the connection but not the
+// session.
+func TestResumableRejectsUnsequencedFrames(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	for _, tc := range []struct{ name, frame string }{
+		{"event", `{"type":"event","proc":1,"kind":"internal"}`},
+		{"init", `{"type":"init","proc":1,"var":"x","value":1}`},
+		{"bye", `{"type":"bye"}`},
+		{"negative", `{"type":"event","proc":1,"kind":"internal","seq":-3}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := dialRaw(t, addr)
+			id := r.openResumable(2)
+			r.event(1, 1) // a properly sequenced frame is fine
+			r.send("%s", tc.frame)
+			fr := r.recvType(server.FrameError)
+			if fr.Code != server.CodeBadSeq {
+				t.Fatalf("code = %q, want %q", fr.Code, server.CodeBadSeq)
+			}
+			if !r.closed() {
+				t.Fatal("connection survived an unsequenced ingest frame")
+			}
+			// The session survives the rejected connection: resume from
+			// the accepted watermark works and nothing was lost.
+			b, w := resumeFrom(t, addr, id, 1)
+			if w.Type != server.FrameWelcome || !w.Resumed || w.Seq != 1 {
+				t.Fatalf("resume after rejection: %+v, want resumed at seq 1", w)
+			}
+			b.send(`{"type":"bye","seq":2}`)
+			gb := b.recvType(server.FrameGoodbye)
+			if gb.Events != 1 {
+				t.Fatalf("goodbye events = %d, want 1", gb.Events)
+			}
+		})
+	}
+}
+
+// TestFrameTooLongNDJSON: an NDJSON line beyond MaxFrameBytes used to
+// die as a bare scanner error — indistinguishable from network loss.
+// The client must now get a typed frame-too-long error before the
+// connection closes.
+func TestFrameTooLongNDJSON(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	r := dialRaw(t, addr)
+	r.send(`{"type":"hello","processes":1}`)
+	if fr := r.recvType(server.FrameWelcome); fr.Session == "" {
+		t.Fatal("no session")
+	}
+	r.send("%s", strings.Repeat("x", server.MaxFrameBytes+16))
+	fr := r.recvType(server.FrameError)
+	if fr.Code != server.CodeFrameTooLong {
+		t.Fatalf("code = %q, want %q", fr.Code, server.CodeFrameTooLong)
+	}
+	if !r.closed() {
+		t.Fatal("connection survived an oversized frame")
+	}
+}
+
+// TestFrameTooLongBinary: a binary frame header declaring a payload
+// beyond MaxFrameBytes gets the same typed error — without the server
+// reading (or allocating) the declared length.
+func TestFrameTooLongBinary(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	r := dialRaw(t, addr)
+	r.send(`{"type":"hello","processes":1,"encoding":"binary"}`)
+	if fr := r.recvType(server.FrameWelcome); fr.Session == "" {
+		t.Fatal("no session")
+	}
+	hdr := []byte{server.FrameMagic, server.BinBatch}
+	hdr = binary.AppendUvarint(hdr, server.MaxFrameBytes+1)
+	if _, err := r.conn.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	fr := r.recvType(server.FrameError)
+	if fr.Code != server.CodeFrameTooLong {
+		t.Fatalf("code = %q, want %q", fr.Code, server.CodeFrameTooLong)
+	}
+	if !r.closed() {
+		t.Fatal("connection survived an oversized frame")
+	}
+}
+
+// TestBinaryFrameWithoutNegotiation: a binary frame on a connection
+// that negotiated NDJSON is a protocol error, not a crash — the frame
+// boundary is still parsed (the scanner is encoding-agnostic) but the
+// payload is refused.
+func TestBinaryFrameWithoutNegotiation(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	r := dialRaw(t, addr)
+	r.send(`{"type":"hello","processes":1}`)
+	if fr := r.recvType(server.FrameWelcome); fr.Session == "" {
+		t.Fatal("no session")
+	}
+	frame := []byte{server.FrameMagic, server.BinBatch}
+	frame = binary.AppendUvarint(frame, 1)
+	frame = append(frame, 0x00)
+	if _, err := r.conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	fr := r.recvType(server.FrameError)
+	if fr.Code == server.CodeFrameTooLong {
+		t.Fatalf("wrong error code %q", fr.Code)
+	}
+	if !strings.Contains(fr.Error, "binary frame") {
+		t.Fatalf("error = %q, want a binary-encoding complaint", fr.Error)
+	}
+	if !r.closed() {
+		t.Fatal("connection survived an unnegotiated binary frame")
+	}
+}

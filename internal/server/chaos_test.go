@@ -44,7 +44,9 @@ func chaosSeeds(t *testing.T) []int64 {
 // TestChaosResumedSessionsMatchOffline is the fault-tolerance acceptance
 // test: many concurrent resumable sessions stream the scripted
 // computation through a flaky proxy injecting seeded resets, partial
-// writes, duplicates, delays, and (upstream only) silent drops. Despite
+// writes, duplicates, delays, and (upstream only) silent drops. Half
+// the sessions speak NDJSON, half the binary batched encoding (batch
+// size 3, so faults land mid-batch), sharing one server. Despite
 // arbitrary connection loss and redelivery, every session must latch
 // exactly the verdicts of offline core.Detect at the exact determining
 // prefixes, the server's exactly-once counters must reconcile, and no
@@ -111,6 +113,14 @@ func runChaos(t *testing.T, seed int64) {
 				BackoffMax:  50 * time.Millisecond,
 				MaxAttempts: 40,
 				JitterSeed:  seed + int64(i),
+			}
+			if i < sessions/2 {
+				// Interop half: batched binary frames through the same
+				// flaky proxy — a dropped frame loses 3 events at once, a
+				// duplicated one redelivers 3, and the verdicts must still
+				// be bit-identical to the NDJSON half and to offline.
+				cfg.Encoding = server.EncodingBinary
+				cfg.BatchSize = 3
 			}
 			// The initial dial goes through the proxy too; a handshake
 			// eaten by a fault is the client's problem to retry.

@@ -15,7 +15,6 @@
 package client
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -25,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/pir"
 	"repro/internal/server"
 )
 
@@ -73,6 +73,20 @@ type Config struct {
 	// Dial overrides the dialer — the hook fault-injection tests use to
 	// hand the session deliberately unreliable connections.
 	Dial func(addr string) (net.Conn, error)
+
+	// Encoding selects the ingest wire encoding. "" or "ndjson" streams
+	// one JSON frame per event. "binary" negotiates the binary batched
+	// encoding at hello time: init/event frames accumulate into column
+	// batches (flushed at BatchSize, before any snapshot or bye, or
+	// explicitly via Flush) and travel as length-prefixed binary frames
+	// — one syscall, one seq, and one ack per batch instead of per
+	// event. Verdict delivery and semantics are identical; only the
+	// frame boundaries and Event granularity of acks change.
+	Encoding string
+	// BatchSize caps events per binary batch (default 64). Larger
+	// batches amortize more but delay verdicts for events held back;
+	// Flush bounds the delay explicitly.
+	BatchSize int
 }
 
 // Stats counts the reconnect machinery's work, for tests and the
@@ -159,6 +173,16 @@ type Session struct {
 	stats   Stats
 	rng     *rand.Rand // backoff jitter; only the single-flight reconnect loop uses it
 
+	// Binary batching state (guarded by wmu). pending accumulates
+	// init/event frames until a flush turns them into one batch frame;
+	// enc interns variable names per connection (reset on every
+	// (re)connect, mirroring the server's per-connection decode table);
+	// pbuf/wbuf are reused encode buffers.
+	pending *pir.Batch
+	enc     pir.VarTable
+	pbuf    []byte
+	wbuf    []byte
+
 	mu       sync.Mutex
 	frames   []server.ServerFrame // latched verdict/error pushes, in order
 	lastIdx  int                  // highest recorded-frame idx seen, for replay dedupe
@@ -197,6 +221,12 @@ func Dial(addr string, cfg Config) (*Session, error) {
 	if cfg.BufferLimit <= 0 {
 		cfg.BufferLimit = 1024
 	}
+	if err := server.ValidateEncoding(cfg.Encoding); err != nil {
+		return nil, fmt.Errorf("client: %v", err)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
 	candidates, err := dialCandidates(addr, cfg)
 	if err != nil {
 		return nil, err
@@ -217,6 +247,7 @@ func Dial(addr string, cfg Config) (*Session, error) {
 		Watches:   cfg.Watches,
 		Resumable: cfg.Reconnect,
 		Session:   cfg.Key,
+		Encoding:  cfg.Encoding,
 	}
 	// Ring-aware open: try candidates in placement order, following
 	// not-owner redirects, bounded at four sweeps so a misconfigured ring
@@ -225,7 +256,7 @@ func Dial(addr string, cfg Config) (*Session, error) {
 	// opening a keyed session anywhere but its owner costs an extra
 	// replication hop for the whole session.
 	var conn net.Conn
-	var sc *bufio.Scanner
+	var sc *server.FrameScanner
 	var welcome server.ServerFrame
 	first := hello
 	streak := 0
@@ -251,7 +282,7 @@ func Dial(addr string, cfg Config) (*Session, error) {
 			// An earlier hello opened the session but the welcome was lost
 			// in transit: adopt the orphan by resuming it instead.
 			streak = 0
-			first = server.ClientFrame{Type: server.FrameResume, Session: cfg.Key}
+			first = server.ClientFrame{Type: server.FrameResume, Session: cfg.Key, Encoding: cfg.Encoding}
 		case rejected && re.code == server.CodeUnknownSession && first.Type == server.FrameResume:
 			// The orphan expired between attempts; open fresh.
 			streak = 0
@@ -357,7 +388,7 @@ func (s *Session) followRedirect(owner string) {
 // connect dials and performs one handshake (hello or resume), returning
 // the connection, its scanner (which may have buffered frames past the
 // welcome), and the welcome frame.
-func (s *Session) connect(addr string, first server.ClientFrame) (net.Conn, *bufio.Scanner, server.ServerFrame, error) {
+func (s *Session) connect(addr string, first server.ClientFrame) (net.Conn, *server.FrameScanner, server.ServerFrame, error) {
 	var zero server.ServerFrame
 	var conn net.Conn
 	var err error
@@ -562,18 +593,83 @@ func (s *Session) write(f server.ClientFrame) error {
 	return s.writeLocked(f)
 }
 
-// writeLocked sends one frame under wmu. In reconnect mode, init/event
-// frames take the next sequence number and enter the bounded in-flight
-// buffer first — when the buffer is full the caller blocks until acks
-// make room (backpressure) — and a write failure is not an error: the
-// frame is safe in the buffer, the connection is torn down, and the
-// reconnect loop takes over.
+// writeLocked routes one frame under wmu. On NDJSON sessions it is a
+// straight send. With the binary encoding, init/event frames first
+// accumulate into the pending batch — the batch is sent (as one
+// sequenced frame) when it reaches BatchSize — and every other frame
+// type flushes the batch first, so snapshots, byes, and explicit
+// Flush calls always observe everything written before them in order.
 func (s *Session) writeLocked(f server.ClientFrame) error {
 	if s.err != nil {
 		return s.err
 	}
+	if s.batching() && (f.Type == server.FrameInit || f.Type == server.FrameEvent) {
+		s.bufferEventLocked(f)
+		if s.pending.Len() >= s.cfg.BatchSize {
+			return s.flushLocked()
+		}
+		return nil
+	}
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	return s.sendLocked(f)
+}
+
+// batching reports whether this session batches ingest frames.
+func (s *Session) batching() bool { return s.cfg.Encoding == server.EncodingBinary }
+
+// bufferEventLocked appends one init/event frame to the pending batch.
+// Sets maps are copied now, so callers may reuse them.
+func (s *Session) bufferEventLocked(f server.ClientFrame) {
+	if s.pending == nil {
+		s.pending = pir.GetBatch()
+	}
+	if f.Type == server.FrameInit {
+		s.pending.AddInit(f.Proc, f.Var, f.Value)
+		return
+	}
+	kind := pir.EvInternal
+	switch f.Kind {
+	case "send":
+		kind = pir.EvSend
+	case "receive":
+		kind = pir.EvReceive
+	}
+	s.pending.AddEvent(f.Proc, kind, f.Msg, f.Sets)
+}
+
+// flushLocked sends the pending batch, if any, as one batch frame.
+func (s *Session) flushLocked() error {
+	if s.pending == nil || s.pending.Len() == 0 {
+		return nil
+	}
+	b := s.pending
+	s.pending = nil
+	return s.sendLocked(server.ClientFrame{Type: server.FrameBatch, Batch: b})
+}
+
+// Flush sends any events held back by binary batching immediately; a
+// no-op on NDJSON sessions and on an empty batch. Use it to bound
+// verdict latency when a stream pauses between batch boundaries.
+func (s *Session) Flush() error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.flushLocked()
+}
+
+// sendLocked sends one frame under wmu. In reconnect mode, sequenced
+// frames (init/event/batch/bye) take the next sequence number and
+// enter the bounded in-flight buffer first — when the buffer is full
+// the caller blocks until acks make room (backpressure) — and a write
+// failure is not an error: the frame is safe in the buffer, the
+// connection is torn down, and the reconnect loop takes over.
+func (s *Session) sendLocked(f server.ClientFrame) error {
 	sequenced := false
-	if s.cfg.Reconnect && (f.Type == server.FrameInit || f.Type == server.FrameEvent || f.Type == server.FrameBye) {
+	if s.cfg.Reconnect && (f.Type == server.FrameInit || f.Type == server.FrameEvent || f.Type == server.FrameBatch || f.Type == server.FrameBye) {
 		for len(s.outbox) >= s.cfg.BufferLimit && s.err == nil && !s.isDone() {
 			s.space.Wait()
 		}
@@ -605,7 +701,7 @@ func (s *Session) writeLocked(f server.ClientFrame) error {
 		}
 		return errDisconnected
 	}
-	if err := writeClientFrame(s.conn, f); err != nil {
+	if err := s.writeWire(s.conn, f); err != nil {
 		if s.cfg.Reconnect {
 			s.dropConnLocked()
 			if sequenced {
@@ -616,14 +712,34 @@ func (s *Session) writeLocked(f server.ClientFrame) error {
 		s.failLocked(fmt.Errorf("client: write: %w", err))
 		return s.err
 	}
+	if f.Type == server.FrameBatch && !s.cfg.Reconnect {
+		// Without a reconnect outbox the batch is dead once written;
+		// return it to the pool for the next flush. (Reconnect-mode
+		// batches live in the outbox until acked and are simply left to
+		// the GC.)
+		f.Batch.Recycle()
+	}
 	return nil
+}
+
+// writeWire writes one frame on conn under wmu: batch frames as binary
+// (one length-prefixed frame, reused buffers, names interned through
+// the per-connection table), everything else as an NDJSON line.
+func (s *Session) writeWire(conn net.Conn, f server.ClientFrame) error {
+	if f.Type == server.FrameBatch {
+		s.pbuf = pir.AppendBatch(s.pbuf[:0], f.Seq, f.Batch, &s.enc)
+		s.wbuf = server.AppendBinaryFrame(s.wbuf[:0], server.BinBatch, s.pbuf)
+		_, err := conn.Write(s.wbuf)
+		return err
+	}
+	return writeClientFrame(conn, f)
 }
 
 // read is the frame reader for one connection: it routes acks to the
 // in-flight buffer, snapshot responses to their waiters, stores the
 // goodbye frame, and pushes everything else — deduped on idx across
 // resume replays — to the verdict stream.
-func (s *Session) read(conn net.Conn, sc *bufio.Scanner) {
+func (s *Session) read(conn net.Conn, sc *server.FrameScanner) {
 	for sc.Scan() {
 		var fr server.ServerFrame
 		if err := decodeServerFrame(sc.Bytes(), &fr); err != nil {
@@ -784,7 +900,7 @@ func (s *Session) reconnectLoop() {
 		addr := s.candidates[s.cand]
 		ringAware := len(s.candidates) > 1
 		s.wmu.Unlock()
-		conn, sc, welcome, err := s.connect(addr, server.ClientFrame{Type: server.FrameResume, Session: s.id, Seq: acked})
+		conn, sc, welcome, err := s.connect(addr, server.ClientFrame{Type: server.FrameResume, Session: s.id, Seq: acked, Encoding: s.cfg.Encoding})
 		if err != nil {
 			var re *resumeError
 			if !errors.As(err, &re) {
@@ -853,7 +969,7 @@ func (s *Session) endRejoin() {
 // died with the old connection) and the bye if Close already ran, then
 // restarts the reader. Returns false if the connection died during the
 // replay.
-func (s *Session) adopt(conn net.Conn, sc *bufio.Scanner, serverSeq int64, outage time.Time) bool {
+func (s *Session) adopt(conn net.Conn, sc *server.FrameScanner, serverSeq int64, outage time.Time) bool {
 	s.mu.Lock()
 	pending := make([]server.ClientFrame, 0, len(s.snaps))
 	for _, w := range s.snaps {
@@ -864,6 +980,10 @@ func (s *Session) adopt(conn net.Conn, sc *bufio.Scanner, serverSeq int64, outag
 
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
+	// The server's variable-interning table is per connection; start this
+	// connection's encoder table fresh so replayed batches re-emit their
+	// name declarations.
+	s.enc.Reset()
 	if serverSeq > s.acked {
 		// The server accepted more than it had acked before the outage.
 		s.acked = serverSeq
@@ -871,7 +991,7 @@ func (s *Session) adopt(conn net.Conn, sc *bufio.Scanner, serverSeq int64, outag
 	}
 	replay := s.outbox
 	for _, f := range replay {
-		if writeClientFrame(conn, f) != nil {
+		if s.writeWire(conn, f) != nil {
 			conn.Close()
 			return false
 		}

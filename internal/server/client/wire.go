@@ -1,7 +1,6 @@
 package client
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,18 +8,13 @@ import (
 	"repro/internal/server"
 )
 
-// scanner is the line-reader interface read consumes; *bufio.Scanner
-// satisfies it.
-type scanner interface {
-	Scan() bool
-	Bytes() []byte
-	Err() error
-}
-
-func newScanner(r io.Reader) *bufio.Scanner {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 4096), server.MaxFrameBytes)
-	return sc
+// newScanner returns the shared bounded frame scanner — the same
+// constructor the server, the cluster links, and the fuzz harness use,
+// so every path enforces the same MaxFrameBytes bound. Server → client
+// traffic is NDJSON-only, but the shared scanner keeps the bound (and
+// its typed too-long error) in one place.
+func newScanner(r io.Reader) *server.FrameScanner {
+	return server.NewFrameScanner(r)
 }
 
 func writeClientFrame(w io.Writer, f server.ClientFrame) error {

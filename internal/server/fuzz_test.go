@@ -1,14 +1,16 @@
 package server
 
 import (
-	"bufio"
+	"bytes"
 	"context"
+	"encoding/binary"
 	"net"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/pir"
 )
 
 // FuzzDecodeClientFrame asserts the wire decoder never panics on
@@ -39,6 +41,11 @@ func FuzzDecodeClientFrame(f *testing.F) {
 	f.Add([]byte(`{"type":"event","proc":1,"kind":"internal","seq":9223372036854775807}`))
 	f.Add([]byte(`{"type":"bye","seq":7}`))
 	f.Add([]byte(`{"type":"ack","seq":3}`)) // server frame type sent by a confused client
+	// Encoding negotiation and JSON-carried batch frames.
+	f.Add([]byte(`{"type":"hello","processes":2,"encoding":"binary"}`))
+	f.Add([]byte(`{"type":"hello","processes":2,"encoding":"morse"}`))
+	f.Add([]byte(`{"type":"resume","session":"s-0001","seq":1,"encoding":"binary"}`))
+	f.Add([]byte(`{"type":"batch","seq":1,"batch":{"procs":[1],"kinds":"AA==","setoff":[0,1],"sets":[{"n":"x","v":1}]}}`))
 
 	f.Fuzz(func(t *testing.T, line []byte) {
 		fr, err := DecodeClientFrame(line)
@@ -107,6 +114,7 @@ func FuzzFirstFrame(f *testing.F) {
 	f.Add([]byte(`{"type":"bye"}`))
 	f.Add([]byte(`{"type":"resume"}`))
 	f.Add([]byte(`not json at all`))
+	f.Add([]byte{FrameMagic, BinBatch, 0x02, 0x02, 0x00}) // binary frame before any handshake
 	addr := fuzzServer(f)
 
 	f.Fuzz(func(t *testing.T, line []byte) {
@@ -119,10 +127,77 @@ func FuzzFirstFrame(f *testing.F) {
 		conn.Write(append(line, '\n')) //nolint:errcheck // server may reject early
 		// Whatever we sent, the connection must terminate promptly: a
 		// frame response, a close, or the read timeout server-side.
-		sc := bufio.NewScanner(conn)
-		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		// Drain with the same bounded scanner the server uses, so the
+		// harness and the implementation can never disagree on the frame
+		// size limit.
+		sc := NewFrameScanner(conn)
 		for sc.Scan() {
 			// drain until the server closes or the deadline trips
+		}
+	})
+}
+
+// FuzzBinaryFrames drives arbitrary bytes through the exact pipeline a
+// binary connection uses — the shared bounded frame scanner, the seq
+// header split, the batch body decoder with a persistent interning
+// table — and asserts the invariant the ingest path relies on: nothing
+// panics, the scanner never yields an oversized frame, and any batch
+// that decodes also validates. Seeds cover a well-formed batched
+// stream, truncation at both frame and body granularity, hostile
+// declared lengths, and NDJSON/binary mixed streams.
+func FuzzBinaryFrames(f *testing.F) {
+	valid := func() []byte {
+		b := pir.GetBatch()
+		b.AddInit(1, "x", 1)
+		b.AddEvent(1, pir.EvSend, 3, map[string]int{"x": 2, "y": -1})
+		b.AddEvent(2, pir.EvReceive, 3, nil)
+		b.AddEvent(2, pir.EvInternal, 0, map[string]int{"y": 7})
+		var vt pir.VarTable
+		payload := pir.AppendBatch(nil, 1, b, &vt)
+		frame := AppendBinaryFrame(nil, BinBatch, payload)
+		b2 := pir.GetBatch()
+		b2.AddEvent(1, pir.EvInternal, 0, map[string]int{"x": 3}) // references the interned "x"
+		return AppendBinaryFrame(frame, BinBatch, pir.AppendBatch(nil, 2, b2, &vt))
+	}()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                                                                // truncated mid-frame
+	f.Add(valid[:3])                                                                           // truncated header
+	f.Add(append([]byte(`{"type":"hello","processes":2,"encoding":"binary"}`+"\n"), valid...)) // mixed stream
+	f.Add(append(append([]byte{}, valid...), '\n'))                                            // binary then a blank NDJSON line
+	f.Add([]byte{FrameMagic})
+	f.Add([]byte{FrameMagic, BinBatch})
+	f.Add([]byte{FrameMagic, BinBatch, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})             // huge declared length
+	f.Add([]byte{FrameMagic, BinBatch, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}) // overlong uvarint
+	f.Add([]byte{FrameMagic, 0x7f, 0x00})                                                                       // unknown frame type
+	f.Add(binary.AppendUvarint([]byte{FrameMagic, BinBatch}, MaxFrameBytes+1))
+	f.Add([]byte{FrameMagic, BinBatch, 0x03, 0x01, 0xff, 0x01}) // seq 1, garbage body
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc := NewFrameScanner(bytes.NewReader(data))
+		var vt pir.VarTable
+		for sc.Scan() {
+			if len(sc.Bytes()) > MaxFrameBytes {
+				t.Fatalf("scanner yielded %d bytes, cap %d", len(sc.Bytes()), MaxFrameBytes)
+			}
+			if !sc.Binary() || sc.BinaryType() != BinBatch {
+				continue
+			}
+			seq, body, err := pir.BatchSeq(sc.Bytes())
+			if err != nil {
+				continue
+			}
+			if seq < 0 {
+				t.Fatalf("BatchSeq returned negative seq %d", seq)
+			}
+			b := pir.GetBatch()
+			if err := b.DecodeBody(body, &vt); err != nil {
+				b.Recycle()
+				continue
+			}
+			if err := b.Validate(); err != nil {
+				t.Fatalf("decoded batch fails Validate: %v", err)
+			}
+			b.Recycle()
 		}
 	})
 }

@@ -71,7 +71,7 @@ func RegisterHTTP(mux *http.ServeMux, srv *Server) {
 			httpError(w, http.StatusNotFound, "no such session")
 			return
 		}
-		sc := newFrameScanner(io.LimitReader(r.Body, 64*MaxFrameBytes))
+		sc := NewFrameScanner(io.LimitReader(r.Body, 64*MaxFrameBytes))
 		for sc.Scan() {
 			if len(sc.Bytes()) == 0 {
 				continue

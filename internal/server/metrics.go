@@ -23,6 +23,7 @@ type metrics struct {
 	protoErrors    *obs.Counter   // hb_server_protocol_errors_total
 	duplicates     *obs.Counter   // hb_server_events_duplicate_total
 	journaled      *obs.Counter   // hb_server_events_journaled_total
+	batches        *obs.Counter   // hb_server_batches_total
 	resumesOK      *obs.Counter   // hb_server_resumes_total{result="ok"}
 	resumesRej     *obs.Counter   // hb_server_resumes_total{result="rejected"}
 
@@ -56,19 +57,20 @@ func (m *metrics) stage(name string, d time.Duration) {
 
 // Typed TCP connection close reasons (hb_server_conn_closes_total labels).
 const (
-	CloseBye         = "bye"          // client sent bye; orderly close
-	CloseSessionDone = "session_done" // session ended server-side (shutdown, idle, error)
-	CloseEOF         = "eof"          // peer closed the connection
-	CloseReadTimeout = "read_timeout" // read deadline expired on a silent/half-open peer
-	CloseProtoError  = "proto_error"  // malformed frame desynchronized the stream
-	CloseSeqGap      = "seq_gap"      // sequenced frames lost in flight; client must resume
-	CloseError       = "error"        // other I/O error
-	CloseTakeover    = "takeover"     // handed to the cluster replication protocol
+	CloseBye         = "bye"            // client sent bye; orderly close
+	CloseSessionDone = "session_done"   // session ended server-side (shutdown, idle, error)
+	CloseEOF         = "eof"            // peer closed the connection
+	CloseReadTimeout = "read_timeout"   // read deadline expired on a silent/half-open peer
+	CloseProtoError  = "proto_error"    // malformed frame desynchronized the stream
+	CloseSeqGap      = "seq_gap"        // sequenced frames lost in flight; client must resume
+	CloseTooLong     = "frame_too_long" // a frame exceeded MaxFrameBytes (either encoding)
+	CloseError       = "error"          // other I/O error
+	CloseTakeover    = "takeover"       // handed to the cluster replication protocol
 )
 
 var closeReasons = []string{
 	CloseBye, CloseSessionDone, CloseEOF, CloseReadTimeout,
-	CloseProtoError, CloseSeqGap, CloseError, CloseTakeover,
+	CloseProtoError, CloseSeqGap, CloseTooLong, CloseError, CloseTakeover,
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -102,6 +104,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Sequenced frames idempotently dropped as duplicates (at-least-once redelivery)."),
 		journaled: reg.Counter("hb_server_events_journaled_total",
 			"Event frames recorded in session journals (must reconcile with hb_server_events_total)."),
+		batches: reg.Counter("hb_server_batches_total",
+			"Batch frames applied (each carries many events under one seq)."),
 		resumesOK: reg.Counter(`hb_server_resumes_total{result="ok"}`,
 			"Resume handshakes by outcome."),
 		resumesRej: reg.Counter(`hb_server_resumes_total{result="rejected"}`,

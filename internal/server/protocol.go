@@ -18,11 +18,12 @@
 package server
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"repro/internal/pir"
 )
 
 // Protocol limits. Frames arrive from untrusted network peers; every
@@ -49,6 +50,7 @@ const (
 	FrameEvent    = "event"    // one observed event (internal, send, receive)
 	FrameSnapshot = "snapshot" // freeze the prefix, run an offline core.Detect query
 	FrameBye      = "bye"      // orderly close; the server answers with goodbye
+	FrameBatch    = "batch"    // a column-oriented run of init/event frames under one seq
 )
 
 // Server → client frame types (snapshot responses reuse FrameSnapshot).
@@ -72,6 +74,7 @@ const (
 	CodeSeqGap         = "seq-gap"         // frames were lost in flight; reconnect and resume from the last ack
 	CodeNotOwner       = "not-owner"       // cluster mode: this node does not host the key; dial Owner instead
 	CodeKeyInUse       = "key-in-use"      // a live session already holds this key; resume it instead of re-opening
+	CodeFrameTooLong   = "frame-too-long"  // a frame exceeded MaxFrameBytes; the connection closes, the session survives its policy
 )
 
 // RejectError is a typed handshake rejection. Code is one of the Code*
@@ -116,6 +119,11 @@ type ClientFrame struct {
 	// detaches the transport instead of closing the session, so the
 	// client can reattach with a resume frame.
 	Resumable bool `json:"resumable,omitempty"`
+	// Encoding on a hello or resume frame negotiates the connection's
+	// ingest encoding: "" or "ndjson" for one JSON frame per line,
+	// "binary" to additionally accept length-prefixed binary batch
+	// frames (see binary.go). The welcome echoes the accepted value.
+	Encoding string `json:"encoding,omitempty"`
 
 	// resume: Session names the session to reattach to; Seq is the
 	// highest sequence number the client has seen acked. Seq also rides
@@ -135,6 +143,14 @@ type ClientFrame struct {
 	// snapshot
 	ID      int    `json:"id,omitempty"` // echoed on the response
 	Formula string `json:"formula,omitempty"`
+
+	// batch: a run of init/event frames in column form, applied in
+	// order under the frame's single Seq. This is how batches appear
+	// on the NDJSON encoding (and inside cluster replication messages
+	// and recovery replay); on the binary encoding the same columns
+	// arrive as a BinBatch payload and are decoded straight into
+	// pir.Batch without passing through JSON.
+	Batch *pir.Batch `json:"batch,omitempty"`
 }
 
 // ServerFrame is one server → client frame. Watch and Event carry no
@@ -176,6 +192,9 @@ type ServerFrame struct {
 	Idx int `json:"idx,omitempty"`
 	// Resumed marks the welcome frame of a resume handshake.
 	Resumed bool `json:"resumed,omitempty"`
+	// Encoding on a welcome frame echoes the negotiated ingest
+	// encoding (empty means NDJSON-only).
+	Encoding string `json:"encoding,omitempty"`
 
 	Error string `json:"error,omitempty"`
 	// Code classifies error frames (Code* constants); empty for
@@ -223,7 +242,7 @@ func ValidateHello(f ClientFrame) error {
 			return err
 		}
 	}
-	return nil
+	return ValidateEncoding(f.Encoding)
 }
 
 // ValidateKey checks a client-chosen session key: bounded, printable,
@@ -261,14 +280,7 @@ func ValidateResume(f ClientFrame) error {
 	if f.Seq < 0 {
 		return fmt.Errorf("server: resume with negative seq %d", f.Seq)
 	}
-	return nil
-}
-
-// newFrameScanner returns a line scanner bounded at MaxFrameBytes.
-func newFrameScanner(r io.Reader) *bufio.Scanner {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 4096), MaxFrameBytes)
-	return sc
+	return ValidateEncoding(f.Encoding)
 }
 
 // appendFrame marshals fr as one NDJSON line.

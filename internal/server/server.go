@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -152,12 +153,19 @@ type Server struct {
 	cfg Config
 	met *metrics
 
-	mu       sync.Mutex
-	sessions map[string]*Session
-	morgue   map[string]morgueEntry // finished resumable sessions, for terminal replay
-	nextID   int
-	draining bool
-	lns      []net.Listener
+	// The session table is sharded by id (shard.go): per-shard locks,
+	// with the global invariants — MaxSessions, the morgue bound, id
+	// assignment, draining — carried by atomics. live is reserved
+	// before insert and rolled back on rejection, so the session cap
+	// stays exact without any global lock.
+	shards   [numShards]tableShard
+	live     atomic.Int64 // open sessions (and in-flight opens)
+	morgued  atomic.Int64 // morgue entries across all shards
+	nextID   atomic.Int64
+	draining atomic.Bool
+
+	lnMu sync.Mutex
+	lns  []net.Listener
 
 	wg       sync.WaitGroup // session loops and connection handlers
 	stop     chan struct{}
@@ -185,11 +193,13 @@ func New(cfg Config) *Server {
 		cfg.AckEvery = 32
 	}
 	s := &Server{
-		cfg:      cfg,
-		met:      newMetrics(cfg.Registry),
-		sessions: make(map[string]*Session),
-		morgue:   make(map[string]morgueEntry),
-		stop:     make(chan struct{}),
+		cfg:  cfg,
+		met:  newMetrics(cfg.Registry),
+		stop: make(chan struct{}),
+	}
+	for i := range s.shards {
+		s.shards[i].sessions = make(map[string]*Session)
+		s.shards[i].morgue = make(map[string]morgueEntry)
 	}
 	if cfg.IdleTimeout > 0 {
 		go s.janitor()
@@ -222,22 +232,33 @@ func (s *Server) Open(cfg SessionConfig) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
+	if s.draining.Load() {
 		return nil, fmt.Errorf("server: shutting down")
 	}
-	if len(s.sessions) >= s.cfg.MaxSessions {
-		s.mu.Unlock()
+	// Reserve a session slot before touching any shard: the cap is a
+	// global invariant the per-shard locks cannot see.
+	if s.live.Add(1) > int64(s.cfg.MaxSessions) {
+		s.live.Add(-1)
 		return nil, fmt.Errorf("server: session limit %d reached", s.cfg.MaxSessions)
 	}
 	id := cfg.ID
 	if id == "" {
-		s.nextID++
-		id = fmt.Sprintf("s-%04d", s.nextID)
-	} else {
-		if _, taken := s.sessions[id]; taken {
-			s.mu.Unlock()
+		id = fmt.Sprintf("s-%04d", s.nextID.Add(1))
+	}
+	sh := s.shard(id)
+	sh.mu.Lock()
+	// Checked under the shard lock so Shutdown's snapshot (which takes
+	// every shard lock after setting draining) either sees this session
+	// or this open sees draining — no session can leak past shutdown.
+	if s.draining.Load() {
+		sh.mu.Unlock()
+		s.live.Add(-1)
+		return nil, fmt.Errorf("server: shutting down")
+	}
+	if cfg.ID != "" {
+		if _, taken := sh.sessions[id]; taken {
+			sh.mu.Unlock()
+			s.live.Add(-1)
 			// Typed so clients can tell "my earlier hello opened this but
 			// the welcome was lost" (recover by resuming the key) from a
 			// plain rejection.
@@ -246,19 +267,21 @@ func (s *Server) Open(cfg SessionConfig) (*Session, error) {
 		}
 		// A fresh session under this key supersedes any terminal state a
 		// previous incarnation left lingering for replay.
-		delete(s.morgue, id)
+		if _, lingering := sh.morgue[id]; lingering {
+			delete(sh.morgue, id)
+			s.morgued.Add(-1)
+		}
 	}
 	sess := newSession(s, id, cfg.Processes, ws)
 	if cfg.Resumable {
 		sess.resumable = true
 		sess.journal = make([]journalEntry, 0, min(s.cfg.RetentionWindow, 256))
 	}
-	s.sessions[id] = sess
-	n := len(s.sessions)
-	s.mu.Unlock()
+	sh.sessions[id] = sess
+	sh.mu.Unlock()
 
 	s.met.sessionsTotal.Inc()
-	s.met.sessionsActive.Set(int64(n))
+	s.met.sessionsActive.Set(s.live.Load())
 	s.logf("session %s opened: %d processes, %d watches (resumable=%v)", id, cfg.Processes, len(ws), cfg.Resumable)
 	s.wg.Add(1)
 	go sess.run()
@@ -319,9 +342,10 @@ func (s *Server) OpenRecovered(hello ClientFrame, frames []ClientFrame) (*Sessio
 
 // Session returns the open session with the given id, or nil.
 func (s *Server) Session(id string) *Session {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sessions[id]
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.sessions[id]
 }
 
 // morgueEntry is the terminal state of a finished resumable session,
@@ -347,37 +371,49 @@ func (s *Server) morgueTTL() time.Duration {
 }
 
 // retire parks a finished resumable session in the morgue, pruning
-// expired entries and bounding the morgue at MaxSessions.
+// this shard's expired entries and bounding the morgue near
+// MaxSessions. The count is global (morgued) but eviction is
+// shard-local — taking every shard lock to find the global-oldest
+// would reintroduce the contention sharding removed — so the bound is
+// MaxSessions within numShards.
 func (s *Server) retire(id string, welcome ServerFrame, frames []ServerFrame, goodbye ServerFrame, enqSeq int64) {
 	ttl := s.morgueTTL()
 	now := time.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for k, e := range s.morgue {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for k, e := range sh.morgue {
 		if now.Sub(e.retired) > ttl {
-			delete(s.morgue, k)
+			delete(sh.morgue, k)
+			s.morgued.Add(-1)
 		}
 	}
-	if len(s.morgue) >= s.cfg.MaxSessions {
+	if s.morgued.Load() >= int64(s.cfg.MaxSessions) && len(sh.morgue) > 0 {
 		var oldest string
 		var oldestAt time.Time
-		for k, e := range s.morgue {
+		for k, e := range sh.morgue {
 			if oldest == "" || e.retired.Before(oldestAt) {
 				oldest, oldestAt = k, e.retired
 			}
 		}
-		delete(s.morgue, oldest)
+		delete(sh.morgue, oldest)
+		s.morgued.Add(-1)
 	}
-	s.morgue[id] = morgueEntry{welcome: welcome, frames: frames, goodbye: goodbye, enqSeq: enqSeq, retired: now}
+	if _, existed := sh.morgue[id]; !existed {
+		s.morgued.Add(1)
+	}
+	sh.morgue[id] = morgueEntry{welcome: welcome, frames: frames, goodbye: goodbye, enqSeq: enqSeq, retired: now}
 }
 
 // lookupMorgue returns the lingering terminal state of id, if any.
 func (s *Server) lookupMorgue(id string) (morgueEntry, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.morgue[id]
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.morgue[id]
 	if ok && time.Since(e.retired) > s.morgueTTL() {
-		delete(s.morgue, id)
+		delete(sh.morgue, id)
+		s.morgued.Add(-1)
 		return morgueEntry{}, false
 	}
 	return e, ok
@@ -459,9 +495,7 @@ func (s *Server) resume(f ClientFrame, att *attachment) (*Session, ServerFrame, 
 
 // SessionCount returns the number of currently open sessions.
 func (s *Server) SessionCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.sessions)
+	return int(s.live.Load())
 }
 
 // Stats returns cumulative counters: sessions opened, events applied,
@@ -472,21 +506,25 @@ func (s *Server) Stats() (sessions, events, dropped int64) {
 
 // remove releases a finished session; called by the session's loop.
 func (s *Server) remove(id string) {
-	s.mu.Lock()
-	delete(s.sessions, id)
-	n := len(s.sessions)
-	s.mu.Unlock()
-	s.met.sessionsActive.Set(int64(n))
+	sh := s.shard(id)
+	sh.mu.Lock()
+	delete(sh.sessions, id)
+	sh.mu.Unlock()
+	s.met.sessionsActive.Set(s.live.Add(-1))
 	s.logf("session %s closed", id)
 }
 
-// snapshotSessions returns the open sessions at this instant.
+// snapshotSessions returns the open sessions at this instant, one
+// shard at a time.
 func (s *Server) snapshotSessions() []*Session {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]*Session, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		out = append(out, sess)
+	out := make([]*Session, 0, s.live.Load())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, sess := range sh.sessions {
+			out = append(out, sess)
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -521,11 +559,11 @@ func (s *Server) janitor() {
 // already enqueued), and waits for all loops and connection handlers to
 // exit, or for ctx to expire.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.mu.Lock()
-	s.draining = true
+	s.lnMu.Lock()
+	s.draining.Store(true)
 	lns := s.lns
 	s.lns = nil
-	s.mu.Unlock()
+	s.lnMu.Unlock()
 	s.stopOnce.Do(func() { close(s.stop) })
 	for _, ln := range lns {
 		ln.Close()

@@ -11,6 +11,7 @@ import (
 	"repro/internal/ctl"
 	"repro/internal/obs"
 	"repro/internal/online"
+	"repro/internal/pir"
 )
 
 // Ingest errors.
@@ -131,10 +132,11 @@ type Session struct {
 	// Owned by the monitor loop.
 	mon        *online.Monitor
 	watches    []*watchState
-	curSpan    *obs.Span   // the frame span being applied (verdict spans parent here)
-	registered bool        // watches registered (deferred until the first event)
-	msgIDs     map[int]int // wire msg id → monitor msg id
-	seen       int         // events applied
+	curSpan    *obs.Span      // the frame span being applied (verdict spans parent here)
+	registered bool           // watches registered (deferred until the first event)
+	msgIDs     map[int]int    // wire msg id → monitor msg id
+	scratch    map[string]int // reused per batched event (the monitor copies sets)
+	seen       int            // events applied
 	journal    []journalEntry
 	jnext      int // ring cursor once the journal reaches the retention window
 
@@ -534,7 +536,7 @@ func (s *Session) handle(f inFrame) {
 	s.curSpan = f.span
 	defer func() {
 		s.curSpan = nil
-		if f.f.Type == FrameInit || f.f.Type == FrameEvent || f.f.Type == FrameSnapshot {
+		if f.f.Type == FrameInit || f.f.Type == FrameEvent || f.f.Type == FrameBatch || f.f.Type == FrameSnapshot {
 			s.srv.met.stage(StageApply, time.Since(applyStart))
 		}
 		as.Set("event", s.seen)
@@ -546,11 +548,14 @@ func (s *Session) handle(f inFrame) {
 	switch f.f.Type {
 	case FrameInit:
 		s.handleInit(f)
-		s.noteSeq(f.f, false)
+		s.noteSeq(f.f, 0)
 	case FrameEvent:
 		before := s.seen
 		s.handleEvent(f)
-		s.noteSeq(f.f, s.seen > before)
+		s.noteSeq(f.f, int64(s.seen-before))
+	case FrameBatch:
+		s.noteSeq(f.f, s.handleBatch(f))
+		f.f.Batch.Recycle() // no-op unless the batch came from the binary decode pool
 	case FrameSnapshot:
 		s.handleSnapshot(f)
 	case frameFlush:
@@ -571,7 +576,10 @@ func (s *Session) handle(f inFrame) {
 // client can release its in-flight copies. The transport guarantees
 // in-order, gap-free, duplicate-free delivery into the queue, so the
 // loop sees each seq exactly once in order; the guard is defensive.
-func (s *Session) noteSeq(f ClientFrame, applied bool) {
+// applied is the number of events the frame applied to the monitor — 0
+// or 1 for single frames, up to the batch length for a batch — keeping
+// the journaled == events reconciliation exact under batching.
+func (s *Session) noteSeq(f ClientFrame, applied int64) {
 	if !s.resumable || f.Seq == 0 {
 		return
 	}
@@ -588,9 +596,9 @@ func (s *Session) noteSeq(f ClientFrame, applied bool) {
 		s.journal[s.jnext] = entry
 		s.jnext = (s.jnext + 1) % len(s.journal)
 	}
-	if applied {
-		s.journaled.Add(1)
-		s.srv.met.journaled.Inc()
+	if applied > 0 {
+		s.journaled.Add(applied)
+		s.srv.met.journaled.Add(applied)
 	}
 	if f.Seq%int64(s.srv.cfg.AckEvery) == 0 {
 		ack := f.Seq
@@ -730,6 +738,105 @@ func (s *Session) handleEvent(f inFrame) {
 	lat := time.Since(f.enq)
 	s.latNanos.Add(lat.Nanoseconds())
 	s.srv.met.ingestDur.Observe(lat.Seconds())
+}
+
+// handleBatch applies a batch frame: each batched init/event in order,
+// with exactly the semantics the equivalent single frames would have
+// had — per-event semantic errors are rejected individually and the
+// rest of the batch continues, and every applied event checks the
+// watches, so verdict determining prefixes are bit-identical to the
+// unbatched stream. Returns the number of events applied (inits and
+// rejected events do not count, matching the single-frame path).
+func (s *Session) handleBatch(f inFrame) int64 {
+	b := f.f.Batch
+	if b == nil {
+		s.reject(f, "batch frame without batch columns")
+		return 0
+	}
+	// Binary decode only constructs valid batches; JSON-decoded ones
+	// (NDJSON clients, cluster replication, recovery replay) are
+	// untrusted shapes.
+	if err := b.Validate(); err != nil {
+		s.reject(f, err.Error())
+		return 0
+	}
+	var applied int64
+	for i, n := 0, b.Len(); i < n; i++ {
+		proc := int(b.Procs[i]) - 1
+		kind := b.Kinds[i]
+		if proc < 0 || proc >= s.n {
+			s.reject(f, fmt.Sprintf("batched event %d for process %d outside [1,%d]", i, b.Procs[i], s.n))
+			continue
+		}
+		lo, hi := b.SetOff[i], b.SetOff[i+1]
+		if kind == pir.EvInit {
+			vs := b.Sets[lo]
+			switch {
+			case vs.Name == "":
+				s.reject(f, fmt.Sprintf("batched init %d without var", i))
+			case s.mon.EventsOn(proc) > 0:
+				s.reject(f, fmt.Sprintf("batched init for process %d after its events", b.Procs[i]))
+			case s.registered:
+				s.reject(f, "init after watches started evaluating (send inits first)")
+			default:
+				s.mon.SetInitial(proc, vs.Name, vs.Val)
+			}
+			continue
+		}
+		s.ensureWatches()
+		sets := s.scratchSets(b.Sets[lo:hi])
+		switch kind {
+		case pir.EvInternal:
+			s.mon.Internal(proc, sets)
+		case pir.EvSend:
+			if _, dup := s.msgIDs[b.Msg(i)]; dup {
+				s.reject(f, fmt.Sprintf("message %d sent twice", b.Msg(i)))
+				continue
+			}
+			s.msgIDs[b.Msg(i)] = s.mon.Send(proc, sets)
+		case pir.EvReceive:
+			id, ok := s.msgIDs[b.Msg(i)]
+			if !ok {
+				s.reject(f, fmt.Sprintf("receive of unknown message %d (dropped or unsent)", b.Msg(i)))
+				continue
+			}
+			if err := s.mon.Receive(proc, id, sets); err != nil {
+				s.reject(f, err.Error())
+				continue
+			}
+		}
+		s.seen++
+		s.events.Add(1)
+		s.srv.met.events.Inc()
+		applied++
+		if d := s.srv.cfg.IngestDelay; d > 0 {
+			time.Sleep(d)
+		}
+		s.checkWatches()
+	}
+	s.srv.met.batches.Inc()
+	lat := time.Since(f.enq)
+	s.latNanos.Add(lat.Nanoseconds())
+	s.srv.met.ingestDur.Observe(lat.Seconds())
+	return applied
+}
+
+// scratchSets materializes one batched event's assignments as a map for
+// the monitor, reusing one allocation for the session's lifetime — the
+// monitor copies what it keeps.
+func (s *Session) scratchSets(sets []pir.VarSet) map[string]int {
+	if len(sets) == 0 {
+		return nil
+	}
+	if s.scratch == nil {
+		s.scratch = make(map[string]int, 8)
+	} else {
+		clear(s.scratch)
+	}
+	for _, vs := range sets {
+		s.scratch[vs.Name] = vs.Val
+	}
+	return s.scratch
 }
 
 func (s *Session) handleSnapshot(f inFrame) {

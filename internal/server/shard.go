@@ -1,0 +1,32 @@
+package server
+
+import "sync"
+
+// numShards splits the session table so concurrent handshakes,
+// removals, and lookups on different sessions never share a lock —
+// with batched ingest one global mutex would become the next
+// bottleneck right after the JSON decoder. Power of two so the hash
+// folds with a mask.
+const numShards = 32
+
+// tableShard is one slice of the session table: a lock, the live
+// sessions hashed onto it, and the morgue entries of finished
+// resumable sessions. A session and its terminal morgue state share a
+// shard (same id, same hash), so a keyed re-open superseding old
+// terminal state stays a single-lock operation.
+type tableShard struct {
+	mu       sync.Mutex
+	sessions map[string]*Session
+	morgue   map[string]morgueEntry
+}
+
+// shard returns the table shard owning id (FNV-1a over the id bytes,
+// masked to the shard count).
+func (s *Server) shard(id string) *tableShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return &s.shards[h&(numShards-1)]
+}

@@ -1,11 +1,12 @@
 package server
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"net"
 	"time"
+
+	"repro/internal/pir"
 )
 
 // Serve accepts TCP ingest connections on ln until the listener is
@@ -14,14 +15,14 @@ import (
 // reattaches to a live one), event frames stream the computation, and
 // verdict frames are pushed back as they latch.
 func (s *Server) Serve(ln net.Listener) error {
-	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
+	s.lnMu.Lock()
+	if s.draining.Load() {
+		s.lnMu.Unlock()
 		ln.Close()
 		return fmt.Errorf("server: shutting down")
 	}
 	s.lns = append(s.lns, ln)
-	s.mu.Unlock()
+	s.lnMu.Unlock()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -80,16 +81,26 @@ func (s *Server) armReadDeadline(conn net.Conn) {
 }
 
 // scanEndReason classifies why the frame scanner stopped: clean EOF, an
-// expired read deadline, or another I/O error.
+// expired read deadline, an oversized frame, or another I/O error.
 func scanEndReason(err error) string {
 	if err == nil {
 		return CloseEOF
+	}
+	if errors.Is(err, ErrFrameTooLong) {
+		return CloseTooLong
 	}
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
 		return CloseReadTimeout
 	}
 	return CloseError
+}
+
+// tooLongFrame is the explanatory error frame for an oversized frame,
+// so clients can distinguish the teardown from network loss.
+func tooLongFrame(session string) ServerFrame {
+	return ServerFrame{Type: FrameError, Session: session, Code: CodeFrameTooLong,
+		Error: fmt.Sprintf("server: frame exceeds %d bytes; close and reconnect with smaller frames", MaxFrameBytes)}
 }
 
 // handleConn runs one TCP connection: handshake (hello opens a session,
@@ -110,10 +121,22 @@ func (s *Server) handleConn(conn net.Conn) {
 	defer s.met.connsActive.Add(-1)
 	connStart := time.Now()
 
-	sc := newFrameScanner(conn)
+	sc := NewFrameScanner(conn)
 	s.armReadDeadline(conn)
 	if !sc.Scan() {
+		if errors.Is(sc.Err(), ErrFrameTooLong) {
+			writeFrame(conn, tooLongFrame(""))
+		}
 		s.met.connClosed(scanEndReason(sc.Err()))
+		return
+	}
+	if sc.Binary() {
+		// The handshake (hello/resume) is always NDJSON; binary frames
+		// are only legal after negotiation.
+		s.met.protoErrors.Inc()
+		s.met.connClosed(CloseProtoError)
+		writeFrame(conn, ServerFrame{Type: FrameError,
+			Error: "server: binary frame before handshake"})
 		return
 	}
 	// Cluster replication rides the same listener: the takeover hook peeks
@@ -194,7 +217,9 @@ func (s *Server) handleConn(conn net.Conn) {
 		// only writer; attach afterwards so no verdict can overtake it.
 		// Watches are registered lazily at the first event, and only this
 		// connection ingests, so nothing latches in between.
-		att.ch <- sess.Welcome()
+		w := sess.Welcome()
+		w.Encoding = first.Encoding
+		att.ch <- w
 		sess.attach(att)
 	case FrameResume:
 		resumed, welcome, replay, code, err := s.resume(first, att)
@@ -208,6 +233,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			writeFrame(conn, fr)
 			return
 		}
+		welcome.Encoding = first.Encoding
 		if resumed == nil {
 			// Terminal replay: the session already finished but lingers
 			// in the morgue. Serve its record and goodbye, then close.
@@ -287,7 +313,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 	}()
 
-	reason := s.readFrames(conn, sc, sess)
+	reason := s.readFrames(conn, sc, sess, first.Encoding == EncodingBinary)
 	// Reader finished: EOF, read error/timeout, seq gap, or session end.
 	if sess.Resumable() && reason != CloseBye {
 		// The session survives the connection: detach and wait for a
@@ -302,49 +328,94 @@ func (s *Server) handleConn(conn net.Conn) {
 	s.met.connClosed(reason)
 }
 
+// ingestFrame reports whether a frame type carries sequenced session
+// input (and so must pass dup/gap triage on resumable sessions). The
+// bye is triaged too: without a seq it could bypass the gap check and
+// close the session while the final events are still lost in flight.
+func ingestFrame(t string) bool {
+	return t == FrameInit || t == FrameEvent || t == FrameBatch || t == FrameBye
+}
+
 // readFrames is handleConn's reader loop; it returns the typed close
 // reason. For resumable sessions it triages sequence numbers before
 // ingest: duplicates are idempotently dropped (at-least-once delivery
 // becomes exactly-once ingestion) and a gap — frames lost in flight —
 // kills the connection so the client reconnects and replays from the
-// last ack.
-func (s *Server) readFrames(conn net.Conn, sc *bufio.Scanner, sess *Session) string {
+// last ack. Unsequenced (seq 0) ingest frames are rejected outright on
+// resumable sessions: they would skip that triage, so an at-least-once
+// redelivery would be ingested twice.
+//
+// binEnc is the negotiated encoding: when true the connection may also
+// carry binary batch frames, decoded straight into pir.Batch with a
+// connection-scoped var table (a reconnect gets a fresh table on both
+// sides, so interning needs no handshake).
+func (s *Server) readFrames(conn net.Conn, sc *FrameScanner, sess *Session, binEnc bool) string {
+	var vt pir.VarTable
 	for sc.Scan() {
 		s.armReadDeadline(conn)
 		decStart := time.Now()
-		f, err := DecodeClientFrame(sc.Bytes())
+		var f ClientFrame
+		if sc.Binary() {
+			var err error
+			if f, err = s.decodeBinaryFrame(sc, &vt, binEnc); err != nil {
+				s.met.protoErrors.Inc()
+				if sess.Resumable() && f.Seq > 0 && f.Seq != sess.enqSeq.Load()+1 {
+					// Batch bodies reference the connection's interning
+					// table, so the frame after a silently dropped one can
+					// fail to decode — a dangling name reference. The gap,
+					// not the body, is the real error: report it as such
+					// (a coded transport signal the client's reconnect
+					// machinery consumes silently), exactly as if the body
+					// had decoded and the triage below had caught it.
+					sess.emit(ServerFrame{Type: FrameError, Session: sess.id, Code: CodeSeqGap,
+						Error: fmt.Sprintf("seq gap: got %d, expected %d — reconnect and resume", f.Seq, sess.enqSeq.Load()+1)}, false)
+					return CloseSeqGap
+				}
+				sess.emit(ServerFrame{Type: FrameError, Session: sess.id, Error: err.Error()}, false)
+				if !sess.Resumable() {
+					sess.Close(err.Error())
+				}
+				return CloseProtoError
+			}
+		} else {
+			var err error
+			f, err = DecodeClientFrame(sc.Bytes())
+			if err != nil {
+				// A malformed line means the stream is desynchronized; no
+				// later frame can be trusted. A resumable session survives —
+				// the client will resume and replay from the last ack — but
+				// the connection cannot.
+				s.met.protoErrors.Inc()
+				if !sess.Resumable() {
+					sess.Close(err.Error())
+				}
+				return CloseProtoError
+			}
+		}
 		s.met.stage(StageDecode, time.Since(decStart))
-		if err == nil && s.cfg.Tracer != nil {
+		if s.cfg.Tracer != nil {
 			ds := s.cfg.Tracer.StartAt("decode", sess.spanCtx(), decStart)
 			ds.Set("service", "transport").Set("type", f.Type)
 			ds.End()
 		}
-		if err != nil {
-			// A malformed line means the stream is desynchronized; no
-			// later frame can be trusted. A resumable session survives —
-			// the client will resume and replay from the last ack — but
-			// the connection cannot.
-			s.met.protoErrors.Inc()
-			if !sess.Resumable() {
-				sess.Close(err.Error())
-			}
-			return CloseProtoError
-		}
-		// The bye is triaged too: without a seq it could bypass the gap
-		// check and close the session while the final events are still
-		// lost in flight.
-		if sess.Resumable() && (f.Type == FrameInit || f.Type == FrameEvent || f.Type == FrameBye) && f.Seq != 0 {
-			if f.Seq < 0 {
+		if sess.Resumable() && ingestFrame(f.Type) {
+			if f.Seq <= 0 {
+				// An unsequenced (or negative-seq) ingest frame on a
+				// resumable session would skip the dup/gap triage below,
+				// so a redelivery of it would be ingested twice.
 				s.met.protoErrors.Inc()
+				f.Batch.Recycle()
 				sess.emit(ServerFrame{Type: FrameError, Session: sess.id, Code: CodeBadSeq,
-					Error: fmt.Sprintf("negative seq %d", f.Seq)}, false)
+					Error: fmt.Sprintf("server: %s frame with seq %d on a resumable session (sequenced frames required)", f.Type, f.Seq)}, false)
 				return CloseProtoError
 			}
 			switch sess.acceptSeq(f.Seq) {
 			case seqDup:
+				f.Batch.Recycle()
 				continue // already accepted; drop idempotently
 			case seqGap:
 				s.met.protoErrors.Inc()
+				f.Batch.Recycle()
 				sess.emit(ServerFrame{Type: FrameError, Session: sess.id, Code: CodeSeqGap,
 					Error: fmt.Sprintf("seq gap: got %d, expected %d — reconnect and resume", f.Seq, sess.enqSeq.Load()+1)}, false)
 				return CloseSeqGap
@@ -370,7 +441,7 @@ func (s *Server) readFrames(conn net.Conn, sc *bufio.Scanner, sess *Session) str
 			if err := sess.Ingest(f); err != nil {
 				sess.Close("")
 			}
-		case FrameInit, FrameEvent:
+		case FrameInit, FrameEvent, FrameBatch:
 			switch err := sess.Ingest(f); err {
 			case nil, ErrDropped: // drops are counted; session continues
 			default:
@@ -399,5 +470,42 @@ func (s *Server) readFrames(conn net.Conn, sc *bufio.Scanner, sess *Session) str
 		default:
 		}
 	}
+	if errors.Is(sc.Err(), ErrFrameTooLong) {
+		// An oversized frame (either encoding) used to die as a bare
+		// scanner error, indistinguishable from network loss; tell the
+		// client what happened before the connection goes.
+		s.met.protoErrors.Inc()
+		sess.emit(tooLongFrame(sess.id), false)
+	}
 	return scanEndReason(sc.Err())
+}
+
+// decodeBinaryFrame decodes one binary frame into a ClientFrame. Only
+// batch frames exist today, and only on connections that negotiated
+// the binary encoding at hello/resume time. The returned frame carries
+// a pooled batch; every sink (triage drop, monitor apply) recycles it.
+func (s *Server) decodeBinaryFrame(sc *FrameScanner, vt *pir.VarTable, binEnc bool) (ClientFrame, error) {
+	if !binEnc {
+		return ClientFrame{}, fmt.Errorf("server: binary frame on a connection that negotiated %q", EncodingNDJSON)
+	}
+	if t := sc.BinaryType(); t != BinBatch {
+		return ClientFrame{}, fmt.Errorf("server: unknown binary frame type 0x%02x", t)
+	}
+	// Decode fully before the caller triages the seq: a malformed body
+	// then never advances the accept watermark (the client will resume
+	// and redeliver), and decoding a duplicated frame is idempotent on
+	// the var table because declarations carry explicit indexes. The
+	// seq is returned even when the body fails — the caller uses it to
+	// tell a dangling-reference decode failure after a dropped frame
+	// (a seq gap) from genuine corruption.
+	seq, body, err := pir.BatchSeq(sc.Bytes())
+	if err != nil {
+		return ClientFrame{}, err
+	}
+	b := pir.GetBatch()
+	if err := b.DecodeBody(body, vt); err != nil {
+		b.Recycle()
+		return ClientFrame{Seq: seq}, err
+	}
+	return ClientFrame{Type: FrameBatch, Seq: seq, Batch: b}, nil
 }
