@@ -14,6 +14,7 @@
 //	parallel    parallel sweeps: A2/A3 speedup and determinism check
 //	compile     predicate IR: compile/dispatch cost and bitset-lowering payoff
 //	spanhb      OTel-style span ingest: decode, HB lowering, detection
+//	slice       computation slicing: construction, routed detection, bounded state
 //
 // Usage: benchharness [-experiment all|table1|fig1|...]
 //
@@ -53,6 +54,7 @@ var experiments = []struct {
 	{"cluster", "detection cluster: replication overhead and failover cost", runCluster},
 	{"parallel", "parallel sweeps: A2/A3 speedup and determinism check", runParallel},
 	{"compile", "predicate IR: compile cost and bitset-lowering payoff", runCompile},
+	{"slice", "computation slicing: construction, slice-routed detection, bounded online state", runSlice},
 	{"spanhb", "OTel-style span ingest: decode, HB lowering, detection", runSpanhb},
 }
 

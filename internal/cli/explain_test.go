@@ -24,6 +24,7 @@ func TestDetectExplainGolden(t *testing.T) {
 		"    cell:       Table 1 [disjunctive × AG]",
 		"    algorithm:  AG disjunctive: ¬EF(¬p) via advancement",
 		"    because:    disjunctive: ¬p is conjunctive hence linear, and AG(p) = ¬EF(¬p) by duality",
+		"    slicing:    not sliced — the dual advancement on the conjunctive complement is already polynomial",
 		"    lowering:   2 conjuncts over 2 processes",
 		"algorithm:   AG disjunctive: ¬EF(¬p) via advancement",
 	} {
@@ -34,6 +35,30 @@ func TestDetectExplainGolden(t *testing.T) {
 	// The explanation precedes the verdict.
 	if strings.Index(out, "explain:") > strings.Index(out, "holds:") {
 		t.Errorf("explain block does not precede the verdict:\n%s", out)
+	}
+}
+
+// TestDetectExplainSliced pins the -explain output for a formula that
+// routes through computation slicing: the cell, the slicing decision with
+// its factor, and the per-trace events-eliminated count.
+func TestDetectExplainSliced(t *testing.T) {
+	code, out, errb := runDetect(
+		"-workload", "mutex:n=2,rounds=1",
+		"-formula", "EF(conj(crit@P1 >= 1) && !(conj(crit@P1 == 1, crit@P2 == 1)))",
+		"-explain",
+	)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errb)
+	}
+	for _, want := range []string{
+		"cell:       Table 1 [arbitrary × EF (regular factor)]",
+		"algorithm:  EF factored: slice-restricted search over the regular factor",
+		"slicing:    sliced on conj(crit@P1 >= 1) — regular factor: EF(c ∧ r) holds iff some cut of c's slice satisfies r",
+		"slice:      8 of 11 events eliminated (3 kept in the sublattice)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -3,10 +3,13 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/computation"
 	"repro/internal/explore"
 	"repro/internal/lattice"
 	"repro/internal/pir"
+	"repro/internal/predicate"
 )
 
 // In race-enabled builds (i.e. under `go test -race`, which CI runs on
@@ -26,4 +29,18 @@ func crossCheckClass(comp *computation.Computation, p *pir.Pred) error {
 		return nil // lattice too large to enumerate; not an IR fault
 	}
 	return explore.CrossCheckIR(l, p)
+}
+
+// crossCheckSliceVerdict compares the sliced EF verdict against the
+// unsliced exponential solver on small computations. A mismatch means the
+// slice search missed (or invented) a satisfying cut — slice unsoundness,
+// not an input fault — so it panics rather than returning an error.
+func crossCheckSliceVerdict(comp *computation.Computation, whole predicate.Predicate, sliced bool) {
+	if comp.TotalEvents() > 10 || comp.N() > 4 {
+		return
+	}
+	if unsliced := efArbitrary(comp, whole, nil); unsliced != sliced {
+		panic(fmt.Sprintf("core: sliced EF verdict %v disagrees with unsliced %v for %s",
+			sliced, unsliced, whole))
+	}
 }

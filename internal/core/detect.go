@@ -237,6 +237,9 @@ func detectEF(comp *computation.Computation, p *pir.Pred, st *Stats) Result {
 	case pir.KindObserverWalk:
 		oi, _ := p.ObserverBody()
 		return Result{Holds: detectObserverIndependent(comp, oi, st), Algorithm: c.Algorithm}
+	case pir.KindSliceFactor:
+		factor, rest, _ := p.Bind(comp).SliceFactor()
+		return Result{Holds: efSliceFactor(comp, factor, rest, p.P, st), Algorithm: c.Algorithm}
 	default:
 		return Result{Holds: efArbitrary(comp, p.P, st), Algorithm: c.Algorithm}
 	}
@@ -326,6 +329,11 @@ func detectAG(comp *computation.Computation, p *pir.Pred, st *Stats, workers int
 		pl, _ := p.Bind(comp).PostLinear()
 		cex, holds := agPostLinearParallel(comp, pl, st, workers)
 		return Result{Holds: holds, Algorithm: c.Algorithm, Counterexample: cex}
+	case pir.KindSliceFactor:
+		// AG(¬q) = ¬EF(q): run the sliced search on q = factor ∧ rest.
+		factor, rest, _ := p.Bind(comp).NegatedSliceFactor()
+		inner := p.P.(predicate.Not).P
+		return Result{Holds: !efSliceFactor(comp, factor, rest, inner, st), Algorithm: c.Algorithm}
 	default:
 		// Theorem 6: co-NP-complete already for observer-independent predicates.
 		return Result{Holds: !efArbitrary(comp, predicate.Not{P: p.P}, st), Algorithm: c.Algorithm}

@@ -40,6 +40,19 @@ type Stats struct {
 	// operand already decided the combination — potentially-exponential
 	// work the dispatcher provably never started.
 	ShortCircuits int64 `json:"short_circuits"`
+	// SliceBuild is the wall-clock time spent constructing computation
+	// slices (KindSliceFactor dispatches; zero when no slice was built).
+	SliceBuild time.Duration `json:"slice_build_ns"`
+	// SliceEventsKept / SliceEventsEliminated count events that survived
+	// in, respectively were removed by, the slices built this run. An
+	// eliminated event appears in no satisfying cut of the regular factor,
+	// so the sliced search provably never visits a cut containing it.
+	SliceEventsKept       int64 `json:"slice_events_kept"`
+	SliceEventsEliminated int64 `json:"slice_events_eliminated"`
+	// SliceCutsEnumerated counts cuts of the slice sublattice the factored
+	// search visited — the |slice| of its O(|slice|·n) bound, to compare
+	// against the 2^|E| the unsliced cell would have searched.
+	SliceCutsEnumerated int64 `json:"slice_cuts_enumerated"`
 	// WitnessLength is the length of the returned witness path (0 when
 	// none).
 	WitnessLength int `json:"witness_length"`
@@ -95,6 +108,25 @@ func (s *Stats) short(n int64) {
 	}
 }
 
+func (s *Stats) sliceBuild(d time.Duration) {
+	if s != nil {
+		s.SliceBuild += d
+	}
+}
+
+func (s *Stats) sliceEvents(kept, eliminated int64) {
+	if s != nil {
+		s.SliceEventsKept += kept
+		s.SliceEventsEliminated += eliminated
+	}
+}
+
+func (s *Stats) sliceCuts(n int64) {
+	if s != nil {
+		s.SliceCutsEnumerated += n
+	}
+}
+
 // merge folds a worker's private counters into s — the join step of the
 // parallel runner's batched-publish discipline (hot loops increment plain
 // per-worker Stats; only the merge after the join touches shared state).
@@ -109,6 +141,10 @@ func (s *Stats) merge(o *Stats) {
 	s.AdvancementSteps += o.AdvancementSteps
 	s.MemoHits += o.MemoHits
 	s.ShortCircuits += o.ShortCircuits
+	s.SliceBuild += o.SliceBuild
+	s.SliceEventsKept += o.SliceEventsKept
+	s.SliceEventsEliminated += o.SliceEventsEliminated
+	s.SliceCutsEnumerated += o.SliceCutsEnumerated
 }
 
 // Engine-wide metrics, fed once per Detect run (batched from the per-run
@@ -196,6 +232,10 @@ func emitSpan(formula string, r Result, st *Stats) {
 	sp.Set("advancement_steps", st.AdvancementSteps)
 	sp.Set("memo_hits", st.MemoHits)
 	sp.Set("short_circuits", st.ShortCircuits)
+	sp.Set("slice_build_ns", int64(st.SliceBuild))
+	sp.Set("slice_events_kept", st.SliceEventsKept)
+	sp.Set("slice_events_eliminated", st.SliceEventsEliminated)
+	sp.Set("slice_cuts_enumerated", st.SliceCutsEnumerated)
 	sp.Set("witness_length", st.WitnessLength)
 	sp.End()
 }

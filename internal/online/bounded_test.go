@@ -1,0 +1,122 @@
+package online
+
+import (
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/sim"
+)
+
+// verdictTrace is the observable behavior of a monitor's watches along one
+// replay: per event, whether each watch has latched, plus the latched
+// evidence.
+type verdictTrace struct {
+	efFired  []bool
+	agViol   []bool
+	efCut    computation.Cut
+	agCut    computation.Cut
+	agLocal  string
+	retained []int
+}
+
+func boundedBattery(m *Monitor) (*EFWatch, *AGWatch) {
+	ef := m.WatchEF(
+		Cmp(0, "x0", ">=", 2),
+		Cmp(1, "x0", ">=", 1),
+		Cmp(2, "x0", ">=", 1),
+	)
+	ag := m.WatchAG(Cmp(1, "x0", "<=", 2))
+	return ef, ag
+}
+
+func traceReplay(t *testing.T, comp *computation.Computation, m *Monitor) verdictTrace {
+	t.Helper()
+	ef, ag := boundedBattery(m)
+	var tr verdictTrace
+	replay(t, comp, m, func(int) {
+		tr.efFired = append(tr.efFired, ef.Fired())
+		tr.agViol = append(tr.agViol, ag.Violated())
+		tr.retained = append(tr.retained, m.Retained())
+	})
+	tr.efCut = ef.Cut()
+	tr.agCut, tr.agLocal = ag.Counterexample()
+	return tr
+}
+
+// TestBoundedMonitorMatchesUnbounded feeds the same streams to a bounded
+// and an unbounded monitor and requires bit-identical verdicts, evidence
+// cuts, and determining prefixes — while the bounded monitor's retained
+// state stays at the slice-cursor bound instead of growing with the
+// prefix.
+func TestBoundedMonitorMatchesUnbounded(t *testing.T) {
+	shrankSomewhere := false
+	for seed := int64(0); seed < 30; seed++ {
+		comp := sim.Random(sim.DefaultRandomConfig(3, 20), seed)
+		full := traceReplay(t, comp, NewMonitor(comp.N()))
+		bnd := traceReplay(t, comp, NewBoundedMonitor(comp.N()))
+
+		for i := range full.efFired {
+			if full.efFired[i] != bnd.efFired[i] || full.agViol[i] != bnd.agViol[i] {
+				t.Fatalf("seed %d event %d: verdicts diverge (EF %v/%v, AG %v/%v) — determining prefixes differ",
+					seed, i+1, full.efFired[i], bnd.efFired[i], full.agViol[i], bnd.agViol[i])
+			}
+		}
+		if (full.efCut == nil) != (bnd.efCut == nil) || (full.efCut != nil && !full.efCut.Equal(bnd.efCut)) {
+			t.Fatalf("seed %d: EF cuts diverge: %v vs %v", seed, full.efCut, bnd.efCut)
+		}
+		if (full.agCut == nil) != (bnd.agCut == nil) || (full.agCut != nil && !full.agCut.Equal(bnd.agCut)) {
+			t.Fatalf("seed %d: AG counterexample cuts diverge: %v vs %v", seed, full.agCut, bnd.agCut)
+		}
+		if full.agLocal != bnd.agLocal {
+			t.Fatalf("seed %d: AG failing conjunct %q vs %q", seed, full.agLocal, bnd.agLocal)
+		}
+
+		// The unbounded monitor's retained state is the prefix; the bounded
+		// monitor's is the cursor queues, which can never exceed it.
+		last := len(full.retained) - 1
+		if bnd.retained[last] > full.retained[last] {
+			t.Fatalf("seed %d: bounded retained %d > unbounded %d",
+				seed, bnd.retained[last], full.retained[last])
+		}
+		if bnd.retained[last] < full.retained[last] {
+			shrankSomewhere = true
+		}
+	}
+	if !shrankSomewhere {
+		t.Fatal("bounded mode never reduced retained state on any seed")
+	}
+}
+
+func TestBoundedMonitorSnapshotPanics(t *testing.T) {
+	m := NewBoundedMonitor(2)
+	if !m.Bounded() {
+		t.Fatal("NewBoundedMonitor is not Bounded")
+	}
+	m.Internal(0, map[string]int{"a": 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Snapshot on a bounded monitor did not panic")
+		}
+	}()
+	m.Snapshot()
+}
+
+func TestBoundedMonitorRetainedIsCursorState(t *testing.T) {
+	m := NewBoundedMonitor(2)
+	w := m.WatchEF(Cmp(0, "a", "==", 1), Cmp(1, "b", "==", 1))
+	if got := m.Retained(); got != 0 {
+		t.Fatalf("retained %d before any event, want 0", got)
+	}
+	m.Internal(0, map[string]int{"a": 1}) // queues candidate on P1
+	if got := m.Retained(); got != w.Retained() || got != 1 {
+		t.Fatalf("retained %d after one candidate, want 1 (watch says %d)", got, w.Retained())
+	}
+	m.Internal(0, nil) // a=1 still holds in the new state: second candidate
+	if got := m.Retained(); got != 2 {
+		t.Fatalf("retained %d, want 2", got)
+	}
+	m.Internal(1, map[string]int{"b": 1})
+	if !w.Fired() {
+		t.Fatal("watch did not fire")
+	}
+}

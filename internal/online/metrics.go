@@ -57,12 +57,10 @@ func (m *Monitor) refreshGauges() {
 	}
 	depth, pending := 0, 0
 	for _, w := range m.efWatches {
-		if !w.fired {
+		if !w.cur.Fired() {
 			pending++
 		}
-		for _, q := range w.queues {
-			depth += len(q)
-		}
+		depth += w.cur.Retained()
 	}
 	for _, w := range m.agWatches {
 		if !w.violated {

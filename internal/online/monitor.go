@@ -50,8 +50,15 @@ type Monitor struct {
 	received map[int]bool
 	inFlight int
 
-	// Trace replay for Snapshot.
+	// Trace replay for Snapshot. Never populated in bounded mode.
 	rec []recEvent
+
+	// bounded, when set, drops the per-event history (rec and the
+	// stateClocks columns): the monitor keeps only the frontier (current
+	// clocks, valuations, in-flight sends) plus each watch's slice cursor,
+	// so a long-lived session holds O(n + slice) state instead of O(|E|).
+	// Snapshot — and with it Detect — is unavailable.
+	bounded bool
 
 	efWatches     []*EFWatch
 	agWatches     []*AGWatch
@@ -96,8 +103,54 @@ func NewMonitor(n int) *Monitor {
 	return m
 }
 
+// NewBoundedMonitor returns a monitor that retains bounded state: the
+// frontier plus the watches' slice cursors, never the observed prefix.
+// Watch verdicts (and their cuts) are bit-identical to an unbounded
+// monitor fed the same stream — the incremental detectors only ever read
+// the current state's clock, which the frontier provides — but Snapshot
+// and Detect panic, since the prefix they would materialize is gone.
+func NewBoundedMonitor(n int) *Monitor {
+	m := NewMonitor(n)
+	m.bounded = true
+	return m
+}
+
 // N returns the number of processes.
 func (m *Monitor) N() int { return m.n }
+
+// Bounded reports whether the monitor runs in bounded-state mode.
+func (m *Monitor) Bounded() bool { return m.bounded }
+
+// Retained returns the events' worth of state the monitor currently
+// holds: the recorded prefix when unbounded, or the candidates queued in
+// the watches' slice cursors when bounded — the measured per-session
+// retained-state bound.
+func (m *Monitor) Retained() int {
+	if !m.bounded {
+		return m.Events()
+	}
+	total := 0
+	for _, w := range m.efWatches {
+		total += w.cur.Retained()
+	}
+	return total
+}
+
+// startClock returns the vector clock of the event that began proc's
+// current local state (nil for state 0, which began at -∞). Unbounded
+// monitors read it from the stateClocks history; bounded monitors return
+// a copy of the running clock, which is identical because the watches
+// only ever ask about the state the event just appended.
+func (m *Monitor) startClock(proc int) vclock.VC {
+	k := m.lens[proc]
+	if k == 0 {
+		return nil
+	}
+	if m.bounded {
+		return m.clocks[proc].Copy()
+	}
+	return m.stateClocks[proc][k]
+}
 
 // checkProc panics when proc is not a valid process index. Passing an
 // out-of-range process to any observation method is a programming error
@@ -200,12 +253,14 @@ func (m *Monitor) step(proc int, kind computation.Kind, msg int, sets map[string
 	for name, v := range sets {
 		m.vals[proc][name] = v
 	}
-	m.stateClocks[proc] = append(m.stateClocks[proc], m.clocks[proc].Copy())
-	copied := make(map[string]int, len(sets))
-	for k, v := range sets {
-		copied[k] = v
+	if !m.bounded {
+		m.stateClocks[proc] = append(m.stateClocks[proc], m.clocks[proc].Copy())
+		copied := make(map[string]int, len(sets))
+		for k, v := range sets {
+			copied[k] = v
+		}
+		m.rec = append(m.rec, recEvent{proc: proc, kind: kind, msg: msg, sets: copied})
 	}
-	m.rec = append(m.rec, recEvent{proc: proc, kind: kind, msg: msg, sets: copied})
 
 	// Notify watches of the new local state.
 	for _, w := range m.efWatches {
@@ -227,7 +282,13 @@ func (m *Monitor) step(proc int, kind computation.Kind, msg int, sets map[string
 
 // Snapshot materializes the observed prefix as an immutable Computation
 // for the offline algorithms. Cost is proportional to the prefix length.
+// It panics on a bounded monitor, whose whole point is not retaining that
+// prefix; callers offering snapshots (hbserver) must reject the request
+// instead.
 func (m *Monitor) Snapshot() *computation.Computation {
+	if m.bounded {
+		panic("online: Snapshot unavailable on a bounded monitor (prefix not retained)")
+	}
 	b := computation.NewBuilder(m.n)
 	for i := 0; i < m.n; i++ {
 		for name, v := range m.initVals[i] {

@@ -6,7 +6,7 @@ import (
 	"repro/internal/computation"
 	"repro/internal/core"
 	"repro/internal/ctl"
-	"repro/internal/vclock"
+	"repro/internal/slice"
 )
 
 // LocalSpec is a local predicate for online detection, evaluated on a
@@ -52,30 +52,15 @@ func (l LocalSpec) HoldsNow(m *Monitor) bool {
 	return l.Holds(m.vals[l.Proc])
 }
 
-// candidate is a local state in an EFWatch queue.
-type candidate struct {
-	state int       // local state index k on its process
-	start vclock.VC // clock of the event beginning the state; nil for k = 0
-}
-
 // EFWatch incrementally detects EF(p) for a conjunctive predicate p — the
-// Garg–Waldecker weak conjunctive predicate algorithm. The verdict latches:
-// once a satisfying consistent cut exists in the observed prefix it exists
-// in every extension.
+// Garg–Waldecker weak conjunctive predicate algorithm, with the queue and
+// elimination machinery living in the slice.Online cursor so the watch
+// retains O(slice) state (the queued candidates), never the raw prefix.
+// The verdict latches: once a satisfying consistent cut exists in the
+// observed prefix it exists in every extension.
 type EFWatch struct {
-	specs  map[int][]LocalSpec // conjuncts grouped by process
-	queues map[int][]candidate
-	procs  []int // constrained processes in registration order
-	fired  bool
-	cut    computation.Cut
-
-	// Elimination worklist: processes whose queue head changed since the
-	// last fixed point. Only heads on the worklist need re-comparing, so
-	// elimination continues in place instead of restarting the full
-	// pairwise scan after every pop.
-	dirty   []int
-	inDirty []bool // indexed by process
-	cmps    int    // head comparisons performed (cost instrumentation)
+	specs map[int][]LocalSpec // conjuncts grouped by process
+	cur   *slice.Online
 }
 
 // WatchEF registers a conjunctive predicate given by its local conjuncts.
@@ -86,32 +71,24 @@ func (m *Monitor) WatchEF(locals ...LocalSpec) *EFWatch {
 	if m.Events() > 0 {
 		panic("online: WatchEF must be registered before events are observed")
 	}
-	w := &EFWatch{
-		specs:   make(map[int][]LocalSpec),
-		queues:  make(map[int][]candidate),
-		inDirty: make([]bool, m.n),
-	}
+	w := &EFWatch{specs: make(map[int][]LocalSpec)}
+	var procs []int
 	for _, l := range locals {
 		if l.Proc < 0 || l.Proc >= m.n {
 			panic(fmt.Sprintf("online: local predicate on unknown process %d", l.Proc))
 		}
 		if _, seen := w.specs[l.Proc]; !seen {
-			w.procs = append(w.procs, l.Proc)
+			procs = append(procs, l.Proc)
 		}
 		w.specs[l.Proc] = append(w.specs[l.Proc], l)
 	}
+	w.cur = slice.NewOnline(m.n, procs)
 	m.efWatches = append(m.efWatches, w)
-	if len(w.procs) == 0 {
-		w.fired = true
-		w.cut = computation.NewCut(m.n)
-		return w
-	}
 	// Seed with the initial states (before any event) of the constrained
 	// processes whose conjuncts already hold.
-	for _, proc := range w.procs {
+	for _, proc := range procs {
 		if m.lens[proc] == 0 && w.holdsAt(m, proc) {
-			w.queues[proc] = append(w.queues[proc], candidate{state: 0})
-			w.markDirty(proc)
+			w.cur.Offer(proc, 0, nil)
 		}
 	}
 	w.advance(m)
@@ -119,10 +96,14 @@ func (m *Monitor) WatchEF(locals ...LocalSpec) *EFWatch {
 }
 
 // Fired reports whether a satisfying cut has been found; Cut returns it.
-func (w *EFWatch) Fired() bool { return w.fired }
+func (w *EFWatch) Fired() bool { return w.cur.Fired() }
 
 // Cut returns the satisfying cut once Fired; nil before.
-func (w *EFWatch) Cut() computation.Cut { return w.cut }
+func (w *EFWatch) Cut() computation.Cut { return w.cur.Cut() }
+
+// Retained returns the candidate local states the watch currently holds —
+// its entire per-prefix memory (the slice frontier of the predicate).
+func (w *EFWatch) Retained() int { return w.cur.Retained() }
 
 func (w *EFWatch) holdsAt(m *Monitor, proc int) bool {
 	for _, l := range w.specs[proc] {
@@ -135,112 +116,23 @@ func (w *EFWatch) holdsAt(m *Monitor, proc int) bool {
 
 // observe is called by the monitor after each event.
 func (w *EFWatch) observe(m *Monitor, proc int) {
-	if w.fired {
+	if w.cur.Fired() {
 		return
 	}
 	if _, constrained := w.specs[proc]; constrained && w.holdsAt(m, proc) {
-		k := m.lens[proc]
-		w.queues[proc] = append(w.queues[proc], candidate{
-			state: k,
-			start: m.stateClocks[proc][k],
-		})
-		// Only a new HEAD can enable an elimination or a firing: a
-		// candidate queued behind an existing head changes neither, so
-		// the event costs O(1).
-		if len(w.queues[proc]) == 1 {
-			w.markDirty(proc)
-		}
+		w.cur.Offer(proc, m.lens[proc], m.startClock(proc))
 	}
-	if len(w.dirty) > 0 {
+	if w.cur.Dirty() {
 		w.advance(m)
 	}
 }
 
-// markDirty queues a process for head re-comparison.
-func (w *EFWatch) markDirty(proc int) {
-	if !w.inDirty[proc] {
-		w.inDirty[proc] = true
-		w.dirty = append(w.dirty, proc)
-	}
-}
-
-// advance continues head elimination from the processes whose heads
-// changed since the last fixed point, then fires if every constrained
-// process has a compatible head. Unlike a full pairwise rescan per pop,
-// each pop costs O(n): only the popped process's new head (and heads it
-// kills) re-enter the worklist, and a pair of unchanged heads is never
-// re-compared — the amortized per-event cost is O(n · pops + 1).
-//
-// Head (i, k) is dead with respect to head (j, k') when state (i, k) ends
-// before state (j, k') begins in every interleaving — i.e. event (i, k+1)
-// happened-before event (j, k'), which the clocks express as
-// start_j[i] ≥ k+1. Deadness is monotone along j's queue (later starts
-// dominate), so popping is safe and each candidate is popped at most once.
+// advance runs cursor elimination to its fixed point and records a
+// newly-latched verdict in the metrics.
 func (w *EFWatch) advance(m *Monitor) {
-	for len(w.dirty) > 0 {
-		i := w.dirty[len(w.dirty)-1]
-		w.dirty = w.dirty[:len(w.dirty)-1]
-		w.inDirty[i] = false
-		if len(w.queues[i]) == 0 {
-			continue // no head to verify; a future candidate re-dirties i
-		}
-		hi := w.queues[i][0]
-		dead := false
-		for _, j := range w.procs {
-			if j == i {
-				continue
-			}
-			// Re-compare against j's head, following pops of j in place
-			// (an empty queue j is skipped: the pair is verified from j's
-			// side when j regains a head and is marked dirty).
-			for len(w.queues[j]) > 0 {
-				hj := w.queues[j][0]
-				w.cmps++
-				if hj.start != nil && hj.start[i] >= hi.state+1 {
-					w.queues[i] = w.queues[i][1:]
-					dead = true
-					break
-				}
-				if hi.start != nil && hi.start[j] >= hj.state+1 {
-					w.queues[j] = w.queues[j][1:]
-					w.markDirty(j)
-					continue // j's next head against the same hi
-				}
-				break // pair alive
-			}
-			if dead {
-				break
-			}
-		}
-		if dead {
-			w.markDirty(i) // restart i with its new head
-		}
-	}
-	// Fixed point: fire only if every constrained process has a head (all
-	// verified pairwise alive above).
-	for _, proc := range w.procs {
-		if len(w.queues[proc]) == 0 {
-			return
-		}
-	}
-	// Pairwise compatible: the least cut exposing all heads is the
-	// join of their start clocks; compatibility pins each constrained
-	// coordinate to its head's state.
-	cut := computation.NewCut(m.n)
-	for _, proc := range w.procs {
-		h := w.queues[proc][0]
-		if h.start == nil {
-			continue
-		}
-		for j, x := range h.start {
-			if x > cut[j] {
-				cut[j] = x
-			}
-		}
-	}
-	w.fired = true
-	w.cut = cut
-	if m.met != nil {
+	wasFired := w.cur.Fired()
+	w.cur.Step()
+	if !wasFired && w.cur.Fired() && m.met != nil {
 		m.met.efFired.Inc()
 	}
 }
@@ -304,9 +196,8 @@ func (w *AGWatch) check(m *Monitor, proc int) {
 			m.met.agViolated.Inc()
 		}
 		w.badLocal = l.Name
-		k := m.lens[proc]
 		cut := computation.NewCut(m.n)
-		if start := m.stateClocks[proc][k]; start != nil {
+		if start := m.startClock(proc); start != nil {
 			copy(cut, start)
 		}
 		w.badCut = cut

@@ -63,10 +63,10 @@ func TestEFWatchWideEliminationCost(t *testing.T) {
 	// comparisons each. A rescan-per-pop implementation pays
 	// ≈ 2·rounds·procs² ≈ 640000 comparisons on this scenario.
 	limit := procs*procs + 4*rounds*procs // 33600, ~19× below the rescan cost
-	if w.cmps > limit {
-		t.Fatalf("head elimination performed %d comparisons, want <= %d (per-pop cost must stay O(procs))", w.cmps, limit)
+	if w.cur.Comparisons() > limit {
+		t.Fatalf("head elimination performed %d comparisons, want <= %d (per-pop cost must stay O(procs))", w.cur.Comparisons(), limit)
 	}
-	t.Logf("elimination comparisons: %d (limit %d)", w.cmps, limit)
+	t.Logf("elimination comparisons: %d (limit %d)", w.cur.Comparisons(), limit)
 
 	// Correctness at the end of the churn: let both ping-pong processes
 	// hold concurrently and the watch must still fire with the least cut.

@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/computation"
 	"repro/internal/ctl"
+	"repro/internal/predicate"
+	"repro/internal/slice"
 )
 
 // Explain renders the IR's decisions for a formula: per temporal operator
@@ -31,7 +33,7 @@ func explain(b *strings.Builder, comp *computation.Computation, f ctl.Formula, i
 		if comp != nil {
 			p.Bind(comp)
 		}
-		writeChoice(b, indent, f, Choose(op, p), p)
+		writeChoice(b, indent, comp, f, Choose(op, p), p)
 		return nil
 	}
 	binary := func(op Op, subP, subQ ctl.Formula) error {
@@ -48,7 +50,7 @@ func explain(b *strings.Builder, comp *computation.Computation, f ctl.Formula, i
 			q.Bind(comp)
 		}
 		c := ChooseUntil(op, p, q)
-		writeChoice(b, indent, f, c, p)
+		writeChoice(b, indent, comp, f, c, p)
 		fmt.Fprintf(b, "%s  target:     %s — class: %s\n", indent, q.P, q.Class)
 		return nil
 	}
@@ -91,15 +93,44 @@ func explain(b *strings.Builder, comp *computation.Computation, f ctl.Formula, i
 	}
 }
 
-func writeChoice(b *strings.Builder, indent string, f ctl.Formula, c Choice, p *Pred) {
+func writeChoice(b *strings.Builder, indent string, comp *computation.Computation, f ctl.Formula, c Choice, p *Pred) {
 	fmt.Fprintf(b, "%s%s\n", indent, f)
 	fmt.Fprintf(b, "%s  class:      %s\n", indent, p.Class)
 	fmt.Fprintf(b, "%s  cell:       Table 1 [%s]\n", indent, c.Cell)
 	fmt.Fprintf(b, "%s  algorithm:  %s\n", indent, c.Algorithm)
 	fmt.Fprintf(b, "%s  complexity: %s\n", indent, c.Complexity)
 	fmt.Fprintf(b, "%s  because:    %s\n", indent, c.Reason)
+	fmt.Fprintf(b, "%s  slicing:    %s\n", indent, c.Slice)
+	if comp != nil && c.Kind == KindSliceFactor {
+		writeSliceCounts(b, indent, comp, c, p)
+	}
 	if ls := p.Lowering(); ls.Lowered {
 		fmt.Fprintf(b, "%s  lowering:   %d conjuncts over %d processes → %d words / %d state bits (%d interned)\n",
 			indent, ls.Conjuncts, ls.Procs, ls.Words, ls.StateBits, ls.Interned)
 	}
+}
+
+// writeSliceCounts builds the factor's slice on the bound computation and
+// reports how many events it keeps versus eliminates — the concrete payoff
+// of the slicing decision for this trace.
+func writeSliceCounts(b *strings.Builder, indent string, comp *computation.Computation, c Choice, p *Pred) {
+	var factor predicate.Linear
+	var ok bool
+	if c.Op == OpAG {
+		factor, _, ok = p.NegatedSliceFactor()
+	} else {
+		factor, _, ok = p.SliceFactor()
+	}
+	if !ok {
+		return
+	}
+	sl := slice.NewIncremental(comp, factor)
+	if !sl.Satisfiable() {
+		fmt.Fprintf(b, "%s  slice:      factor unsatisfiable — every event eliminated (%d of %d)\n",
+			indent, comp.TotalEvents(), comp.TotalEvents())
+		return
+	}
+	kept, eliminated := sl.Counts()
+	fmt.Fprintf(b, "%s  slice:      %d of %d events eliminated (%d kept in the sublattice)\n",
+		indent, eliminated, kept+eliminated, kept)
 }

@@ -11,6 +11,7 @@ import (
 type lowering struct {
 	conj    *LoweredConj // conjunctive view, when lowerable
 	negConj *LoweredConj // complement of the disjunctive view
+	factor  *LoweredConj // regular slice factor of a mixed And / Not(And)
 	stats   LowerStats
 }
 
@@ -54,6 +55,22 @@ func (pr *Pred) Bind(comp *computation.Computation) *Pred {
 	}
 	if d, ok := disjunctiveView(pr.P); ok && len(d.Locals) > 0 {
 		low.negConj = lowerConj(comp, d.Negate(), &low.stats)
+	}
+	// Lower the regular slice factor of a mixed formula (conjunctive ∧
+	// arbitrary, possibly under one Not) so the slice-first EF/AG dispatch
+	// gets word-test evaluation for slice construction and restriction. A
+	// predicate is at most one of {And, Not}, so one slot suffices; when
+	// the whole predicate is conjunctive, low.conj already covers it.
+	if low.conj == nil {
+		inner := pr.P
+		if n, ok := inner.(predicate.Not); ok {
+			inner = n.P
+		}
+		if _, viewable := conjunctiveView(inner); !viewable {
+			if factor, _, ok := sliceFactorOf(inner); ok && len(factor.Locals) > 0 {
+				low.factor = lowerConj(comp, factor, &low.stats)
+			}
+		}
 	}
 	pr.low = low
 	return pr
@@ -210,4 +227,34 @@ func lowerConj(comp *computation.Computation, c predicate.Conjunctive, st *Lower
 		st.Procs = len(order)
 	}
 	return lc
+}
+
+// Restrict returns a copy of the evaluator whose per-process bitsets are
+// additionally ANDed with masks (masks[i] over local states of process i;
+// nil = no restriction). This is the slice-restricted evaluation mode: the
+// caller sets bit k of masks[i] exactly when local state k survives in the
+// predicate's slice, so the restricted evaluator rejects any cut that
+// strays outside the slice sublattice in one word test per process —
+// without touching the slice's cut tables on the hot path. The conjunct
+// list (and hence Forbidden/Retreat order) is unchanged; only Eval's
+// combined per-process words narrow.
+func (p *LoweredConj) Restrict(masks [][]uint64) *LoweredConj {
+	out := &LoweredConj{src: p.src, locals: p.locals}
+	out.procs = make([]procWords, len(p.procs))
+	for i, pw := range p.procs {
+		m := masks[pw.proc]
+		if m == nil {
+			out.procs[i] = pw
+			continue
+		}
+		bits := make([]uint64, len(pw.bits))
+		for w := range pw.bits {
+			bits[w] = pw.bits[w]
+			if w < len(m) {
+				bits[w] &= m[w]
+			}
+		}
+		out.procs[i] = procWords{proc: pw.proc, bits: bits}
+	}
+	return out
 }

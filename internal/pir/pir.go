@@ -382,6 +382,89 @@ func (pr *Pred) ObserverBody() (predicate.Predicate, bool) {
 	return observerView(pr.P)
 }
 
+// sliceFactorOf splits a predicate into a conjunctive (hence regular)
+// factor and an arbitrary remainder: p ⟺ factor ∧ rest. It recognizes
+// predicate.And with at least one conjunctive-viewable part (the shape
+// the compiler produces for "conjunctive ∧ arbitrary") and, defensively,
+// a bare conjunctive predicate (rest = true). The factor merges every
+// conjunctive part; parts that are linear but not conjunctive (e.g.
+// channelsEmpty) stay in the remainder — linearity alone is meet-closure,
+// and the slice sublattice is only exact under meet- AND join-closure.
+func sliceFactorOf(p predicate.Predicate) (predicate.Conjunctive, predicate.Predicate, bool) {
+	if c, ok := conjunctiveView(p); ok {
+		return c, predicate.True, true
+	}
+	and, ok := p.(predicate.And)
+	if !ok {
+		return predicate.Conjunctive{}, nil, false
+	}
+	var factor predicate.Conjunctive
+	var rest []predicate.Predicate
+	found := false
+	for _, part := range and.Ps {
+		if c, ok := conjunctiveView(part); ok {
+			if !found {
+				factor, found = c, true
+			} else {
+				factor = predicate.MergeConj(factor, c)
+			}
+			continue
+		}
+		rest = append(rest, part)
+	}
+	if !found {
+		return predicate.Conjunctive{}, nil, false
+	}
+	switch len(rest) {
+	case 0:
+		return factor, predicate.True, true
+	case 1:
+		return factor, rest[0], true
+	default:
+		return factor, predicate.And{Ps: rest}, true
+	}
+}
+
+// SliceFactor returns the predicate's regular factor as a linear
+// evaluator (bitset-lowered after Bind) plus the arbitrary remainder,
+// when the structure admits one: p ⟺ factor ∧ rest. This is the shape
+// the slice-first EF dispatch consumes — detection builds the factor's
+// slice and searches only its sublattice.
+func (pr *Pred) SliceFactor() (predicate.Linear, predicate.Predicate, bool) {
+	factor, rest, ok := sliceFactorOf(pr.P)
+	if !ok {
+		return nil, nil, false
+	}
+	if pr.low != nil {
+		if pr.low.factor != nil {
+			return pr.low.factor, rest, true
+		}
+		if pr.low.conj != nil {
+			// Whole predicate is conjunctive (rest = true): reuse its lowering.
+			return pr.low.conj, rest, true
+		}
+	}
+	return factor, rest, true
+}
+
+// NegatedSliceFactor is the AG-side view: for p = ¬q where q has a slice
+// factor, it returns q's factor and remainder, so AG(p) = ¬EF(q) can run
+// the sliced search on q. Lowered after Bind, like SliceFactor.
+func (pr *Pred) NegatedSliceFactor() (predicate.Linear, predicate.Predicate, bool) {
+	n, ok := pr.P.(predicate.Not)
+	if !ok {
+		return nil, nil, false
+	}
+	factor, rest, ok := sliceFactorOf(n.P)
+	if !ok {
+		return nil, nil, false
+	}
+	if pr.low != nil && pr.low.factor != nil {
+		return pr.low.factor, rest, true
+	}
+	return factor, rest, true
+}
+
 // DisjunctiveComplement returns ¬p as a linear (conjunctive) predicate
 // for a disjunctive p — the shape the dual algorithms (AF via A1, AG via
 // advancement) consume. Bitset-lowered after Bind: the complement is the

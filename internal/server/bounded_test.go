@@ -1,0 +1,92 @@
+package server_test
+
+import (
+	"slices"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// TestBoundedSession opens one bounded and one unbounded session over the
+// same scripted stream and requires identical verdict frames (operator,
+// determining prefix, cut), a rejected snapshot on the bounded session,
+// and a hb_server_session_retained_events gauge that stays at the slice
+// cursor size for the bounded session instead of the prefix length.
+func TestBoundedSession(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, addr := startServer(t, server.Config{Registry: reg})
+	retained := reg.Gauge("hb_server_session_retained_events", "")
+
+	steps := script(1)
+	watches := []server.Watch{
+		{Op: "EF", Pred: efPred},
+		{Op: "AG", Pred: agPred},
+		{Op: "STABLE", Pred: stablePred},
+	}
+
+	runSession := func(bounded bool) ([]server.ServerFrame, int64) {
+		sess, err := client.Dial(addr, client.Config{Processes: 3, Watches: watches, Bounded: bounded})
+		if err != nil {
+			t.Fatalf("dial (bounded=%v): %v", bounded, err)
+		}
+		stream(sess, steps)
+
+		if bounded {
+			if _, err := sess.Snapshot("EF(" + efPred + ")"); err == nil {
+				t.Fatal("snapshot on a bounded session was not rejected")
+			} else if !strings.Contains(err.Error(), "bounded") {
+				t.Fatalf("snapshot rejection does not name the cause: %v", err)
+			}
+		} else if _, err := sess.Snapshot("EF(" + efPred + ")"); err != nil {
+			t.Fatalf("snapshot on the unbounded session: %v", err)
+		}
+
+		// The gauge reflects this (only live) session: the bye below
+		// removes its contribution again.
+		held := retained.Value()
+		if _, err := sess.Close(); err != nil {
+			t.Fatalf("close (bounded=%v): %v", bounded, err)
+		}
+		var verdicts []server.ServerFrame
+		for _, fr := range sess.Latched() {
+			if fr.Type == server.FrameVerdict {
+				fr.Session = "" // session ids differ; everything else must not
+				verdicts = append(verdicts, fr)
+			}
+		}
+		return verdicts, held
+	}
+
+	fullVerdicts, fullHeld := runSession(false)
+	if after := retained.Value(); after != 0 {
+		t.Fatalf("retained gauge %d after unbounded session closed, want 0", after)
+	}
+	bndVerdicts, bndHeld := runSession(true)
+	if after := retained.Value(); after != 0 {
+		t.Fatalf("retained gauge %d after bounded session closed, want 0", after)
+	}
+
+	if len(fullVerdicts) != len(bndVerdicts) || len(fullVerdicts) == 0 {
+		t.Fatalf("verdict counts differ: %d unbounded vs %d bounded", len(fullVerdicts), len(bndVerdicts))
+	}
+	for i := range fullVerdicts {
+		f, b := fullVerdicts[i], bndVerdicts[i]
+		if f.Op != b.Op || f.Pred != b.Pred || f.Event != b.Event || f.Conjunct != b.Conjunct ||
+			!slices.Equal(f.Cut, b.Cut) {
+			t.Fatalf("verdict %d diverges:\nunbounded %+v\nbounded   %+v", i, f, b)
+		}
+	}
+
+	// The unbounded session retains the whole prefix; the bounded one only
+	// its slice cursors — the measured per-session retained-state reduction.
+	if fullHeld != int64(len(steps)) {
+		t.Fatalf("unbounded session retained %d, want prefix length %d", fullHeld, len(steps))
+	}
+	if bndHeld >= fullHeld {
+		t.Fatalf("bounded session retained %d, want < %d", bndHeld, fullHeld)
+	}
+	t.Logf("retained state: unbounded %d, bounded %d", fullHeld, bndHeld)
+}

@@ -74,6 +74,12 @@ type Config struct {
 	// hand the session deliberately unreliable connections.
 	Dial func(addr string) (net.Conn, error)
 
+	// Bounded opens the session in bounded retained-state mode: the
+	// server keeps only the watch slice cursors, never the raw prefix,
+	// so long-lived sessions hold O(slice) server memory. Watch verdicts
+	// are unchanged; Snapshot requests are rejected by the server.
+	Bounded bool
+
 	// Encoding selects the ingest wire encoding. "" or "ndjson" streams
 	// one JSON frame per event. "binary" negotiates the binary batched
 	// encoding at hello time: init/event frames accumulate into column
@@ -246,6 +252,7 @@ func Dial(addr string, cfg Config) (*Session, error) {
 		Processes: cfg.Processes,
 		Watches:   cfg.Watches,
 		Resumable: cfg.Reconnect,
+		Bounded:   cfg.Bounded,
 		Session:   cfg.Key,
 		Encoding:  cfg.Encoding,
 	}

@@ -38,7 +38,7 @@ func RegisterHTTP(mux *http.ServeMux, srv *Server) {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		sess, err := srv.Open(SessionConfig{Processes: f.Processes, Watches: f.Watches})
+		sess, err := srv.Open(SessionConfig{Processes: f.Processes, Watches: f.Watches, Bounded: f.Bounded})
 		if err != nil {
 			httpError(w, http.StatusServiceUnavailable, "%v", err)
 			return

@@ -20,6 +20,7 @@ type metrics struct {
 	agViolated     *obs.Counter   // hb_server_verdicts_total{kind="ag_violated"}
 	stableFired    *obs.Counter   // hb_server_verdicts_total{kind="stable_fired"}
 	snapshots      *obs.Counter   // hb_server_snapshots_total
+	retained       *obs.Gauge     // hb_server_session_retained_events
 	protoErrors    *obs.Counter   // hb_server_protocol_errors_total
 	duplicates     *obs.Counter   // hb_server_events_duplicate_total
 	journaled      *obs.Counter   // hb_server_events_journaled_total
@@ -98,6 +99,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Server-side verdict latches by kind."),
 		snapshots: reg.Counter("hb_server_snapshots_total",
 			"Offline snapshot queries served."),
+		retained: reg.Gauge("hb_server_session_retained_events",
+			"Events' worth of state retained across live sessions (prefix length, or slice-cursor size for bounded sessions)."),
 		protoErrors: reg.Counter("hb_server_protocol_errors_total",
 			"Frames rejected as malformed, out of range, or out of order."),
 		duplicates: reg.Counter("hb_server_events_duplicate_total",

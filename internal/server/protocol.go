@@ -119,6 +119,12 @@ type ClientFrame struct {
 	// detaches the transport instead of closing the session, so the
 	// client can reattach with a resume frame.
 	Resumable bool `json:"resumable,omitempty"`
+	// Bounded opts the session into bounded retained state: the monitor
+	// keeps only the frontier plus each watch's slice cursor instead of
+	// the raw event prefix, so a long-lived session holds O(slice) state.
+	// Watch verdicts are bit-identical to an unbounded session; snapshot
+	// frames are rejected (the prefix they would query is not retained).
+	Bounded bool `json:"bounded,omitempty"`
 	// Encoding on a hello or resume frame negotiates the connection's
 	// ingest encoding: "" or "ndjson" for one JSON frame per line,
 	// "binary" to additionally accept length-prefixed binary batch

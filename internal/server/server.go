@@ -272,7 +272,7 @@ func (s *Server) Open(cfg SessionConfig) (*Session, error) {
 			s.morgued.Add(-1)
 		}
 	}
-	sess := newSession(s, id, cfg.Processes, ws)
+	sess := newSession(s, id, cfg.Processes, ws, cfg.Bounded)
 	if cfg.Resumable {
 		sess.resumable = true
 		sess.journal = make([]journalEntry, 0, min(s.cfg.RetentionWindow, 256))
@@ -282,7 +282,7 @@ func (s *Server) Open(cfg SessionConfig) (*Session, error) {
 
 	s.met.sessionsTotal.Inc()
 	s.met.sessionsActive.Set(s.live.Load())
-	s.logf("session %s opened: %d processes, %d watches (resumable=%v)", id, cfg.Processes, len(ws), cfg.Resumable)
+	s.logf("session %s opened: %d processes, %d watches (resumable=%v, bounded=%v)", id, cfg.Processes, len(ws), cfg.Resumable, cfg.Bounded)
 	s.wg.Add(1)
 	go sess.run()
 	return sess, nil
@@ -310,6 +310,7 @@ func (s *Server) OpenRecovered(hello ClientFrame, frames []ClientFrame) (*Sessio
 		Processes: hello.Processes,
 		Watches:   hello.Watches,
 		Resumable: true,
+		Bounded:   hello.Bounded,
 	})
 	if err != nil {
 		return nil, err

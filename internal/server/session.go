@@ -37,6 +37,12 @@ type SessionConfig struct {
 	// always apply backpressure — the drop overflow policy would break
 	// the exactly-once contract.
 	Resumable bool
+	// Bounded sessions run their monitor in bounded-state mode: the raw
+	// event prefix is not retained, only the frontier and the watches'
+	// slice cursors, so per-session memory is O(n + slice) instead of
+	// O(events). Verdicts and their cuts are bit-identical to an
+	// unbounded session; snapshot queries are rejected.
+	Bounded bool
 }
 
 // watchState tracks one registered watch through the session's lifetime.
@@ -137,6 +143,7 @@ type Session struct {
 	msgIDs     map[int]int    // wire msg id → monitor msg id
 	scratch    map[string]int // reused per batched event (the monitor copies sets)
 	seen       int            // events applied
+	retained   int64          // last Retained() published to the gauge
 	journal    []journalEntry
 	jnext      int // ring cursor once the journal reaches the retention window
 
@@ -162,7 +169,11 @@ type Session struct {
 	closeOnce  sync.Once
 }
 
-func newSession(srv *Server, id string, n int, watches []*watchState) *Session {
+func newSession(srv *Server, id string, n int, watches []*watchState, bounded bool) *Session {
+	mon := online.NewMonitor(n)
+	if bounded {
+		mon = online.NewBoundedMonitor(n)
+	}
 	s := &Session{
 		srv:     srv,
 		id:      id,
@@ -170,7 +181,7 @@ func newSession(srv *Server, id string, n int, watches []*watchState) *Session {
 		queue:   make(chan inFrame, srv.cfg.QueueDepth),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
-		mon:     online.NewMonitor(n),
+		mon:     mon,
 		watches: watches,
 		msgIDs:  make(map[int]int),
 		tracer:  srv.cfg.Tracer,
@@ -488,6 +499,8 @@ func (s *Session) run() {
 // finish emits the goodbye frame, publishes it, and releases the session.
 func (s *Session) finish() {
 	s.ensureWatches() // a session with no events still settles its watches
+	s.srv.met.retained.Add(-s.retained)
+	s.retained = 0
 	gb := ServerFrame{
 		Type:    FrameGoodbye,
 		Session: s.id,
@@ -840,6 +853,10 @@ func (s *Session) scratchSets(sets []pir.VarSet) map[string]int {
 }
 
 func (s *Session) handleSnapshot(f inFrame) {
+	if s.mon.Bounded() {
+		s.reject(f, "snapshot unavailable on a bounded session (event prefix not retained)")
+		return
+	}
 	s.ensureWatches()
 	fl, err := ctl.Parse(f.f.Formula)
 	if err != nil {
@@ -869,11 +886,24 @@ func (s *Session) handleSnapshot(f inFrame) {
 	s.emit(fr, false)
 }
 
+// publishRetained folds the monitor's current retained-state figure into
+// the hb_server_session_retained_events gauge as a delta against the last
+// published value, so the gauge sums correctly across sessions. Bounded
+// sessions hold it at the slice-cursor size; unbounded sessions grow it
+// with the prefix.
+func (s *Session) publishRetained() {
+	if r := int64(s.mon.Retained()); r != s.retained {
+		s.srv.met.retained.Add(r - s.retained)
+		s.retained = r
+	}
+}
+
 // checkWatches emits a verdict frame for every watch that latched since
 // the last check. Called after each applied event, so Event on the frame
 // is the exact determining prefix: the verdict did not hold after
 // Event-1 events and holds after Event.
 func (s *Session) checkWatches() {
+	s.publishRetained()
 	for i, w := range s.watches {
 		if w.done {
 			continue

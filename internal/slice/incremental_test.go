@@ -1,4 +1,4 @@
-package slice
+package slice_test
 
 import (
 	"fmt"
@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/predicate"
 	"repro/internal/sim"
+	"repro/internal/slice"
 )
 
 func TestIncrementalMatchesNaive(t *testing.T) {
@@ -17,8 +18,8 @@ func TestIncrementalMatchesNaive(t *testing.T) {
 			predicate.Conj(predicate.VarCmp{Proc: 0, Var: "x0", Op: predicate.LE, K: 2}),
 		}})
 		for _, p := range preds {
-			naive := New(comp, p)
-			inc := NewIncremental(comp, p)
+			naive := slice.New(comp, p)
+			inc := slice.NewIncremental(comp, p)
 			if naive.Satisfiable() != inc.Satisfiable() {
 				t.Fatalf("seed %d %s: satisfiable %v vs %v", seed, p, naive.Satisfiable(), inc.Satisfiable())
 			}
@@ -50,7 +51,7 @@ func TestJMonotoneAlongProcess(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
 		comp := sim.Random(sim.DefaultRandomConfig(3, 14), seed)
 		for _, p := range regularBattery(comp) {
-			s := New(comp, p)
+			s := slice.New(comp, p)
 			for i := 0; i < comp.N(); i++ {
 				var prev []int
 				for k := 1; k <= comp.Len(i); k++ {
@@ -83,7 +84,7 @@ func TestJMonotoneAlongProcess(t *testing.T) {
 func TestIncrementalUnsatisfiable(t *testing.T) {
 	comp := sim.Fig2()
 	never := predicate.Conj(predicate.VarCmp{Proc: 0, Var: "nope", Op: predicate.GE, K: 1})
-	s := NewIncremental(comp, never)
+	s := slice.NewIncremental(comp, never)
 	if s.Satisfiable() {
 		t.Fatal("unsatisfiable predicate reported satisfiable")
 	}
@@ -98,12 +99,12 @@ func BenchmarkSliceConstruction(b *testing.B) {
 		)
 		b.Run(fmt.Sprintf("Naive/E%d", events), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				New(comp, p)
+				slice.New(comp, p)
 			}
 		})
 		b.Run(fmt.Sprintf("Incremental/E%d", events), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				NewIncremental(comp, p)
+				slice.NewIncremental(comp, p)
 			}
 		})
 	}

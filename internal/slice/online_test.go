@@ -1,0 +1,88 @@
+package slice_test
+
+import (
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/slice"
+	"repro/internal/vclock"
+)
+
+func TestOnlineEmptyConjunctionFiresImmediately(t *testing.T) {
+	o := slice.NewOnline(3, nil)
+	if !o.Fired() {
+		t.Fatal("empty conjunction did not fire at ∅")
+	}
+	if !o.Cut().Equal(computation.Cut{0, 0, 0}) {
+		t.Fatalf("cut = %v, want ∅", o.Cut())
+	}
+	if o.Retained() != 0 {
+		t.Fatalf("retained %d, want 0", o.Retained())
+	}
+}
+
+func TestOnlineFiresAtJoinOfHeads(t *testing.T) {
+	// Two processes, no messages: state 1 on each is concurrent, so the
+	// least satisfying cut is the join of the start clocks <1 0> and <0 1>.
+	o := slice.NewOnline(2, []int{0, 1})
+	o.Offer(0, 1, vclock.VC{1, 0})
+	o.Step()
+	if o.Fired() {
+		t.Fatal("fired with only one constrained process queued")
+	}
+	o.Offer(1, 1, vclock.VC{0, 1})
+	o.Step()
+	if !o.Fired() {
+		t.Fatal("did not fire with compatible heads")
+	}
+	if !o.Cut().Equal(computation.Cut{1, 1}) {
+		t.Fatalf("cut = %v, want <1 1>", o.Cut())
+	}
+}
+
+func TestOnlineEliminatesDeadHead(t *testing.T) {
+	// P1's state 1 ends before P2's state 2 begins (P2's start clock shows
+	// event (P1,2) happened-before it), so head (P1,1) is dead and the
+	// cursor must wait for a later P1 candidate.
+	o := slice.NewOnline(2, []int{0, 1})
+	o.Offer(0, 1, vclock.VC{1, 0})
+	o.Offer(1, 2, vclock.VC{2, 2}) // saw two P1 events: kills head (P1, 1)
+	o.Step()
+	if o.Fired() {
+		t.Fatal("fired through a dead head")
+	}
+	if o.Retained() != 1 {
+		t.Fatalf("retained %d after elimination, want 1", o.Retained())
+	}
+	if o.Comparisons() == 0 {
+		t.Fatal("elimination performed no head comparisons")
+	}
+	o.Offer(0, 3, vclock.VC{3, 2})
+	o.Step()
+	if !o.Fired() {
+		t.Fatal("did not fire after a live P1 candidate arrived")
+	}
+	if !o.Cut().Equal(computation.Cut{3, 2}) {
+		t.Fatalf("cut = %v, want <3 2>", o.Cut())
+	}
+}
+
+func TestOnlineLatchesAndIgnoresLateOffers(t *testing.T) {
+	o := slice.NewOnline(1, []int{0})
+	o.Offer(0, 0, nil) // initial state satisfies the conjunct
+	o.Step()
+	if !o.Fired() {
+		t.Fatal("single-process cursor did not fire on its initial state")
+	}
+	if !o.Cut().Equal(computation.Cut{0}) {
+		t.Fatalf("cut = %v, want <0>", o.Cut())
+	}
+	o.Offer(0, 1, vclock.VC{1})
+	o.Step()
+	if !o.Cut().Equal(computation.Cut{0}) {
+		t.Fatal("verdict did not latch: cut moved after firing")
+	}
+	if o.Retained() != 0 {
+		t.Fatalf("retained %d after latch, want 0 (late offers dropped)", o.Retained())
+	}
+}

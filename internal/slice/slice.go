@@ -34,6 +34,12 @@ type Slice struct {
 // New computes the slice of comp with respect to the linear predicate p:
 // one advancement run for I_p plus one per event for the J_p(e), i.e.
 // O(n|E|) predicate evaluations per run and O(n|E|²) in total.
+//
+// Deprecated: New recomputes leastFrom from scratch for every event. Use
+// NewIncremental, which exploits the monotonicity of J along each process
+// to build the identical slice in O(n|E|) cut updates per process. New is
+// retained only as the reference implementation for the randomized
+// equivalence regression test (TestIncrementalMatchesNaive).
 func New(comp *computation.Computation, p predicate.Linear) *Slice {
 	s := &Slice{comp: comp, p: p, j: make([][]computation.Cut, comp.N())}
 	s.ip, s.satisfiable = leastFrom(comp, p, comp.InitialCut())
@@ -71,6 +77,24 @@ func leastFrom(comp *computation.Computation, p predicate.Linear, start computat
 
 // Satisfiable reports whether any consistent cut satisfies the predicate.
 func (s *Slice) Satisfiable() bool { return s.satisfiable }
+
+// Counts reports how many events survive in the slice (some satisfying
+// cut contains them) and how many were eliminated (no satisfying cut
+// does). Eliminated events can never appear in a satisfying cut, so any
+// search restricted to the slice skips them entirely — the number the
+// slicing ablation and core.Stats report as events eliminated.
+func (s *Slice) Counts() (kept, eliminated int) {
+	for i := range s.j {
+		for _, jc := range s.j[i] {
+			if jc != nil {
+				kept++
+			} else {
+				eliminated++
+			}
+		}
+	}
+	return kept, eliminated
+}
 
 // Least returns I_p; ok is false when the predicate is unsatisfiable.
 func (s *Slice) Least() (computation.Cut, bool) { return s.ip, s.satisfiable }
