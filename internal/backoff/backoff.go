@@ -1,0 +1,54 @@
+// Package backoff is the deterministic seeded exponential-backoff
+// policy shared by everything in this repo that redials a peer: the
+// ingest client's reconnect loop and the cluster's replication links.
+// Sharing one implementation keeps the retry discipline uniform — the
+// same exponential envelope, the same cap, the same jitter shape — and
+// keeps tests reproducible, because every delay is a pure function of
+// (base, max, seed, attempt).
+package backoff
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Policy computes retry delays: attempt n (0-based) waits Base·2ⁿ
+// capped at Max, with deterministic jitter drawn uniformly from the
+// delay's upper half — [d/2, d] — so retriers with distinct seeds
+// decorrelate without any of them exceeding the exponential envelope.
+//
+// A Policy is not safe for concurrent use; give each retrying goroutine
+// its own (the jitter stream is part of what makes a run reproducible).
+type Policy struct {
+	base time.Duration
+	max  time.Duration
+	rng  *rand.Rand
+}
+
+// New returns a policy stepping from base to max, jittered by seed.
+// Non-positive base and max fall back to 1ms and 1s.
+func New(base, max time.Duration, seed int64) *Policy {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	return &Policy{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay returns the sleep before retry attempt (0-based). Each call
+// consumes one jitter draw, so calling it with the same attempt twice
+// yields different (still deterministic) delays.
+func (p *Policy) Delay(attempt int) time.Duration {
+	if attempt > 20 {
+		// Past 2²⁰ the shift could overflow; the cap saturates anyway.
+		attempt = 20
+	}
+	d := p.base << uint(attempt)
+	if d <= 0 || d > p.max {
+		d = p.max
+	}
+	half := d / 2
+	return half + time.Duration(p.rng.Int63n(int64(half)+1))
+}

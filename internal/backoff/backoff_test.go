@@ -1,0 +1,61 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+// The envelope: attempt n sleeps within [base·2ⁿ/2, base·2ⁿ], capped
+// at max. This is what bounds both the storm (never below half the
+// floor) and the stall (never above the cap).
+func TestDelayEnvelope(t *testing.T) {
+	base, max := 10*time.Millisecond, time.Second
+	p := New(base, max, 42)
+	for attempt := 0; attempt < 30; attempt++ {
+		d := p.Delay(attempt)
+		floor := base << uint(min(attempt, 20))
+		if floor <= 0 || floor > max {
+			floor = max
+		}
+		if d < floor/2 || d > floor {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, floor/2, floor)
+		}
+	}
+}
+
+// Determinism: the same (base, max, seed) yields the same delay
+// sequence — a failing reconnect schedule reproduces exactly.
+func TestDelayDeterministic(t *testing.T) {
+	a := New(25*time.Millisecond, 2*time.Second, 7)
+	b := New(25*time.Millisecond, 2*time.Second, 7)
+	for attempt := 0; attempt < 16; attempt++ {
+		if da, db := a.Delay(attempt), b.Delay(attempt); da != db {
+			t.Fatalf("attempt %d: %v != %v", attempt, da, db)
+		}
+	}
+}
+
+// Distinct seeds decorrelate: at least one attempt in a short schedule
+// differs, so a fleet of links does not thunder in lockstep.
+func TestDelaySeedsDiffer(t *testing.T) {
+	a := New(25*time.Millisecond, 2*time.Second, 1)
+	b := New(25*time.Millisecond, 2*time.Second, 2)
+	for attempt := 0; attempt < 16; attempt++ {
+		if a.Delay(attempt) != b.Delay(attempt) {
+			return
+		}
+	}
+	t.Fatal("seeds 1 and 2 produced identical 16-delay schedules")
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	p := New(0, 0, 1)
+	if d := p.Delay(0); d < time.Millisecond/2 || d > time.Millisecond {
+		t.Fatalf("defaulted base: delay %v outside [0.5ms, 1ms]", d)
+	}
+	for attempt := 0; attempt < 40; attempt++ {
+		if d := p.Delay(attempt); d > time.Second {
+			t.Fatalf("defaulted max: attempt %d slept %v > 1s", attempt, d)
+		}
+	}
+}

@@ -49,6 +49,7 @@ func RunServer(args []string, stdout, stderr io.Writer) int {
 		self        = fs.String("cluster-self", "", "this node's ring identity within -cluster-peers (default: the -listen address)")
 		replicas    = fs.Int("cluster-replicas", 2, "copies of each keyed session's frame log, the owner included")
 		ringSeed    = fs.Uint64("cluster-seed", 0, "placement ring seed; every node and ring-aware client must agree (0 = built-in default)")
+		durability  = fs.String("cluster-durability", "available", "default ack durability for keyed sessions: available (ack on live replicas) or durable (acks wait out replica outages); hellos may override per session")
 		version     = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -114,25 +115,31 @@ func RunServer(args []string, stdout, stderr io.Writer) int {
 	var srv *server.Server
 	var node *cluster.Node
 	if *peers != "" {
+		mode, err := cluster.ParseDurability(*durability)
+		if err != nil {
+			fmt.Fprintln(stderr, "hbserver:", err)
+			return 2
+		}
 		id := *self
 		if id == "" {
 			id = *listen
 		}
 		node, err = cluster.New(srvCfg, cluster.NodeConfig{
-			Self:     id,
-			Peers:    splitPeers(*peers),
-			Replicas: *replicas,
-			Seed:     *ringSeed,
-			Registry: obs.Default(),
-			Logf:     logf,
+			Self:       id,
+			Peers:      splitPeers(*peers),
+			Replicas:   *replicas,
+			Seed:       *ringSeed,
+			Durability: mode,
+			Registry:   obs.Default(),
+			Logf:       logf,
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, "hbserver:", err)
 			return 2
 		}
 		srv = node.Server()
-		fmt.Fprintf(stderr, "hbserver: cluster mode: %d nodes, %d copies per session, self=%s\n",
-			len(node.Ring().Nodes()), *replicas, id)
+		fmt.Fprintf(stderr, "hbserver: cluster mode: %d nodes, %d copies per session, self=%s, durability=%s\n",
+			len(node.Ring().Nodes()), *replicas, id, mode)
 	} else {
 		srv = server.New(srvCfg)
 	}
@@ -155,7 +162,11 @@ func RunServer(args []string, stdout, stderr io.Writer) int {
 	if *httpAddr != "" {
 		mux := obs.NewMux(obs.Default())
 		server.RegisterHTTP(mux, srv)
-		(&obs.Debug{Registry: obs.Default(), Spans: ring, Slow: slowLog}).Register(mux)
+		dbg := &obs.Debug{Registry: obs.Default(), Spans: ring, Slow: slowLog}
+		if node != nil {
+			dbg.Sections = map[string]func() any{"cluster": node.DebugState}
+		}
+		dbg.Register(mux)
 		if *pprof {
 			obs.RegisterPprof(mux)
 		}
@@ -188,6 +199,13 @@ func RunServer(args []string, stdout, stderr io.Writer) int {
 		hsrv.Shutdown(ctx) //nolint:errcheck // best-effort
 	}
 	if node != nil {
+		// Planned removal: hand every hosted session's frame log to a live
+		// replica before tearing the node down, so keyed clients resume on
+		// the new owner with zero frame loss. Failures are logged and fall
+		// through — crash failover covers whatever a drain could not move.
+		if derr := node.Drain(ctx); derr != nil {
+			fmt.Fprintln(stderr, "hbserver: drain:", derr)
+		}
 		err = node.Shutdown(ctx)
 	} else {
 		err = srv.Shutdown(ctx)

@@ -207,6 +207,14 @@ type testCluster struct {
 
 func startCluster(t *testing.T, nNodes int, chaos bool, seed int64) *testCluster {
 	t.Helper()
+	return startClusterMode(t, nNodes, chaos, seed, cluster.Available)
+}
+
+// startClusterMode is startCluster with an explicit node-default
+// durability mode (the -cluster-durability flag of a real node); keyed
+// hellos without their own override inherit it.
+func startClusterMode(t *testing.T, nNodes int, chaos bool, seed int64, mode cluster.Durability) *testCluster {
+	t.Helper()
 	h := &testCluster{t: t}
 	lns := make([]net.Listener, nNodes)
 	targets := make(map[string]string, nNodes)
@@ -237,7 +245,7 @@ func startCluster(t *testing.T, nNodes int, chaos bool, seed int64) *testCluster
 		h.regs = append(h.regs, reg)
 		n, err := cluster.New(
 			server.Config{AckEvery: 2, IdleTimeout: 3 * time.Second, Registry: reg},
-			cluster.NodeConfig{Self: h.ids[i], Peers: h.ids, Replicas: 2, ReplTargets: targets, Registry: reg},
+			cluster.NodeConfig{Self: h.ids[i], Peers: h.ids, Replicas: 2, ReplTargets: targets, Registry: reg, Durability: mode},
 		)
 		if err != nil {
 			t.Fatal(err)
@@ -480,21 +488,48 @@ func chaosSeeds(t *testing.T) []int64 {
 	return seeds
 }
 
+// durabilityModes mirrors chaosSeeds for the ack-gate axis of the chaos
+// matrix: HB_CLUSTER_DURABILITY selects which modes CI sweeps; the
+// default runs both.
+func durabilityModes(t *testing.T) []cluster.Durability {
+	t.Helper()
+	spec := os.Getenv("HB_CLUSTER_DURABILITY")
+	if spec == "" {
+		spec = "available,durable"
+	}
+	var modes []cluster.Durability
+	for _, s := range strings.Split(spec, ",") {
+		m, err := cluster.ParseDurability(strings.TrimSpace(s))
+		if err != nil {
+			t.Fatalf("HB_CLUSTER_DURABILITY: %v", err)
+		}
+		modes = append(modes, m)
+	}
+	return modes
+}
+
 // TestClusterChaosFailover is the cluster acceptance test: keyed
 // sessions stream through flaky proxies at a 3-node cluster with
 // replication factor 2; mid-stream their common home node is killed and
 // never comes back. Every session must fail over to its replica and
 // latch exactly the verdicts of offline core.Detect at the exact
-// determining prefixes, and no goroutine may leak.
+// determining prefixes, and no goroutine may leak. The matrix runs both
+// durability modes: in durable mode the promoted sessions finish with
+// their ack gate stalled on the dead ex-owner (their new replica set
+// contains it), which must degrade acks — never verdicts or the
+// goodbye.
 func TestClusterChaosFailover(t *testing.T) {
-	for _, seed := range chaosSeeds(t) {
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { runClusterChaos(t, seed) })
+	for _, mode := range durabilityModes(t) {
+		for _, seed := range chaosSeeds(t) {
+			t.Run(fmt.Sprintf("durability=%s/seed=%d", mode, seed),
+				func(t *testing.T) { runClusterChaos(t, seed, mode) })
+		}
 	}
 }
 
-func runClusterChaos(t *testing.T, seed int64) {
+func runClusterChaos(t *testing.T, seed int64, mode cluster.Durability) {
 	baseline := runtime.NumGoroutine()
-	h := startCluster(t, 3, true, seed)
+	h := startClusterMode(t, 3, true, seed, mode)
 
 	// Every session's key is owned by the victim node, so one kill takes
 	// out every session's home mid-stream.
@@ -585,12 +620,13 @@ func runClusterChaos(t *testing.T, seed int64) {
 		t.Error(err)
 	}
 
-	var failovers, redirects, resyncs, dropped int64
+	var failovers, redirects, resyncs, dropped, degraded int64
 	for _, reg := range h.regs {
 		failovers += reg.Counter("hb_cluster_failovers_total", "").Value()
 		redirects += reg.Counter("hb_cluster_redirects_total", "").Value()
 		resyncs += reg.Counter("hb_cluster_repl_resyncs_total", "").Value()
 		dropped += reg.Counter("hb_server_events_dropped_total", "").Value()
+		degraded += reg.Gauge("hb_cluster_degraded_sessions", "").Value()
 	}
 	if failovers == 0 {
 		t.Errorf("no session was promoted from a replica log despite the owner dying")
@@ -598,8 +634,14 @@ func runClusterChaos(t *testing.T, seed int64) {
 	if dropped != 0 {
 		t.Errorf("events_dropped_total = %d on resumable sessions, want 0", dropped)
 	}
-	t.Logf("seed %d: %d failovers, %d redirects, %d link resyncs, %d reconnects, %d frames replayed, %d/%d goodbyes",
-		seed, failovers, redirects, resyncs, reconnects, replayed, goodbyes, sessions)
+	if mode == cluster.Durable && degraded == 0 {
+		// The promoted sessions replicate back to the dead victim; with a
+		// durable gate they must finish degraded, not quietly ack an
+		// unreplicated tail.
+		t.Errorf("durable mode: no session reported degraded despite the victim staying dead")
+	}
+	t.Logf("seed %d (%s): %d failovers, %d redirects, %d link resyncs, %d reconnects, %d frames replayed, %d/%d goodbyes, %d degraded",
+		seed, mode, failovers, redirects, resyncs, reconnects, replayed, goodbyes, sessions, degraded)
 
 	h.stop()
 

@@ -1,0 +1,50 @@
+package cluster
+
+import "fmt"
+
+// Durability selects what a hosted session's ack gate does while a
+// replica is unreachable. It is a per-node default (-cluster-durability)
+// that a session's hello may override, and it travels with the session:
+// the replicated hello carries the resolved mode, so a failover or
+// handoff promotion preserves it regardless of the promoting node's own
+// default.
+type Durability int
+
+const (
+	// Available keeps acking through a replica outage: the gate skips
+	// disconnected replicas, so clients keep releasing frames that exist
+	// on fewer nodes than the replication factor. If the owner then dies
+	// before the replica returns, the acked-but-unreplicated window is
+	// lost — the documented availability-over-durability tradeoff, pinned
+	// by TestClusterAvailableLossWindow.
+	Available Durability = iota
+	// Durable closes the gate for the outage: acks stall at the last
+	// watermark every replica confirmed (connected or not), the client's
+	// bounded buffer applies backpressure, and the stall is visible as
+	// hb_cluster_degraded_sessions plus a typed replica-outage diagnostic
+	// in the node's /debug/obs section. No acked frame can be lost to a
+	// subsequent owner death.
+	Durable
+)
+
+// String implements fmt.Stringer; the result round-trips through
+// ParseDurability.
+func (d Durability) String() string {
+	if d == Durable {
+		return "durable"
+	}
+	return "available"
+}
+
+// ParseDurability parses "available" or "durable"; the empty string is
+// Available (the hello's "unset" value).
+func ParseDurability(s string) (Durability, error) {
+	switch s {
+	case "", "available":
+		return Available, nil
+	case "durable":
+		return Durable, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown durability %q (want available or durable)", s)
+	}
+}

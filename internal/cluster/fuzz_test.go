@@ -1,0 +1,107 @@
+package cluster_test
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// fuzzNode is the shared single-node cluster FuzzReplProtocol hammers;
+// one per process keeps iterations cheap, and the per-iteration
+// handshake doubles as the liveness probe — if a previous input wedged
+// the replica handler, the next repl-welcome never arrives.
+var (
+	fuzzNodeOnce sync.Once
+	fuzzNodeAddr string
+	fuzzNode     *cluster.Node
+)
+
+func fuzzCluster(f *testing.F) string {
+	fuzzNodeOnce.Do(func() {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			f.Fatal(err)
+		}
+		id := ln.Addr().String()
+		reg := obs.NewRegistry()
+		fuzzNode, err = cluster.New(
+			server.Config{Registry: reg, ReadTimeout: time.Second, IdleTimeout: time.Second},
+			cluster.NodeConfig{Self: id, Peers: []string{id}, Replicas: 2, Registry: reg},
+		)
+		if err != nil {
+			f.Fatal(err)
+		}
+		go fuzzNode.Serve(ln) //nolint:errcheck // closed by Shutdown
+		fuzzNodeAddr = id
+	})
+	f.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		fuzzNode.Shutdown(ctx) //nolint:errcheck
+	})
+	return fuzzNodeAddr
+}
+
+// FuzzReplProtocol throws arbitrary bytes at the replica side of the
+// replication protocol, after a well-formed repl-hello handshake — a
+// hostile or buggy peer that authenticated as a cluster member. Seeds
+// cover the epoch-fencing edges: negative and overflowing epochs,
+// stale-epoch floods, handoff offers for unknown sessions and handoff
+// replays, frames before their open, and malformed JSON. The property
+// is the node never panics and never wedges: every iteration's
+// handshake must succeed, whatever the previous one sent.
+func FuzzReplProtocol(f *testing.F) {
+	open := func(key string, epoch string) string {
+		return `{"type":"repl-open","session":"` + key + `","epoch":` + epoch +
+			`,"hello":{"type":"hello","processes":3,"resumable":true,"session":"` + key + `"}}` + "\n"
+	}
+	frame := func(key, epoch, seq string) string {
+		return `{"type":"repl-frame","session":"` + key + `","epoch":` + epoch +
+			`,"frame":{"type":"init","proc":1,"var":"x","value":1,"seq":` + seq + `}}` + "\n"
+	}
+	f.Add([]byte(open("k", "-1")))
+	f.Add([]byte(open("k", "-9223372036854775808")))
+	f.Add([]byte(open("k", "9223372036854775807") + frame("k", "9223372036854775807", "1")))
+	f.Add([]byte(open("k", "5") + frame("k", "5", "1") + open("k", "7") + frame("k", "5", "2")))
+	f.Add([]byte(open("k", "9") + open("k", "8") + open("k", "7") + open("k", "6") + open("k", "5"))) // stale flood
+	f.Add([]byte(frame("k", "1", "1")))                                                               // frame before open
+	f.Add([]byte(open("k", "2") + `{"type":"repl-handoff","session":"k","epoch":3,"seq":0}` + "\n" +
+		`{"type":"repl-handoff","session":"k","epoch":3,"seq":0}` + "\n")) // handoff replay
+	f.Add([]byte(`{"type":"repl-handoff","session":"ghost","epoch":1,"seq":5}` + "\n"))
+	f.Add([]byte(`{"type":"repl-hello","from":"again"}` + "\n")) // hello mid-stream
+	f.Add([]byte(`{"type":"repl-ack","session":"k","seq":1}` + "\n"))
+	f.Add([]byte(`{"type":"repl-open","session":"","epoch":1}` + "\n"))
+	f.Add([]byte(open("k", "1") + frame("k", "1", "-1") + frame("k", "1", "9223372036854775807")))
+	f.Add([]byte("not json\n"))
+	f.Add([]byte{0x00, 0xff, '\n'})
+	addr := fuzzCluster(f)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			t.Skip("node saturated") // accept backlog under fuzz load
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(3 * time.Second))
+		if _, err := conn.Write([]byte(`{"type":"repl-hello","from":"fuzz"}` + "\n")); err != nil {
+			t.Skip("handshake write lost to a racing shutdown")
+		}
+		sc := server.NewFrameScanner(conn)
+		if !sc.Scan() {
+			t.Fatalf("no repl-welcome: the previous input wedged the replica handler (%v)", sc.Err())
+		}
+		conn.Write(data) //nolint:errcheck // the node may reject mid-write
+		// Drain replies until the node closes the link or a short quiet
+		// deadline; the scanner bounds every frame exactly as serveRepl's
+		// peer would see it.
+		conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		for sc.Scan() {
+		}
+	})
+}

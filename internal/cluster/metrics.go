@@ -9,13 +9,19 @@ type metrics struct {
 	sessionsReplicated *obs.Gauge
 	ringNodes          *obs.Gauge
 	replLag            *obs.Gauge
+	degradedSessions   *obs.Gauge
 	framesSent         *obs.Counter
 	framesRecv         *obs.Counter
 	acksRecv           *obs.Counter
 	resyncs            *obs.Counter
 	connErrors         *obs.Counter
+	linkReconnects     *obs.Counter
 	failovers          *obs.Counter
 	redirects          *obs.Counter
+	fences             *obs.Counter
+	staleEpochs        *obs.Counter
+	supersedes         *obs.Counter
+	handoffs           *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -31,6 +37,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Nodes in the placement ring (static membership)."),
 		replLag: reg.Gauge("hb_cluster_repl_lag_frames",
 			"Accepted frames not yet acknowledged by every connected replica, summed over hosted sessions."),
+		degradedSessions: reg.Gauge("hb_cluster_degraded_sessions",
+			"Durable-mode hosted sessions whose client acks are stalled on a replica outage."),
 		framesSent: reg.Counter("hb_cluster_repl_frames_sent_total",
 			"Replication frames written to peer links (resends after reconnect included)."),
 		framesRecv: reg.Counter("hb_cluster_repl_frames_recv_total",
@@ -41,9 +49,19 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Peer-link (re)connects that restarted a session resync from the durability watermark."),
 		connErrors: reg.Counter("hb_cluster_repl_conn_errors_total",
 			"Peer-link dial failures and connection drops."),
+		linkReconnects: reg.Counter("hb_cluster_link_reconnects_total",
+			"Peer-link dial attempts after the link's first — reconnect storms show here."),
 		failovers: reg.Counter("hb_cluster_failovers_total",
 			"Sessions rebuilt from a replicated log after their home node was lost."),
 		redirects: reg.Counter("hb_cluster_redirects_total",
 			"Keyed handshakes rejected with a not-owner redirect."),
+		fences: reg.Counter("hb_cluster_fences_total",
+			"Replica logs truncated because a newer incarnation of their key opened."),
+		staleEpochs: reg.Counter("hb_cluster_stale_epoch_rejects_total",
+			"Replication messages rejected for carrying an older epoch than the one held."),
+		supersedes: reg.Counter("hb_cluster_supersedes_total",
+			"Hosted sessions dropped on evidence of a newer incarnation elsewhere."),
+		handoffs: reg.Counter("hb_cluster_handoffs_total",
+			"Sessions transferred to a replica by a graceful drain handoff."),
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -24,8 +25,13 @@ type NodeConfig struct {
 	// cluster size.
 	Replicas int
 	// Seed is the placement seed (default DefaultRingSeed). All nodes and
-	// clients must agree on it.
+	// clients must agree on it. It also decorrelates the replication
+	// links' reconnect jitter across clusters.
 	Seed uint64
+	// Durability is the node's default ack-gate mode for hosted sessions
+	// (-cluster-durability); a hello may override it per session. See the
+	// Durability type for the available/durable tradeoff.
+	Durability Durability
 	// ReplTargets optionally maps a peer's ring identity to the address
 	// replication links actually dial. The cluster chaos harness routes
 	// client traffic through flaky proxies (the proxy addresses are the
@@ -51,15 +57,29 @@ type hostedSession struct {
 	key      string
 	hello    server.ClientFrame
 	frames   []server.ClientFrame
-	replicas []string // ring successors holding copies (self excluded)
-	durable  int64    // highest seq acked by every connected replica, monotonic
-	bye      bool     // log ends in a bye; drop once durable covers it
+	replicas []string   // ring successors holding copies (self excluded)
+	epoch    int64      // this incarnation's fencing epoch, minted at registration
+	mode     Durability // resolved ack-gate mode; travels in hello.Durability
+	durable  int64      // highest seq acked by every gating replica, monotonic
+	bye      bool       // log ends in a bye; drop once durable covers it
+	degraded bool       // durable mode with a replica down: client acks stalled
+	stalled  time.Time  // when degraded last became true
+	handoff  *handoffState
 }
 
-// replicaLog is a foreign session's replicated state on this node.
+// replicaLog is a foreign session's replicated state on this node,
+// fenced by the incarnation epoch its feeder announced.
 type replicaLog struct {
 	hello  server.ClientFrame
 	frames []server.ClientFrame
+	epoch  int64
+	// feeder is the inbound connection currently feeding this log (nil
+	// once it drops) and from its announced ring identity. Only the
+	// feeder's frames append — any other connection's frames are acked
+	// without being applied — so a superseded ex-owner can never fork
+	// the log.
+	feeder net.Conn
+	from   string
 }
 
 // Node is one member of a detection cluster: a standalone *server.Server
@@ -68,27 +88,32 @@ type replicaLog struct {
 // that turns a replica log back into a live session after the home node
 // dies.
 type Node struct {
-	srv  *server.Server
-	ring *Ring
-	self string
-	r    int // replication factor (total copies)
-	dial map[string]string
-	met  *metrics
-	logf func(format string, args ...any)
+	srv        *server.Server
+	ring       *Ring
+	self       string
+	r          int // replication factor (total copies)
+	seed       uint64
+	durability Durability
+	dial       map[string]string
+	met        *metrics
+	logf       func(format string, args ...any)
 
 	stopc chan struct{}  // closed by Shutdown; unblocks link backoff sleeps
 	wg    sync.WaitGroup // link goroutines
 
 	// mu guards everything below plus all peerLink state; cond is
-	// broadcast whenever new frames are appended, a link's connectivity
-	// changes, or the node closes — the send loops wait on it.
+	// broadcast whenever new frames are appended, replica acks advance,
+	// a link's connectivity changes, or the node closes — the send loops
+	// and the drain handoff wait on it.
 	mu         sync.Mutex
 	cond       *sync.Cond
 	hosted     map[string]*hostedSession
 	replicated map[string]*replicaLog
+	epochs     map[string]int64 // per-key incarnation high-water (every epoch seen)
 	links      map[string]*peerLink
 	promoting  map[string]chan struct{} // in-flight recoveries, keyed by session
 	inbound    map[net.Conn]struct{}    // live inbound replication conns, closed on Shutdown
+	draining   bool                     // Drain started: no new placements, no promotions
 	closed     bool
 }
 
@@ -115,12 +140,15 @@ func New(srvCfg server.Config, nc NodeConfig) (*Node, error) {
 		ring:       ring,
 		self:       nc.Self,
 		r:          r,
+		seed:       seedOrDefault(nc.Seed),
+		durability: nc.Durability,
 		dial:       nc.ReplTargets,
 		met:        newMetrics(nc.Registry),
 		logf:       nc.Logf,
 		stopc:      make(chan struct{}),
 		hosted:     make(map[string]*hostedSession),
 		replicated: make(map[string]*replicaLog),
+		epochs:     make(map[string]int64),
 		links:      make(map[string]*peerLink),
 		promoting:  make(map[string]chan struct{}),
 		inbound:    make(map[net.Conn]struct{}),
@@ -134,6 +162,7 @@ func New(srvCfg server.Config, nc NodeConfig) (*Node, error) {
 		OnAccept:  n.onAccept,
 		AckGate:   n.ackGate,
 		Recover:   n.recoverSession,
+		Resume:    n.vetoResume,
 	}
 	n.srv = server.New(srvCfg)
 	return n, nil
@@ -194,6 +223,28 @@ func (n *Node) log(format string, args ...any) {
 	}
 }
 
+// observeEpochLocked raises the node's per-key epoch high-water mark.
+// Caller holds n.mu.
+func (n *Node) observeEpochLocked(key string, epoch int64) {
+	if epoch > n.epochs[key] {
+		n.epochs[key] = epoch
+	}
+}
+
+// mintEpochLocked mints the next incarnation epoch for key: one past
+// every epoch this node has seen for it (and past atLeast — callers pass
+// a replica log's epoch so a promotion always supersedes the log it
+// replays). Caller holds n.mu.
+func (n *Node) mintEpochLocked(key string, atLeast int64) int64 {
+	e := n.epochs[key]
+	if atLeast > e {
+		e = atLeast
+	}
+	e++
+	n.epochs[key] = e
+	return e
+}
+
 // takeover is the server's connection-takeover hook: replication links
 // announce themselves with a repl-hello line and are served in place.
 func (n *Node) takeover(first []byte, conn net.Conn) bool {
@@ -210,11 +261,22 @@ func (n *Node) takeover(first []byte, conn net.Conn) bool {
 
 // placement vets a keyed hello: any of the key's R placement nodes may
 // accept it (so opening against a replica works while the owner is
-// down); everyone else redirects to the owner.
+// down); everyone else redirects to the owner. A draining node stops
+// accepting new placements and points the client at the first live
+// alternative.
 func (n *Node) placement(key string) (owner string, ok bool) {
 	succ := n.ring.Successors(key, n.r)
+	n.mu.Lock()
+	draining := n.draining
+	n.mu.Unlock()
 	for _, s := range succ {
 		if s == n.self {
+			if draining {
+				if alt := firstOther(succ, n.self); alt != "" {
+					n.met.redirects.Inc()
+					return alt, false
+				}
+			}
 			return succ[0], true
 		}
 	}
@@ -222,29 +284,54 @@ func (n *Node) placement(key string) (owner string, ok bool) {
 	return succ[0], false
 }
 
-// onOpen registers a freshly opened keyed session for replication and
-// wakes the links to its ring successors.
-func (n *Node) onOpen(sess *server.Session, cfg server.SessionConfig) {
-	hello := server.ClientFrame{
-		Type:      server.FrameHello,
-		Processes: cfg.Processes,
-		Watches:   cfg.Watches,
-		Resumable: true,
-		Session:   cfg.ID,
+// firstOther returns the first entry of succ that is not self ("" if
+// none).
+func firstOther(succ []string, self string) string {
+	for _, s := range succ {
+		if s != self {
+			return s
+		}
 	}
-	n.registerHosted(cfg.ID, hello, nil)
+	return ""
+}
+
+// onOpen registers a freshly opened keyed session for replication and
+// wakes the links to its ring successors. The session's durability mode
+// is resolved here — hello override, else the node default — and stamped
+// into the replicated hello so failover and handoff preserve it.
+func (n *Node) onOpen(sess *server.Session, cfg server.SessionConfig) {
+	mode := n.durability
+	if m, err := ParseDurability(cfg.Durability); err == nil && cfg.Durability != "" {
+		mode = m
+	}
+	hello := server.ClientFrame{
+		Type:       server.FrameHello,
+		Processes:  cfg.Processes,
+		Watches:    cfg.Watches,
+		Resumable:  true,
+		Session:    cfg.ID,
+		Durability: mode.String(),
+	}
+	n.mu.Lock()
+	epoch := n.mintEpochLocked(cfg.ID, 0)
+	n.mu.Unlock()
+	n.registerHosted(cfg.ID, hello, nil, epoch, mode)
 }
 
 // registerHosted installs (or replaces) the hosted replication state for
-// key and ensures links to its replicas exist.
-func (n *Node) registerHosted(key string, hello server.ClientFrame, backlog []server.ClientFrame) {
+// key — a new incarnation under epoch — and ensures links to its
+// replicas exist. Any replica log or stale per-link cursors left by a
+// previous incarnation of the key are cleared: a reused key must start
+// from a clean slate, or an old racked watermark could open the ack gate
+// for frames the replicas never saw.
+func (n *Node) registerHosted(key string, hello server.ClientFrame, backlog []server.ClientFrame, epoch int64, mode Durability) {
 	replicas := make([]string, 0, n.r)
 	for _, s := range n.ring.Successors(key, n.r) {
 		if s != n.self {
 			replicas = append(replicas, s)
 		}
 	}
-	hs := &hostedSession{key: key, hello: hello, frames: backlog, replicas: replicas}
+	hs := &hostedSession{key: key, hello: hello, frames: backlog, replicas: replicas, epoch: epoch, mode: mode}
 	if len(backlog) > 0 && backlog[len(backlog)-1].Type == server.FrameBye {
 		hs.bye = true
 	}
@@ -253,14 +340,25 @@ func (n *Node) registerHosted(key string, hello server.ClientFrame, backlog []se
 		n.mu.Unlock()
 		return
 	}
+	n.observeEpochLocked(key, epoch)
 	n.hosted[key] = hs
 	n.met.sessionsOwned.Set(int64(len(n.hosted)))
+	if _, held := n.replicated[key]; held {
+		delete(n.replicated, key)
+		n.met.sessionsReplicated.Set(int64(len(n.replicated)))
+	}
+	for _, l := range n.links {
+		delete(l.racked, key)
+		delete(l.sent, key)
+		delete(l.opened, key)
+	}
 	for _, peer := range replicas {
 		n.ensureLinkLocked(peer)
 	}
+	n.updateLagLocked()
 	n.cond.Broadcast()
 	n.mu.Unlock()
-	n.log("cluster: hosting %s (replicas %v, backlog %d)", key, replicas, len(backlog))
+	n.log("cluster: hosting %s epoch %d (%s, replicas %v, backlog %d)", key, epoch, mode, replicas, len(backlog))
 }
 
 // onAccept appends one accepted sequenced frame to the session's log and
@@ -300,14 +398,49 @@ func (n *Node) updateLagLocked() {
 		}
 	}
 	n.met.replLag.Set(lag)
+	n.updateDegradedLocked()
+}
+
+// updateDegradedLocked recomputes which durable-mode sessions are
+// running degraded — a replica link down, so their client acks are
+// stalled at the outage watermark — and publishes the gauge. Caller
+// holds n.mu.
+func (n *Node) updateDegradedLocked() {
+	var degraded int64
+	for _, hs := range n.hosted {
+		was := hs.degraded
+		hs.degraded = false
+		if hs.mode == Durable {
+			for _, peer := range hs.replicas {
+				l := n.links[peer]
+				if l == nil || !l.connected {
+					hs.degraded = true
+					break
+				}
+			}
+		}
+		switch {
+		case hs.degraded && !was:
+			hs.stalled = time.Now()
+			degraded++
+		case hs.degraded:
+			degraded++
+		default:
+			hs.stalled = time.Time{}
+		}
+	}
+	n.met.degradedSessions.Set(degraded)
 }
 
 // ackGate bounds the seq the server may ack to its client: the minimum
-// seq acknowledged by every *connected* replica of the session. A
-// disconnected replica is skipped — with every replica down the gate
-// opens entirely (availability over durability; DESIGN.md Decision 11
-// spells out this tradeoff). The withheld tail is released by Ack pushes
-// from noteAcks when replica acks advance the watermark.
+// seq acknowledged by every gating replica of the session. In available
+// mode a disconnected replica is skipped — with every replica down the
+// gate opens entirely, trading the outage window's durability for
+// availability. In durable mode a disconnected replica keeps gating at
+// its last acknowledged seq, so acks stall for the outage and no acked
+// frame can be lost to a subsequent owner death. The withheld tail is
+// released by Ack pushes from noteAcks when replica acks advance the
+// watermark.
 func (n *Node) ackGate(session string, seq int64) int64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -326,17 +459,27 @@ func (n *Node) ackGate(session string, seq int64) int64 {
 }
 
 // durableLocked returns the replication durability watermark of hs: the
-// lowest ack among its connected replica links. gated=false means no
-// replica link is currently connected, so no bound applies.
+// lowest ack among its gating replica links. In available mode only
+// connected replicas gate (gated=false with all of them down); in
+// durable mode every replica gates, a disconnected one at its last
+// acknowledged seq.
 func (n *Node) durableLocked(hs *hostedSession) (d int64, gated bool) {
+	if len(hs.replicas) == 0 {
+		return 0, false
+	}
 	d = int64(1<<62 - 1)
 	for _, peer := range hs.replicas {
 		l := n.links[peer]
-		if l == nil || !l.connected {
+		connected := l != nil && l.connected
+		if !connected && hs.mode != Durable {
 			continue
 		}
 		gated = true
-		if r := l.racked[hs.key]; r < d {
+		var r int64
+		if l != nil {
+			r = l.racked[hs.key]
+		}
+		if r < d {
 			d = r
 		}
 	}
@@ -385,12 +528,52 @@ func (n *Node) noteAcks(key string) {
 	}
 }
 
+// superseded handles evidence that a newer incarnation of key lives at
+// from: a stale-epoch reject from a replica, or an inbound repl-open
+// carrying a higher epoch than our hosted copy. The hosted state is
+// dropped, any live local session is kicked and tombstoned so its client
+// follows the redirect, and an in-flight handoff fails — a zombie
+// ex-owner must never keep acking frames the cluster has moved past.
+func (n *Node) superseded(key string, epoch int64, from, reason string) {
+	n.mu.Lock()
+	n.observeEpochLocked(key, epoch)
+	hs := n.hosted[key]
+	if hs == nil || hs.epoch >= epoch {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.hosted, key)
+	n.met.sessionsOwned.Set(int64(len(n.hosted)))
+	for _, l := range n.links {
+		delete(l.racked, key)
+		delete(l.sent, key)
+		delete(l.opened, key)
+	}
+	n.met.supersedes.Inc()
+	ho := hs.handoff
+	hs.handoff = nil
+	n.updateLagLocked()
+	n.cond.Broadcast()
+	n.mu.Unlock()
+	if ho != nil {
+		ho.finish(fmt.Errorf("cluster: session %s superseded during handoff", key))
+	}
+	n.log("cluster: session %s (epoch %d) superseded by epoch %d at %s: %s", key, hs.epoch, epoch, from, reason)
+	n.srv.Supersede(key, from, reason)
+}
+
 // recoverSession is the server's recovery hook: a resume named a session
-// with no local state. If this node is not in the key's placement it
-// redirects to the owner; if it holds a replica log it promotes itself —
-// rebuilding the session by replay and taking over replication to the
-// remaining successors; otherwise the session is simply unknown here
-// (the client's candidate sweep moves on to the next successor).
+// with no local state. If this node is not in the key's placement (or is
+// draining) it redirects; if it holds a replica log it promotes itself —
+// minting a fencing epoch past the log's, rebuilding the session by
+// replay, and taking over replication to the remaining successors.
+// Promotion happens even while the old owner's feeder link is still
+// live: the client resuming here is the evidence that the owner is
+// unreachable where it matters (a node can be dead to clients yet keep
+// its outbound replication up), and the minted epoch fences the old
+// incarnation the moment its next replicated message is rejected.
+// Otherwise the session is simply unknown here (the client's candidate
+// sweep moves on).
 func (n *Node) recoverSession(key string) (*server.Session, error) {
 	succ := n.ring.Successors(key, n.r)
 	inPlacement := false
@@ -410,6 +593,17 @@ func (n *Node) recoverSession(key string) (*server.Session, error) {
 	}
 
 	n.mu.Lock()
+	if n.draining {
+		if alt := firstOther(succ, n.self); alt != "" {
+			n.mu.Unlock()
+			n.met.redirects.Inc()
+			return nil, &server.RejectError{
+				Code:  server.CodeNotOwner,
+				Owner: alt,
+				Msg:   fmt.Sprintf("cluster: node is draining; dial %s", alt),
+			}
+		}
+	}
 	if wait, racing := n.promoting[key]; racing {
 		// Another connection is already promoting this key: wait for it,
 		// then hand back whatever it built. A bye-terminated recovery
@@ -426,6 +620,7 @@ func (n *Node) recoverSession(key string) (*server.Session, error) {
 	}
 	done := make(chan struct{})
 	n.promoting[key] = done
+	epoch := n.mintEpochLocked(key, rl.epoch)
 	hello := rl.hello
 	frames := append([]server.ClientFrame(nil), rl.frames...)
 	n.mu.Unlock()
@@ -437,15 +632,16 @@ func (n *Node) recoverSession(key string) (*server.Session, error) {
 		close(done)
 	}()
 
-	n.log("cluster: promoting %s from replica log (%d frames)", key, len(frames))
+	mode, _ := ParseDurability(hello.Durability)
+	n.log("cluster: promoting %s from replica log (%d frames, epoch %d → %d)", key, len(frames), rl.epoch, epoch)
 	sess, err := n.srv.OpenRecovered(hello, frames)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: promote %s: %v", key, err)
 	}
 	n.met.failovers.Inc()
 	// This node is the session's host now: replicate the whole backlog to
-	// the remaining successors (replicas dedupe by seq, so re-offering
-	// frames they already hold is idempotent).
-	n.registerHosted(key, hello, frames)
+	// the remaining successors under the new epoch (replicas fence their
+	// stale copies and re-ingest from seq 1).
+	n.registerHosted(key, hello, frames, epoch, mode)
 	return sess, nil
 }

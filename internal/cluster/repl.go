@@ -1,21 +1,25 @@
 package cluster
 
 import (
+	"fmt"
+	"hash/fnv"
 	"net"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/server"
 )
 
 // peerLink is this node's outgoing replication link to one peer. A link
 // is created lazily when a hosted session first needs the peer and then
-// lives until shutdown: a dedicated goroutine dials (with backoff),
-// performs the repl-hello handshake, and streams repl-open/repl-frame
-// messages for every hosted session placed on the peer, while a reader
-// goroutine collects repl-acks into the racked watermark that gates
-// client acks. On reconnect the send cursors reset to the racked
-// watermark — everything unacknowledged is re-sent, and the replica
-// dedupes by seq, so a dropped link never leaves a hole in a log.
+// lives until shutdown: a dedicated goroutine dials (with seeded
+// exponential backoff), performs the repl-hello handshake, and streams
+// repl-open/repl-frame messages for every hosted session placed on the
+// peer, while a reader goroutine collects repl-acks into the racked
+// watermark that gates client acks. On reconnect the send cursors reset
+// to the racked watermark — everything unacknowledged is re-sent, and
+// the replica dedupes by seq, so a dropped link never leaves a hole in a
+// log.
 //
 // All fields are guarded by the owning Node's mu.
 type peerLink struct {
@@ -28,6 +32,24 @@ type peerLink struct {
 	racked    map[string]int64 // per-session contiguous ack high-water
 	sent      map[string]int   // per-session frames written this connection
 	opened    map[string]bool  // repl-open written this connection
+	// control queues session-scoped control messages (drain handoffs).
+	// They are flushed after a session's open/frames on the current
+	// connection — a handoff must never overtake the log it transfers —
+	// and entries for sessions not yet opened on this connection are
+	// retained for a later batch.
+	control []replMsg
+}
+
+// linkSeed derives the deterministic jitter seed of one directed
+// replication link: distinct per (self, peer) pair so a cluster's links
+// never thunder in lockstep, folded with the ring seed so two clusters
+// sharing a host decorrelate too.
+func linkSeed(self, peer string, ringSeed uint64) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(self))
+	h.Write([]byte{0})
+	h.Write([]byte(peer))
+	return int64(h.Sum64() ^ ringSeed)
 }
 
 // ensureLinkLocked creates (once) and starts the link to peer. Caller
@@ -83,20 +105,24 @@ func (l *peerLink) sleep(d time.Duration) bool {
 
 func (l *peerLink) run() {
 	defer l.node.wg.Done()
-	backoff := 10 * time.Millisecond
+	pol := backoff.New(10*time.Millisecond, time.Second, linkSeed(l.node.self, l.peer, l.node.seed))
+	attempt := 0
+	dials := 0
 	for {
 		if l.done() {
 			return
 		}
+		if dials > 0 {
+			l.node.met.linkReconnects.Inc()
+		}
+		dials++
 		conn, err := net.DialTimeout("tcp", l.addr, 2*time.Second)
 		if err != nil {
 			l.node.met.connErrors.Inc()
-			if l.sleep(backoff) {
+			if l.sleep(pol.Delay(attempt)) {
 				return
 			}
-			if backoff *= 2; backoff > time.Second {
-				backoff = time.Second
-			}
+			attempt++
 			continue
 		}
 		l.node.mu.Lock()
@@ -112,15 +138,13 @@ func (l *peerLink) run() {
 		if err := l.handshake(conn, sc); err != nil {
 			l.node.met.connErrors.Inc()
 			conn.Close()
-			if l.sleep(backoff) {
+			if l.sleep(pol.Delay(attempt)) {
 				return
 			}
-			if backoff *= 2; backoff > time.Second {
-				backoff = time.Second
-			}
+			attempt++
 			continue
 		}
-		backoff = 10 * time.Millisecond
+		attempt = 0
 		l.node.met.resyncs.Inc()
 		l.node.log("cluster: replication link to %s up", l.peer)
 
@@ -173,9 +197,14 @@ func (l *peerLink) sendLoop(conn net.Conn) {
 	for k := range l.opened {
 		delete(l.opened, k)
 	}
-	for k, r := range l.racked {
-		l.sent[k] = int(r)
+	// Reset every send cursor, not just the racked ones: a session whose
+	// previous connection died before any ack arrived has sent > 0 with
+	// no racked entry, and skipping it would strand its unacked frames —
+	// holing the replica log and wedging the durable gate forever.
+	for k := range l.sent {
+		l.sent[k] = int(l.racked[k])
 	}
+	n.updateDegradedLocked()
 	n.cond.Broadcast() // connectivity change: the ack gate now binds on this link
 	for {
 		if n.closed || l.conn != conn {
@@ -198,14 +227,35 @@ func (l *peerLink) sendLoop(conn net.Conn) {
 	if l.conn == conn {
 		l.conn = nil
 	}
+	l.abortControlLocked()
+	n.updateDegradedLocked()
 	n.cond.Broadcast()
 	n.mu.Unlock()
+}
+
+// abortControlLocked drops this link's queued control messages and fails
+// the handoffs they carried: a handoff offer must ride the connection
+// whose acks proved the replica holds the full log, so a dropped link
+// invalidates it. Drain surfaces the error and the session stays hosted
+// (the ordinary failover path covers it if the node dies anyway). Caller
+// holds n.mu.
+func (l *peerLink) abortControlLocked() {
+	n := l.node
+	l.control = nil
+	for _, hs := range n.hosted {
+		if hs.handoff != nil && hs.handoff.target == l.peer {
+			ho := hs.handoff
+			hs.handoff = nil
+			ho.finish(fmt.Errorf("cluster: replication link to %s lost during handoff", l.peer))
+		}
+	}
 }
 
 // collectLocked gathers the next batch of repl messages for this peer:
 // an open for every hosted session not yet announced on this connection,
 // then its unsent frames in seq order, bounded per batch so one busy
-// session cannot monopolize the wire buffer. Caller holds n.mu.
+// session cannot monopolize the wire buffer; finally any queued control
+// messages whose session is open on this connection. Caller holds n.mu.
 func (l *peerLink) collectLocked() []byte {
 	const maxBatch = 256
 	var batch []byte
@@ -217,18 +267,33 @@ func (l *peerLink) collectLocked() []byte {
 		if !l.opened[key] {
 			l.opened[key] = true
 			hello := hs.hello
-			batch = append(batch, appendReplMsg(replMsg{Type: msgReplOpen, Session: key, Hello: &hello})...)
+			batch = append(batch, appendReplMsg(replMsg{Type: msgReplOpen, Session: key, Epoch: hs.epoch, Hello: &hello})...)
 			msgs++
 		}
 		for l.sent[key] < len(hs.frames) && msgs < maxBatch {
 			f := hs.frames[l.sent[key]]
 			l.sent[key]++
-			batch = append(batch, appendReplMsg(replMsg{Type: msgReplFrame, Session: key, Frame: &f})...)
+			batch = append(batch, appendReplMsg(replMsg{Type: msgReplFrame, Session: key, Epoch: hs.epoch, Frame: &f})...)
 			l.node.met.framesSent.Inc()
 			msgs++
 		}
 		if msgs >= maxBatch {
 			break
+		}
+	}
+	if msgs < maxBatch && len(l.control) > 0 {
+		kept := l.control[:0]
+		for _, m := range l.control {
+			if !l.opened[m.Session] || msgs >= maxBatch {
+				kept = append(kept, m)
+				continue
+			}
+			batch = append(batch, appendReplMsg(m)...)
+			msgs++
+		}
+		l.control = kept
+		if len(l.control) == 0 {
+			l.control = nil
 		}
 	}
 	return batch
@@ -244,29 +309,56 @@ func (hs *hostedSession) replicatesTo(peer string) bool {
 	return false
 }
 
-// readAcks drains repl-ack messages, advancing the racked watermark and
-// re-offering client acks the gate withheld. It exits when the
-// connection dies, waking the send loop.
+// readAcks drains the replica's replies: repl-acks advance the racked
+// watermark (waking the drain handoff and re-offering client acks the
+// gate withheld), repl-rejects carry fencing verdicts — a stale-epoch
+// reject means this node has been superseded — and repl-handoff-acks
+// complete a drain transfer. It exits when the connection dies, waking
+// the send loop.
 func (l *peerLink) readAcks(conn net.Conn, sc *server.FrameScanner) {
 	n := l.node
+loop:
 	for sc.Scan() {
 		m, err := decodeReplMsg(sc.Bytes())
-		if err != nil || m.Type != msgReplAck || m.Session == "" {
+		if err != nil || m.Session == "" {
 			break
 		}
-		n.met.acksRecv.Inc()
-		n.mu.Lock()
-		if m.Seq > l.racked[m.Session] {
-			l.racked[m.Session] = m.Seq
+		switch m.Type {
+		case msgReplAck:
+			n.met.acksRecv.Inc()
+			n.mu.Lock()
+			if hs := n.hosted[m.Session]; hs != nil && m.Epoch != 0 && m.Epoch != hs.epoch {
+				// An ack for a different incarnation of the key (the replica
+				// has not caught up with a reuse or handoff yet) must not
+				// advance this incarnation's watermark.
+				n.mu.Unlock()
+				continue
+			}
+			if m.Seq > l.racked[m.Session] {
+				l.racked[m.Session] = m.Seq
+				n.cond.Broadcast() // the drain handoff waits on racked
+			}
+			n.mu.Unlock()
+			n.noteAcks(m.Session)
+		case msgReplReject:
+			if m.Code == rejectStaleEpoch {
+				n.superseded(m.Session, m.Epoch, l.peer, "stale-epoch reject from replica")
+				continue
+			}
+			n.failHandoff(m.Session, l.peer, fmt.Errorf("cluster: %s rejected handoff of %s: %s", l.peer, m.Session, m.Code))
+		case msgReplHandoffAck:
+			n.completeHandoff(m.Session, l.peer, m.Epoch)
+		default:
+			break loop
 		}
-		n.mu.Unlock()
-		n.noteAcks(m.Session)
 	}
 	conn.Close()
 	n.mu.Lock()
 	if l.conn == conn {
 		l.conn = nil
 		l.connected = false
+		l.abortControlLocked()
+		n.updateDegradedLocked()
 	}
 	n.cond.Broadcast()
 	n.mu.Unlock()
@@ -275,9 +367,19 @@ func (l *peerLink) readAcks(conn net.Conn, sc *server.FrameScanner) {
 // serveRepl is the replica side of a replication link: it runs on the
 // takeover connection's goroutine, appends in-order frames to the
 // per-session replica logs, and acks every message with the log's
-// contiguous high-water seq. Out-of-order or duplicate frames are
-// acknowledged without being applied — the resync protocol relies on
+// contiguous high-water seq and epoch. Out-of-order or duplicate frames
+// are acknowledged without being applied — the resync protocol relies on
 // redelivery being idempotent.
+//
+// Epoch fencing happens here. An open carrying a newer epoch than the
+// held log truncates it (the old incarnation's frames are garbage now)
+// and adopts the connection as the log's feeder; an equal epoch re-open
+// — the owner reconnecting — adopts the new connection last-writer-wins.
+// Any session-scoped message carrying an older epoch is refused with a
+// typed stale-epoch reject, which tells a zombie ex-owner it has been
+// superseded. Frames from a connection that is not the current feeder
+// are acknowledged at the current high-water without being applied, so
+// a benign duplicate sender can never fork a log.
 func (n *Node) serveRepl(from string, conn net.Conn) {
 	n.log("cluster: replication link from %s", from)
 	n.mu.Lock()
@@ -290,6 +392,12 @@ func (n *Node) serveRepl(from string, conn net.Conn) {
 	defer func() {
 		n.mu.Lock()
 		delete(n.inbound, conn)
+		for _, rl := range n.replicated {
+			if rl.feeder == conn {
+				rl.feeder = nil
+				rl.from = ""
+			}
+		}
 		n.mu.Unlock()
 	}()
 	// Replication links idle legitimately; the ingest read deadline the
@@ -304,21 +412,55 @@ func (n *Node) serveRepl(from string, conn net.Conn) {
 		if err != nil {
 			return
 		}
-		var high int64
+		var reply replMsg
 		switch m.Type {
 		case msgReplOpen:
 			if m.Hello == nil || m.Session == "" {
 				return
 			}
+			// A newer incarnation opening here is also the authoritative
+			// word that any hosted copy of the key this node still runs
+			// (an ex-owner that missed its own demotion) is stale.
+			n.superseded(m.Session, m.Epoch, from, "newer incarnation replicated here")
 			n.mu.Lock()
 			rl := n.replicated[m.Session]
 			if rl == nil {
-				rl = &replicaLog{hello: *m.Hello}
+				if held := n.epochs[m.Session]; held > m.Epoch {
+					// No log, but this node has seen a newer incarnation of
+					// the key (it may host it right now): a zombie ex-owner
+					// re-opening at its old epoch must not plant a stale log
+					// here. Reject instead of creating one.
+					n.met.staleEpochs.Inc()
+					reply = replMsg{Type: msgReplReject, Session: m.Session, Code: rejectStaleEpoch, Epoch: held}
+					n.mu.Unlock()
+					n.log("cluster: rejected stale open of %s from %s (epoch %d < held %d)", m.Session, from, m.Epoch, held)
+					break
+				}
+				rl = &replicaLog{hello: *m.Hello, epoch: m.Epoch}
 				n.replicated[m.Session] = rl
 				n.met.sessionsReplicated.Set(int64(len(n.replicated)))
 			}
-			high = int64(len(rl.frames))
-			n.mu.Unlock()
+			switch {
+			case m.Epoch < rl.epoch:
+				n.met.staleEpochs.Inc()
+				reply = replMsg{Type: msgReplReject, Session: m.Session, Code: rejectStaleEpoch, Epoch: rl.epoch}
+				n.mu.Unlock()
+				n.log("cluster: rejected stale open of %s from %s (epoch %d < %d)", m.Session, from, m.Epoch, rl.epoch)
+			default:
+				if m.Epoch > rl.epoch {
+					// Fence: the held log belongs to a dead incarnation.
+					n.met.fences.Inc()
+					n.log("cluster: fencing %s (epoch %d → %d, %d frames truncated)", m.Session, rl.epoch, m.Epoch, len(rl.frames))
+					rl.frames = nil
+					rl.hello = *m.Hello
+					rl.epoch = m.Epoch
+				}
+				rl.feeder = conn
+				rl.from = from
+				n.observeEpochLocked(m.Session, m.Epoch)
+				reply = replMsg{Type: msgReplAck, Session: m.Session, Seq: int64(len(rl.frames)), Epoch: rl.epoch}
+				n.mu.Unlock()
+			}
 		case msgReplFrame:
 			if m.Frame == nil || m.Session == "" {
 				return
@@ -326,21 +468,96 @@ func (n *Node) serveRepl(from string, conn net.Conn) {
 			n.mu.Lock()
 			rl := n.replicated[m.Session]
 			if rl == nil {
+				// No log: either this node promoted the key out of its
+				// replica set (failover or handoff adoption deleted the log
+				// while the old feeder was still streaming) — tell the
+				// sender it is fenced — or a frame genuinely preceded its
+				// open, which is a protocol error worth dropping the link.
+				held := n.epochs[m.Session]
 				n.mu.Unlock()
-				return // frame before open: protocol error
+				if held > m.Epoch {
+					n.met.staleEpochs.Inc()
+					reply = replMsg{Type: msgReplReject, Session: m.Session, Code: rejectStaleEpoch, Epoch: held}
+					break
+				}
+				return
 			}
-			if m.Frame.Seq == int64(len(rl.frames))+1 {
-				rl.frames = append(rl.frames, *m.Frame)
-				n.met.framesRecv.Inc()
+			switch {
+			case m.Epoch < rl.epoch:
+				n.met.staleEpochs.Inc()
+				reply = replMsg{Type: msgReplReject, Session: m.Session, Code: rejectStaleEpoch, Epoch: rl.epoch}
+			case rl.feeder != conn:
+				// Not the current feeder: acknowledge without applying, so
+				// a superseded connection drains harmlessly instead of
+				// forking the log.
+				reply = replMsg{Type: msgReplAck, Session: m.Session, Seq: int64(len(rl.frames)), Epoch: rl.epoch}
+			default:
+				if m.Frame.Seq == int64(len(rl.frames))+1 {
+					rl.frames = append(rl.frames, *m.Frame)
+					n.met.framesRecv.Inc()
+				}
+				reply = replMsg{Type: msgReplAck, Session: m.Session, Seq: int64(len(rl.frames)), Epoch: rl.epoch}
 			}
-			high = int64(len(rl.frames))
 			n.mu.Unlock()
+		case msgReplHandoff:
+			if m.Session == "" {
+				return
+			}
+			reply = n.adoptHandoff(from, conn, m)
 		default:
 			return
 		}
 		conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
-		if _, err := conn.Write(appendReplMsg(replMsg{Type: msgReplAck, Session: m.Session, Seq: high})); err != nil {
+		if _, err := conn.Write(appendReplMsg(reply)); err != nil {
 			return
 		}
 	}
+}
+
+// adoptHandoff is the replica side of a drain transfer: validate that
+// the offer matches the held log exactly — fed by this connection, a
+// strictly newer epoch, and every transferred frame already applied —
+// then promote the log into a live session under the new epoch and
+// become its owner. Any mismatch is refused without touching the log;
+// the draining node keeps the session and reports the failed handoff.
+func (n *Node) adoptHandoff(from string, conn net.Conn, m replMsg) replMsg {
+	n.mu.Lock()
+	rl := n.replicated[m.Session]
+	held := int64(0)
+	if rl != nil {
+		held = rl.epoch
+	}
+	if rl == nil || rl.feeder != conn || m.Epoch <= rl.epoch ||
+		int64(len(rl.frames)) != m.Seq || n.draining || n.closed {
+		n.mu.Unlock()
+		return replMsg{Type: msgReplReject, Session: m.Session, Code: rejectHandoffMismatch, Epoch: held}
+	}
+	if _, racing := n.promoting[m.Session]; racing {
+		n.mu.Unlock()
+		return replMsg{Type: msgReplReject, Session: m.Session, Code: rejectHandoffMismatch, Epoch: held}
+	}
+	done := make(chan struct{})
+	n.promoting[m.Session] = done
+	rl.epoch = m.Epoch
+	rl.feeder = nil
+	rl.from = ""
+	n.observeEpochLocked(m.Session, m.Epoch)
+	hello := rl.hello
+	frames := append([]server.ClientFrame(nil), rl.frames...)
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.promoting, m.Session)
+		n.mu.Unlock()
+		close(done)
+	}()
+
+	mode, _ := ParseDurability(hello.Durability)
+	n.log("cluster: adopting %s from draining %s (%d frames, epoch %d)", m.Session, from, len(frames), m.Epoch)
+	if _, err := n.srv.OpenRecovered(hello, frames); err != nil {
+		n.log("cluster: handoff adoption of %s failed: %v", m.Session, err)
+		return replMsg{Type: msgReplReject, Session: m.Session, Code: rejectHandoffFailed, Epoch: m.Epoch}
+	}
+	n.registerHosted(m.Session, hello, frames, m.Epoch, mode)
+	return replMsg{Type: msgReplHandoffAck, Session: m.Session, Epoch: m.Epoch}
 }

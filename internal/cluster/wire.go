@@ -19,12 +19,32 @@ import (
 // repl-frame messages and the replica answers every appended frame with
 // repl-ack carrying its contiguous per-session high-water seq — the
 // sender's durability watermark, which gates client acks.
+//
+// Every session-scoped message carries the session's incarnation epoch,
+// minted by the owner when it first hosts the key (fresh open, failover
+// promotion, or drain handoff — each bumps it past every epoch the
+// minting node has seen for the key). A replica holding an older epoch
+// fences: it truncates the stale log and adopts the new incarnation. A
+// message carrying an older epoch than the replica holds is answered
+// with repl-reject code "stale-epoch" — the typed signal that tells a
+// zombie ex-owner it has been superseded.
 const (
-	msgReplHello   = "repl-hello"   // sender → replica: opens the link (From = sender identity)
-	msgReplWelcome = "repl-welcome" // replica → sender: link accepted
-	msgReplOpen    = "repl-open"    // sender → replica: begin (or resync) a session log; Hello carries the keyed hello
-	msgReplFrame   = "repl-frame"   // sender → replica: one accepted sequenced frame, in seq order
-	msgReplAck     = "repl-ack"     // replica → sender: contiguous per-session high-water seq applied to the log
+	msgReplHello      = "repl-hello"       // sender → replica: opens the link (From = sender identity)
+	msgReplWelcome    = "repl-welcome"     // replica → sender: link accepted
+	msgReplOpen       = "repl-open"        // sender → replica: begin (or resync) a session log; Hello carries the keyed hello, Epoch the incarnation
+	msgReplFrame      = "repl-frame"       // sender → replica: one accepted sequenced frame, in seq order, stamped with the log's epoch
+	msgReplAck        = "repl-ack"         // replica → sender: contiguous per-session high-water seq applied to the log (Epoch echoes the log's)
+	msgReplReject     = "repl-reject"      // replica → sender: message refused; Code says why, Epoch is the epoch the replica holds
+	msgReplHandoff    = "repl-handoff"     // sender → replica: drain handoff offer — adopt the log at Seq frames under the bumped Epoch
+	msgReplHandoffAck = "repl-handoff-ack" // replica → sender: handoff accepted; the replica now owns the session
+)
+
+// repl-reject codes. Stale-epoch reuses the client-protocol constant so
+// one grep finds every fencing decision.
+const (
+	rejectStaleEpoch      = server.CodeStaleEpoch // message epoch is older than the held one
+	rejectHandoffMismatch = "handoff-mismatch"    // handoff offer does not match the replica's log
+	rejectHandoffFailed   = "handoff-failed"      // replica could not rebuild the session from the log
 )
 
 // replMsg is one replication protocol message. Type selects the fields.
@@ -34,8 +54,15 @@ type replMsg struct {
 	From string `json:"from,omitempty"`
 	// Session is the placement key the message concerns.
 	Session string `json:"session,omitempty"`
-	// Seq is the replica's contiguous high-water mark on repl-ack.
+	// Seq is the replica's contiguous high-water mark on repl-ack, and
+	// the expected log length on repl-handoff.
 	Seq int64 `json:"seq,omitempty"`
+	// Epoch is the session's incarnation epoch: the log's epoch on
+	// repl-open/repl-frame/repl-ack, the bumped epoch on repl-handoff and
+	// repl-handoff-ack, and the epoch the replica holds on repl-reject.
+	Epoch int64 `json:"epoch,omitempty"`
+	// Code classifies a repl-reject.
+	Code string `json:"code,omitempty"`
 	// Hello is the session's keyed hello frame on repl-open.
 	Hello *server.ClientFrame `json:"hello,omitempty"`
 	// Frame is the replicated sequenced frame on repl-frame.

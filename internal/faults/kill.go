@@ -65,6 +65,23 @@ func (l *KillableListener) Kill() {
 	}
 }
 
+// KillConns abruptly closes all live accepted connections but leaves
+// the listener in service — a transient network blip rather than a
+// node death. Reconnects land immediately, which is what a test needs
+// to count redials without simulating a full outage.
+func (l *KillableListener) KillConns() {
+	l.mu.Lock()
+	conns := make([]net.Conn, 0, len(l.active))
+	for c := range l.active {
+		conns = append(conns, c)
+	}
+	l.active = make(map[net.Conn]struct{})
+	l.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
 // Restart puts the listener back in service; connections accepted after
 // it are tracked again.
 func (l *KillableListener) Restart() {

@@ -66,11 +66,15 @@ func RegisterPprof(mux *http.ServeMux) {
 
 // Debug bundles the introspection state served at /debug/obs: the
 // recent-spans ring, the slow-detection log, and a registry snapshot.
-// Nil fields are simply omitted from the response.
+// Nil fields are simply omitted from the response. Sections lets a
+// subsystem (the cluster node, say) contribute a named snapshot
+// function; each is called per request and its result embedded under
+// sections.<name>.
 type Debug struct {
 	Registry *Registry
 	Spans    *SpanRing
 	Slow     *SlowLog
+	Sections map[string]func() any
 }
 
 // debugSnapshot is the /debug/obs response document.
@@ -80,6 +84,7 @@ type debugSnapshot struct {
 	Slow       []json.RawMessage `json:"slow,omitempty"`
 	SlowTotal  int64             `json:"slow_total"`
 	Metrics    map[string]any    `json:"metrics,omitempty"`
+	Sections   map[string]any    `json:"sections,omitempty"`
 }
 
 // Handler serves the debug snapshot as indented JSON.
@@ -90,6 +95,12 @@ func (d *Debug) Handler() http.Handler {
 		snap.Slow, snap.SlowTotal = d.Slow.Snapshot()
 		if d.Registry != nil {
 			snap.Metrics = d.Registry.Snapshot()
+		}
+		if len(d.Sections) > 0 {
+			snap.Sections = make(map[string]any, len(d.Sections))
+			for name, fn := range d.Sections {
+				snap.Sections[name] = fn()
+			}
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

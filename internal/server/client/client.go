@@ -17,12 +17,12 @@ package client
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"net"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/cluster"
 	"repro/internal/pir"
 	"repro/internal/server"
@@ -80,6 +80,14 @@ type Config struct {
 	// are unchanged; Snapshot requests are rejected by the server.
 	Bounded bool
 
+	// Durability overrides the node's cluster durability mode for this
+	// session: "durable" gates acks on every configured replica holding
+	// the frame (riding out replica outages instead of shrinking the
+	// gate), "available" acks once the live majority-of-the-moment has
+	// it, "" accepts the node default. Only meaningful on keyed sessions
+	// against a cluster.
+	Durability string
+
 	// Encoding selects the ingest wire encoding. "" or "ndjson" streams
 	// one JSON frame per event. "binary" negotiates the binary batched
 	// encoding at hello time: init/event frames accumulate into column
@@ -134,9 +142,12 @@ type resumeError struct {
 
 func (e *resumeError) Error() string { return fmt.Sprintf("%s (%s)", e.msg, e.code) }
 
-// Unwrap exposes a not-owner rejection as the typed ErrNotOwner.
+// Unwrap exposes an ownership rejection as the typed ErrNotOwner. A
+// stale-epoch rejection is the same shape: the dialed node's copy of
+// the session was fenced by a newer incarnation, and owner is where it
+// lives now.
 func (e *resumeError) Unwrap() error {
-	if e.code == server.CodeNotOwner {
+	if e.code == server.CodeNotOwner || e.code == server.CodeStaleEpoch {
 		return &ErrNotOwner{Owner: e.owner}
 	}
 	return nil
@@ -177,7 +188,7 @@ type Session struct {
 	byeSent bool  // Close initiated; a resume re-sends the bye
 	byeSeq  int64 // the bye's sequence number, for exactly-once re-send
 	stats   Stats
-	rng     *rand.Rand // backoff jitter; only the single-flight reconnect loop uses it
+	pol     *backoff.Policy // reconnect delays; only the single-flight reconnect loop uses it
 
 	// Binary batching state (guarded by wmu). pending accumulates
 	// init/event frames until a flush turns them into one batch frame;
@@ -244,17 +255,18 @@ func Dial(addr string, cfg Config) (*Session, error) {
 		verdicts:   make(chan server.ServerFrame, 256),
 		done:       make(chan struct{}),
 		failed:     make(chan struct{}),
-		rng:        rand.New(rand.NewSource(cfg.JitterSeed)),
+		pol:        backoff.New(cfg.BackoffBase, cfg.BackoffMax, cfg.JitterSeed),
 	}
 	s.space = sync.NewCond(&s.wmu)
 	hello := server.ClientFrame{
-		Type:      server.FrameHello,
-		Processes: cfg.Processes,
-		Watches:   cfg.Watches,
-		Resumable: cfg.Reconnect,
-		Bounded:   cfg.Bounded,
-		Session:   cfg.Key,
-		Encoding:  cfg.Encoding,
+		Type:       server.FrameHello,
+		Processes:  cfg.Processes,
+		Watches:    cfg.Watches,
+		Resumable:  cfg.Reconnect,
+		Bounded:    cfg.Bounded,
+		Session:    cfg.Key,
+		Encoding:   cfg.Encoding,
+		Durability: cfg.Durability,
 	}
 	// Ring-aware open: try candidates in placement order, following
 	// not-owner redirects, bounded at four sweeps so a misconfigured ring
@@ -294,7 +306,7 @@ func Dial(addr string, cfg Config) (*Session, error) {
 			// The orphan expired between attempts; open fresh.
 			streak = 0
 			first = hello
-		case rejected && re.code == server.CodeNotOwner && len(candidates) > 1:
+		case rejected && (re.code == server.CodeNotOwner || re.code == server.CodeStaleEpoch) && len(candidates) > 1:
 			streak = 0
 			s.followRedirect(re.owner)
 		case rejected:
@@ -835,6 +847,15 @@ func (s *Session) readerGone(conn net.Conn, err error) {
 	s.finish()
 }
 
+// Acked returns the highest sequence number the server has confirmed —
+// in a durable-mode cluster session, the prefix guaranteed to survive
+// any single node failure. Chaos tests pin the loss window against it.
+func (s *Session) Acked() int64 {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return s.acked
+}
+
 // handleAck releases every in-flight frame the server confirmed.
 func (s *Session) handleAck(seq int64) {
 	s.wmu.Lock()
@@ -925,7 +946,11 @@ func (s *Session) reconnectLoop() {
 				// The server has not yet noticed the dead connection
 				// (its reader is waiting out the read deadline); retry.
 				continue
-			case re.code == server.CodeNotOwner && ringAware:
+			case (re.code == server.CodeNotOwner || re.code == server.CodeStaleEpoch) && ringAware:
+				// Not-owner: wrong node. Stale-epoch: this node's copy of
+				// the session was fenced by a newer incarnation (failover,
+				// drain handoff, key reuse) — either way the redirect names
+				// where the live incarnation is.
 				unknown = 0
 				s.followRedirect(re.owner)
 				continue
@@ -1028,15 +1053,7 @@ func (s *Session) adopt(conn net.Conn, sc *server.FrameScanner, serverSeq int64,
 // backoff returns the delay before reconnect attempt n: the exponential
 // floor plus deterministic jitter over its upper half.
 func (s *Session) backoff(attempt int) time.Duration {
-	if attempt > 20 {
-		attempt = 20
-	}
-	d := s.cfg.BackoffBase << uint(attempt)
-	if d <= 0 || d > s.cfg.BackoffMax {
-		d = s.cfg.BackoffMax
-	}
-	half := d / 2
-	return half + time.Duration(s.rng.Int63n(int64(half)+1))
+	return s.pol.Delay(attempt)
 }
 
 func (s *Session) fail(err error) {

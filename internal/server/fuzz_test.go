@@ -46,6 +46,13 @@ func FuzzDecodeClientFrame(f *testing.F) {
 	f.Add([]byte(`{"type":"hello","processes":2,"encoding":"morse"}`))
 	f.Add([]byte(`{"type":"resume","session":"s-0001","seq":1,"encoding":"binary"}`))
 	f.Add([]byte(`{"type":"batch","seq":1,"batch":{"procs":[1],"kinds":"AA==","setoff":[0,1],"sets":[{"n":"x","v":1}]}}`))
+	// Durability negotiation: the hello's ack-gate mode must parse or be
+	// rejected, never silently coerced.
+	f.Add([]byte(`{"type":"hello","processes":2,"resumable":true,"durability":"durable"}`))
+	f.Add([]byte(`{"type":"hello","processes":2,"resumable":true,"durability":"available"}`))
+	f.Add([]byte(`{"type":"hello","processes":2,"resumable":true,"durability":"DURABLE"}`))
+	f.Add([]byte(`{"type":"hello","processes":2,"resumable":true,"durability":"paxos"}`))
+	f.Add([]byte(`{"type":"hello","processes":2,"durability":" "}`))
 
 	f.Fuzz(func(t *testing.T, line []byte) {
 		fr, err := DecodeClientFrame(line)
@@ -59,6 +66,11 @@ func FuzzDecodeClientFrame(f *testing.F) {
 				}
 				if len(fr.Watches) > MaxWatches {
 					t.Fatalf("ValidateHello accepted %d watches", len(fr.Watches))
+				}
+				switch fr.Durability {
+				case "", "available", "durable":
+				default:
+					t.Fatalf("ValidateHello accepted durability %q", fr.Durability)
 				}
 			}
 		}
@@ -115,6 +127,17 @@ func FuzzFirstFrame(f *testing.F) {
 	f.Add([]byte(`{"type":"resume"}`))
 	f.Add([]byte(`not json at all`))
 	f.Add([]byte{FrameMagic, BinBatch, 0x02, 0x02, 0x00}) // binary frame before any handshake
+	// Replication-protocol openers on the shared listener: a standalone
+	// server has no takeover hook, so these must be cleanly rejected as
+	// unknown client frames, and hostile epochs must never wedge triage.
+	f.Add([]byte(`{"type":"repl-hello","from":"127.0.0.1:1"}`))
+	f.Add([]byte(`{"type":"repl-open","session":"k","epoch":-1}`))
+	f.Add([]byte(`{"type":"repl-open","session":"k","epoch":9223372036854775807}`))
+	f.Add([]byte(`{"type":"repl-frame","session":"k","epoch":1,"seq":1}`))
+	f.Add([]byte(`{"type":"repl-handoff","session":"k","epoch":2,"seq":0}`))
+	f.Add([]byte(`{"type":"repl-reject","session":"k","code":"stale-epoch","epoch":3}`))
+	f.Add([]byte(`{"type":"hello","processes":2,"resumable":true,"durability":"durable"}`))
+	f.Add([]byte(`{"type":"hello","processes":2,"resumable":true,"durability":"quorum"}`))
 	addr := fuzzServer(f)
 
 	f.Fuzz(func(t *testing.T, line []byte) {

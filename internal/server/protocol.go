@@ -73,6 +73,7 @@ const (
 	CodeStaleSeq       = "stale-seq"       // resume point has fallen out of the journal retention window
 	CodeSeqGap         = "seq-gap"         // frames were lost in flight; reconnect and resume from the last ack
 	CodeNotOwner       = "not-owner"       // cluster mode: this node does not host the key; dial Owner instead
+	CodeStaleEpoch     = "stale-epoch"     // cluster mode: a newer incarnation of the session lives at Owner; this node's copy is fenced
 	CodeKeyInUse       = "key-in-use"      // a live session already holds this key; resume it instead of re-opening
 	CodeFrameTooLong   = "frame-too-long"  // a frame exceeded MaxFrameBytes; the connection closes, the session survives its policy
 )
@@ -130,6 +131,13 @@ type ClientFrame struct {
 	// "binary" to additionally accept length-prefixed binary batch
 	// frames (see binary.go). The welcome echoes the accepted value.
 	Encoding string `json:"encoding,omitempty"`
+	// Durability on a keyed hello overrides the cluster node's default
+	// ack-gate mode for this session: "available" keeps acking through a
+	// replica outage (the outage window may be lost with the owner),
+	// "durable" stalls acks until every replica is reachable again, so no
+	// acked frame can be lost. Empty inherits the node default; standalone
+	// servers ignore it.
+	Durability string `json:"durability,omitempty"`
 
 	// resume: Session names the session to reattach to; Seq is the
 	// highest sequence number the client has seen acked. Seq also rides
@@ -247,6 +255,13 @@ func ValidateHello(f ClientFrame) error {
 		if err := ValidateKey(f.Session); err != nil {
 			return err
 		}
+	}
+	// The string literals rather than cluster.ParseDurability: the server
+	// package must not import its own integration layer.
+	switch f.Durability {
+	case "", "available", "durable":
+	default:
+		return fmt.Errorf("server: unknown durability %q (want available or durable)", f.Durability)
 	}
 	return ValidateEncoding(f.Encoding)
 }

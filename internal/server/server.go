@@ -144,6 +144,11 @@ type ClusterHooks struct {
 	// replay). Returning (nil, *RejectError) redirects or rejects;
 	// (nil, nil) with no local knowledge means unknown-session.
 	Recover func(session string) (*Session, error)
+	// Resume, when non-nil, vetoes resume handshakes before any session
+	// lookup: a non-nil error (ideally a *RejectError) rejects the
+	// resume. The cluster uses it to hold clients off a session whose
+	// frame log is mid-handoff to another node.
+	Resume func(session string) error
 }
 
 // Server multiplexes detection sessions. Transports (Serve for TCP,
@@ -200,6 +205,7 @@ func New(cfg Config) *Server {
 	for i := range s.shards {
 		s.shards[i].sessions = make(map[string]*Session)
 		s.shards[i].morgue = make(map[string]morgueEntry)
+		s.shards[i].tombstones = make(map[string]tombstone)
 	}
 	if cfg.IdleTimeout > 0 {
 		go s.janitor()
@@ -271,6 +277,7 @@ func (s *Server) Open(cfg SessionConfig) (*Session, error) {
 			delete(sh.morgue, id)
 			s.morgued.Add(-1)
 		}
+		delete(sh.tombstones, id)
 	}
 	sess := newSession(s, id, cfg.Processes, ws, cfg.Bounded)
 	if cfg.Resumable {
@@ -306,11 +313,12 @@ func (s *Server) OpenRecovered(hello ClientFrame, frames []ClientFrame) (*Sessio
 		return nil, fmt.Errorf("server: recovery needs a keyed resumable hello")
 	}
 	sess, err := s.Open(SessionConfig{
-		ID:        hello.Session,
-		Processes: hello.Processes,
-		Watches:   hello.Watches,
-		Resumable: true,
-		Bounded:   hello.Bounded,
+		ID:         hello.Session,
+		Processes:  hello.Processes,
+		Watches:    hello.Watches,
+		Resumable:  true,
+		Bounded:    hello.Bounded,
+		Durability: hello.Durability,
 	})
 	if err != nil {
 		return nil, err
@@ -361,6 +369,52 @@ type morgueEntry struct {
 	goodbye ServerFrame
 	enqSeq  int64
 	retired time.Time
+}
+
+// tombstone records that a session's key was taken over by a newer
+// incarnation at owner — failover, drain handoff, or key reuse fenced
+// this node's copy. A resume hitting it gets a typed stale-epoch
+// redirect instead of unknown-session, so the old client follows the
+// key to its new home rather than concluding its session is gone.
+type tombstone struct {
+	owner   string
+	retired time.Time
+}
+
+// supersede replaces any live, morgue, or tombstone state for id with a
+// tombstone redirecting to owner. A live session is kicked and closed
+// without retiring into the morgue: its terminal record describes a
+// fenced incarnation and must not shadow the authoritative one.
+func (s *Server) Supersede(id, owner, reason string) {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	sess := sh.sessions[id]
+	if _, lingering := sh.morgue[id]; lingering {
+		delete(sh.morgue, id)
+		s.morgued.Add(-1)
+	}
+	sh.tombstones[id] = tombstone{owner: owner, retired: time.Now()}
+	sh.mu.Unlock()
+	if sess != nil {
+		sess.superseded.Store(true)
+		sess.Kick()
+		sess.Close(reason)
+	}
+	s.logf("session %s superseded by %s: %s", id, owner, reason)
+}
+
+// lookupTombstone returns the supersession record of id, if any,
+// pruning it once expired (same TTL as the morgue).
+func (s *Server) lookupTombstone(id string) (tombstone, bool) {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	t, ok := sh.tombstones[id]
+	if ok && time.Since(t.retired) > s.morgueTTL() {
+		delete(sh.tombstones, id)
+		return tombstone{}, false
+	}
+	return t, ok
 }
 
 // morgueTTL is how long a finished session lingers for terminal replay.
@@ -435,6 +489,19 @@ func (s *Server) resume(f ClientFrame, att *attachment) (*Session, ServerFrame, 
 		s.met.resumesRej.Inc()
 		return nil, ServerFrame{}, nil, CodeBadSeq, err
 	}
+	// The cluster's veto hook runs before any lookup: a session whose
+	// frame log is mid-handoff must not reattach here even though it is
+	// still in the table.
+	if h := s.cfg.Cluster; h != nil && h.Resume != nil {
+		if err := h.Resume(f.Session); err != nil {
+			s.met.resumesRej.Inc()
+			var rej *RejectError
+			if errors.As(err, &rej) {
+				return nil, ServerFrame{}, nil, rej.Code, err
+			}
+			return nil, ServerFrame{}, nil, CodeBusy, err
+		}
+	}
 	sess := s.Session(f.Session)
 	if sess == nil {
 		if e, ok := s.lookupMorgue(f.Session); ok {
@@ -445,6 +512,16 @@ func (s *Server) resume(f ClientFrame, att *attachment) (*Session, ServerFrame, 
 			welcome.Resumed = true
 			replay := append(append([]ServerFrame(nil), e.frames...), e.goodbye)
 			return nil, welcome, replay, "", nil
+		}
+		// A tombstone means this node's copy of the key was fenced by a
+		// newer incarnation elsewhere: redirect rather than recover — the
+		// local journal, if any survives, is the stale one.
+		if t, ok := s.lookupTombstone(f.Session); ok {
+			s.met.resumesRej.Inc()
+			return nil, ServerFrame{}, nil, CodeStaleEpoch, &RejectError{
+				Code: CodeStaleEpoch, Owner: t.owner,
+				Msg: fmt.Sprintf("server: session %q was superseded by a newer incarnation at %s", f.Session, t.owner),
+			}
 		}
 		// Cluster mode: a replica may hold this session's replicated
 		// journal and can rebuild it; failing that, redirect the client

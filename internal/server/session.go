@@ -43,6 +43,10 @@ type SessionConfig struct {
 	// O(events). Verdicts and their cuts are bit-identical to an
 	// unbounded session; snapshot queries are rejected.
 	Bounded bool
+	// Durability is the hello's requested cluster durability mode
+	// ("available", "durable", or empty for the node default). The server
+	// itself only carries the string; the cluster hooks interpret it.
+	Durability string
 }
 
 // watchState tracks one registered watch through the session's lifetime.
@@ -166,6 +170,7 @@ type Session struct {
 	dropped    atomic.Int64
 	lastActive atomic.Int64 // unix nanos of the last ingested frame
 	latNanos   atomic.Int64 // summed ingest latency, for per-session stats
+	superseded atomic.Bool  // fenced by a newer incarnation: skip the morgue on finish
 	closeOnce  sync.Once
 }
 
@@ -278,6 +283,22 @@ func (s *Session) detach(att *attachment) {
 	}
 	s.mu.Unlock()
 	att.close()
+}
+
+// Kick severs the attached transport, if any: its reader unblocks and
+// the connection tears down as if the client had vanished, while the
+// session itself keeps running. The attachment pointer is deliberately
+// left in place — the dying reader clears it via detach, and until then
+// tryResume's busy check keeps a successor from ingesting interleaved.
+// The cluster uses Kick to detach a client before a drain handoff and
+// when a session is superseded by a newer incarnation.
+func (s *Session) Kick() {
+	s.mu.Lock()
+	att := s.att
+	s.mu.Unlock()
+	if att != nil {
+		att.close()
+	}
 }
 
 // tryResume validates a resume request and, atomically with the checks,
@@ -518,10 +539,12 @@ func (s *Session) finish() {
 		record = append([]ServerFrame(nil), s.frames...)
 	}
 	s.mu.Unlock()
-	if s.resumable {
+	if s.resumable && !s.superseded.Load() {
 		// Linger in the morgue: a client whose connection died between
 		// bye and goodbye resumes against this terminal state and still
-		// collects every recorded frame exactly once.
+		// collects every recorded frame exactly once. A superseded session
+		// skips the morgue — its record describes a fenced incarnation and
+		// must not shadow the tombstone redirect to the new owner.
 		s.srv.retire(s.id, s.Welcome(), record, gb, s.enqSeq.Load())
 	}
 	if att != nil {

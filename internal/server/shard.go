@@ -10,14 +10,16 @@ import "sync"
 const numShards = 32
 
 // tableShard is one slice of the session table: a lock, the live
-// sessions hashed onto it, and the morgue entries of finished
-// resumable sessions. A session and its terminal morgue state share a
-// shard (same id, same hash), so a keyed re-open superseding old
-// terminal state stays a single-lock operation.
+// sessions hashed onto it, the morgue entries of finished resumable
+// sessions, and the tombstones of superseded ones. A session and its
+// terminal morgue/tombstone state share a shard (same id, same hash),
+// so a keyed re-open superseding old terminal state stays a
+// single-lock operation.
 type tableShard struct {
-	mu       sync.Mutex
-	sessions map[string]*Session
-	morgue   map[string]morgueEntry
+	mu         sync.Mutex
+	sessions   map[string]*Session
+	morgue     map[string]morgueEntry
+	tombstones map[string]tombstone
 }
 
 // shard returns the table shard owning id (FNV-1a over the id bytes,

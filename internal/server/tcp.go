@@ -165,7 +165,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			writeFrame(conn, ServerFrame{Type: FrameError, Error: err.Error()})
 			return
 		}
-		cfg := SessionConfig{Processes: first.Processes, Watches: first.Watches, Resumable: first.Resumable, Bounded: first.Bounded}
+		cfg := SessionConfig{Processes: first.Processes, Watches: first.Watches, Resumable: first.Resumable, Bounded: first.Bounded, Durability: first.Durability}
 		if first.Session != "" {
 			// A keyed hello pins the session id for cluster placement.
 			h := s.cfg.Cluster
